@@ -1,0 +1,76 @@
+"""Shared state for the benchmark harness.
+
+Each table bench measures its real pipeline (``benchmark.pedantic`` with
+one round — these are minutes-long experiments, not microbenchmarks) and
+deposits its rows here; the session-finish hook prints the regenerated
+paper tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: circuit name -> Table1Row, filled by benchmarks/test_table1_bench.py
+TABLE1_ROWS: dict = {}
+#: circuit name -> Table3Row, filled by benchmarks/test_table3_bench.py
+TABLE3_ROWS: dict = {}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.experiments import table2, table3
+    from repro.util.tables import TextTable
+
+    pieces = []
+    if TABLE1_ROWS:
+        table = TextTable(
+            ["circuit", "FUS", "Heu1", "Heu2", "inv-Heu2"],
+            title="Table I: % of logical paths identified RD",
+        )
+        for row in TABLE1_ROWS.values():
+            table.add_row(
+                [
+                    row.name,
+                    f"{row.fus_percent:.2f} %",
+                    f"{row.heu1_percent:.2f} %",
+                    f"{row.heu2_percent:.2f} %",
+                    f"{row.heu2_inverse_percent:.2f} %",
+                ]
+            )
+        pieces.append(table.render())
+        pieces.append(
+            table2.run(rows=list(TABLE1_ROWS.values()), include_count_only=True)
+            .render()
+        )
+    if TABLE3_ROWS:
+        table = TextTable(
+            ["circuit", "baseline RD%", "baseline time", "Heu2 RD%",
+             "Heu2 time", "gap", "speedup"],
+            title="Table III: approach of [1] vs Heuristic 2",
+        )
+        from repro.util.timer import format_duration
+
+        for row in TABLE3_ROWS.values():
+            table.add_row(
+                [
+                    row.name,
+                    f"{row.baseline_percent:.2f} %",
+                    format_duration(row.baseline_time),
+                    f"{row.heu2_percent:.2f} %",
+                    format_duration(row.heu2_time),
+                    f"{row.quality_gap:+.2f} %",
+                    f"{row.speedup:.1f}x",
+                ]
+            )
+        pieces.append(table.render())
+    if pieces:
+        print("\n\n" + "\n\n".join(pieces) + "\n")
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    return TABLE1_ROWS
+
+
+@pytest.fixture(scope="session")
+def table3_rows():
+    return TABLE3_ROWS

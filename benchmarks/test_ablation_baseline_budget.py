@@ -1,0 +1,53 @@
+"""Ablation: the baseline's enumeration budget vs result quality.
+
+DESIGN.md calls out the candidate-budget cap as our main engineering
+choice inside the baseline of [1] (graceful degradation of an
+exponential search).  This bench sweeps the per-cone candidate budget on
+one Table-III circuit and asserts the expected monotone shape: more
+budget never hurts the RD fraction, and even a zero budget (pure σ^π
+warm start, no enumeration) stays within the Heuristic-2 quality.
+"""
+
+import pytest
+
+from repro.baseline.exact_assignment import baseline_rd
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.suite import get_circuit
+from repro.sorting.heuristics import heuristic2_sort
+
+_BUDGETS = [0, 200, 2_000, 20_000]
+
+
+@pytest.mark.parametrize("budget", _BUDGETS)
+def test_budget_sweep(benchmark, budget):
+    circuit = get_circuit("apex-a")
+    result = benchmark.pedantic(
+        baseline_rd,
+        args=(circuit,),
+        kwargs={"max_candidates_per_vector": max(budget, 1)}
+        if budget
+        else {"max_candidates_per_vector": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert 0 <= result.rd_percent <= 100
+
+
+def test_budget_monotonicity(benchmark):
+    circuit = get_circuit("apex-a")
+
+    def sweep():
+        return [
+            baseline_rd(circuit, max_candidates_per_vector=b or 1).rd_count
+            for b in _BUDGETS
+        ]
+
+    rd_counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # More enumeration never loses RD paths (warm start is the floor).
+    assert rd_counts == sorted(rd_counts)
+    # Even the no-enumeration floor matches the heu2 classifier result.
+    heu2 = classify(
+        circuit, Criterion.SIGMA_PI, sort=heuristic2_sort(circuit)
+    )
+    assert rd_counts[0] >= heu2.rd_count

@@ -1,0 +1,66 @@
+"""Ablation: how much does the input sort matter?
+
+DESIGN.md calls out the sort choice as the paper's central design lever
+(Section V).  This bench sweeps pin-order / random / Heuristic 1 /
+Heuristic 2 / inverted-Heuristic 2 on two structurally different
+circuits and asserts the expected ordering of RD fractions.
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.suite import get_circuit
+from repro.sorting.heuristics import (
+    heuristic1_sort,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+
+_CIRCUITS = ["s1355-par", "s5315-rca"]
+
+
+def _sorts(circuit):
+    heu2 = heuristic2_sort(circuit)
+    return {
+        "pin": pin_order_sort(circuit),
+        "random": random_sort(circuit, seed=1),
+        "heu1": heuristic1_sort(circuit),
+        "heu2": heu2,
+        "heu2-inverted": heu2.inverted(),
+    }
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+@pytest.mark.parametrize("sort_kind", ["pin", "random", "heu1", "heu2",
+                                       "heu2-inverted"])
+def test_sort_quality(benchmark, name, sort_kind):
+    circuit = get_circuit(name)
+    sort = _sorts(circuit)[sort_kind]
+    result = benchmark.pedantic(
+        classify,
+        args=(circuit, Criterion.SIGMA_PI),
+        kwargs={"sort": sort},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.accepted <= result.total_logical
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_sort_ordering_shape(benchmark, name):
+    """Heu2 >= Heu1 >= each of {pin, random, inverted} in RD fraction —
+    the paper's Table I ordering, asserted as an ablation result."""
+    circuit = get_circuit(name)
+    sorts = _sorts(circuit)
+    rd = benchmark.pedantic(
+        lambda: {
+            kind: classify(circuit, Criterion.SIGMA_PI, sort=sort).rd_count
+            for kind, sort in sorts.items()
+        },
+        rounds=1, iterations=1,
+    )
+    assert rd["heu2"] >= rd["heu1"] - rd["heu2"] * 0.05, name
+    assert rd["heu2"] >= rd["heu2-inverted"], name
+    assert rd["heu1"] >= min(rd["pin"], rd["random"]), name

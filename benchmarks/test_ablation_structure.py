@@ -1,0 +1,50 @@
+"""Ablation: circuit structure vs RD fraction and classifier cost.
+
+Two sweeps called out in DESIGN.md:
+
+* XOR realisation (SOP vs 4-NAND) on equal-width parity trees — the
+  shared-node NAND form is what produces functionally unsensitizable
+  paths (the c499/c1355 behaviour);
+* prime-segment pruning — classifying an RD-heavy circuit must visit far
+  fewer segments than its total path count (the reason the paper's
+  approach scales).
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.parity import parity_tree
+from repro.paths.count import count_paths
+
+
+@pytest.mark.parametrize("style", ["sop", "nand"])
+def test_xor_style_classification(benchmark, style):
+    circuit = parity_tree(24, style=style)
+    result = benchmark.pedantic(
+        classify, args=(circuit, Criterion.FS), rounds=1, iterations=1
+    )
+    assert result.total_logical == count_paths(circuit).total_logical
+
+
+def test_nand_xor_creates_unsensitizable_paths(benchmark):
+    sop, nand = benchmark.pedantic(
+        lambda: (
+            classify(parity_tree(24, style="sop"), Criterion.FS),
+            classify(parity_tree(24, style="nand"), Criterion.FS),
+        ),
+        rounds=1, iterations=1,
+    )
+    assert sop.rd_percent == 0.0
+    assert nand.rd_percent > 50.0
+
+
+def test_prime_segment_pruning_beats_enumeration(benchmark):
+    """On the NAND parity tree, the classifier accepts only a fraction
+    of all logical paths; the rejected ones are pruned as segments, so
+    the visit count stays near the accepted count, not the total."""
+    circuit = parity_tree(32, style="nand")
+    result = benchmark.pedantic(
+        classify, args=(circuit, Criterion.FS), rounds=1, iterations=1
+    )
+    assert result.accepted < result.total_logical / 2

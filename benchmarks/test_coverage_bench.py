@@ -1,0 +1,32 @@
+"""Extension bench: fault coverage vs input sort (the Section-III claim
+that minimising |LP(σ)| maximises fault coverage, measured)."""
+
+import pytest
+
+from repro.experiments.coverage_study import compare_sorts
+from repro.gen.suite import get_circuit
+from repro.sorting.heuristics import heuristic2_sort, pin_order_sort
+
+_CIRCUITS = ["s880-alu", "s5315-rca"]
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_coverage_vs_sort(benchmark, name):
+    circuit = get_circuit(name)
+    sorts = {
+        "pin": pin_order_sort(circuit),
+        "heu2": heuristic2_sort(circuit),
+    }
+    estimates = benchmark.pedantic(
+        compare_sorts,
+        args=(circuit, sorts),
+        kwargs={"sample_size": 60},
+        rounds=1,
+        iterations=1,
+    )
+    # The better sort never selects more paths, and its sampled coverage
+    # is never materially worse (sampling noise margin 10 points).
+    assert estimates["heu2"].selected <= estimates["pin"].selected
+    assert (
+        estimates["heu2"].coverage >= estimates["pin"].coverage - 0.10
+    ), name

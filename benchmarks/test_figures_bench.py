@@ -1,0 +1,42 @@
+"""Figures 1-5 bench: the running-example reproductions.
+
+Cheap enough for real benchmark rounds; the asserted facts are the
+paper's own numbers (3 systems for 111, |LP(σ)|=6 with one untestable
+path, T=5 ⊂ LP(σ) ⊂ FS=8, |LP(σ')|=5 at 100% coverage, optimum sort).
+"""
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+
+
+def test_figure1(benchmark):
+    report = benchmark(figure1)
+    assert "3 found" in report.title
+
+
+def test_figure2(benchmark):
+    report, paths = benchmark(figure2)
+    assert len(paths) == 6
+    assert any("b -> g_and -> g_or -> out [1->0]" in l for l in report.lines)
+
+
+def test_figure3(benchmark):
+    report = benchmark(figure3)
+    text = report.render()
+    assert "|T(C)| = 5" in text and "|FS(C)| = 8" in text
+
+
+def test_figure4(benchmark):
+    report, paths = benchmark(figure4)
+    assert len(paths) == 5
+    assert any("none" in l for l in report.lines if "robust" in l)
+
+
+def test_figure5(benchmark):
+    report = benchmark(figure5)
+    assert "|LP(sigma^pi)| = 5" in report.render()

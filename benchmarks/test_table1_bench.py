@@ -1,0 +1,48 @@
+"""Table I bench: RD percentages (FUS / Heu1 / Heu2 / inverse) per
+suite circuit.
+
+Each test measures the *whole* Table-I pipeline for one circuit (path
+counting, FS+NR passes, both sorts, three SIGMA_PI passes) — one round,
+these are full experiments.  The regenerated table prints at session
+end.  The paper's qualitative shape is asserted per row:
+
+* Heu1/Heu2/inverse all dominate FUS (Lemma 1);
+* the inverted sort never beats Heuristic 2 (the Heu2-bar column
+  collapsing towards FUS is the paper's key control result).
+"""
+
+import pytest
+
+from repro.experiments.harness import run_table1_row
+from repro.gen.suite import table1_suite
+
+from benchmarks.conftest import TABLE1_ROWS
+
+_CIRCUITS = {c.name: c for c in table1_suite()}
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_table1_row(benchmark, name):
+    circuit = _CIRCUITS[name]
+    row = benchmark.pedantic(
+        run_table1_row, args=(circuit,), rounds=1, iterations=1
+    )
+    TABLE1_ROWS[name] = row
+    problems = row.check_expected_shape()
+    assert problems == [], f"{name}: {problems}"
+    # The new approach must identify at least as many RD paths as plain
+    # functional unsensitizability (its entire point).
+    assert row.heu2_percent >= row.fus_percent - 1e-9
+
+
+def test_table1_aggregate_shape(benchmark):
+    """Across the suite: Heu2 beats Heu1 on average (the paper reports a
+    mean improvement of 2.51%), and at least one circuit has a large RD
+    fraction while another has a small one (the ISCAS spread)."""
+    rows = benchmark.pedantic(lambda: list(TABLE1_ROWS.values()), rounds=1, iterations=1)
+    assert len(rows) == len(_CIRCUITS)
+    mean_h1 = sum(r.heu1_percent for r in rows) / len(rows)
+    mean_h2 = sum(r.heu2_percent for r in rows) / len(rows)
+    assert mean_h2 >= mean_h1 - 1e-9
+    assert max(r.heu2_percent for r in rows) > 50.0
+    assert min(r.heu2_percent for r in rows) < 20.0

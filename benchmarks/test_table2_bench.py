@@ -1,0 +1,49 @@
+"""Table II bench: exact path counting — including the monsters.
+
+The paper's Table II reports total logical path counts up to 5.7·10^7
+and notes c6288 (1.9·10^20 paths) could not be classified at all.  Path
+*counting* is linear-time big-integer DP, so the monsters are counted
+here exactly; their CPU-times in the printed table read "(count only)".
+
+Heu1/Heu2 CPU-times come from the Table-I bench (same pipeline, one
+measurement) and are printed together at session end.
+"""
+
+import pytest
+
+from repro.gen.suite import count_only_suite, table1_suite
+from repro.paths.count import count_paths
+
+_ALL = {c.name: c for c in table1_suite() + count_only_suite()}
+
+
+@pytest.mark.parametrize("name", sorted(_ALL))
+def test_exact_path_counting(benchmark, name):
+    circuit = _ALL[name]
+    counts = benchmark(count_paths, circuit)
+    assert counts.total_logical == 2 * counts.total_physical
+    assert counts.total_logical > 0
+
+
+def test_monster_counts_are_beyond_enumeration(benchmark):
+    """The c6288 role: the count-only circuits must exceed any plausible
+    enumeration budget — that asymmetry is the paper's Table II story."""
+    totals = benchmark.pedantic(
+        lambda: {
+            c.name: count_paths(c).total_logical for c in count_only_suite()
+        },
+        rounds=1, iterations=1,
+    )
+    assert totals["s6288-mult"] > 10**20
+    assert totals["smid-mult"] > 10**7
+
+
+def test_counting_scales_to_large_multipliers(benchmark):
+    """Counting a 24x24 multiplier (far beyond 10^30 paths) stays fast."""
+    from repro.gen.multiplier import array_multiplier
+
+    circuit = array_multiplier(24)
+    counts = benchmark.pedantic(
+        count_paths, args=(circuit,), rounds=1, iterations=1
+    )
+    assert counts.total_logical > 10**30

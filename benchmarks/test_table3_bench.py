@@ -1,0 +1,44 @@
+"""Table III bench: the baseline of [1] vs Heuristic 2.
+
+One full comparison per MCNC-like circuit, one round each (the baseline
+is an exponential optimisation — its slowness *is* the result).  The
+paper's shape is asserted: the baseline's RD fraction is at least
+Heuristic 2's (small positive gap; paper mean 2.05%), and Heuristic 2 is
+faster by an order of magnitude or more (paper: 10x-1000x).
+"""
+
+import pytest
+
+from repro.experiments.harness import run_table3_row
+from repro.gen.suite import table3_suite
+
+from benchmarks.conftest import TABLE3_ROWS
+
+_CIRCUITS = {c.name: c for c in table3_suite()}
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_table3_row(benchmark, name):
+    circuit = _CIRCUITS[name]
+    row = benchmark.pedantic(
+        run_table3_row, args=(circuit,), rounds=1, iterations=1
+    )
+    TABLE3_ROWS[name] = row
+    assert row.quality_gap >= -1e-9, (
+        f"{name}: fast approach beat the baseline ({row.quality_gap:+.2f}%)"
+    )
+    assert row.speedup >= 10.0, (
+        f"{name}: expected >=10x speedup, got {row.speedup:.1f}x"
+    )
+    assert row.baseline_percent > 0.0, f"{name}: empty RD-set"
+
+
+def test_table3_aggregate_gap(benchmark):
+    """The paper reports a mean quality loss of 2.05% for Heuristic 2;
+    assert the same order of magnitude (0-10%) and a large mean speedup."""
+    rows = benchmark.pedantic(lambda: list(TABLE3_ROWS.values()), rounds=1, iterations=1)
+    assert len(rows) == len(_CIRCUITS)
+    mean_gap = sum(r.quality_gap for r in rows) / len(rows)
+    assert 0.0 <= mean_gap <= 10.0
+    mean_speedup = sum(r.speedup for r in rows) / len(rows)
+    assert mean_speedup >= 50.0

@@ -1,0 +1,84 @@
+"""Extension bench: robust test-set generation and compaction.
+
+Beyond the paper's tables: measures the test-application payoff of RD
+identification on real flows — pattern counts with/without
+fault-simulation compaction, and the coverage-vs-pattern-count curve
+(the practical argument of Section VI).
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.delaytest.simulator import simulate_test_set
+from repro.delaytest.tpg import generate_test_set
+from repro.gen.adders import carry_lookahead_adder, ripple_carry_adder
+from repro.gen.suite import get_circuit
+from repro.sorting.heuristics import heuristic2_sort
+
+_CIRCUITS = {
+    "rca8": lambda: ripple_carry_adder(8),
+    "cla6": lambda: carry_lookahead_adder(6),
+    "s880-alu": lambda: get_circuit("s880-alu"),
+}
+
+
+def _targets(circuit):
+    targets = []
+    classify(
+        circuit,
+        Criterion.SIGMA_PI,
+        sort=heuristic2_sort(circuit),
+        on_path=targets.append,
+    )
+    return targets
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_tpg_with_compaction(benchmark, name):
+    circuit = _CIRCUITS[name]()
+    targets = _targets(circuit)
+    result = benchmark.pedantic(
+        generate_test_set, args=(circuit, targets), rounds=1, iterations=1
+    )
+    # Fault simulation must retire several targets per pattern pair.
+    assert result.compaction >= 1.5, f"{name}: compaction {result.compaction}"
+    assert set(result.covered) | set(result.untestable) == set(targets)
+
+
+@pytest.mark.parametrize("name", sorted(_CIRCUITS))
+def test_compaction_vs_naive(benchmark, name):
+    circuit = _CIRCUITS[name]()
+    targets = _targets(circuit)
+
+    def both():
+        compact = generate_test_set(circuit, targets, fault_simulate=True)
+        naive = generate_test_set(circuit, targets, fault_simulate=False)
+        return compact, naive
+
+    compact, naive = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert len(compact.pairs) <= len(naive.pairs)
+    assert compact.coverage == naive.coverage
+
+
+def test_coverage_curve_is_monotone(benchmark):
+    """The figure-style coverage curve: robust coverage over the target
+    set as pattern pairs are applied one by one."""
+    circuit = ripple_carry_adder(6)
+    targets = set(_targets(circuit))
+    result = generate_test_set(circuit, targets)
+
+    def curve():
+        points = []
+        covered: set = set()
+        for i, pair in enumerate(result.pairs, start=1):
+            covered |= simulate_test_set(circuit, [pair]).robust & targets
+            points.append((i, len(covered) / len(targets)))
+        return points
+
+    points = benchmark.pedantic(curve, rounds=1, iterations=1)
+    fractions = [f for _i, f in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(result.coverage)
+    # The first pattern already buys multiple targets (compaction).
+    assert fractions[0] >= 2 / len(targets)

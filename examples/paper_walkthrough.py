@@ -1,0 +1,35 @@
+"""The paper's running example, end to end (Figures 1-5, Examples 1-3).
+
+Recomputes every fact the paper states about its example circuit
+``out = OR(a, AND(b, c), c)``:
+
+* the three stabilizing systems for input 111 (Figure 1);
+* Example 2's complete stabilizing assignment — 6 of 8 logical paths
+  selected, exactly one of them not robustly testable (Figure 2);
+* the hierarchy T(C) ⊂ LP(σ) ⊂ FS(C) (Figure 3);
+* the improved choice for input 000 — 5 paths, all robustly testable,
+  100% fault coverage (Example 3 / Figure 4);
+* the optimum input sort recovering that assignment (Figure 5), and the
+  fact that Heuristic 2 finds it automatically.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import Criterion, classify, heuristic2_sort, paper_example_circuit
+from repro.experiments.figures import all_figures
+
+
+def main():
+    print(all_figures())
+    circuit = paper_example_circuit()
+    sort = heuristic2_sort(circuit)
+    result = classify(circuit, Criterion.SIGMA_PI, sort=sort)
+    print(
+        "\nHeuristic 2 rediscovers the optimum automatically: "
+        f"{result.accepted} paths to test, {result.rd_count} robust "
+        f"dependent ({result.rd_percent:.1f}% RD)"
+    )
+
+
+if __name__ == "__main__":
+    main()

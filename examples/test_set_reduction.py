@@ -1,0 +1,54 @@
+"""Path selection with RD filtering (Section VI's closing discussion).
+
+For circuits whose non-RD path set is still too large to test fully, the
+paper suggests composing RD identification with classical selection
+strategies: test only the slowest paths, but skip the robust dependent
+ones.  This example runs that flow on a carry-select adder:
+
+1. classify all logical paths (Heuristic 2);
+2. estimate each path's delay under a unit-delay model;
+3. select the above-threshold slice, before and after RD filtering —
+   the RD filter shrinks the test set at zero coverage cost.
+
+Run:  python examples/test_set_reduction.py
+"""
+
+from repro import Criterion, classify, heuristic2_sort
+from repro.gen.adders import carry_select_adder
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.timing.delays import unit_delays
+from repro.timing.pathdelay import logical_path_delay
+
+
+def main():
+    circuit = carry_select_adder(8, block=4)
+    sort = heuristic2_sort(circuit)
+    must_test = set()
+    result = classify(
+        circuit, Criterion.SIGMA_PI, sort=sort, on_path=must_test.add
+    )
+    print(f"{circuit.name}: {result.total_logical} logical paths, "
+          f"{result.rd_percent:.1f}% robust dependent")
+
+    delays = unit_delays(circuit)
+    scored = [
+        (logical_path_delay(circuit, lp, delays), lp)
+        for lp in enumerate_logical_paths(circuit)
+    ]
+    max_delay = max(d for d, _ in scored)
+    print(f"longest path delay (unit model): {max_delay:.0f}\n")
+    print(f"{'threshold':>9s} {'all paths':>10s} {'non-RD only':>11s} "
+          f"{'saved':>6s}")
+    for fraction in (0.5, 0.6, 0.7, 0.8, 0.9):
+        threshold = fraction * max_delay
+        slow = [lp for d, lp in scored if d >= threshold]
+        slow_non_rd = [lp for lp in slow if lp in must_test]
+        saved = len(slow) - len(slow_non_rd)
+        print(f"{threshold:9.1f} {len(slow):10d} {len(slow_non_rd):11d} "
+              f"{saved:6d}")
+    print("\nevery skipped path is provably covered by the tested ones "
+          "(Theorem 1), so the reduction is free.")
+
+
+if __name__ == "__main__":
+    main()

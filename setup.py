@@ -1,0 +1,6 @@
+"""Setup shim: keeps ``pip install -e .`` working on offline machines
+without the ``wheel`` package (legacy editable install path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro — Fast Identification of Robust Dependent Path Delay Faults.
+
+A from-scratch Python reproduction of Sparmann, Luxenburger, Cheng &
+Reddy (DAC 1995): stabilizing-system theory, the fast RD-set classifier
+(implicit path enumeration with local implications), the input-sort
+heuristics, and the exact baseline of Lam et al. (DAC 1993) — plus all
+the substrates they need (netlists, ternary logic/implications, path
+counting, SAT/ATPG, robust/non-robust test generation, event-driven
+timing simulation, benchmark circuit generators).
+
+Quickstart::
+
+    from repro import paper_example_circuit, classify, Criterion, heuristic2_sort
+
+    circuit = paper_example_circuit()
+    sort = heuristic2_sort(circuit)
+    result = classify(circuit, Criterion.SIGMA_PI, sort=sort)
+    print(f"{result.rd_percent:.1f}% of logical paths need no robust test")
+"""
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    paper_example_circuit,
+    parse_bench,
+    parse_bench_file,
+    parse_pla,
+    parse_pla_file,
+    write_bench,
+)
+from repro.classify import (
+    ClassificationResult,
+    Criterion,
+    check_logical_path,
+    classify,
+)
+from repro.paths import (
+    LogicalPath,
+    PhysicalPath,
+    count_paths,
+    enumerate_logical_paths,
+    enumerate_physical_paths,
+)
+from repro.sorting import (
+    InputSort,
+    heuristic1_sort,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+from repro.stabilize import (
+    CompleteStabilizingAssignment,
+    StabilizingSystem,
+    all_stabilizing_systems,
+    assignment_from_sort,
+    compute_stabilizing_system,
+)
+from repro.baseline import baseline_rd, leafdag_rd_paths
+from repro.delaytest import (
+    is_nonrobustly_testable,
+    is_robustly_testable,
+    nonrobust_test,
+    robust_test,
+)
+from repro.timing import (
+    DelayAssignment,
+    logical_path_delay,
+    random_delays,
+    settle_time,
+    unit_delays,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "paper_example_circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "parse_pla",
+    "parse_pla_file",
+    "write_bench",
+    "ClassificationResult",
+    "Criterion",
+    "check_logical_path",
+    "classify",
+    "LogicalPath",
+    "PhysicalPath",
+    "count_paths",
+    "enumerate_logical_paths",
+    "enumerate_physical_paths",
+    "InputSort",
+    "heuristic1_sort",
+    "heuristic2_sort",
+    "pin_order_sort",
+    "random_sort",
+    "CompleteStabilizingAssignment",
+    "StabilizingSystem",
+    "all_stabilizing_systems",
+    "assignment_from_sort",
+    "compute_stabilizing_system",
+    "baseline_rd",
+    "leafdag_rd_paths",
+    "is_nonrobustly_testable",
+    "is_robustly_testable",
+    "nonrobust_test",
+    "robust_test",
+    "DelayAssignment",
+    "logical_path_delay",
+    "random_delays",
+    "settle_time",
+    "unit_delays",
+    "__version__",
+]

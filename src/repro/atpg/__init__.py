@@ -1,0 +1,50 @@
+"""From-scratch SAT + stuck-at ATPG substrate.
+
+The baseline of Lam et al. [1] identifies RD-paths through *redundant
+stuck-at faults* in the leaf-dag.  This package provides the machinery:
+a CNF container, a CDCL-style SAT solver, Tseitin circuit encoding, and
+stuck-at test generation / redundancy checking via good-vs-faulty miters.
+"""
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver, SolveResult
+from repro.atpg.tseitin import tseitin_encode, CircuitEncoding
+from repro.atpg.stuckat import (
+    StuckAtFault,
+    generate_test,
+    is_redundant,
+    simulate_with_fault,
+)
+from repro.atpg.podem import PodemResult, generate_test_podem, podem
+from repro.atpg.collapse import all_lead_faults, collapse_faults
+from repro.atpg.equiv import EquivalenceResult, check_equivalence
+from repro.atpg.flow import AtpgResult, run_atpg
+from repro.atpg.redundancy_removal import (
+    RemovalResult,
+    is_irredundant,
+    remove_redundancies,
+)
+
+__all__ = [
+    "PodemResult",
+    "generate_test_podem",
+    "podem",
+    "all_lead_faults",
+    "collapse_faults",
+    "EquivalenceResult",
+    "check_equivalence",
+    "AtpgResult",
+    "run_atpg",
+    "RemovalResult",
+    "is_irredundant",
+    "remove_redundancies",
+    "CNF",
+    "Solver",
+    "SolveResult",
+    "tseitin_encode",
+    "CircuitEncoding",
+    "StuckAtFault",
+    "generate_test",
+    "is_redundant",
+    "simulate_with_fault",
+]

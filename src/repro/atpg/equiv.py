@@ -1,0 +1,80 @@
+"""SAT-based combinational equivalence checking.
+
+Builds a miter between two circuits (PIs matched by name, POs matched
+by name or position) and asks the solver for a distinguishing input —
+UNSAT means equivalent.  Used to validate logic transforms
+(:mod:`repro.circuit.simplify`) and generator refactors beyond the
+exhaustive-truth-table regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver
+from repro.atpg.tseitin import tseitin_encode
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of one equivalence check."""
+
+    equivalent: bool
+    #: a distinguishing input vector (in the *first* circuit's PI order)
+    #: when not equivalent
+    counterexample: "tuple | None" = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _match_by_name(left: Circuit, right: Circuit) -> "tuple[list, list]":
+    left_pis = {left.gate_name(pi): pi for pi in left.inputs}
+    right_pis = {right.gate_name(pi): pi for pi in right.inputs}
+    if set(left_pis) != set(right_pis):
+        raise ValueError(
+            "PI name sets differ: "
+            f"{sorted(set(left_pis) ^ set(right_pis))}"
+        )
+    pi_pairs = [(left_pis[nm], right_pis[nm]) for nm in sorted(left_pis)]
+    left_pos = {left.gate_name(po): po for po in left.outputs}
+    right_pos = {right.gate_name(po): po for po in right.outputs}
+    if set(left_pos) == set(right_pos):
+        po_pairs = [(left_pos[nm], right_pos[nm]) for nm in sorted(left_pos)]
+    elif len(left.outputs) == len(right.outputs):
+        po_pairs = list(zip(left.outputs, right.outputs))
+    else:
+        raise ValueError("PO counts differ and names do not match")
+    return pi_pairs, po_pairs
+
+
+def check_equivalence(left: Circuit, right: Circuit) -> EquivalenceResult:
+    """Are ``left`` and ``right`` functionally identical?
+
+    PIs are matched by name (must coincide as sets); POs by name when
+    possible, otherwise by position.
+    """
+    pi_pairs, po_pairs = _match_by_name(left, right)
+    cnf = CNF()
+    left_enc = tseitin_encode(left, cnf)
+    share = {
+        right_pi: left_enc.var(left_pi) for left_pi, right_pi in pi_pairs
+    }
+    right_enc = tseitin_encode(right, cnf, share_vars=share)
+    diff_vars = []
+    for left_po, right_po in po_pairs:
+        a, b = left_enc.var(left_po), right_enc.var(right_po)
+        d = cnf.new_var()
+        cnf.add_clause([-d, a, b])
+        cnf.add_clause([-d, -a, -b])
+        diff_vars.append(d)
+    cnf.add_clause(diff_vars)
+    result = Solver(cnf).solve()
+    if not result.sat:
+        return EquivalenceResult(equivalent=True)
+    return EquivalenceResult(
+        equivalent=False,
+        counterexample=left_enc.decode_inputs(left, result.model),
+    )

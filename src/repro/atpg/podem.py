@@ -1,0 +1,236 @@
+"""PODEM: path-oriented decision making, the classical structural ATPG.
+
+An independent second engine for stuck-at test generation (the SAT miter
+in :mod:`repro.atpg.stuckat` is the first): decisions are made on
+primary inputs only, guided by *objectives* (activate the fault, then
+extend the D-frontier) that are *backtraced* to an unassigned PI; a
+five-valued composite circuit state (good value, faulty value — each
+ternary) is recomputed by implication after every decision.
+
+Because decisions are on PIs with both phases explored, PODEM is
+complete: with an unbounded backtrack budget it returns a test vector
+iff the fault is testable.  The test suite cross-validates it against
+both the SAT engine and brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.stuckat import StuckAtFault
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+from repro.logic.values import X, controlled_output, ternary_gate_eval
+
+
+class PodemAbort(RuntimeError):
+    """Backtrack budget exhausted before a verdict was reached."""
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    vector: "tuple | None"
+    backtracks: int
+    decisions: int
+
+    @property
+    def testable(self) -> bool:
+        return self.vector is not None
+
+
+class _State:
+    """Composite (good, faulty) ternary circuit state for one fault."""
+
+    def __init__(self, circuit: Circuit, fault: StuckAtFault) -> None:
+        self.circuit = circuit
+        self.fault = fault
+        self.fault_src = circuit.lead_src(fault.lead)
+        self.fault_dst = circuit.lead_dst(fault.lead)
+        self.fault_pin = circuit.lead_pin(fault.lead)
+        self.good = [X] * circuit.num_gates
+        self.faulty = [X] * circuit.num_gates
+
+    def imply(self, assignment: dict) -> None:
+        """Recompute both ternary value planes from the PI assignment."""
+        circuit = self.circuit
+        good = self.good
+        faulty = self.faulty
+        for gid in circuit.topo_order:
+            gtype = circuit.gate_type(gid)
+            if gtype is GateType.PI:
+                good[gid] = faulty[gid] = assignment.get(gid, X)
+                continue
+            good_ins = [good[s] for s in circuit.fanin(gid)]
+            good[gid] = ternary_gate_eval(gtype, good_ins)
+            faulty_ins = [faulty[s] for s in circuit.fanin(gid)]
+            if gid == self.fault_dst:
+                faulty_ins[self.fault_pin] = self.fault.value
+            faulty[gid] = ternary_gate_eval(gtype, faulty_ins)
+
+    # -- state queries --------------------------------------------------
+    def activation_value(self) -> int:
+        """Good value the fault site must carry to expose the fault."""
+        return 1 - self.fault.value
+
+    def activated(self) -> bool:
+        return self.good[self.fault_src] == self.activation_value()
+
+    def activation_blocked(self) -> bool:
+        return self.good[self.fault_src] == self.fault.value
+
+    def observed(self) -> bool:
+        return any(
+            self.good[po] != X
+            and self.faulty[po] != X
+            and self.good[po] != self.faulty[po]
+            for po in self.circuit.outputs
+        )
+
+    def _gate_has_d_input(self, gid: int) -> bool:
+        for pin, src in enumerate(self.circuit.fanin(gid)):
+            gv = self.good[src]
+            fv = self.faulty[src]
+            if gid == self.fault_dst and pin == self.fault_pin:
+                fv = self.fault.value
+            if gv != X and fv != X and gv != fv:
+                return True
+        return False
+
+    def d_frontier(self) -> list:
+        """Gates with a fault effect on an input and an undetermined
+        composite output — the places propagation can still continue."""
+        frontier = []
+        for gid in range(self.circuit.num_gates):
+            gtype = self.circuit.gate_type(gid)
+            if gtype is GateType.PI:
+                continue
+            if self.good[gid] != X and self.faulty[gid] != X:
+                continue
+            if self._gate_has_d_input(gid):
+                frontier.append(gid)
+        return frontier
+
+
+def _backtrace(state: _State, net: int, value: int) -> "tuple | None":
+    """Walk an objective (net := value) back to an unassigned PI,
+    returning (pi, value) — or None if no X-input route exists."""
+    circuit = state.circuit
+    while circuit.gate_type(net) is not GateType.PI:
+        gtype = circuit.gate_type(net)
+        fanin = circuit.fanin(net)
+        if gtype in (GateType.PO, GateType.BUF):
+            net = fanin[0]
+            continue
+        if gtype is GateType.NOT:
+            net = fanin[0]
+            value = 1 - value
+            continue
+        if not has_controlling_value(gtype):
+            return None
+        c = controlling_value(gtype)
+        x_inputs = [s for s in fanin if state.good[s] == X]
+        if not x_inputs:
+            return None
+        if value == controlled_output(gtype):
+            # One controlling input suffices: pick the first X input.
+            net = x_inputs[0]
+            value = c
+        else:
+            # Every input must be non-controlling; work on an X one.
+            net = x_inputs[0]
+            value = 1 - c
+    if state.good[net] != X:
+        return None
+    return net, value
+
+
+def _objective(state: _State) -> "tuple | None":
+    """The next (net, value) goal: activate first, then propagate."""
+    if not state.activated():
+        return state.fault_src, state.activation_value()
+    for gid in state.d_frontier():
+        gtype = state.circuit.gate_type(gid)
+        if has_controlling_value(gtype):
+            nc = 1 - controlling_value(gtype)
+            for pin, src in enumerate(state.circuit.fanin(gid)):
+                if gid == state.fault_dst and pin == state.fault_pin:
+                    continue
+                if state.good[src] == X:
+                    return src, nc
+        else:
+            # NOT/BUF/PO frontier gates propagate unconditionally once
+            # their input is known; nothing to justify here.
+            continue
+    return None
+
+
+def podem(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    max_backtracks: int = 100_000,
+) -> PodemResult:
+    """Run PODEM for ``fault``.  ``vector=None`` means *redundant* —
+    the search space was exhausted.  Raises :class:`PodemAbort` when the
+    backtrack budget runs out first."""
+    state = _State(circuit, fault)
+    assignment: dict = {}
+    # Decision stack entries: [pi, value, phase_flipped]
+    stack: list = []
+    backtracks = 0
+    decisions = 0
+    while True:
+        state.imply(assignment)
+        failed = False
+        if state.observed():
+            vector = tuple(
+                assignment.get(pi, 0) for pi in circuit.inputs
+            )
+            return PodemResult(
+                vector=vector, backtracks=backtracks, decisions=decisions
+            )
+        if state.activation_blocked():
+            failed = True
+        elif state.activated() and not state.d_frontier():
+            failed = True
+        if not failed:
+            goal = _objective(state)
+            target = _backtrace(state, *goal) if goal else None
+            if target is None:
+                failed = True
+            else:
+                pi, value = target
+                stack.append([pi, value, False])
+                assignment[pi] = value
+                decisions += 1
+                continue
+        # Backtrack: flip the deepest unflipped decision.
+        backtracks += 1
+        if backtracks > max_backtracks:
+            raise PodemAbort(
+                f"{fault.describe(circuit)}: more than {max_backtracks} "
+                "backtracks"
+            )
+        while stack:
+            entry = stack[-1]
+            if not entry[2]:
+                entry[1] = 1 - entry[1]
+                entry[2] = True
+                assignment[entry[0]] = entry[1]
+                break
+            stack.pop()
+            del assignment[entry[0]]
+        else:
+            return PodemResult(
+                vector=None, backtracks=backtracks, decisions=decisions
+            )
+
+
+def generate_test_podem(circuit: Circuit, fault: StuckAtFault):
+    """Drop-in counterpart of :func:`repro.atpg.stuckat.generate_test`."""
+    return podem(circuit, fault).vector

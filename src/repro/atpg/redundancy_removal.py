@@ -1,0 +1,97 @@
+"""Iterative redundancy removal.
+
+The classical synthesis/test loop: while some stuck-at fault is
+redundant, freeze the faulty pin at its stuck value (a function-
+preserving change, by definition of redundancy), fold the constant
+through the netlist, and repeat on the simplified circuit.  The result
+is 100% stuck-at-testable ("irredundant") and usually smaller.
+
+For delay testing this matters in reverse: the paper's RD theory lives
+on the netlist as manufactured, so removal is an *upstream* design step
+— see docs/THEORY.md §5 for why removal must never be applied as part
+of RD identification itself.  Every step here is verified against the
+original circuit with the SAT equivalence checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.equiv import check_equivalence
+from repro.atpg.stuckat import StuckAtFault, is_redundant
+from repro.circuit.netlist import Circuit
+from repro.circuit.simplify import propagate_constants, sweep
+
+
+@dataclass
+class RemovalResult:
+    """Outcome of one redundancy-removal run."""
+
+    original: Circuit
+    circuit: Circuit
+    removed: list = field(default_factory=list)  # fault descriptions
+    iterations: int = 0
+
+    @property
+    def gates_saved(self) -> int:
+        return self.original.num_gates - self.circuit.num_gates
+
+    def __str__(self) -> str:
+        return (
+            f"{self.original.name}: removed {len(self.removed)} redundant "
+            f"faults in {self.iterations} sweeps, "
+            f"{self.original.num_gates} -> {self.circuit.num_gates} gates"
+        )
+
+
+def remove_redundancies(
+    circuit: Circuit,
+    max_iterations: int = 50,
+    verify: bool = True,
+) -> RemovalResult:
+    """Fold redundant stuck-at faults until none remain.
+
+    ``verify=True`` re-checks functional equivalence against the input
+    circuit after every fold (SAT) — cheap at these sizes and the
+    guarantee callers care about.
+    """
+    result = RemovalResult(original=circuit, circuit=circuit)
+    current = circuit
+    for _ in range(max_iterations):
+        result.iterations += 1
+        folded = False
+        for fault in collapse_faults(current):
+            if not is_redundant(current, fault):
+                continue
+            simplified, _mapping = propagate_constants(
+                current,
+                known_pins={fault.lead: fault.value},
+                name=current.name,
+            )
+            simplified = sweep(simplified, name=current.name)
+            if verify and not check_equivalence(circuit, simplified):
+                raise RuntimeError(
+                    f"folding {fault.describe(current)} changed the function"
+                )
+            result.removed.append(fault.describe(current))
+            current = simplified
+            folded = True
+            break  # fault ids shift after a rebuild: restart the scan
+        if not folded:
+            break
+    else:
+        raise RuntimeError("redundancy removal did not converge")
+    result.circuit = current
+    return result
+
+
+def is_irredundant(circuit: Circuit) -> bool:
+    """True iff no collapsed stuck-at fault of ``circuit`` is redundant."""
+    return all(
+        not is_redundant(circuit, fault)
+        for fault in collapse_faults(circuit)
+    )
+
+
+__all__ = ["RemovalResult", "remove_redundancies", "is_irredundant", "StuckAtFault"]

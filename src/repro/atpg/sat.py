@@ -1,0 +1,295 @@
+"""A compact CDCL SAT solver (two-watched literals, 1UIP learning,
+activity-based branching, phase saving, geometric restarts).
+
+Built from scratch because the environment is offline and the baseline
+RD-identification of [1] needs redundancy checks (UNSAT proofs) on
+good/faulty miters.  The solver is deliberately straightforward; circuit
+miters in this repository are small (thousands of variables).
+
+Usage::
+
+    result = Solver(cnf).solve(assumptions=[3, -7])
+    if result.sat:
+        print(result.model[3])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.cnf import CNF
+
+_UNASSIGNED = -1
+
+
+@dataclass
+class SolveResult:
+    """SAT outcome; ``model[v]`` (1-based) is meaningful when ``sat``."""
+
+    sat: bool
+    model: list | None = None
+    conflicts: int = 0
+    decisions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+
+class Solver:
+    """One-shot CDCL solver over a :class:`CNF`.
+
+    A fresh instance should be constructed per query: ``solve`` plants
+    its assumptions as level-0 facts, so they persist in the instance.
+    """
+
+    def __init__(self, cnf: CNF) -> None:
+        self._num_vars = cnf.num_vars
+        n = cnf.num_vars + 1
+        self._assign: list[int] = [_UNASSIGNED] * n
+        self._level: list[int] = [0] * n
+        self._reason: list[int] = [-1] * n
+        self._activity: list[float] = [0.0] * n
+        self._phase: list[int] = [0] * n
+        self._trail: list[int] = []  # packed literals, in assignment order
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._clauses: list[list[int]] = []
+        self._watches: list[list[int]] = [[] for _ in range(2 * n + 2)]
+        self._var_inc = 1.0
+        self._ok = True
+        self._units: list[int] = []
+        for clause in cnf.clauses:
+            self._add_clause([self._pack(lit) for lit in clause])
+
+    # -- literal packing: var v -> 2v (positive) / 2v+1 (negative) ------
+    @staticmethod
+    def _pack(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    # ------------------------------------------------------------------
+    def _add_clause(self, lits: list[int]) -> None:
+        # Deduplicate; drop tautologies.
+        seen = set()
+        out = []
+        for lit in lits:
+            if lit ^ 1 in seen:
+                return  # clause contains v and !v: always true
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        if len(out) == 1:
+            self._units.append(out[0])
+            return
+        idx = len(self._clauses)
+        self._clauses.append(out)
+        self._watches[out[0]].append(idx)
+        self._watches[out[1]].append(idx)
+
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        v = self._assign[lit >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        var = lit >> 1
+        value = 1 - (lit & 1)
+        if self._assign[var] != _UNASSIGNED:
+            return self._assign[var] == value
+        self._assign[var] = value
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int:
+        """BCP.  Returns a conflicting clause index, or -1."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = lit ^ 1
+            watch_list = self._watches[false_lit]
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                clause = self._clauses[ci]
+                # Ensure the false literal is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(ci)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._lit_value(first) == 0:
+                    self._qhead = len(self._trail)
+                    return ci
+                self._enqueue(first, ci)
+                i += 1
+        return -1
+
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """1UIP conflict analysis: returns (learnt clause, backjump level).
+        The asserting literal is placed first in the learnt clause."""
+        learnt: list[int] = []
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = -1
+        clause = self._clauses[conflict]
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        resolved_var = -1
+        while True:
+            for q in clause:
+                var = q >> 1
+                if var == resolved_var:
+                    continue
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next trail literal (reverse order) that is seen.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[lit >> 1]:
+                    break
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._clauses[self._reason[var]]
+            resolved_var = var
+        learnt.insert(0, lit ^ 1)
+        if len(learnt) == 1:
+            return learnt, 0
+        back_level = max(self._level[q >> 1] for q in learnt[1:])
+        return learnt, back_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            self._phase[var] = self._assign[var]
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = -1
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> int:
+        best = -1
+        best_act = -1.0
+        assign = self._assign
+        activity = self._activity
+        for var in range(1, self._num_vars + 1):
+            if assign[var] == _UNASSIGNED and activity[var] > best_act:
+                best = var
+                best_act = activity[var]
+        if best == -1:
+            return -1
+        return 2 * best + (1 - self._phase[best])
+
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: list | None = None, max_conflicts: int | None = None) -> SolveResult:
+        """Run CDCL search.  ``assumptions`` are DIMACS literals fixed as
+        level-0 facts.  ``max_conflicts`` bounds the search (raises
+        RuntimeError when exceeded — redundancy analysis treats that as
+        "unknown" and the caller decides)."""
+        conflicts = 0
+        decisions = 0
+        if not self._ok:
+            return SolveResult(sat=False, conflicts=conflicts)
+        for lit in self._units:
+            if not self._enqueue(lit, -1):
+                return SolveResult(sat=False)
+        self._units.clear()
+        for lit in assumptions or []:
+            if not self._enqueue(self._pack(lit), -1):
+                self._ok = False
+                return SolveResult(sat=False)
+        if self._propagate() != -1:
+            self._ok = False
+            return SolveResult(sat=False)
+        restart_limit = 100
+        restart_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                conflicts += 1
+                restart_conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    raise RuntimeError("conflict budget exhausted")
+                if not self._trail_lim:
+                    self._ok = False
+                    return SolveResult(sat=False, conflicts=conflicts, decisions=decisions)
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], -1):
+                        self._ok = False
+                        return SolveResult(
+                            sat=False, conflicts=conflicts, decisions=decisions
+                        )
+                else:
+                    idx = len(self._clauses)
+                    self._clauses.append(learnt)
+                    self._watches[learnt[0]].append(idx)
+                    self._watches[learnt[1]].append(idx)
+                    self._enqueue(learnt[0], idx)
+                self._var_inc *= 1.05
+                continue
+            if restart_conflicts >= restart_limit and self._trail_lim:
+                restart_conflicts = 0
+                restart_limit = int(restart_limit * 1.5)
+                self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == -1:
+                model = [False] * (self._num_vars + 1)
+                for var in range(1, self._num_vars + 1):
+                    model[var] = self._assign[var] == 1
+                return SolveResult(
+                    sat=True, model=model, conflicts=conflicts, decisions=decisions
+                )
+            decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, -1)
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    """Exhaustive satisfiability oracle for testing the solver."""
+    if cnf.num_vars > 22:
+        raise ValueError("brute force refused beyond 22 variables")
+    for code in range(1 << cnf.num_vars):
+        model = [False] + [bool((code >> i) & 1) for i in range(cnf.num_vars)]
+        if cnf.evaluate(model):
+            return True
+    return False

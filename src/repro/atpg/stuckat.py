@@ -1,0 +1,106 @@
+"""Stuck-at fault test generation and redundancy via SAT miters.
+
+A stuck-at fault fixes the value *seen at one input pin* (a lead fault).
+The miter shares PI variables between the good and the faulty circuit
+copy and asserts that some PO differs; SAT ⟺ testable, UNSAT ⟺ the fault
+is redundant.  Redundant stuck-at faults on leaf-dag branches are exactly
+what the baseline of [1] converts into RD path sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver
+from repro.atpg.tseitin import tseitin_encode
+from repro.circuit.gates import GateType, evaluate_gate
+from repro.circuit.netlist import Circuit
+from repro.logic.simulate import all_vectors
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Lead ``lead`` stuck at ``value`` (0 or 1)."""
+
+    lead: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def describe(self, circuit: Circuit) -> str:
+        return f"{circuit.lead_name(self.lead)} s-a-{self.value}"
+
+
+def simulate_with_fault(
+    circuit: Circuit, vector: Sequence[int], fault: StuckAtFault
+) -> list[int]:
+    """Full simulation of the faulty circuit."""
+    values = [0] * circuit.num_gates
+    pi_value = dict(zip(circuit.inputs, vector))
+    for gid in circuit.topo_order:
+        gtype = circuit.gate_type(gid)
+        if gtype is GateType.PI:
+            values[gid] = pi_value[gid]
+            continue
+        ins = []
+        for pin, src in enumerate(circuit.fanin(gid)):
+            if circuit.lead_index(gid, pin) == fault.lead:
+                ins.append(fault.value)
+            else:
+                ins.append(values[src])
+        values[gid] = evaluate_gate(gtype, ins)
+    return values
+
+
+def build_miter(circuit: Circuit, fault: StuckAtFault) -> tuple:
+    """(cnf, good encoding, faulty encoding): PIs shared, at least one PO
+    pair forced to differ."""
+    cnf = CNF()
+    good = tseitin_encode(circuit, cnf)
+    pi_vars = {pi: good.var(pi) for pi in circuit.inputs}
+    faulty = tseitin_encode(
+        circuit, cnf, share_vars=pi_vars, forced_pins={fault.lead: fault.value}
+    )
+    diff_vars = []
+    for po in circuit.outputs:
+        g, f = good.var(po), faulty.var(po)
+        d = cnf.new_var()
+        # d -> (g xor f)
+        cnf.add_clause([-d, g, f])
+        cnf.add_clause([-d, -g, -f])
+        diff_vars.append(d)
+    cnf.add_clause(diff_vars)
+    return cnf, good, faulty
+
+
+def generate_test(circuit: Circuit, fault: StuckAtFault):
+    """A test vector detecting ``fault``, or None if it is redundant."""
+    cnf, good, _faulty = build_miter(circuit, fault)
+    result = Solver(cnf).solve()
+    if not result.sat:
+        return None
+    return good.decode_inputs(circuit, result.model)
+
+
+def is_redundant(circuit: Circuit, fault: StuckAtFault) -> bool:
+    """True iff no input vector makes the fault visible at any PO."""
+    return generate_test(circuit, fault) is None
+
+
+def is_redundant_brute_force(circuit: Circuit, fault: StuckAtFault) -> bool:
+    """Exhaustive reference oracle (testing only)."""
+    from repro.logic.simulate import simulate
+
+    n = len(circuit.inputs)
+    if n > 16:
+        raise ValueError("brute force refused beyond 16 PIs")
+    for vector in all_vectors(n):
+        good = simulate(circuit, vector)
+        bad = simulate_with_fault(circuit, vector, fault)
+        if any(good[po] != bad[po] for po in circuit.outputs):
+            return False
+    return True

@@ -1,0 +1,113 @@
+"""Tseitin encoding of circuits into CNF.
+
+Each gate output gets one SAT variable; the standard clause sets encode
+gate consistency.  :class:`CircuitEncoding` remembers the gate→variable
+map so callers can constrain PIs/POs and decode models back to vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.atpg.cnf import CNF
+
+
+@dataclass
+class CircuitEncoding:
+    """CNF plus the variable bookkeeping of one or more encoded circuits."""
+
+    cnf: CNF
+    var_of_gate: dict = field(default_factory=dict)
+
+    def var(self, gate: int) -> int:
+        return self.var_of_gate[gate]
+
+    def decode_inputs(self, circuit: Circuit, model: list) -> tuple[int, ...]:
+        """Extract the PI vector (in ``circuit.inputs`` order) from a model."""
+        return tuple(int(model[self.var_of_gate[pi]]) for pi in circuit.inputs)
+
+
+def encode_gate(cnf: CNF, gtype: GateType, out: int, ins: list[int]) -> None:
+    """Append the consistency clauses of one gate to ``cnf``.
+
+    ``out``/``ins`` are SAT variables (positive ints).
+    """
+    if gtype is GateType.PI:
+        return
+    if gtype in (GateType.PO, GateType.BUF):
+        cnf.add_clause([-out, ins[0]])
+        cnf.add_clause([out, -ins[0]])
+        return
+    if gtype is GateType.NOT:
+        cnf.add_clause([-out, -ins[0]])
+        cnf.add_clause([out, ins[0]])
+        return
+    if gtype is GateType.AND:
+        for i in ins:
+            cnf.add_clause([-out, i])
+        cnf.add_clause([out] + [-i for i in ins])
+        return
+    if gtype is GateType.NAND:
+        for i in ins:
+            cnf.add_clause([out, i])
+        cnf.add_clause([-out] + [-i for i in ins])
+        return
+    if gtype is GateType.OR:
+        for i in ins:
+            cnf.add_clause([out, -i])
+        cnf.add_clause([-out] + list(ins))
+        return
+    if gtype is GateType.NOR:
+        for i in ins:
+            cnf.add_clause([-out, -i])
+        cnf.add_clause([out] + list(ins))
+        return
+    raise ValueError(f"cannot encode gate type {gtype.name}")
+
+
+def tseitin_encode(
+    circuit: Circuit,
+    cnf: CNF | None = None,
+    share_vars: dict | None = None,
+    forced_pins: dict | None = None,
+) -> CircuitEncoding:
+    """Encode ``circuit`` into ``cnf`` (a fresh one if None).
+
+    ``share_vars``: optional pre-assigned variables for some gates (used
+    by miters to share PI variables between the good and faulty copy).
+
+    ``forced_pins``: optional mapping ``lead index -> 0/1`` that replaces
+    the signal *seen at that input pin* by a constant — this is how a
+    stuck-at fault on a lead is injected without restructuring the
+    circuit.  The constant is encoded as a frozen fresh variable.
+    """
+    if cnf is None:
+        cnf = CNF()
+    var_of_gate: dict = dict(share_vars or {})
+    constants: dict[int, int] = {}
+
+    def const_var(value: int) -> int:
+        if value not in constants:
+            v = cnf.new_var()
+            cnf.add_clause([v if value else -v])
+            constants[value] = v
+        return constants[value]
+
+    for gid in circuit.topo_order:
+        if gid not in var_of_gate:
+            var_of_gate[gid] = cnf.new_var()
+    for gid in circuit.topo_order:
+        gtype = circuit.gate_type(gid)
+        if gtype is GateType.PI:
+            continue
+        ins = []
+        for pin, src in enumerate(circuit.fanin(gid)):
+            lead = circuit.lead_index(gid, pin)
+            if forced_pins and lead in forced_pins:
+                ins.append(const_var(forced_pins[lead]))
+            else:
+                ins.append(var_of_gate[src])
+        encode_gate(cnf, gtype, var_of_gate[gid], ins)
+    return CircuitEncoding(cnf=cnf, var_of_gate=var_of_gate)

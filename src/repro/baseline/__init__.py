@@ -1,0 +1,29 @@
+"""The baseline RD-identification of Lam et al. [1].
+
+Two implementations, both exponential and only usable on small circuits
+(which is the point of the paper's comparison in Table III):
+
+* :mod:`repro.baseline.exact_assignment` — optimise
+  ``min_σ |LP(σ)|`` directly over *all* complete stabilizing assignments
+  (the paper proves in Section III that this search space characterises
+  exactly the RD-sets of [1]'s Theorems 2.1/2.2).  Greedy with local
+  improvement, plus exact branch-and-bound for tiny cones.
+* :mod:`repro.baseline.leafdag_rd` — the literal mechanism of [1]:
+  unfold the cone into its leaf-dag and harvest redundant single
+  stuck-at faults on PI branches as RD logical paths, with iterative
+  redundancy removal.
+"""
+
+from repro.baseline.exact_assignment import (
+    BaselineResult,
+    minimize_assignment,
+    baseline_rd,
+)
+from repro.baseline.leafdag_rd import leafdag_rd_paths
+
+__all__ = [
+    "BaselineResult",
+    "minimize_assignment",
+    "baseline_rd",
+    "leafdag_rd_paths",
+]

@@ -1,0 +1,175 @@
+"""ISCAS-85 ``.bench`` netlist format reader/writer.
+
+The format (Brglez & Fujiwara [13])::
+
+    # comment
+    INPUT(a)
+    OUTPUT(y)
+    n1 = NAND(a, b)
+    y  = NOT(n1)
+
+Gate functions accepted: AND, OR, NAND, NOR, NOT, BUF/BUFF, XOR, XNOR.
+XOR/XNOR are decomposed into simple gates on the fly (the paper's model
+only has simple gates); multi-input XOR/XNOR decompose as balanced trees.
+
+If a signal is declared ``OUTPUT(s)`` and also feeds other gates, a PO
+gate named ``s_po`` is attached to the driving signal (the paper's model
+makes POs dedicated sink gates).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+_GATE_RE = re.compile(r"^\s*(\S+)\s*=\s*([A-Za-z]+)\s*\((.*)\)\s*$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*(\S+)\s*\)\s*$", re.IGNORECASE)
+
+_SIMPLE = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+
+class BenchParseError(CircuitError):
+    """Raised for malformed .bench input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a frozen :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    defs: dict[str, tuple[str, list[str]]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, signal = io_match.group(1).upper(), io_match.group(2)
+            bucket = inputs if kind == "INPUT" else outputs
+            if signal not in bucket:  # tolerate repeated declarations
+                bucket.append(signal)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if not gate_match:
+            raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+        out_name, func, arg_text = gate_match.groups()
+        func = func.upper()
+        args = [a.strip() for a in arg_text.split(",") if a.strip()]
+        if func not in _SIMPLE and func not in ("XOR", "XNOR"):
+            raise BenchParseError(f"line {lineno}: unknown gate function {func!r}")
+        if not args:
+            raise BenchParseError(f"line {lineno}: gate {out_name!r} has no inputs")
+        if out_name in defs or out_name in inputs:
+            raise BenchParseError(f"line {lineno}: signal {out_name!r} redefined")
+        defs[out_name] = (func, args)
+
+    circuit = Circuit(name)
+    ids: dict[str, int] = {}
+    state: dict[str, int] = {}
+
+    def build(signal: str, chain: tuple[str, ...]) -> int:
+        if signal in ids:
+            return ids[signal]
+        if state.get(signal) == 1:
+            raise BenchParseError(f"combinational cycle through {signal!r}")
+        if signal in defs:
+            state[signal] = 1
+            func, args = defs[signal]
+            fanin = [build(a, chain + (signal,)) for a in args]
+            if func in _SIMPLE:
+                gtype = _SIMPLE[func]
+                if gtype in (GateType.NOT, GateType.BUF) and len(fanin) != 1:
+                    raise BenchParseError(
+                        f"gate {signal!r}: {func} takes exactly one input"
+                    )
+                gid = circuit.add_gate(gtype, signal, fanin)
+            else:
+                gid = _build_xor_tree(circuit, signal, fanin, func == "XNOR")
+            state[signal] = 2
+            ids[signal] = gid
+            return gid
+        if signal in inputs:
+            gid = circuit.add_gate(GateType.PI, signal)
+            ids[signal] = gid
+            return gid
+        raise BenchParseError(f"signal {signal!r} used but never defined")
+
+    for signal in inputs:
+        build(signal, ())
+    for signal in outputs:
+        gid = build(signal, ())
+        circuit.add_gate(GateType.PO, f"{signal}_po", [gid])
+    return circuit.freeze()
+
+
+def _build_xor_tree(
+    circuit: Circuit, name: str, fanin: list[int], invert: bool
+) -> int:
+    """Decompose an n-input XOR/XNOR into 2-input XORs built from simple
+    gates (balanced tree), returning the root gate id."""
+    counter = [0]
+
+    def fresh(suffix: str) -> str:
+        counter[0] += 1
+        return f"{name}${suffix}{counter[0]}"
+
+    def xor2(a: int, b: int, top_name: str | None) -> int:
+        na = circuit.add_gate(GateType.NOT, fresh("na"), [a])
+        nb = circuit.add_gate(GateType.NOT, fresh("nb"), [b])
+        t0 = circuit.add_gate(GateType.AND, fresh("t"), [a, nb])
+        t1 = circuit.add_gate(GateType.AND, fresh("t"), [na, b])
+        return circuit.add_gate(GateType.OR, top_name or fresh("x"), [t0, t1])
+
+    nodes = list(fanin)
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            is_root = len(nodes) == 2 and not invert
+            nxt.append(xor2(nodes[i], nodes[i + 1], name if is_root else None))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    root = nodes[0]
+    if invert:
+        root = circuit.add_gate(GateType.NOT, name, [root])
+    return root
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a frozen circuit of simple gates to ``.bench`` text.
+
+    POs are written as ``OUTPUT(driver)`` of their driving signal, so the
+    ``parse_bench(write_bench(c))`` round trip may rename PO sink gates
+    but preserves structure and function.
+    """
+    lines = [f"# {circuit.name}"]
+    for gid in circuit.inputs:
+        lines.append(f"INPUT({circuit.gate_name(gid)})")
+    for gid in circuit.outputs:
+        driver = circuit.fanin(gid)[0]
+        lines.append(f"OUTPUT({circuit.gate_name(driver)})")
+    for gid in circuit.topo_order:
+        gtype = circuit.gate_type(gid)
+        if gtype in (GateType.PI, GateType.PO):
+            continue
+        func = "BUFF" if gtype is GateType.BUF else gtype.name
+        args = ", ".join(circuit.gate_name(s) for s in circuit.fanin(gid))
+        lines.append(f"{circuit.gate_name(gid)} = {func}({args})")
+    return "\n".join(lines) + "\n"

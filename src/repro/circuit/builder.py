@@ -1,0 +1,96 @@
+"""A fluent construction API for circuits.
+
+Example::
+
+    b = CircuitBuilder("half_adder")
+    a, c = b.pi("a"), b.pi("c")
+    s = b.or_(b.and_(a, b.not_(c)), b.and_(b.not_(a), c), name="s")
+    b.po(s, name="sum")
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit` gate by gate, returning gate ids."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+
+    def pi(self, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.PI, name)
+
+    def po(self, src: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.PO, name, [src])
+
+    def and_(self, *srcs: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.AND, name, list(srcs))
+
+    def or_(self, *srcs: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.OR, name, list(srcs))
+
+    def nand(self, *srcs: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.NAND, name, list(srcs))
+
+    def nor(self, *srcs: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.NOR, name, list(srcs))
+
+    def not_(self, src: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.NOT, name, [src])
+
+    def buf(self, src: int, name: str | None = None) -> int:
+        return self._circuit.add_gate(GateType.BUF, name, [src])
+
+    def xor(self, a: int, b: int, name: str | None = None) -> int:
+        """2-input XOR expanded into simple gates (AND/OR/NOT)."""
+        prefix = name or f"xor{self._circuit.num_gates}"
+        na = self.not_(a, f"{prefix}_na")
+        nb = self.not_(b, f"{prefix}_nb")
+        t0 = self.and_(a, nb, name=f"{prefix}_t0")
+        t1 = self.and_(na, b, name=f"{prefix}_t1")
+        return self.or_(t0, t1, name=prefix)
+
+    def xor_nand(self, a: int, b: int, name: str | None = None) -> int:
+        """2-input XOR in the 4-NAND realisation::
+
+            x = NAND(a, b); out = NAND(NAND(a, x), NAND(x, b))
+
+        Unlike the SOP expansion, the shared node ``x`` reconverges, so
+        some logical paths through it are functionally unsensitizable —
+        the structure responsible for the large FUS fractions of the
+        NAND-based ISCAS circuits (c499/c1355).
+        """
+        prefix = name or f"xorn{self._circuit.num_gates}"
+        x = self.nand(a, b, name=f"{prefix}_x")
+        l = self.nand(a, x, name=f"{prefix}_l")
+        r = self.nand(x, b, name=f"{prefix}_r")
+        return self.nand(l, r, name=prefix)
+
+    def xnor(self, a: int, b: int, name: str | None = None) -> int:
+        """2-input XNOR expanded into simple gates."""
+        prefix = name or f"xnor{self._circuit.num_gates}"
+        na = self.not_(a, f"{prefix}_na")
+        nb = self.not_(b, f"{prefix}_nb")
+        t0 = self.and_(a, b, name=f"{prefix}_t0")
+        t1 = self.and_(na, nb, name=f"{prefix}_t1")
+        return self.or_(t0, t1, name=prefix)
+
+    def mux(self, sel: int, a: int, b: int, name: str | None = None) -> int:
+        """2:1 multiplexer: ``sel ? b : a`` expanded into simple gates."""
+        prefix = name or f"mux{self._circuit.num_gates}"
+        ns = self.not_(sel, f"{prefix}_ns")
+        t0 = self.and_(ns, a, name=f"{prefix}_t0")
+        t1 = self.and_(sel, b, name=f"{prefix}_t1")
+        return self.or_(t0, t1, name=prefix)
+
+    def build(self) -> Circuit:
+        return self._circuit.freeze()
+
+    @property
+    def circuit(self) -> Circuit:
+        """The (possibly not yet frozen) circuit under construction."""
+        return self._circuit

@@ -1,0 +1,60 @@
+"""Graphviz DOT export for circuits, paths and stabilizing systems.
+
+Produces plain ``.dot`` text (no graphviz dependency); useful for
+inspecting small circuits, highlighting a logical path, or rendering a
+stabilizing system the way the paper's figures draw them (bold leads).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_SHAPES = {
+    GateType.PI: "circle",
+    GateType.PO: "doublecircle",
+    GateType.NOT: "invtriangle",
+    GateType.BUF: "triangle",
+}
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    circuit: Circuit,
+    highlight_leads: "Iterable[int] | None" = None,
+    graph_name: str | None = None,
+) -> str:
+    """Render the circuit as a DOT digraph.
+
+    ``highlight_leads`` (lead indices) are drawn bold red — pass a
+    stabilizing system's ``.leads`` or a path's ``.leads`` to reproduce
+    the paper's figure style.
+    """
+    highlighted = set(highlight_leads or ())
+    lines = [f"digraph {_quote(graph_name or circuit.name)} {{"]
+    lines.append("  rankdir=LR;")
+    for gid in range(circuit.num_gates):
+        gtype = circuit.gate_type(gid)
+        shape = _SHAPES.get(gtype, "box")
+        label = circuit.gate_name(gid)
+        if gtype not in (GateType.PI, GateType.PO):
+            label = f"{label}\\n{gtype.name}"
+        lines.append(
+            f"  n{gid} [label={_quote(label)}, shape={shape}];"
+        )
+    for lead in range(circuit.num_leads):
+        src = circuit.lead_src(lead)
+        dst = circuit.lead_dst(lead)
+        pin = circuit.lead_pin(lead)
+        attrs = [f"taillabel={_quote(str(pin))}", "fontsize=8"]
+        if lead in highlighted:
+            attrs += ["color=red", "penwidth=2.5"]
+        lines.append(f"  n{src} -> n{dst} [{', '.join(attrs)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

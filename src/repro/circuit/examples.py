@@ -1,0 +1,94 @@
+"""The paper's running example circuit (Figures 1, 2, 4, 5) and other
+small teaching circuits used in tests and examples.
+
+The running example is taken from Lam et al. [1].  The paper never prints
+its netlist, but states enough facts to pin the structure down uniquely:
+
+* three PIs, one PO, 8 logical paths (= 4 physical paths);
+* exactly **three** distinct stabilizing systems exist for input ``111``
+  (Figure 1);
+* a complete stabilizing assignment exists that assigns one system to all
+  inputs with the leftmost PI at 1, and another to all inputs with the
+  leftmost PI at 0 and the rightmost PI at 1 (Figure 2), selecting 6 of
+  the 8 logical paths of which exactly one is not robustly testable
+  (Example 2);
+* changing only the system for input ``000`` yields an assignment whose 5
+  selected paths are exactly the robustly testable ones (Example 3 /
+  Figure 4), and this optimum is reachable by an input sort (Figure 5).
+
+The circuit ``out = OR(a, AND(b, c), c)`` satisfies every one of these
+facts (the test suite re-derives them mechanically in
+``tests/stabilize/test_paper_example.py``).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+
+def paper_example_circuit() -> Circuit:
+    """The running example of the paper: ``out = OR(a, AND(b, c), c)``.
+
+    Physical paths: ``a->OR``, ``b->AND->OR``, ``c->AND->OR``, ``c->OR``
+    (4 physical, 8 logical paths).  Under input 111 the OR gate sees three
+    controlling inputs, giving the three stabilizing systems of Figure 1.
+    """
+    b = CircuitBuilder("paper_example")
+    a = b.pi("a")
+    bb = b.pi("b")
+    c = b.pi("c")
+    g_and = b.and_(bb, c, name="g_and")
+    g_or = b.or_(a, g_and, c, name="g_or")
+    b.po(g_or, "out")
+    return b.build()
+
+
+def mux_circuit() -> Circuit:
+    """A 2:1 multiplexer ``out = (a AND s) OR (NOT(s) AND c)``.
+
+    The classic example of a circuit whose hazard-cover path is robust
+    dependent.
+    """
+    b = CircuitBuilder("mux2")
+    a = b.pi("a")
+    s = b.pi("s")
+    c = b.pi("c")
+    ns = b.not_(s, "ns")
+    g1 = b.and_(a, s, name="g1")
+    g2 = b.and_(ns, c, name="g2")
+    out = b.or_(g1, g2, name="g3")
+    b.po(out, "out")
+    return b.build()
+
+
+def chain_circuit(length: int, invert: bool = False) -> Circuit:
+    """A single path of ``length`` BUF/NOT gates — the trivial base case."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    b = CircuitBuilder(f"chain{length}")
+    node = b.pi("in")
+    for i in range(length):
+        node = b.not_(node, f"n{i}") if invert else b.buf(node, f"b{i}")
+    b.po(node, "out")
+    return b.build()
+
+
+def two_and_tree() -> Circuit:
+    """``out = (a AND b) AND (c AND d)`` — a fanout-free tree."""
+    b = CircuitBuilder("and_tree")
+    a, bb, c, d = (b.pi(n) for n in "abcd")
+    out = b.and_(b.and_(a, bb, name="l"), b.and_(c, d, name="r"), name="root")
+    b.po(out, "out")
+    return b.build()
+
+
+def reconvergent_circuit() -> Circuit:
+    """``out = AND(OR(a, b), OR(b, c))`` — simple reconvergent fanout at b."""
+    b = CircuitBuilder("reconv")
+    a, bb, c = (b.pi(n) for n in "abc")
+    o1 = b.or_(a, bb, name="o1")
+    o2 = b.or_(bb, c, name="o2")
+    out = b.and_(o1, o2, name="root")
+    b.po(out, "out")
+    return b.build()

@@ -1,0 +1,107 @@
+"""Gate types of the paper's circuit model and their logic properties.
+
+Section II of the paper restricts circuits to *simple gates* (AND, OR,
+NAND, NOR, NOT) plus primary inputs and outputs.  We additionally support
+BUF (non-inverting single-input gate), which behaves like a one-input AND;
+richer gates (XOR etc.) are decomposed into simple gates by
+:mod:`repro.circuit.transforms` before any path-delay analysis runs.
+
+The central notions used throughout the algorithms are the *controlling*
+and *non-controlling* values of a gate (footnote 1 of the paper): a single
+controlling value on any input determines the gate output regardless of the
+other inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.IntEnum):
+    """All gate kinds a :class:`repro.circuit.netlist.Circuit` may contain."""
+
+    PI = 0
+    PO = 1
+    AND = 2
+    OR = 3
+    NAND = 4
+    NOR = 5
+    NOT = 6
+    BUF = 7
+
+
+#: Gate types with a controlling value (the simple multi-input gates).
+CONTROLLABLE_TYPES = frozenset(
+    {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR}
+)
+
+#: Gate types whose output inverts their (on-path) input.
+INVERTING_TYPES = frozenset({GateType.NAND, GateType.NOR, GateType.NOT})
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+def controlling_value(gate_type: GateType) -> int:
+    """Return the controlling input value of ``gate_type``.
+
+    Raises :class:`ValueError` for gate types without one (NOT, BUF, PI,
+    PO) — callers must guard with :data:`CONTROLLABLE_TYPES`.
+    """
+    try:
+        return _CONTROLLING[gate_type]
+    except KeyError:
+        raise ValueError(f"{gate_type.name} has no controlling value") from None
+
+
+def noncontrolling_value(gate_type: GateType) -> int:
+    """Return the non-controlling input value of ``gate_type``."""
+    return 1 - controlling_value(gate_type)
+
+
+def is_inverting(gate_type: GateType) -> bool:
+    """True if the gate output is the complement of its controlling/on-path
+    behaviour (NAND, NOR, NOT)."""
+    return gate_type in INVERTING_TYPES
+
+
+def has_controlling_value(gate_type: GateType) -> bool:
+    return gate_type in _CONTROLLING
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate on fully-specified binary ``inputs`` (0/1).
+
+    PIs take their single "input" as the externally applied value, and POs
+    forward their single input, so simulation can treat every gate
+    uniformly.
+    """
+    if gate_type in (GateType.PI, GateType.PO, GateType.BUF):
+        if len(inputs) != 1:
+            raise ValueError(f"{gate_type.name} takes exactly one input")
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        if len(inputs) != 1:
+            raise ValueError("NOT takes exactly one input")
+        return 1 - inputs[0]
+    if not inputs:
+        raise ValueError(f"{gate_type.name} needs at least one input")
+    c = _CONTROLLING[gate_type]
+    out = 1 - c if all(v != c for v in inputs) else c
+    if gate_type in INVERTING_TYPES:
+        out = 1 - out
+    return out
+
+
+def gate_output_for_oneshot(gate_type: GateType, any_input_controlling: bool) -> int:
+    """Output value of a simple gate given whether any input is controlling."""
+    c = _CONTROLLING[gate_type]
+    out = c if any_input_controlling else 1 - c
+    if gate_type in INVERTING_TYPES:
+        out = 1 - out
+    return out

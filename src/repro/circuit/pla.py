@@ -1,0 +1,187 @@
+"""Espresso ``.pla`` two-level cover format and two-level circuit synthesis.
+
+Used for the MCNC-style benchmarks of Table III.  A cover is a list of
+cubes over the inputs, one output column per output (``1`` = cube belongs
+to the output's ON-set).  ``TwoLevelCover.to_circuit`` builds the AND-OR
+(two-level) implementation with shared AND terms and input inverters —
+the canonical PLA structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+class PlaParseError(CircuitError):
+    """Raised for malformed .pla input."""
+
+
+@dataclass
+class TwoLevelCover:
+    """A two-level cover: cubes of ``{'0','1','-'}`` and output parts of
+    ``{'0','1'}`` (``1`` means the cube drives that output)."""
+
+    num_inputs: int
+    num_outputs: int
+    cubes: list[tuple[str, str]] = field(default_factory=list)
+    input_names: list[str] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+    name: str = "pla"
+
+    def __post_init__(self) -> None:
+        if not self.input_names:
+            self.input_names = [f"x{i}" for i in range(self.num_inputs)]
+        if not self.output_names:
+            self.output_names = [f"y{i}" for i in range(self.num_outputs)]
+        if len(self.input_names) != self.num_inputs:
+            raise PlaParseError("input name count mismatch")
+        if len(self.output_names) != self.num_outputs:
+            raise PlaParseError("output name count mismatch")
+        for in_part, out_part in self.cubes:
+            self._check_cube(in_part, out_part)
+
+    def _check_cube(self, in_part: str, out_part: str) -> None:
+        if len(in_part) != self.num_inputs:
+            raise PlaParseError(f"cube {in_part!r} has wrong input width")
+        if len(out_part) != self.num_outputs:
+            raise PlaParseError(f"cube output {out_part!r} has wrong width")
+        if set(in_part) - set("01-"):
+            raise PlaParseError(f"bad literal in cube {in_part!r}")
+        if set(out_part) - set("01"):
+            raise PlaParseError(f"bad output column in {out_part!r}")
+
+    def add_cube(self, in_part: str, out_part: str) -> None:
+        self._check_cube(in_part, out_part)
+        self.cubes.append((in_part, out_part))
+
+    def evaluate(self, vector: tuple[int, ...]) -> tuple[int, ...]:
+        """Evaluate the cover functionally on a fully specified vector."""
+        if len(vector) != self.num_inputs:
+            raise ValueError("vector width mismatch")
+        out = [0] * self.num_outputs
+        for in_part, out_part in self.cubes:
+            if all(
+                lit == "-" or int(lit) == vector[i] for i, lit in enumerate(in_part)
+            ):
+                for j, bit in enumerate(out_part):
+                    if bit == "1":
+                        out[j] = 1
+        return tuple(out)
+
+    def to_circuit(self, name: str | None = None) -> Circuit:
+        """Two-level AND-OR implementation with shared product terms.
+
+        Literals are realised with one inverter per complemented input;
+        single-literal cubes connect straight to the OR plane; outputs
+        whose ON-set is empty become constant via an AND of ``x & !x``
+        (rare, kept for completeness).
+        """
+        circuit = Circuit(name or self.name)
+        pis = [circuit.add_gate(GateType.PI, nm) for nm in self.input_names]
+        inverters: dict[int, int] = {}
+
+        def inverted(i: int) -> int:
+            if i not in inverters:
+                inverters[i] = circuit.add_gate(
+                    GateType.NOT, f"n_{self.input_names[i]}", [pis[i]]
+                )
+            return inverters[i]
+
+        term_ids: list[int] = []
+        for t, (in_part, _out_part) in enumerate(self.cubes):
+            literals = []
+            for i, lit in enumerate(in_part):
+                if lit == "1":
+                    literals.append(pis[i])
+                elif lit == "0":
+                    literals.append(inverted(i))
+            if not literals:
+                raise PlaParseError(
+                    f"cube {t} is the universal cube; outputs it drives are "
+                    "constant-1 functions, which have no delay-test meaning"
+                )
+            if len(literals) == 1:
+                term_ids.append(literals[0])
+            else:
+                term_ids.append(circuit.add_gate(GateType.AND, f"t{t}", literals))
+        for j, out_name in enumerate(self.output_names):
+            terms = [
+                term_ids[t]
+                for t, (_in, out_part) in enumerate(self.cubes)
+                if out_part[j] == "1"
+            ]
+            if not terms:
+                raise PlaParseError(
+                    f"output {out_name!r} has empty ON-set (constant 0)"
+                )
+            if len(terms) == 1:
+                driver = terms[0]
+            else:
+                driver = circuit.add_gate(GateType.OR, f"or_{out_name}", terms)
+            circuit.add_gate(GateType.PO, out_name, [driver])
+        return circuit.freeze()
+
+
+def parse_pla(text: str, name: str = "pla") -> TwoLevelCover:
+    """Parse espresso ``.pla`` text into a :class:`TwoLevelCover`."""
+    num_inputs = num_outputs = None
+    input_names: list[str] = []
+    output_names: list[str] = []
+    cubes: list[tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                num_inputs = int(parts[1])
+            elif key == ".o":
+                num_outputs = int(parts[1])
+            elif key == ".ilb":
+                input_names = parts[1:]
+            elif key == ".ob":
+                output_names = parts[1:]
+            elif key in (".p", ".e", ".end", ".type"):
+                continue
+            else:
+                raise PlaParseError(f"line {lineno}: unsupported directive {key!r}")
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise PlaParseError(f"line {lineno}: expected 'cube outputs', got {raw!r}")
+        cubes.append((parts[0], parts[1].replace("~", "0")))
+    if num_inputs is None or num_outputs is None:
+        raise PlaParseError("missing .i or .o directive")
+    return TwoLevelCover(
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        cubes=cubes,
+        input_names=input_names,
+        output_names=output_names,
+        name=name,
+    )
+
+
+def parse_pla_file(path: str | Path) -> TwoLevelCover:
+    path = Path(path)
+    return parse_pla(path.read_text(), name=path.stem)
+
+
+def write_pla(cover: TwoLevelCover) -> str:
+    """Serialize a cover back to espresso ``.pla`` text."""
+    lines = [
+        f".i {cover.num_inputs}",
+        f".o {cover.num_outputs}",
+        ".ilb " + " ".join(cover.input_names),
+        ".ob " + " ".join(cover.output_names),
+        f".p {len(cover.cubes)}",
+    ]
+    lines.extend(f"{cube} {out}" for cube, out in cover.cubes)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

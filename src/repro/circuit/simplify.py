@@ -1,0 +1,207 @@
+"""Functional-preserving netlist clean-up passes.
+
+* :func:`propagate_constants` — fold gates whose output is fixed by
+  constant-valued inputs (constants are injected via ``known`` — e.g.
+  the frozen pins of a redundancy-removal step);
+* :func:`remove_double_inverters` — collapse NOT-NOT chains;
+* :func:`sweep` — run all passes plus dead-gate stripping to a fixpoint.
+
+All passes return a fresh circuit plus a gate map and are verified by
+exhaustive truth-table equivalence in the test suite.  Note that these
+are *logic* transforms: they change the path structure, so delay-fault
+analyses must run on the netlist actually manufactured — the library
+uses these for constructing experiment variants, never silently.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+
+
+def _rebuild(
+    circuit: Circuit,
+    replacement: "dict[int, int | tuple]",
+    name: str,
+) -> "tuple[Circuit, dict]":
+    """Build a new circuit honouring ``replacement``: gate id -> either
+    another gate id (alias) or ('const', value).  Constants are
+    materialised only if actually consumed, as an AND(x, NOT x)-free
+    construction: value 0 = AND(pi0, NOT pi0) is ugly, so constants are
+    instead pushed into consumers by re-evaluating them; callers
+    guarantee consumers of constants are themselves replaced."""
+    out = Circuit(name)
+    mapping: dict = {}
+
+    def resolve(gid: int) -> int:
+        seen = set()
+        while gid in replacement:
+            if gid in seen:
+                raise ValueError("cyclic replacement chain")
+            seen.add(gid)
+            target = replacement[gid]
+            if isinstance(target, tuple):
+                raise ValueError(
+                    "constant gate still referenced after folding"
+                )
+            gid = target
+        return mapping[gid]
+
+    for gid in range(circuit.num_gates):
+        if gid in replacement:
+            continue
+        fanin = [resolve(src) for src in circuit.fanin(gid)]
+        mapping[gid] = out.add_gate(
+            circuit.gate_type(gid), circuit.gate_name(gid), fanin
+        )
+    out.freeze()
+    full_map = dict(mapping)
+    for gid in replacement:
+        try:
+            full_map[gid] = resolve(gid)
+        except ValueError:
+            pass  # folded-away constant with no surviving alias
+    return out, full_map
+
+
+def propagate_constants(
+    circuit: Circuit,
+    known: "dict[int, int] | None" = None,
+    name: "str | None" = None,
+    known_pins: "dict[int, int] | None" = None,
+) -> "tuple[Circuit, dict]":
+    """Fold the consequences of ``known`` (gate id -> constant value)
+    and/or ``known_pins`` (lead id -> constant seen at that input pin —
+    the redundancy-removal primitive: a redundant s-a-v pin may be
+    frozen to v without changing the function).
+
+    Gates that become constant are removed; consumers re-simplify:
+    a controlling constant replaces the gate by a constant, a
+    non-controlling constant drops the input pin (or forwards the sole
+    remaining input).  POs must not become constant (that output would
+    be untestable by construction) — a ValueError names the culprit.
+    """
+    const: dict = dict(known or {})
+    pin_const: dict = dict(known_pins or {})
+    alias: dict = {}
+    out = Circuit(name or f"{circuit.name}_cp")
+    mapping: dict = {}
+
+    def value_of(gid: int):
+        return const.get(gid)
+
+    def pin_value(gid: int, pin: int, src: int):
+        """Constant seen at one input pin: the pin override wins over a
+        constant source net."""
+        lead = circuit.lead_index(gid, pin)
+        if lead in pin_const:
+            return pin_const[lead]
+        return const.get(src)
+
+    def resolve_alias(gid: int) -> int:
+        while gid in alias:
+            gid = alias[gid]
+        return gid
+
+    for gid in range(circuit.num_gates):
+        gtype = circuit.gate_type(gid)
+        if gid in const and gtype is GateType.PI:
+            # Constant PI: keep the PI gate (inputs stay), note value.
+            mapping[gid] = out.add_gate(GateType.PI, circuit.gate_name(gid))
+            continue
+        if gtype is GateType.PI:
+            mapping[gid] = out.add_gate(GateType.PI, circuit.gate_name(gid))
+            continue
+        in_values = [
+            pin_value(gid, pin, src)
+            for pin, src in enumerate(circuit.fanin(gid))
+        ]
+        if all(v is not None for v in in_values):
+            const[gid] = evaluate_gate(gtype, in_values)
+            continue
+        if gtype in (GateType.NOT, GateType.BUF, GateType.PO):
+            src = circuit.fanin(gid)[0]
+            if in_values[0] is not None:
+                if gtype is GateType.PO:
+                    raise ValueError(
+                        f"PO {circuit.gate_name(gid)!r} becomes constant"
+                    )
+                const[gid] = evaluate_gate(gtype, [in_values[0]])
+                continue
+            src_gate = resolve_alias(src)
+            mapping[gid] = out.add_gate(
+                gtype, circuit.gate_name(gid), [mapping[src_gate]]
+            )
+            continue
+        c = controlling_value(gtype)
+        if any(v == c for v in in_values):
+            const[gid] = evaluate_gate(gtype, [c])
+            continue
+        live = [
+            resolve_alias(src)
+            for src, v in zip(circuit.fanin(gid), in_values)
+            if v is None
+        ]
+        if len(live) == 1:
+            # All other inputs non-controlling: gate passes (or inverts)
+            # its last live input.
+            if gtype in (GateType.AND, GateType.OR):
+                alias[gid] = live[0]
+                continue
+            mapping[gid] = out.add_gate(
+                GateType.NOT, circuit.gate_name(gid), [mapping[live[0]]]
+            )
+            continue
+        mapping[gid] = out.add_gate(
+            gtype, circuit.gate_name(gid), [mapping[g] for g in live]
+        )
+    for po in circuit.outputs:
+        if po in const:
+            raise ValueError(
+                f"PO {circuit.gate_name(po)!r} becomes constant"
+            )
+    out.freeze()
+    full_map = dict(mapping)
+    for gid, target in alias.items():
+        while target in alias:
+            target = alias[target]
+        if target in mapping:
+            full_map[gid] = mapping[target]
+    return out, full_map
+
+
+def remove_double_inverters(
+    circuit: Circuit, name: "str | None" = None
+) -> "tuple[Circuit, dict]":
+    """Collapse ``NOT(NOT(x))`` to ``x`` (repeatedly)."""
+    replacement: dict = {}
+    for gid in range(circuit.num_gates):
+        if circuit.gate_type(gid) is not GateType.NOT:
+            continue
+        src = circuit.fanin(gid)[0]
+        if circuit.gate_type(src) is GateType.NOT:
+            replacement[gid] = circuit.fanin(src)[0]
+    if not replacement:
+        return circuit.copy(name or circuit.name), {
+            g: g for g in range(circuit.num_gates)
+        }
+    return _rebuild(circuit, replacement, name or f"{circuit.name}_dinv")
+
+
+def sweep(circuit: Circuit, name: "str | None" = None) -> Circuit:
+    """Double-inverter removal + dead-gate stripping to a fixpoint."""
+    from repro.circuit.transforms import strip_unreachable
+
+    current = circuit
+    while True:
+        simplified, _ = remove_double_inverters(current)
+        simplified = strip_unreachable(simplified)
+        if simplified.num_gates == current.num_gates:
+            simplified.name = name or circuit.name
+            return simplified
+        current = simplified

@@ -1,0 +1,60 @@
+"""Circuit statistics used in reports and the CLI ``info`` command."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    name: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    num_leads: int
+    depth: int
+    max_fanout: int
+    gate_counts: dict
+
+    def __str__(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.gate_counts.items()))
+        return (
+            f"{self.name}: {self.num_gates} gates "
+            f"({self.num_inputs} PIs, {self.num_outputs} POs), "
+            f"{self.num_leads} leads, depth {self.depth}, "
+            f"max fanout {self.max_fanout} [{kinds}]"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    counts = Counter(
+        circuit.gate_type(g).name for g in range(circuit.num_gates)
+    )
+    depth = max(circuit.level(g) for g in range(circuit.num_gates))
+    max_fanout = max(
+        (len(circuit.fanout(g)) for g in range(circuit.num_gates)), default=0
+    )
+    return CircuitStats(
+        name=circuit.name,
+        num_gates=circuit.num_gates,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        num_leads=circuit.num_leads,
+        depth=depth,
+        max_fanout=max_fanout,
+        gate_counts=dict(counts),
+    )
+
+
+def internal_fanout_count(circuit: Circuit) -> int:
+    """Number of non-PI gates with fanout above 1 — the quantity that
+    drives leaf-dag blow-up (Section II)."""
+    return sum(
+        1
+        for g in range(circuit.num_gates)
+        if circuit.gate_type(g) is not GateType.PI and len(circuit.fanout(g)) > 1
+    )

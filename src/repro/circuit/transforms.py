@@ -1,0 +1,138 @@
+"""Structural circuit transforms.
+
+* :func:`strip_unreachable` — drop gates feeding no PO.
+* :func:`unfold_leaf_dag` — the *leaf-dag* of a single-output circuit
+  (Section II of the paper / Lam et al. [1]): the circuit unfolded so that
+  fanout only occurs at PIs.  Its size is exponential in the amount of
+  internal fanout, which is exactly why the paper's fast algorithm avoids
+  it; the baseline of [1] operates on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+def strip_unreachable(circuit: Circuit, name: str | None = None) -> Circuit:
+    """Return a copy without gates that feed no primary output."""
+    keep: set[int] = set()
+    for po in circuit.outputs:
+        keep |= circuit.cone_of(po)
+    keep.update(circuit.inputs)  # keep every PI, even if unused
+    out = Circuit(name or circuit.name)
+    mapping: dict[int, int] = {}
+    for gid in circuit.topo_order:
+        if gid not in keep:
+            continue
+        fanin = tuple(mapping[s] for s in circuit.fanin(gid))
+        mapping[gid] = out.add_gate(circuit.gate_type(gid), circuit.gate_name(gid), fanin)
+    return out.freeze()
+
+
+class LeafDagTooLarge(CircuitError):
+    """Raised when unfolding would exceed the caller's gate budget."""
+
+
+@dataclass
+class LeafDag:
+    """The unfolded (fanout-free above the PIs) version of a cone.
+
+    ``origin[g]`` maps each leaf-dag gate to the original gate it copies.
+    ``branch_paths`` maps each leaf-dag *PI input lead* (the only leads
+    with fanout freedom in the original) to the original physical path it
+    represents, as a tuple of original-circuit lead indices.
+    """
+
+    circuit: Circuit
+    origin: dict[int, int]
+    branch_paths: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+
+def unfold_leaf_dag(
+    circuit: Circuit, po: int, max_gates: int = 200_000
+) -> LeafDag:
+    """Unfold the cone of PO ``po`` into its leaf-dag.
+
+    Every internal gate is duplicated once per distinct path from its
+    output to the PO, so each leaf-dag gate lies on exactly one path to
+    the root.  PIs are shared (hence *leaf*-dag rather than tree).
+
+    Raises :class:`LeafDagTooLarge` once more than ``max_gates`` gates
+    have been created, since the blow-up is exponential in general.
+    """
+    if circuit.gate_type(po) is not GateType.PO:
+        raise CircuitError(f"gate {po} is not a PO")
+    out = Circuit(f"{circuit.name}.leafdag")
+    origin: dict[int, int] = {}
+    branch_paths: dict[int, tuple[int, ...]] = {}
+    pi_copy: dict[int, int] = {}
+    counter = [0]
+
+    def copy_pi(orig: int) -> int:
+        if orig not in pi_copy:
+            gid = out.add_gate(GateType.PI, circuit.gate_name(orig))
+            pi_copy[orig] = gid
+            origin[gid] = orig
+        return pi_copy[orig]
+
+    def copy_subtree(orig: int, suffix_leads: tuple[int, ...]) -> int:
+        """Copy the cone of original gate ``orig``; ``suffix_leads`` is the
+        original-lead path from ``orig``'s output up to the PO, used to
+        reconstruct full physical paths at the leaves."""
+        if circuit.gate_type(orig) is GateType.PI:
+            return copy_pi(orig)
+        if out.num_gates > max_gates:
+            raise LeafDagTooLarge(
+                f"leaf-dag of {circuit.name}/{circuit.gate_name(po)} exceeds "
+                f"{max_gates} gates"
+            )
+        fanin_copies = []
+        for pin, src in enumerate(circuit.fanin(orig)):
+            lead = circuit.lead_index(orig, pin)
+            fanin_copies.append(copy_subtree(src, (lead,) + suffix_leads))
+        counter[0] += 1
+        gid = out.add_gate(
+            circuit.gate_type(orig),
+            f"{circuit.gate_name(orig)}${counter[0]}",
+            fanin_copies,
+        )
+        origin[gid] = orig
+        for pin, src_copy in enumerate(fanin_copies):
+            if out.gate_type(src_copy) is GateType.PI:
+                orig_lead = circuit.lead_index(orig, pin)
+                # Record later, once lead ids exist (after freeze); stash
+                # by (gid, pin) for now.
+                pending.append((gid, pin, (orig_lead,) + suffix_leads))
+        return gid
+
+    pending: list[tuple[int, int, tuple[int, ...]]] = []
+    # Create PI copies up front in the original circuit's PI order, so
+    # the leaf-dag's input ordering matches the cone's (truth tables and
+    # vector-indexed code stay aligned).
+    cone = circuit.cone_of(po)
+    for pi in circuit.inputs:
+        if pi in cone:
+            copy_pi(pi)
+    driver = circuit.fanin(po)[0]
+    po_lead_placeholder: tuple[int, ...] = (circuit.lead_index(po, 0),)
+    root = copy_subtree(driver, po_lead_placeholder)
+    new_po = out.add_gate(GateType.PO, circuit.gate_name(po), [root])
+    origin[new_po] = po
+    if out.gate_type(root) is GateType.PI:
+        pending.append((new_po, 0, po_lead_placeholder))
+    out.freeze()
+    for gid, pin, orig_path in pending:
+        branch_paths[out.lead_index(gid, pin)] = orig_path
+    return LeafDag(circuit=out, origin=origin, branch_paths=branch_paths)
+
+
+def has_internal_fanout(circuit: Circuit) -> bool:
+    """True if any non-PI gate drives more than one input pin."""
+    return any(
+        len(circuit.fanout(g)) > 1
+        for g in range(circuit.num_gates)
+        if circuit.gate_type(g) is not GateType.PI
+    )

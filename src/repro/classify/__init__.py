@@ -1,0 +1,32 @@
+"""Path classification: the paper's fast RD-set identification.
+
+The central entry point is :func:`repro.classify.engine.classify`, which
+implicitly enumerates all logical paths with prime-segment pruning and
+local-implication checking (Algorithm 2), for one of three criteria:
+
+* ``Criterion.FS``        — functional sensitizability (Definition 4, [2]);
+* ``Criterion.NR``        — non-robust testability (Definition 5, [6]);
+* ``Criterion.SIGMA_PI``  — membership in ``LP(σ^π)`` (Lemma 2).
+
+The computed path set is a superset of the exact criterion set, hence the
+derived RD-set is sound (a true RD-set per Theorem 1).
+"""
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify, check_logical_path
+from repro.classify.exact import (
+    exact_path_set,
+    satisfies_criterion,
+    exact_lp_sigma,
+)
+from repro.classify.results import ClassificationResult
+
+__all__ = [
+    "Criterion",
+    "classify",
+    "check_logical_path",
+    "exact_path_set",
+    "satisfies_criterion",
+    "exact_lp_sigma",
+    "ClassificationResult",
+]

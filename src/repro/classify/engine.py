@@ -1,0 +1,271 @@
+"""Algorithm 2: implicit path enumeration with local implications.
+
+All logical paths are enumerated implicitly by a DFS that extends path
+segments from each PI towards the POs.  At every extension the criterion's
+side-input conditions are injected into a trail-based implication engine;
+a contradiction prunes the segment *and all its extensions* (the prime
+segment concept, footnote 3 of the paper).  A path that reaches a PO
+without contradiction is counted into ``LP^sup``.
+
+Because only local (direct) implications are performed, the check is
+one-sided: accepted paths may in truth be unsatisfiable (hence the
+superset), but every rejected path is certainly not in the criterion set
+— the reported RD-set is sound.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Callable
+
+from repro.circuit.gates import GateType, controlling_value, has_controlling_value
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion, required_side_pins
+from repro.classify.results import ClassificationResult
+from repro.logic.implication import ImplicationEngine
+from repro.logic.values import controlled_output, uncontrolled_output
+from repro.paths.count import count_paths
+from repro.paths.path import LogicalPath
+from repro.util.timer import Stopwatch
+
+if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
+    from repro.sorting.input_sort import InputSort
+
+_K_PO = 0
+_K_WIRE = 1  # BUF
+_K_NOT = 2
+_K_SIMPLE = 3
+
+
+class _Tables:
+    """Static per-lead tables for one (circuit, criterion, sort) run."""
+
+    def __init__(
+        self, circuit: Circuit, criterion: Criterion, sort: InputSort | None
+    ) -> None:
+        if criterion.needs_sort and sort is None:
+            raise ValueError("SIGMA_PI classification requires an input sort")
+        n = circuit.num_gates
+        self.kind = [0] * n
+        self.ctrl = [-2] * n
+        self.out_ctrl = [0] * n
+        self.out_nc = [0] * n
+        self.nc = [0] * n
+        for g in range(n):
+            t = circuit.gate_type(g)
+            if t is GateType.PO:
+                self.kind[g] = _K_PO
+            elif t is GateType.BUF:
+                self.kind[g] = _K_WIRE
+            elif t is GateType.NOT:
+                self.kind[g] = _K_NOT
+            elif has_controlling_value(t):
+                self.kind[g] = _K_SIMPLE
+                self.ctrl[g] = controlling_value(t)
+                self.nc[g] = 1 - self.ctrl[g]
+                self.out_ctrl[g] = controlled_output(t)
+                self.out_nc[g] = uncontrolled_output(t)
+            elif t is not GateType.PI:
+                raise ValueError(f"unsupported gate type {t.name}")
+        # For every lead into a simple gate: source nets that must be
+        # non-controlling when the on-path value is non-controlling
+        # (side_nc_all) vs controlling (side_nc_ctrl, criterion-specific).
+        m = circuit.num_leads
+        self.side_all: list[tuple[int, ...]] = [()] * m
+        self.side_ctrl: list[tuple[int, ...]] = [()] * m
+        for lead in range(m):
+            dst = circuit.lead_dst(lead)
+            if self.kind[dst] != _K_SIMPLE:
+                continue
+            fanin = circuit.fanin(dst)
+            all_pins = required_side_pins(criterion, circuit, lead, False, sort)
+            ctrl_pins = required_side_pins(criterion, circuit, lead, True, sort)
+            self.side_all[lead] = tuple(fanin[p] for p in all_pins)
+            self.side_ctrl[lead] = tuple(fanin[p] for p in ctrl_pins)
+        # Fanout adjacency: (lead, dst) pairs per gate.
+        self.fanout: list[tuple[tuple[int, int], ...]] = [
+            tuple(
+                (circuit.lead_index(dst, pin), dst)
+                for dst, pin in circuit.fanout(g)
+            )
+            for g in range(n)
+        ]
+
+
+def classify(
+    circuit: Circuit,
+    criterion: Criterion,
+    sort: InputSort | None = None,
+    collect_lead_counts: bool = False,
+    max_accepted: int | None = None,
+    on_path: Callable[[LogicalPath], None] | None = None,
+) -> ClassificationResult:
+    """Count ``|LP^sup|`` for ``criterion`` over all logical paths.
+
+    Parameters
+    ----------
+    sort:
+        the input sort π; required for ``Criterion.SIGMA_PI``, ignored
+        otherwise.
+    collect_lead_counts:
+        additionally accumulate, per lead, the number of accepted logical
+        paths whose final value at the lead is the destination gate's
+        controlling value (``|·_c^sup(l)|`` — the cost measures of
+        Algorithm 3).  Costs O(path length) extra per accepted path.
+    max_accepted:
+        abort with :class:`RuntimeError` once more than this many paths
+        are accepted (guard against accidentally enumerating a huge
+        circuit; RD-heavy circuits stay cheap regardless of total path
+        count thanks to prime-segment pruning).
+    on_path:
+        optional callback invoked with every accepted
+        :class:`~repro.paths.path.LogicalPath` (slow; for debugging and
+        small-circuit set extraction).
+    """
+    tables = _Tables(circuit, criterion, sort)
+    engine = ImplicationEngine(circuit)
+    counts = count_paths(circuit)
+    needed_depth = max(circuit.level(g) for g in range(circuit.num_gates)) + 64
+    if sys.getrecursionlimit() < 4 * needed_depth:
+        sys.setrecursionlimit(4 * needed_depth + 1000)
+
+    accepted = 0
+    lead_counts = [0] * circuit.num_leads if collect_lead_counts else []
+    # Stack of (lead, final value at lead equals dst's controlling value).
+    ctrl_stack: list[tuple[int, bool]] = []
+    path_stack: list[int] = []
+
+    kind = tables.kind
+    ctrl = tables.ctrl
+    out_ctrl = tables.out_ctrl
+    out_nc = tables.out_nc
+    nc = tables.nc
+    side_all = tables.side_all
+    side_ctrl = tables.side_ctrl
+    fanout = tables.fanout
+    assume = engine.assume
+    mark = engine.mark
+    undo = engine.undo_to
+
+    def accept(start_value: int) -> None:
+        nonlocal accepted
+        accepted += 1
+        if max_accepted is not None and accepted > max_accepted:
+            raise RuntimeError(
+                f"more than {max_accepted} paths accepted; raise max_accepted "
+                "or use a smaller circuit"
+            )
+        if collect_lead_counts:
+            for lead, is_ctrl in ctrl_stack:
+                if is_ctrl:
+                    lead_counts[lead] += 1
+        if on_path is not None:
+            from repro.paths.path import PhysicalPath  # local: rarely used
+
+            on_path(LogicalPath(PhysicalPath(tuple(path_stack)), start_value))
+
+    def dfs(gate: int, val: int, start_value: int) -> None:
+        for lead, dst in fanout[gate]:
+            k = kind[dst]
+            if k == _K_PO:
+                ctrl_stack.append((lead, False))
+                path_stack.append(lead)
+                accept(start_value)
+                path_stack.pop()
+                ctrl_stack.pop()
+                continue
+            m = mark()
+            if k == _K_SIMPLE:
+                is_ctrl = val == ctrl[dst]
+                if is_ctrl:
+                    sides = side_ctrl[lead]
+                    newval = out_ctrl[dst]
+                else:
+                    sides = side_all[lead]
+                    newval = out_nc[dst]
+                ok = True
+                ncv = nc[dst]
+                for src in sides:
+                    if not assume(src, ncv):
+                        ok = False
+                        break
+                if ok:
+                    ok = assume(dst, newval)
+            elif k == _K_NOT:
+                is_ctrl = False
+                newval = 1 - val
+                ok = assume(dst, newval)
+            else:  # _K_WIRE
+                is_ctrl = False
+                newval = val
+                ok = assume(dst, newval)
+            if ok:
+                ctrl_stack.append((lead, is_ctrl))
+                path_stack.append(lead)
+                dfs(dst, newval, start_value)
+                path_stack.pop()
+                ctrl_stack.pop()
+            undo(m)
+
+    with Stopwatch() as sw:
+        for pi in circuit.inputs:
+            for x in (1, 0):
+                m = mark()
+                if assume(pi, x):
+                    dfs(pi, x, x)
+                undo(m)
+    return ClassificationResult(
+        circuit_name=circuit.name,
+        criterion=criterion,
+        total_logical=counts.total_logical,
+        accepted=accepted,
+        elapsed=sw.elapsed,
+        lead_ctrl_counts=lead_counts,
+    )
+
+
+def check_logical_path(
+    circuit: Circuit,
+    criterion: Criterion,
+    logical_path: LogicalPath,
+    sort: InputSort | None = None,
+) -> bool:
+    """Local-implication check of one explicit logical path.
+
+    Returns True if the path is in ``LP^sup`` for the criterion (i.e. the
+    conditions did not contradict under direct implications); False means
+    the path is provably outside the criterion set.
+    """
+    tables = _Tables(circuit, criterion, sort)
+    engine = ImplicationEngine(circuit)
+    pi = logical_path.path.source(circuit)
+    val = logical_path.final_value
+    if not engine.assume(pi, val):
+        return False
+    for lead in logical_path.path.leads:
+        dst = circuit.lead_dst(lead)
+        k = tables.kind[dst]
+        if k == _K_PO:
+            return True
+        if k == _K_SIMPLE:
+            if val == tables.ctrl[dst]:
+                sides = tables.side_ctrl[lead]
+                newval = tables.out_ctrl[dst]
+            else:
+                sides = tables.side_all[lead]
+                newval = tables.out_nc[dst]
+            ncv = tables.nc[dst]
+            for src in sides:
+                if not engine.assume(src, ncv):
+                    return False
+            if not engine.assume(dst, newval):
+                return False
+            val = newval
+        elif k == _K_NOT:
+            val = 1 - val
+            if not engine.assume(dst, val):
+                return False
+        else:
+            if not engine.assume(dst, val):
+                return False
+    raise ValueError("path does not terminate at a PO")

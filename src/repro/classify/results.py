@@ -1,0 +1,52 @@
+"""Result container for classification runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.conditions import Criterion
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of one implicit-enumeration classification pass.
+
+    ``accepted`` is ``|LP^sup|`` — the number of logical paths that
+    passed the local-implication check for the criterion; every other
+    logical path is provably robust dependent (for SIGMA_PI) or provably
+    outside the criterion set (FS/NR).
+    """
+
+    circuit_name: str
+    criterion: Criterion
+    total_logical: int
+    accepted: int
+    elapsed: float = 0.0
+    #: accepted logical paths through each lead whose final value at the
+    #: lead is the destination gate's controlling value (|FS_c^sup(l)| /
+    #: |T_c^sup(l)| of Algorithm 3); only filled when requested.
+    lead_ctrl_counts: list = field(default_factory=list)
+
+    @property
+    def rd_count(self) -> int:
+        """Logical paths identified as not needing a robust test."""
+        return self.total_logical - self.accepted
+
+    @property
+    def rd_fraction(self) -> float:
+        """Fraction of logical paths identified RD (the paper's tables
+        report this as a percentage)."""
+        if self.total_logical == 0:
+            return 0.0
+        return self.rd_count / self.total_logical
+
+    @property
+    def rd_percent(self) -> float:
+        return 100.0 * self.rd_fraction
+
+    def __str__(self) -> str:
+        return (
+            f"{self.circuit_name} [{self.criterion.name}]: "
+            f"{self.accepted}/{self.total_logical} accepted, "
+            f"{self.rd_percent:.2f}% RD, {self.elapsed:.2f}s"
+        )

@@ -1,0 +1,371 @@
+"""Command-line interface: ``repro-rd`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-rd list                         # suite circuits
+    repro-rd info s499-ecc                # stats + path counts
+    repro-rd classify s1355-par --criterion sigma --sort heu2
+    repro-rd baseline apex-a --method exact
+    repro-rd table1 / table2 / table3 / figures
+    repro-rd info my_circuit.bench        # file inputs work everywhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baseline.exact_assignment import baseline_rd
+from repro.circuit.bench import parse_bench_file
+from repro.circuit.netlist import Circuit
+from repro.circuit.pla import parse_pla_file
+from repro.circuit.stats import circuit_stats, internal_fanout_count
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.suite import SUITE, get_circuit
+from repro.paths.count import count_paths
+from repro.sorting.heuristics import (
+    heuristic1_sort,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+
+_CRITERIA = {
+    "fs": Criterion.FS,
+    "nr": Criterion.NR,
+    "sigma": Criterion.SIGMA_PI,
+}
+
+
+def load_circuit(spec: str) -> Circuit:
+    """A suite name, a ``.bench`` file, or a ``.pla`` file."""
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return parse_bench_file(path)
+    if path.suffix == ".pla" and path.exists():
+        return parse_pla_file(path).to_circuit()
+    return get_circuit(spec)
+
+
+def _make_sort(circuit: Circuit, kind: str, seed: int):
+    if kind == "pin":
+        return pin_order_sort(circuit)
+    if kind == "heu1":
+        return heuristic1_sort(circuit)
+    if kind == "heu2":
+        return heuristic2_sort(circuit)
+    if kind == "heu2inv":
+        return heuristic2_sort(circuit).inverted()
+    if kind == "random":
+        return random_sort(circuit, seed=seed)
+    raise ValueError(f"unknown sort {kind!r}")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(SUITE):
+        print(name)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    stats = circuit_stats(circuit)
+    counts = count_paths(circuit)
+    print(stats)
+    print(f"internal fanout stems: {internal_fanout_count(circuit)}")
+    print(f"physical paths: {counts.total_physical:,}")
+    print(f"logical paths:  {counts.total_logical:,}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    criterion = _CRITERIA[args.criterion]
+    sort = None
+    if criterion is Criterion.SIGMA_PI:
+        sort = _make_sort(circuit, args.sort, args.seed)
+    result = classify(
+        circuit, criterion, sort=sort, max_accepted=args.max_accepted
+    )
+    print(result)
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.circuit)
+    result = baseline_rd(circuit, method=args.method)
+    print(result)
+    return 0
+
+
+def cmd_testgen(args: argparse.Namespace) -> int:
+    """Generate robust delay tests for the non-RD paths of a circuit."""
+    from repro.classify.engine import classify as run_classify
+    from repro.delaytest.testability import robust_test
+
+    circuit = load_circuit(args.circuit)
+    sort = _make_sort(circuit, args.sort, 0)
+    must_test: list = []
+    result = run_classify(
+        circuit, Criterion.SIGMA_PI, sort=sort,
+        max_accepted=args.max_accepted, on_path=must_test.append,
+    )
+    print(result)
+    shown = 0
+    untestable = 0
+    for lp in must_test:
+        if args.limit is not None and shown + untestable >= args.limit:
+            remaining = len(must_test) - shown - untestable
+            print(f"... {remaining} more paths (raise --limit)")
+            break
+        pair = robust_test(circuit, lp)
+        if pair is None:
+            untestable += 1
+            print(f"UNTESTABLE  {lp.describe(circuit)}")
+            continue
+        shown += 1
+        v1 = "".join(map(str, pair[0]))
+        v2 = "".join(map(str, pair[1]))
+        print(f"<{v1},{v2}>  {lp.describe(circuit)}")
+    print(f"{shown} robust tests, {untestable} robustly untestable")
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    """Threshold path selection with RD filtering (Section VI)."""
+    from repro.classify.engine import classify as run_classify
+    from repro.selection.strategies import select_by_threshold
+    from repro.timing.delays import unit_delays
+    from repro.timing.pathdelay import logical_path_delay
+
+    circuit = load_circuit(args.circuit)
+    sort = _make_sort(circuit, args.sort, 0)
+    must_test: set = set()
+    run_classify(
+        circuit, Criterion.SIGMA_PI, sort=sort,
+        max_accepted=args.max_accepted, on_path=must_test.add,
+    )
+    delays = unit_delays(circuit)
+    from repro.paths.enumerate import enumerate_logical_paths
+
+    max_delay = max(
+        logical_path_delay(circuit, lp, delays)
+        for lp in enumerate_logical_paths(circuit)
+    )
+    threshold = args.fraction * max_delay
+    selection = select_by_threshold(circuit, delays, threshold, must_test)
+    print(f"longest path delay (unit model): {max_delay:g}")
+    print(selection)
+    return 0
+
+
+def cmd_sta(args: argparse.Namespace) -> int:
+    """Static timing analysis + the k slowest logical paths."""
+    from repro.timing.delays import random_delays, unit_delays
+    from repro.timing.kpaths import k_longest_paths
+    from repro.timing.sta import static_timing
+
+    circuit = load_circuit(args.circuit)
+    if args.delays == "unit":
+        delays = unit_delays(circuit)
+    else:
+        delays = random_delays(circuit, seed=args.seed)
+    report = static_timing(circuit, delays)
+    print(f"critical delay: {report.critical_delay:g}")
+    for po in circuit.outputs:
+        print(f"  {circuit.gate_name(po)}: arrival {report.po_arrival(po):g}")
+    if args.k:
+        print(f"{args.k} slowest logical paths:")
+        for delay, lp in k_longest_paths(circuit, delays, args.k):
+            print(f"  {delay:10.3f}  {lp.describe(circuit)}")
+    return 0
+
+
+def cmd_atpg(args: argparse.Namespace) -> int:
+    """Run the full stuck-at ATPG flow (collapse/generate/simulate)."""
+    from repro.atpg.flow import run_atpg
+
+    circuit = load_circuit(args.circuit)
+    result = run_atpg(
+        circuit,
+        engine=args.engine,
+        random_burst=args.random_burst,
+        seed=args.seed,
+    )
+    print(result)
+    if args.show_redundant:
+        for fault in sorted(result.redundant, key=lambda f: (f.lead, f.value)):
+            print(f"  redundant: {fault.describe(circuit)}")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Export a circuit (optionally a stabilizing system) as DOT."""
+    from repro.circuit.dot import to_dot
+    from repro.stabilize.system import compute_stabilizing_system
+
+    circuit = load_circuit(args.circuit)
+    highlight = None
+    if args.stabilize is not None:
+        bits = args.stabilize
+        if len(bits) != len(circuit.inputs) or set(bits) - set("01"):
+            raise SystemExit(
+                f"--stabilize needs {len(circuit.inputs)} bits of 0/1"
+            )
+        vector = tuple(int(b) for b in bits)
+        system = compute_stabilizing_system(
+            circuit, circuit.outputs[args.po], vector
+        )
+        highlight = system.leads
+    print(to_dot(circuit, highlight_leads=highlight), end="")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    if getattr(args, "json", False):
+        from repro.experiments.report import table1_to_dict, to_json
+
+        _table, rows = table1.run()
+        print(to_json(table1_to_dict(rows)))
+        return 0
+    table1.main()
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+
+    table2.main()
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments import table3
+
+    if getattr(args, "json", False):
+        from repro.experiments.report import table3_to_dict, to_json
+
+        _table, rows = table3.run()
+        print(to_json(table3_to_dict(rows)))
+        return 0
+    table3.main()
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    figures.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rd",
+        description="Robust dependent path delay fault identification (DAC'95)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list suite circuits").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("info", help="circuit statistics and path counts")
+    p.add_argument("circuit", help="suite name or .bench/.pla file")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("classify", help="run the RD classifier")
+    p.add_argument("circuit")
+    p.add_argument(
+        "--criterion", choices=sorted(_CRITERIA), default="sigma",
+        help="fs = functional sensitizability, nr = non-robust "
+        "testability, sigma = LP(sigma^pi) (default)",
+    )
+    p.add_argument(
+        "--sort", choices=["pin", "heu1", "heu2", "heu2inv", "random"],
+        default="heu2", help="input sort for --criterion sigma",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for --sort random")
+    p.add_argument(
+        "--max-accepted", type=int, default=None,
+        help="abort after this many accepted paths",
+    )
+    p.set_defaults(fn=cmd_classify)
+
+    p = sub.add_parser("baseline", help="run the exact baseline of [1]")
+    p.add_argument("circuit")
+    p.add_argument("--method", choices=["greedy", "exact"], default="greedy")
+    p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser(
+        "testgen", help="robust two-pattern tests for the non-RD paths"
+    )
+    p.add_argument("circuit")
+    p.add_argument(
+        "--sort", choices=["pin", "heu1", "heu2", "heu2inv", "random"],
+        default="heu2",
+    )
+    p.add_argument("--limit", type=int, default=20,
+                   help="max paths to print tests for")
+    p.add_argument("--max-accepted", type=int, default=100_000)
+    p.set_defaults(fn=cmd_testgen)
+
+    p = sub.add_parser(
+        "select", help="threshold path selection with RD filtering"
+    )
+    p.add_argument("circuit")
+    p.add_argument("--fraction", type=float, default=0.8,
+                   help="threshold as a fraction of the longest path delay")
+    p.add_argument(
+        "--sort", choices=["pin", "heu1", "heu2", "heu2inv", "random"],
+        default="heu2",
+    )
+    p.add_argument("--max-accepted", type=int, default=100_000)
+    p.set_defaults(fn=cmd_select)
+
+    p = sub.add_parser("sta", help="static timing + k slowest paths")
+    p.add_argument("circuit")
+    p.add_argument("--delays", choices=["unit", "random"], default="unit")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-k", type=int, default=5, help="paths to list (0 = none)")
+    p.set_defaults(fn=cmd_sta)
+
+    p = sub.add_parser("atpg", help="full stuck-at ATPG flow")
+    p.add_argument("circuit")
+    p.add_argument("--engine", choices=["podem", "sat"], default="podem")
+    p.add_argument("--random-burst", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show-redundant", action="store_true")
+    p.set_defaults(fn=cmd_atpg)
+
+    p = sub.add_parser("dot", help="Graphviz export")
+    p.add_argument("circuit")
+    p.add_argument(
+        "--stabilize", metavar="BITS", default=None,
+        help="highlight the stabilizing system for this input vector",
+    )
+    p.add_argument("--po", type=int, default=0, help="output index for --stabilize")
+    p.set_defaults(fn=cmd_dot)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_table1)
+    sub.add_parser("table2", help="regenerate Table II").set_defaults(fn=cmd_table2)
+    p = sub.add_parser("table3", help="regenerate Table III")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_table3)
+    sub.add_parser("figures", help="regenerate Figures 1-5").set_defaults(
+        fn=cmd_figures
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

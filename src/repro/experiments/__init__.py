@@ -1,0 +1,14 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.harness import Table1Row, run_table1_row, run_table3_row
+from repro.experiments import table1, table2, table3, figures
+
+__all__ = [
+    "Table1Row",
+    "run_table1_row",
+    "run_table3_row",
+    "table1",
+    "table2",
+    "table3",
+    "figures",
+]

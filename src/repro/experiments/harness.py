@@ -1,0 +1,140 @@
+"""Per-circuit experiment pipelines shared by the table generators.
+
+A Table-I/II row runs the full paper pipeline on one circuit:
+
+1. exact path counting (the "total no. of logical paths" column);
+2. one FS pass — its RD side is the FUS column of Table I;
+3. Heuristic 1: path-count input sort + one SIGMA_PI pass;
+4. Heuristic 2 (Algorithm 3): FS and NR passes with per-lead counts,
+   the induced sort, + one SIGMA_PI pass;
+5. the inverted-Heuristic-2 control (the paper's "Heu2-bar" column).
+
+Timings follow the paper's accounting: Heu1 = sort + one classification
+pass; Heu2 = three classification passes + sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.exact_assignment import BaselineResult, baseline_rd
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.paths.count import count_paths
+from repro.sorting.heuristics import heuristic1_sort, heuristic2_analysis
+from repro.sorting.input_sort import InputSort
+from repro.util.timer import Stopwatch
+
+
+@dataclass
+class Table1Row:
+    """All measurements of one circuit for Tables I and II."""
+
+    name: str
+    total_logical: int
+    fus_percent: float
+    heu1_percent: float
+    heu2_percent: float
+    heu2_inverse_percent: float
+    time_heu1: float
+    time_heu2: float
+
+    def check_expected_shape(self) -> list[str]:
+        """The paper's qualitative claims, as violated-claim strings
+        (empty = all hold).  Heu2 ≥ Heu1 is a strong trend in the paper
+        (it holds for every circuit in Table I), both dominate FUS by
+        Lemma 1, and the inverted sort collapses towards FUS."""
+        problems = []
+        if self.heu1_percent + 1e-9 < self.fus_percent:
+            problems.append("Heu1 below FUS (violates Lemma 1)")
+        if self.heu2_percent + 1e-9 < self.fus_percent:
+            problems.append("Heu2 below FUS (violates Lemma 1)")
+        if self.heu2_inverse_percent + 1e-9 < self.fus_percent:
+            problems.append("inverse Heu2 below FUS (violates Lemma 1)")
+        if self.heu2_inverse_percent > self.heu2_percent + 1e-9:
+            problems.append("inverse sort beats Heu2")
+        return problems
+
+
+def run_table1_row(circuit: Circuit, max_accepted: int | None = None) -> Table1Row:
+    """The full pipeline on one circuit (see module docstring)."""
+    counts = count_paths(circuit)
+    # --- Heuristic 1 -----------------------------------------------------
+    with Stopwatch() as sw1:
+        sort1 = heuristic1_sort(circuit)
+        res1 = classify(
+            circuit, Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
+        )
+    # --- Heuristic 2 (Algorithm 3: FS pass + NR pass + final pass) -------
+    with Stopwatch() as sw2:
+        analysis = heuristic2_analysis(circuit, max_accepted=max_accepted)
+        res2 = classify(
+            circuit,
+            Criterion.SIGMA_PI,
+            sort=analysis.sort,
+            max_accepted=max_accepted,
+        )
+    # --- inverse control --------------------------------------------------
+    res2_inv = classify(
+        circuit,
+        Criterion.SIGMA_PI,
+        sort=analysis.sort.inverted(),
+        max_accepted=max_accepted,
+    )
+    return Table1Row(
+        name=circuit.name,
+        total_logical=counts.total_logical,
+        fus_percent=analysis.fs_result.rd_percent,
+        heu1_percent=res1.rd_percent,
+        heu2_percent=res2.rd_percent,
+        heu2_inverse_percent=res2_inv.rd_percent,
+        time_heu1=sw1.elapsed,
+        time_heu2=sw2.elapsed,
+    )
+
+
+@dataclass
+class Table3Row:
+    """Baseline-of-[1] vs Heuristic 2 on one small multi-level circuit."""
+
+    name: str
+    total_logical: int
+    baseline_percent: float
+    baseline_time: float
+    heu2_percent: float
+    heu2_time: float
+
+    @property
+    def quality_gap(self) -> float:
+        """Baseline RD%% minus Heu2 RD%% (the paper reports 2.05%% mean)."""
+        return self.baseline_percent - self.heu2_percent
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time / Heu2 time (the paper's headline is >10-1000x)."""
+        if self.heu2_time <= 0:
+            return float("inf")
+        return self.baseline_time / self.heu2_time
+
+
+def run_table3_row(
+    circuit: Circuit, baseline_method: str = "greedy"
+) -> Table3Row:
+    baseline: BaselineResult = baseline_rd(circuit, method=baseline_method)
+    with Stopwatch() as sw:
+        analysis = heuristic2_analysis(circuit)
+        res2 = classify(circuit, Criterion.SIGMA_PI, sort=analysis.sort)
+    return Table3Row(
+        name=circuit.name,
+        total_logical=baseline.total_logical,
+        baseline_percent=baseline.rd_percent,
+        baseline_time=baseline.elapsed,
+        heu2_percent=res2.rd_percent,
+        heu2_time=sw.elapsed,
+    )
+
+
+def sigma_pi_percent(circuit: Circuit, sort: InputSort) -> float:
+    """RD%% of one SIGMA_PI pass (ablation helper)."""
+    return classify(circuit, Criterion.SIGMA_PI, sort=sort).rd_percent

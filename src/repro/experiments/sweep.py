@@ -1,0 +1,83 @@
+"""Parameterized scaling sweeps over generator families.
+
+The data behind the Table-II narrative: how path counts and classifier
+cost grow with circuit size, per family.  Used by the scaling example
+and the growth tests; each point records exact counts and one FS
+classification (skipped above the enumeration budget, mirroring the
+paper's "could not be completed" entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.paths.count import count_paths
+from repro.util.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter, circuit) measurement."""
+
+    parameter: int
+    gates: int
+    total_logical: int
+    accepted: "int | None"  # None = classification skipped (too large)
+    classify_seconds: "float | None"
+
+    @property
+    def rd_percent(self) -> "float | None":
+        if self.accepted is None or not self.total_logical:
+            return None
+        return 100.0 * (1 - self.accepted / self.total_logical)
+
+
+def sweep_family(
+    family: Callable[[int], Circuit],
+    parameters: "Sequence[int] | Iterable[int]",
+    classification_budget: int = 500_000,
+) -> "list[SweepPoint]":
+    """Measure one generator family across ``parameters``.
+
+    Classification (FS criterion) runs only while the *accepted* path
+    count stays within ``classification_budget``; larger instances are
+    counted exactly but not enumerated.
+    """
+    points: list = []
+    for parameter in parameters:
+        circuit = family(parameter)
+        counts = count_paths(circuit)
+        accepted = None
+        seconds = None
+        try:
+            with Stopwatch() as sw:
+                result = classify(
+                    circuit, Criterion.FS, max_accepted=classification_budget
+                )
+            accepted = result.accepted
+            seconds = sw.elapsed
+        except RuntimeError:
+            pass  # over budget: counting-only point
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                gates=circuit.num_gates,
+                total_logical=counts.total_logical,
+                accepted=accepted,
+                classify_seconds=seconds,
+            )
+        )
+    return points
+
+
+def growth_factors(points: "Sequence[SweepPoint]") -> "list[float]":
+    """Consecutive path-count ratios — the family's explosion rate."""
+    return [
+        points[i + 1].total_logical / points[i].total_logical
+        for i in range(len(points) - 1)
+        if points[i].total_logical
+    ]

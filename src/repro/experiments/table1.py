@@ -1,0 +1,49 @@
+"""Table I — percentage of logical paths identified robust dependent.
+
+Columns, as in the paper: FUS (functionally unsensitizable, [2]),
+Heu1, Heu2 (the new approach with both sorting heuristics), and
+Heu2-bar (the inverted input sort, the paper's control experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.circuit.netlist import Circuit
+from repro.experiments.harness import Table1Row, run_table1_row
+from repro.gen.suite import table1_suite
+from repro.util.tables import TextTable
+
+
+def run(circuits: Iterable[Circuit] | None = None) -> tuple[TextTable, list[Table1Row]]:
+    rows = [
+        run_table1_row(circuit)
+        for circuit in (circuits if circuits is not None else table1_suite())
+    ]
+    table = TextTable(
+        ["circuit", "FUS", "Heu1", "Heu2", "inv-Heu2"],
+        title="Table I: % of logical paths identified RD (ISCAS-85 stand-ins)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.name,
+                f"{row.fus_percent:.2f} %",
+                f"{row.heu1_percent:.2f} %",
+                f"{row.heu2_percent:.2f} %",
+                f"{row.heu2_inverse_percent:.2f} %",
+            ]
+        )
+    return table, rows
+
+
+def main() -> None:
+    table, rows = run()
+    print(table.render())
+    for row in rows:
+        for problem in row.check_expected_shape():
+            print(f"!! {row.name}: {problem}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Seeded benchmark-circuit generators.
+
+Stand-ins for the ISCAS-85 / MCNC workloads of the paper's evaluation
+(see DESIGN.md "Substitutions"): the generators reproduce the structural
+features that drive the paper's numbers — XOR-dominated parity/ECC
+networks (c499/c1355-like), ALU control logic (c880-like), adders,
+array multipliers (c6288-like path explosion), random reconvergent
+logic, and factored two-level covers (MCNC-like).
+"""
+
+from repro.gen.adders import ripple_carry_adder, carry_lookahead_adder, carry_select_adder
+from repro.gen.multiplier import array_multiplier
+from repro.gen.parity import parity_tree, ecc_encoder
+from repro.gen.alu import simple_alu
+from repro.gen.mux import mux_tree, decoder
+from repro.gen.random_logic import random_dag
+from repro.gen.datapath import barrel_shifter, magnitude_comparator, priority_encoder
+from repro.gen.twolevel import random_cover, factored_circuit
+from repro.gen.suite import table1_suite, table3_suite, get_circuit, SUITE
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "array_multiplier",
+    "parity_tree",
+    "ecc_encoder",
+    "simple_alu",
+    "mux_tree",
+    "decoder",
+    "random_dag",
+    "barrel_shifter",
+    "magnitude_comparator",
+    "priority_encoder",
+    "random_cover",
+    "factored_circuit",
+    "table1_suite",
+    "table3_suite",
+    "get_circuit",
+    "SUITE",
+]

@@ -1,0 +1,113 @@
+"""Adder generators (ripple-carry, carry-lookahead, carry-select).
+
+Adders mix XOR-style sum logic (high path counts, many unsensitizable
+paths) with AND-OR carry chains — the structural blend of the mid-size
+ISCAS circuits.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+
+def _full_adder(b: CircuitBuilder, a: int, x: int, cin: int, tag: str) -> tuple[int, int]:
+    """(sum, carry-out) from expanded simple gates."""
+    axb = b.xor(a, x, name=f"{tag}_axb")
+    s = b.xor(axb, cin, name=f"{tag}_sum")
+    c1 = b.and_(a, x, name=f"{tag}_c1")
+    c2 = b.and_(axb, cin, name=f"{tag}_c2")
+    cout = b.or_(c1, c2, name=f"{tag}_cout")
+    return s, cout
+
+
+def ripple_carry_adder(width: int, name: str | None = None) -> Circuit:
+    """``width``-bit ripple-carry adder: inputs a[i], b[i], cin."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"rca{width}")
+    a_bits = [b.pi(f"a{i}") for i in range(width)]
+    b_bits = [b.pi(f"b{i}") for i in range(width)]
+    carry = b.pi("cin")
+    for i in range(width):
+        s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"fa{i}")
+        b.po(s, f"s{i}")
+    b.po(carry, "cout")
+    return b.build()
+
+
+def carry_lookahead_adder(width: int, name: str | None = None) -> Circuit:
+    """``width``-bit adder with flat carry lookahead.
+
+    ``c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[0]c0`` — the deep AND-OR
+    carry network creates heavy reconvergent fanout on the p/g signals.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"cla{width}")
+    a_bits = [b.pi(f"a{i}") for i in range(width)]
+    b_bits = [b.pi(f"b{i}") for i in range(width)]
+    c0 = b.pi("cin")
+    p = [b.xor(a_bits[i], b_bits[i], name=f"p{i}") for i in range(width)]
+    g = [b.and_(a_bits[i], b_bits[i], name=f"g{i}") for i in range(width)]
+    carries = [c0]
+    for i in range(width):
+        terms = [g[i]]
+        for j in range(i - 1, -1, -1):
+            prefix = [p[k] for k in range(j + 1, i + 1)]
+            terms.append(b.and_(g[j], *prefix, name=f"c{i + 1}_t{j}"))
+        chain = [p[k] for k in range(i + 1)]
+        terms.append(b.and_(c0, *chain, name=f"c{i + 1}_tc"))
+        carries.append(b.or_(*terms, name=f"c{i + 1}"))
+    for i in range(width):
+        b.po(b.xor(p[i], carries[i], name=f"sum{i}"), f"s{i}")
+    b.po(carries[width], "cout")
+    return b.build()
+
+
+def carry_select_adder(
+    width: int, block: int = 4, name: str | None = None
+) -> Circuit:
+    """Carry-select adder: each block computed for cin=0 and cin=1, the
+    real carry selecting via muxes — duplicated logic with reconvergence,
+    a classic source of robust dependent paths."""
+    if width < 1 or block < 1:
+        raise ValueError("width and block must be >= 1")
+    b = CircuitBuilder(name or f"csel{width}x{block}")
+    a_bits = [b.pi(f"a{i}") for i in range(width)]
+    b_bits = [b.pi(f"b{i}") for i in range(width)]
+    carry = b.pi("cin")
+    const_pairs: list[tuple[int, int]] = []
+    i = 0
+    while i < width:
+        hi = min(i + block, width)
+        # Two copies of the block: assumed carry-in 0 and 1.
+        sums0, sums1 = [], []
+        c0 = None  # carry chain with cin=0: start as "no carry yet"
+        # Build cin=0 copy.
+        c_cur = None
+        for j in range(i, hi):
+            if c_cur is None:
+                s = b.xor(a_bits[j], b_bits[j], name=f"b0s{j}")
+                c_cur = b.and_(a_bits[j], b_bits[j], name=f"b0c{j}")
+            else:
+                s, c_cur = _full_adder(b, a_bits[j], b_bits[j], c_cur, f"b0f{j}")
+            sums0.append(s)
+        c0 = c_cur
+        # Build cin=1 copy.
+        c_cur = None
+        for j in range(i, hi):
+            if c_cur is None:
+                s = b.xnor(a_bits[j], b_bits[j], name=f"b1s{j}")
+                c_cur = b.or_(a_bits[j], b_bits[j], name=f"b1c{j}")
+            else:
+                s, c_cur = _full_adder(b, a_bits[j], b_bits[j], c_cur, f"b1f{j}")
+            sums1.append(s)
+        c1 = c_cur
+        for k, j in enumerate(range(i, hi)):
+            b.po(b.mux(carry, sums0[k], sums1[k], name=f"sel_s{j}"), f"s{j}")
+        carry = b.mux(carry, c0, c1, name=f"sel_c{hi}")
+        const_pairs.append((c0, c1))
+        i = hi
+    b.po(carry, "cout")
+    return b.build()

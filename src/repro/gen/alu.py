@@ -1,0 +1,51 @@
+"""A small ALU generator (c880-like control-dominated logic).
+
+Control/datapath mixes have very few robust dependent paths (the paper
+reports 0.9-3.2% for c880): most paths are through selection logic that
+every operation exercises.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.gen.adders import _full_adder
+
+
+def simple_alu(width: int = 4, name: str | None = None) -> Circuit:
+    """``width``-bit ALU with ops AND/OR/XOR/ADD selected by s1 s0.
+
+    op = 00 → AND, 01 → OR, 10 → XOR, 11 → ADD (with cin).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"alu{width}")
+    s1, s0 = b.pi("s1"), b.pi("s0")
+    a_bits = [b.pi(f"a{i}") for i in range(width)]
+    b_bits = [b.pi(f"b{i}") for i in range(width)]
+    cin = b.pi("cin")
+    and_res = [b.and_(a_bits[i], b_bits[i], name=f"and{i}") for i in range(width)]
+    or_res = [b.or_(a_bits[i], b_bits[i], name=f"or{i}") for i in range(width)]
+    xor_res = [b.xor(a_bits[i], b_bits[i], name=f"xr{i}") for i in range(width)]
+    add_res = []
+    carry = cin
+    for i in range(width):
+        s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"fa{i}")
+        add_res.append(s)
+    ns1, ns0 = b.not_(s1, "ns1"), b.not_(s0, "ns0")
+    sel = [
+        b.and_(ns1, ns0, name="sel_and"),
+        b.and_(ns1, s0, name="sel_or"),
+        b.and_(s1, ns0, name="sel_xor"),
+        b.and_(s1, s0, name="sel_add"),
+    ]
+    for i in range(width):
+        terms = [
+            b.and_(sel[0], and_res[i], name=f"t_and{i}"),
+            b.and_(sel[1], or_res[i], name=f"t_or{i}"),
+            b.and_(sel[2], xor_res[i], name=f"t_xor{i}"),
+            b.and_(sel[3], add_res[i], name=f"t_add{i}"),
+        ]
+        b.po(b.or_(*terms, name=f"y{i}"), f"out{i}")
+    b.po(b.and_(sel[3], carry, name="t_cout"), "cout")
+    return b.build()

@@ -1,0 +1,41 @@
+"""Frozen suite netlists.
+
+Every suite circuit is also shipped as a ``.bench`` file under
+``repro/data/`` — written once from the seeded generators and pinned by
+the test suite.  Downstream users get byte-stable netlists independent
+of any future generator change, and results cite a concrete artifact
+(the role the ISCAS tarballs play for the paper).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Circuit
+
+_DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+
+def frozen_names() -> list:
+    """Names of all shipped frozen netlists."""
+    return sorted(p.stem for p in _DATA_DIR.glob("*.bench"))
+
+
+def load_frozen(name: str) -> Circuit:
+    """Load a frozen suite netlist by name."""
+    path = _DATA_DIR / f"{name}.bench"
+    if not path.exists():
+        raise KeyError(
+            f"no frozen netlist {name!r}; available: {', '.join(frozen_names())}"
+        )
+    circuit = parse_bench(path.read_text(), name=name)
+    return circuit
+
+
+def frozen_path(name: str) -> Path:
+    """Filesystem path of a frozen netlist (for external tools)."""
+    path = _DATA_DIR / f"{name}.bench"
+    if not path.exists():
+        raise KeyError(f"no frozen netlist {name!r}")
+    return path

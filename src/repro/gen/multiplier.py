@@ -1,0 +1,66 @@
+"""Array multiplier — the path-count monster (c6288-like).
+
+An ``n×n`` carry-save array multiplier's path count grows so fast that
+already small ``n`` exceeds anything enumerable; the paper's Table II
+uses c6288 (16×16, >1.9·10^20 logical paths) as the circuit *not* run.
+Our Table II bench counts (never enumerates) these paths exactly.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.gen.adders import _full_adder
+
+
+def array_multiplier(width: int, name: str | None = None) -> Circuit:
+    """``width`` × ``width`` unsigned array multiplier."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"mult{width}")
+    a_bits = [b.pi(f"a{i}") for i in range(width)]
+    b_bits = [b.pi(f"b{i}") for i in range(width)]
+    # Partial products.
+    pp = [
+        [b.and_(a_bits[i], b_bits[j], name=f"pp{i}_{j}") for i in range(width)]
+        for j in range(width)
+    ]
+    if width == 1:
+        b.po(pp[0][0], "m0")
+        return b.build()
+    # Row-by-row carry-save reduction.
+    row = list(pp[0])  # weights i .. i+width-1 for row j at offset j
+    outputs = []
+    for j in range(1, width):
+        nxt = []
+        carry = None
+        # Align: row holds weights j-1 .. j-1+width-1; emit lowest bit.
+        outputs.append(row[0])
+        operands = row[1:] + [None]  # weights j .. j+width-1
+        for i in range(width):
+            x = operands[i]
+            y = pp[j][i]
+            tag = f"r{j}_{i}"
+            if x is None and carry is None:
+                nxt.append(y)
+            elif x is None:
+                s = b.xor(y, carry, name=f"{tag}_hs")
+                carry = b.and_(y, carry, name=f"{tag}_hc")
+                nxt.append(s)
+            elif carry is None:
+                s = b.xor(x, y, name=f"{tag}_hs")
+                carry = b.and_(x, y, name=f"{tag}_hc")
+                nxt.append(s)
+            else:
+                s, carry = _full_adder(b, x, y, carry, tag)
+                nxt.append(s)
+        if carry is not None:
+            nxt.append(carry)
+            row = nxt
+        else:
+            row = nxt
+    for k, node in enumerate(row):
+        outputs.append(node)
+    for k, node in enumerate(outputs):
+        b.po(node, f"m{k}")
+    return b.build()

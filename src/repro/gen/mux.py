@@ -1,0 +1,48 @@
+"""Multiplexer trees and decoders.
+
+Mux trees are the canonical robust-dependent workload: the hazard-cover
+style sharing of select lines across levels yields paths that no
+complete stabilizing assignment needs.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+
+def mux_tree(levels: int, name: str | None = None) -> Circuit:
+    """A ``2^levels``-to-1 multiplexer built from 2:1 muxes; each level
+    shares one select input across all its muxes."""
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    b = CircuitBuilder(name or f"muxtree{levels}")
+    selects = [b.pi(f"s{k}") for k in range(levels)]
+    nodes = [b.pi(f"d{i}") for i in range(1 << levels)]
+    for k in range(levels):
+        nxt = []
+        for i in range(0, len(nodes), 2):
+            nxt.append(
+                b.mux(selects[k], nodes[i], nodes[i + 1], name=f"m{k}_{i // 2}")
+            )
+        nodes = nxt
+    b.po(nodes[0], "out")
+    return b.build()
+
+
+def decoder(width: int, name: str | None = None) -> Circuit:
+    """``width``-to-``2^width`` one-hot decoder (AND of literals)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = CircuitBuilder(name or f"dec{width}")
+    bits = [b.pi(f"x{i}") for i in range(width)]
+    inv = [b.not_(bits[i], f"nx{i}") for i in range(width)]
+    for code in range(1 << width):
+        literals = [
+            bits[i] if (code >> i) & 1 else inv[i] for i in range(width)
+        ]
+        if width == 1:
+            b.po(b.buf(literals[0], name=f"y{code}_buf"), f"y{code}")
+        else:
+            b.po(b.and_(*literals, name=f"y{code}_and"), f"y{code}")
+    return b.build()

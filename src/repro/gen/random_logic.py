@@ -1,0 +1,84 @@
+"""Seeded random reconvergent logic (the "everything else" workload).
+
+The generator grows a DAG gate by gate, biasing source selection towards
+recent gates (locality) so that realistic reconvergent fanout appears.
+Gates driving nothing at the end are wired to POs, so all logic is
+observable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_GATE_CHOICES = (
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.NOT,
+)
+
+
+def random_dag(
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    max_fanin: int = 3,
+    locality: float = 0.7,
+    name: str | None = None,
+) -> Circuit:
+    """A random combinational circuit with ``num_inputs`` PIs and
+    ``num_gates`` internal gates.
+
+    ``locality`` ∈ [0, 1]: probability that a fanin source is drawn from
+    the most recent quarter of the netlist (creates depth) rather than
+    uniformly (creates fanout/reconvergence).
+    """
+    if num_inputs < 1 or num_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be >= 2")
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"rand_i{num_inputs}_g{num_gates}_s{seed}")
+    nodes = [circuit.add_gate(GateType.PI, f"x{i}") for i in range(num_inputs)]
+
+    def pick_source() -> int:
+        if rng.random() < locality and len(nodes) > 4:
+            lo = max(0, len(nodes) - max(4, len(nodes) // 4))
+            return nodes[rng.randrange(lo, len(nodes))]
+        return nodes[rng.randrange(len(nodes))]
+
+    for g in range(num_gates):
+        gtype = rng.choice(_GATE_CHOICES)
+        if gtype is GateType.NOT:
+            fanin = [pick_source()]
+        else:
+            k = rng.randint(2, max_fanin)
+            fanin = []
+            while len(fanin) < k:
+                src = pick_source()
+                if src not in fanin:
+                    fanin.append(src)
+                elif len(set(nodes)) < k:
+                    break
+            if len(fanin) < 2:
+                gtype = GateType.NOT
+                fanin = fanin[:1]
+        nodes.append(circuit.add_gate(gtype, f"g{g}", fanin))
+    # Attach POs to every sink gate (gates nothing reads).
+    read = set()
+    for gid in range(circuit.num_gates):
+        read.update(circuit.fanin(gid))
+    sinks = [
+        gid
+        for gid in range(circuit.num_gates)
+        if gid not in read and circuit.gate_type(gid) is not GateType.PI
+    ]
+    if not sinks:
+        sinks = [nodes[-1]]
+    for k, gid in enumerate(sinks):
+        circuit.add_gate(GateType.PO, f"out{k}", [gid])
+    return circuit.freeze()

@@ -1,0 +1,157 @@
+"""The named benchmark suite (ISCAS-85 / MCNC stand-ins).
+
+``SUITE`` maps circuit names to zero-argument constructors.  Sizing is
+chosen so that the classification benches complete in pure Python while
+preserving the paper's structural spread (see DESIGN.md).  The two
+"monster" entries exist for exact path *counting* only and are excluded
+from enumeration-based experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.circuit.netlist import Circuit
+from repro.gen.adders import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from repro.gen.alu import simple_alu
+from repro.gen.datapath import (
+    barrel_shifter,
+    magnitude_comparator,
+    priority_encoder,
+)
+from repro.gen.multiplier import array_multiplier
+from repro.gen.parity import ecc_encoder, parity_tree
+from repro.gen.random_logic import random_dag
+from repro.gen.twolevel import factored_circuit, random_cover
+
+#: Table I/II circuits (classification feasible in pure Python).
+_TABLE1: Dict[str, Callable[[], Circuit]] = {}
+#: Path counting only (the c3540/c6288 role: enumeration infeasible).
+_COUNT_ONLY: Dict[str, Callable[[], Circuit]] = {}
+#: Table III circuits (small multi-level, exact baseline feasible).
+_TABLE3: Dict[str, Callable[[], Circuit]] = {}
+
+
+def _named(store: Dict[str, Callable[[], Circuit]], name: str):
+    def register(fn: Callable[[], Circuit]):
+        def build() -> Circuit:
+            circuit = fn()
+            circuit.name = name
+            return circuit
+
+        store[name] = build
+        return build
+
+    return register
+
+
+# -- Table I/II stand-ins (prefix "s" = synthetic) -----------------------
+# Logical path counts (exact): rand-c 124k, ecc 2.7M, alu ~1.2k,
+# parity 48k, csel ~10k, rand-a 1.1M, mult5 2.0M, rca 13k, rand-b 171k —
+# the paper's spread of 17k..57M scaled to pure-Python budgets.
+_named(_TABLE1, "s432-rand")(
+    lambda: random_dag(14, 90, seed=13, locality=0.8)
+)
+_named(_TABLE1, "s499-ecc")(lambda: ecc_encoder(24, style="nand"))
+_named(_TABLE1, "s880-alu")(lambda: simple_alu(8))
+_named(_TABLE1, "s1355-par")(lambda: parity_tree(40, style="nand"))
+_named(_TABLE1, "s1908-csel")(lambda: carry_select_adder(16, 4))
+_named(_TABLE1, "s2670-rand")(lambda: random_dag(24, 220, seed=7))
+_named(_TABLE1, "s3540-mult")(lambda: array_multiplier(5))
+_named(_TABLE1, "s5315-rca")(lambda: ripple_carry_adder(32))
+_named(_TABLE1, "s7552-mix")(lambda: random_dag(32, 320, seed=11, locality=0.55))
+
+# -- counting-only monsters (Table II's "could not be completed" row) ----
+_named(_COUNT_ONLY, "s6288-mult")(lambda: array_multiplier(16))
+_named(_COUNT_ONLY, "smid-mult")(lambda: array_multiplier(6))
+
+# -- extra circuits (CLI-accessible, outside the paper's tables) ----------
+_EXTRA: Dict[str, Callable[[], Circuit]] = {}
+_named(_EXTRA, "xshift32")(lambda: barrel_shifter(5))
+_named(_EXTRA, "xcmp16")(lambda: magnitude_comparator(16))
+_named(_EXTRA, "xprienc16")(lambda: priority_encoder(16))
+
+
+def _load_c17() -> Circuit:
+    from repro.gen.frozen import load_frozen
+
+    return load_frozen("c17")
+
+
+# The one genuine ISCAS-85 netlist small enough to bundle verbatim.
+_EXTRA["c17"] = _load_c17
+
+# -- Table III stand-ins (MCNC-like factored two-level) -------------------
+_named(_TABLE3, "apex-a")(
+    lambda: factored_circuit(random_cover(9, 3, 18, seed=1), name="apex-a")
+)
+_named(_TABLE3, "z5xp-b")(
+    lambda: factored_circuit(random_cover(8, 4, 16, seed=2), name="z5xp-b")
+)
+_named(_TABLE3, "apex-c")(
+    lambda: factored_circuit(random_cover(10, 3, 22, seed=3), name="apex-c")
+)
+_named(_TABLE3, "bw-d")(
+    lambda: factored_circuit(random_cover(8, 5, 20, seed=4), name="bw-d")
+)
+_named(_TABLE3, "apex-e")(
+    lambda: factored_circuit(
+        random_cover(10, 4, 18, seed=5, min_literals=3), name="apex-e"
+    )
+)
+_named(_TABLE3, "misex-f")(
+    lambda: factored_circuit(
+        random_cover(11, 3, 15, seed=6, min_literals=3), name="misex-f"
+    )
+)
+_named(_TABLE3, "seq-g")(
+    lambda: factored_circuit(
+        random_cover(11, 4, 16, seed=7, min_literals=4), name="seq-g"
+    )
+)
+_named(_TABLE3, "misex-h")(
+    lambda: factored_circuit(
+        random_cover(12, 3, 14, seed=8, min_literals=4), name="misex-h"
+    )
+)
+
+SUITE: Dict[str, Callable[[], Circuit]] = {
+    **_TABLE1,
+    **_COUNT_ONLY,
+    **_TABLE3,
+    **_EXTRA,
+}
+
+
+def table1_suite() -> list:
+    """The nine classification circuits of Tables I/II, freshly built."""
+    return [build() for build in _TABLE1.values()]
+
+
+def count_only_suite() -> list:
+    """The counting-only monsters (c6288 role)."""
+    return [build() for build in _COUNT_ONLY.values()]
+
+
+def table3_suite() -> list:
+    """The eight baseline-vs-Heuristic-2 circuits of Table III."""
+    return [build() for build in _TABLE3.values()]
+
+
+def extra_suite() -> list:
+    """CLI-accessible circuits outside the paper's tables."""
+    return [build() for build in _EXTRA.values()]
+
+
+def get_circuit(name: str) -> Circuit:
+    """Build a suite circuit by name (raises KeyError with the list)."""
+    try:
+        return SUITE[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {', '.join(sorted(SUITE))}"
+        ) from None

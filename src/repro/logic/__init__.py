@@ -1,0 +1,16 @@
+"""Logic-value substrate: ternary algebra, simulation, local implications."""
+
+from repro.logic.values import X, ternary_gate_eval
+from repro.logic.simulate import simulate, simulate_ternary, output_values, truth_table
+from repro.logic.implication import ImplicationEngine, Conflict
+
+__all__ = [
+    "X",
+    "ternary_gate_eval",
+    "simulate",
+    "simulate_ternary",
+    "output_values",
+    "truth_table",
+    "ImplicationEngine",
+    "Conflict",
+]

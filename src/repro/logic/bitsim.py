@@ -1,0 +1,147 @@
+"""Bit-parallel (64-patterns-per-word) logic and fault simulation.
+
+The classical parallel-pattern technique (the paper's reference [6] is
+"Parallel pattern fault simulation for path delay faults"): each net
+holds a Python int whose bit *i* is the net's value under pattern *i*,
+so one pass of bitwise operators simulates arbitrarily many patterns at
+once (Python ints are unbounded, so the word width is simply the number
+of patterns).
+
+Used as the fast engine behind stuck-at fault grading and random-pattern
+coverage experiments; validated bit-for-bit against the scalar simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+def _eval_gate_words(
+    gtype: GateType, inputs: "list[int]", mask: int
+) -> int:
+    if gtype in (GateType.PO, GateType.BUF):
+        return inputs[0]
+    if gtype is GateType.NOT:
+        return inputs[0] ^ mask
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        word = mask
+        for w in inputs:
+            word &= w
+        return word ^ mask if gtype is GateType.NAND else word
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        word = 0
+        for w in inputs:
+            word |= w
+        return word ^ mask if gtype is GateType.NOR else word
+    raise ValueError(f"cannot bit-simulate gate type {gtype.name}")
+
+
+def pack_patterns(patterns: "Sequence[Sequence[int]]") -> "tuple[list[int], int]":
+    """Pack pattern rows (one vector per pattern) into per-PI words.
+
+    Returns ``(words, mask)`` where ``words[j]`` is the packed column of
+    PI ``j`` and ``mask`` has one bit per pattern.
+    """
+    if not patterns:
+        return [], 0
+    width = len(patterns[0])
+    words = [0] * width
+    for i, vector in enumerate(patterns):
+        if len(vector) != width:
+            raise ValueError("patterns must all have the same width")
+        for j, bit in enumerate(vector):
+            if bit:
+                words[j] |= 1 << i
+    return words, (1 << len(patterns)) - 1
+
+
+def simulate_words(
+    circuit: Circuit,
+    pi_words: "Sequence[int]",
+    mask: int,
+    forced_pins: "dict | None" = None,
+) -> "list[int]":
+    """One bit-parallel pass; returns a word per gate output.
+
+    ``forced_pins`` maps lead index -> constant 0/1 (stuck-at injection,
+    same convention as the Tseitin encoder).
+    """
+    if len(pi_words) != len(circuit.inputs):
+        raise ValueError(
+            f"need {len(circuit.inputs)} PI words, got {len(pi_words)}"
+        )
+    values = [0] * circuit.num_gates
+    for pi, word in zip(circuit.inputs, pi_words):
+        values[pi] = word & mask
+    for gid in circuit.topo_order:
+        gtype = circuit.gate_type(gid)
+        if gtype is GateType.PI:
+            continue
+        ins = []
+        for pin, src in enumerate(circuit.fanin(gid)):
+            if forced_pins:
+                lead = circuit.lead_index(gid, pin)
+                if lead in forced_pins:
+                    ins.append(mask if forced_pins[lead] else 0)
+                    continue
+            ins.append(values[src])
+        values[gid] = _eval_gate_words(gtype, ins, mask)
+    return values
+
+
+def simulate_patterns(
+    circuit: Circuit, patterns: "Sequence[Sequence[int]]"
+) -> "list[tuple]":
+    """Convenience: PO tuples for every pattern, via one packed pass."""
+    words, mask = pack_patterns(patterns)
+    if not mask:
+        return []
+    values = simulate_words(circuit, words, mask)
+    out = []
+    for i in range(len(patterns)):
+        out.append(
+            tuple((values[po] >> i) & 1 for po in circuit.outputs)
+        )
+    return out
+
+
+def detected_faults(
+    circuit: Circuit,
+    patterns: "Sequence[Sequence[int]]",
+    faults: "Iterable",
+) -> set:
+    """Stuck-at faults from ``faults`` detected by any of ``patterns``.
+
+    One good pass plus one faulty pass per fault, all patterns in
+    parallel — the standard serial-fault / parallel-pattern grading.
+    """
+    from repro.atpg.stuckat import StuckAtFault  # circularity-free
+
+    words, mask = pack_patterns(patterns)
+    if not mask:
+        return set()
+    good = simulate_words(circuit, words, mask)
+    hit: set = set()
+    for fault in faults:
+        if not isinstance(fault, StuckAtFault):
+            raise TypeError("faults must be StuckAtFault instances")
+        bad = simulate_words(
+            circuit, words, mask, forced_pins={fault.lead: fault.value}
+        )
+        if any(good[po] ^ bad[po] for po in circuit.outputs):
+            hit.add(fault)
+    return hit
+
+
+def random_patterns(
+    circuit: Circuit, count: int, seed: int = 0
+) -> "list[tuple]":
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randint(0, 1) for _ in circuit.inputs)
+        for _ in range(count)
+    ]

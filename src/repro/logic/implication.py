@@ -1,0 +1,205 @@
+"""Trail-based local implication engine.
+
+This is the approximation machinery of the paper's Algorithm 2 (after
+Cheng & Chen [2]): sensitization conditions along a path are injected as
+value assignments on nets, and only their *direct* (local) implications
+are propagated.  If the implications contradict each other, no input
+vector can satisfy the conditions and the path (segment) is provably
+robust dependent; if no contradiction arises, the path is conservatively
+assumed sensitizable.  Hence the engine being local/incomplete makes the
+computed set a *superset* ``LP^sup`` — the approximation is sound for RD
+identification.
+
+Direct implication rules for a simple gate with controlling value ``c``:
+
+* forward:  some input = c            ⟹ output = controlled output
+* forward:  all inputs = non-c        ⟹ output = uncontrolled output
+* backward: output = uncontrolled     ⟹ every input = non-c
+* backward: output = controlled and all inputs but one = non-c
+                                      ⟹ the last input = c
+
+plus the obvious rules for NOT/BUF/PO.  The engine keeps a trail so a DFS
+can assume values and backtrack in O(#assignments undone).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+from repro.logic.values import X, controlled_output, uncontrolled_output
+
+
+class Conflict(Exception):
+    """Internal signal: an implication contradicted an existing value."""
+
+
+class ImplicationEngine:
+    """Maintains ternary values on all nets of one circuit with undo.
+
+    Typical use in a DFS::
+
+        mark = engine.mark()
+        if engine.assume(gate, value):
+            ...recurse...
+        engine.undo_to(mark)
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit._require_frozen()  # noqa: SLF001 - deliberate internal check
+        self.circuit = circuit
+        n = circuit.num_gates
+        self._value = [X] * n
+        self._trail: list[int] = []
+        # Cache per-gate static data for the hot loop.
+        self._fanin = [circuit.fanin(g) for g in range(n)]
+        self._fanout_gates = [
+            tuple(sorted({dst for dst, _pin in circuit.fanout(g)}))
+            for g in range(n)
+        ]
+        self._ctrl = [-2] * n  # controlling value, or -2 for none
+        self._out_ctrl = [0] * n
+        self._out_nc = [0] * n
+        self._kind = [0] * n  # 0=PI, 1=wire(PO/BUF), 2=NOT, 3=simple
+        for g in range(n):
+            t = circuit.gate_type(g)
+            if t is GateType.PI:
+                self._kind[g] = 0
+            elif t in (GateType.PO, GateType.BUF):
+                self._kind[g] = 1
+            elif t is GateType.NOT:
+                self._kind[g] = 2
+            elif has_controlling_value(t):
+                self._kind[g] = 3
+                self._ctrl[g] = controlling_value(t)
+                self._out_ctrl[g] = controlled_output(t)
+                self._out_nc[g] = uncontrolled_output(t)
+            else:
+                raise ValueError(f"unsupported gate type {t.name}")
+
+    # ------------------------------------------------------------------
+    def value(self, gate: int) -> int:
+        """Current ternary value of gate output ``gate`` (0, 1 or X)."""
+        return self._value[gate]
+
+    def mark(self) -> int:
+        """A trail position to later :meth:`undo_to`."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Unassign everything recorded after ``mark``."""
+        trail = self._trail
+        value = self._value
+        while len(trail) > mark:
+            value[trail.pop()] = X
+
+    def reset(self) -> None:
+        self.undo_to(0)
+
+    def num_assigned(self) -> int:
+        return len(self._trail)
+
+    def assignment(self) -> dict[int, int]:
+        """Snapshot of all currently assigned nets."""
+        return {g: self._value[g] for g in self._trail}
+
+    # ------------------------------------------------------------------
+    def assume(self, gate: int, value: int) -> bool:
+        """Assign ``gate := value`` and propagate direct implications.
+
+        Returns True if consistent so far, False on contradiction.  In
+        both cases all assignments made are on the trail, so the caller's
+        ``undo_to(mark)`` restores the previous state exactly.
+        """
+        try:
+            self._post(gate, value)
+            return True
+        except Conflict:
+            return False
+
+    def assume_all(self, assignments: "list[tuple[int, int]]") -> bool:
+        """Assume several (gate, value) pairs; False on any contradiction."""
+        try:
+            for gate, value in assignments:
+                self._post(gate, value)
+            return True
+        except Conflict:
+            return False
+
+    # ------------------------------------------------------------------
+    def _post(self, gate: int, value: int) -> None:
+        queue: deque[int] = deque()
+        self._set(gate, value, queue)
+        self._drain(queue)
+
+    def _set(self, gate: int, value: int, queue: deque[int]) -> None:
+        cur = self._value[gate]
+        if cur != X:
+            if cur != value:
+                raise Conflict
+            return
+        self._value[gate] = value
+        self._trail.append(gate)
+        # Re-examine the gate itself (backward rules) and its fanout
+        # gates (forward rules + their backward last-input rule).
+        queue.append(gate)
+        queue.extend(self._fanout_gates[gate])
+
+    def _drain(self, queue: deque[int]) -> None:
+        while queue:
+            self._examine(queue.popleft(), queue)
+
+    def _examine(self, gate: int, queue: deque[int]) -> None:
+        kind = self._kind[gate]
+        if kind == 0:  # PI: nothing to infer
+            return
+        value = self._value
+        fanin = self._fanin[gate]
+        out = value[gate]
+        if kind == 1:  # PO / BUF: output == input
+            src = fanin[0]
+            if value[src] != X:
+                self._set(gate, value[src], queue)
+            elif out != X:
+                self._set(src, out, queue)
+            return
+        if kind == 2:  # NOT: output == !input
+            src = fanin[0]
+            if value[src] != X:
+                self._set(gate, 1 - value[src], queue)
+            elif out != X:
+                self._set(src, 1 - out, queue)
+            return
+        # Simple gate with a controlling value.
+        c = self._ctrl[gate]
+        nc = 1 - c
+        unknown = -1
+        unknown_count = 0
+        saw_ctrl = False
+        for src in fanin:
+            v = value[src]
+            if v == c:
+                saw_ctrl = True
+                break
+            if v == X:
+                unknown_count += 1
+                unknown = src
+        if saw_ctrl:
+            self._set(gate, self._out_ctrl[gate], queue)
+            return
+        if unknown_count == 0:
+            self._set(gate, self._out_nc[gate], queue)
+            return
+        if out == self._out_nc[gate]:
+            # Output uncontrolled: every input must be non-controlling.
+            for src in fanin:
+                if value[src] == X:
+                    self._set(src, nc, queue)
+        elif out == self._out_ctrl[gate] and unknown_count == 1:
+            # All but one inputs non-controlling: the last must control.
+            self._set(unknown, c, queue)

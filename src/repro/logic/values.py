@@ -1,0 +1,57 @@
+"""Ternary (0 / 1 / X) logic values.
+
+``X`` is represented as ``-1`` so values pack into plain ints; 0 and 1 are
+themselves.  This module provides gate evaluation over the ternary domain
+— the basis of three-valued simulation and of conflict detection in the
+implication engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    has_controlling_value,
+    is_inverting,
+)
+
+#: The unknown value.
+X = -1
+
+
+def ternary_gate_eval(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate one gate over ternary inputs (each ``0``, ``1`` or ``X``).
+
+    Returns ``X`` unless the known inputs determine the output: a single
+    controlling input decides a simple gate even when others are ``X``.
+    """
+    if gate_type in (GateType.PI, GateType.PO, GateType.BUF):
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        v = inputs[0]
+        return X if v == X else 1 - v
+    if not has_controlling_value(gate_type):
+        raise ValueError(f"cannot evaluate gate type {gate_type.name}")
+    c = controlling_value(gate_type)
+    inv = is_inverting(gate_type)
+    out: int
+    if any(v == c for v in inputs):
+        out = c
+    elif all(v == 1 - c for v in inputs):
+        out = 1 - c
+    else:
+        return X
+    return (1 - out) if inv else out
+
+
+def controlled_output(gate_type: GateType) -> int:
+    """Output of a simple gate when at least one input is controlling."""
+    c = controlling_value(gate_type)
+    return (1 - c) if is_inverting(gate_type) else c
+
+
+def uncontrolled_output(gate_type: GateType) -> int:
+    """Output of a simple gate when all inputs are non-controlling."""
+    return 1 - controlled_output(gate_type)

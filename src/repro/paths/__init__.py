@@ -1,0 +1,19 @@
+"""Physical/logical path objects, exact path counting, enumeration."""
+
+from repro.paths.path import PhysicalPath, LogicalPath, RISING, FALLING
+from repro.paths.count import PathCounts, count_paths
+from repro.paths.enumerate import (
+    enumerate_physical_paths,
+    enumerate_logical_paths,
+)
+
+__all__ = [
+    "PhysicalPath",
+    "LogicalPath",
+    "RISING",
+    "FALLING",
+    "PathCounts",
+    "count_paths",
+    "enumerate_physical_paths",
+    "enumerate_logical_paths",
+]

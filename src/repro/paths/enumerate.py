@@ -1,0 +1,55 @@
+"""Explicit path enumeration (generators).
+
+Only usable when the number of paths is small — the classifier in
+:mod:`repro.classify` never materialises paths like this; enumeration
+exists for small-circuit exact reference computations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.paths.path import FALLING, RISING, LogicalPath, PhysicalPath
+
+
+def enumerate_physical_paths(
+    circuit: Circuit, limit: int | None = 1_000_000
+) -> Iterator[PhysicalPath]:
+    """Yield every PI→PO physical path (DFS order by PI id, pin order).
+
+    Raises RuntimeError after ``limit`` paths to guard against accidental
+    enumeration of huge circuits (pass ``limit=None`` to disable).
+    """
+    produced = 0
+    stack: list[int] = []
+
+    def walk(gate: int) -> Iterator[PhysicalPath]:
+        nonlocal produced
+        if circuit.gate_type(gate) is GateType.PO:
+            produced += 1
+            if limit is not None and produced > limit:
+                raise RuntimeError(
+                    f"more than {limit} paths; use counting instead"
+                )
+            yield PhysicalPath(tuple(stack))
+            return
+        for dst, pin in circuit.fanout(gate):
+            stack.append(circuit.lead_index(dst, pin))
+            yield from walk(dst)
+            stack.pop()
+
+    for pi in circuit.inputs:
+        yield from walk(pi)
+
+
+def enumerate_logical_paths(
+    circuit: Circuit, limit: int | None = 1_000_000
+) -> Iterator[LogicalPath]:
+    """Yield both logical paths (rising then falling) of every physical
+    path."""
+    half = None if limit is None else limit // 2 + 1
+    for path in enumerate_physical_paths(circuit, limit=half):
+        yield LogicalPath(path, RISING)
+        yield LogicalPath(path, FALLING)

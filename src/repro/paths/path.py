@@ -1,0 +1,112 @@
+"""Physical and logical paths (Section II of the paper).
+
+A *physical path* ``P = (g0, l0, g1, ..., l_{m-1}, g_m)`` runs from a PI
+``g0`` to a PO ``g_m``.  We represent it by its tuple of lead indices
+``(l0, ..., l_{m-1})`` — the gate sequence is recoverable from the leads
+and, unlike the gate sequence, the lead tuple is unambiguous when a gate
+receives the same signal on two pins.
+
+A *logical path* ``(P, x̄→x)`` adds the transition at the primary input;
+we store the **final value** ``x`` (``1`` = rising, ``0`` = falling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType, is_inverting
+from repro.circuit.netlist import Circuit
+
+#: Final values naming the two logical paths of a physical path.
+RISING = 1
+FALLING = 0
+
+
+@dataclass(frozen=True)
+class PhysicalPath:
+    """An immutable PI→PO path identified by its lead indices."""
+
+    leads: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.leads:
+            raise ValueError("a path must contain at least one lead")
+
+    def source(self, circuit: Circuit) -> int:
+        """The primary input gate PI(P)."""
+        return circuit.lead_src(self.leads[0])
+
+    def sink(self, circuit: Circuit) -> int:
+        """The primary output gate."""
+        return circuit.lead_dst(self.leads[-1])
+
+    def gates(self, circuit: Circuit) -> tuple[int, ...]:
+        """The gate sequence ``(g0, ..., g_m)``."""
+        seq = [circuit.lead_src(self.leads[0])]
+        seq.extend(circuit.lead_dst(lead) for lead in self.leads)
+        return tuple(seq)
+
+    def validate(self, circuit: Circuit) -> None:
+        """Raise ValueError unless this is a well-formed PI→PO path."""
+        if circuit.gate_type(self.source(circuit)) is not GateType.PI:
+            raise ValueError("path does not start at a PI")
+        if circuit.gate_type(self.sink(circuit)) is not GateType.PO:
+            raise ValueError("path does not end at a PO")
+        for prev, nxt in zip(self.leads, self.leads[1:]):
+            if circuit.lead_dst(prev) != circuit.lead_src(nxt):
+                raise ValueError(
+                    f"leads {prev} and {nxt} are not consecutive"
+                )
+
+    def describe(self, circuit: Circuit) -> str:
+        names = [circuit.gate_name(g) for g in self.gates(circuit)]
+        return " -> ".join(names)
+
+    def __len__(self) -> int:
+        return len(self.leads)
+
+
+@dataclass(frozen=True)
+class LogicalPath:
+    """A physical path plus the transition's final value at its PI."""
+
+    path: PhysicalPath
+    final_value: int
+
+    def __post_init__(self) -> None:
+        if self.final_value not in (0, 1):
+            raise ValueError("final_value must be 0 or 1")
+
+    @property
+    def transition(self) -> str:
+        return "0->1" if self.final_value == RISING else "1->0"
+
+    def value_at(self, circuit: Circuit, position: int) -> int:
+        """Stable final value at gate ``position`` of the path (0 = PI)
+        when the transition propagates along the path."""
+        value = self.final_value
+        gates = self.path.gates(circuit)
+        if not 0 <= position < len(gates):
+            raise IndexError("position outside path")
+        for gid in gates[1 : position + 1]:
+            if is_inverting(circuit.gate_type(gid)):
+                value = 1 - value
+        return value
+
+    def output_value(self, circuit: Circuit) -> int:
+        """Stable final value the transition produces at the PO."""
+        gates = self.path.gates(circuit)
+        return self.value_at(circuit, len(gates) - 1)
+
+    def describe(self, circuit: Circuit) -> str:
+        return f"{self.path.describe(circuit)} [{self.transition}]"
+
+
+def path_parity(circuit: Circuit, leads: tuple[int, ...]) -> int:
+    """Number of inverting gates a path passes through, mod 2 (the PI
+    transition direction flips that many times before the PO)."""
+    parity = 0
+    for lead in leads:
+        if is_inverting(circuit.gate_type(circuit.lead_dst(lead))):
+            parity ^= 1
+    return parity

@@ -1,0 +1,23 @@
+"""Path selection strategies with RD filtering (Section VI).
+
+For circuits whose non-RD path set is still too large to test, the paper
+points to classical selection strategies [18], [19] and notes they
+compose with RD identification: among the paths a strategy would pick,
+only the non-robust-dependent ones need tests.
+"""
+
+from repro.selection.strategies import (
+    PathSelection,
+    select_by_threshold,
+    select_by_threshold_lazy,
+    select_per_lead_limit,
+    select_longest_per_po,
+)
+
+__all__ = [
+    "PathSelection",
+    "select_by_threshold",
+    "select_by_threshold_lazy",
+    "select_per_lead_limit",
+    "select_longest_per_po",
+]

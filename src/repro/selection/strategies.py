@@ -1,0 +1,178 @@
+"""Classical path selection strategies, composable with RD filtering.
+
+Each strategy returns a :class:`PathSelection` with both the raw
+selection and the RD-filtered one, so callers can report the saving.
+The ``must_test`` predicate is any container/callable deciding whether a
+logical path needs testing — typically the accepted set of a
+``Criterion.SIGMA_PI`` classification.
+
+All strategies enumerate paths explicitly and are meant for the
+*selection* regime (after RD filtering has reduced the problem), with a
+limit guard for safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Container, Iterable
+
+from repro.circuit.netlist import Circuit
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.paths.path import LogicalPath
+from repro.timing.delays import DelayAssignment
+from repro.timing.pathdelay import logical_path_delay
+
+
+@dataclass(frozen=True)
+class PathSelection:
+    """Result of one selection strategy."""
+
+    strategy: str
+    selected: tuple
+    selected_non_rd: tuple
+
+    @property
+    def saving(self) -> int:
+        """Paths the RD filter removed from the raw selection."""
+        return len(self.selected) - len(self.selected_non_rd)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}: {len(self.selected)} selected, "
+            f"{len(self.selected_non_rd)} after RD filtering "
+            f"({self.saving} saved)"
+        )
+
+
+def _needs_test(must_test, lp: LogicalPath) -> bool:
+    if callable(must_test):
+        return bool(must_test(lp))
+    return lp in must_test
+
+
+def select_by_threshold(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    threshold: float,
+    must_test: "Container[LogicalPath] | Callable[[LogicalPath], bool]",
+    limit: int = 1_000_000,
+) -> PathSelection:
+    """All logical paths with estimated delay ≥ ``threshold`` (the
+    paper's 'expected delay greater than a given threshold' strategy)."""
+    selected = tuple(
+        lp
+        for lp in enumerate_logical_paths(circuit, limit=limit)
+        if logical_path_delay(circuit, lp, delays) >= threshold
+    )
+    non_rd = tuple(lp for lp in selected if _needs_test(must_test, lp))
+    return PathSelection(
+        strategy=f"threshold>={threshold:g}",
+        selected=selected,
+        selected_non_rd=non_rd,
+    )
+
+
+def select_per_lead_limit(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    per_lead: int,
+    must_test: "Container[LogicalPath] | Callable[[LogicalPath], bool]",
+    limit: int = 1_000_000,
+) -> PathSelection:
+    """For each lead, the ``per_lead`` slowest logical paths through it
+    (the paper's 'limited number of logical paths per line' strategy,
+    after Li–Reddy–Sahni [19]).
+
+    With RD composition, the per-lead quota is filled from non-RD paths
+    only — a path skipped as RD frees its slot for a testable one, so
+    coverage per lead is preserved.
+    """
+    if per_lead < 1:
+        raise ValueError("per_lead must be >= 1")
+    scored = sorted(
+        (
+            (logical_path_delay(circuit, lp, delays), i, lp)
+            for i, lp in enumerate(enumerate_logical_paths(circuit, limit=limit))
+        ),
+        key=lambda t: (-t[0], t[1]),
+    )
+
+    def pick(paths: Iterable) -> tuple:
+        quota = [0] * circuit.num_leads
+        out = []
+        for _delay, _i, lp in paths:
+            if any(quota[lead] < per_lead for lead in lp.path.leads):
+                out.append(lp)
+                for lead in lp.path.leads:
+                    quota[lead] += 1
+        return tuple(out)
+
+    selected = pick(scored)
+    non_rd = pick(t for t in scored if _needs_test(must_test, t[2]))
+    return PathSelection(
+        strategy=f"per-lead<={per_lead}",
+        selected=selected,
+        selected_non_rd=non_rd,
+    )
+
+
+def select_by_threshold_lazy(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    threshold: float,
+    must_test: "Container[LogicalPath] | Callable[[LogicalPath], bool]",
+    max_paths: int = 1_000_000,
+) -> PathSelection:
+    """Threshold selection without full enumeration: the slow paths are
+    produced lazily in decreasing-delay order by
+    :func:`repro.timing.kpaths.paths_above_threshold`, so this works on
+    circuits whose total path count is astronomically large (only the
+    above-threshold slice is ever materialised)."""
+    from repro.timing.kpaths import paths_above_threshold
+
+    selected = tuple(
+        lp
+        for _delay, lp in paths_above_threshold(
+            circuit, delays, threshold, max_paths=max_paths
+        )
+    )
+    non_rd = tuple(lp for lp in selected if _needs_test(must_test, lp))
+    return PathSelection(
+        strategy=f"threshold>={threshold:g} (lazy)",
+        selected=selected,
+        selected_non_rd=non_rd,
+    )
+
+
+def select_longest_per_po(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    per_po: int,
+    must_test: "Container[LogicalPath] | Callable[[LogicalPath], bool]",
+    limit: int = 1_000_000,
+) -> PathSelection:
+    """The ``per_po`` slowest logical paths into each primary output."""
+    if per_po < 1:
+        raise ValueError("per_po must be >= 1")
+    by_po: dict = {po: [] for po in circuit.outputs}
+    for i, lp in enumerate(enumerate_logical_paths(circuit, limit=limit)):
+        by_po[lp.path.sink(circuit)].append(
+            (logical_path_delay(circuit, lp, delays), i, lp)
+        )
+
+    def pick(filtered: bool) -> tuple:
+        out = []
+        for po, entries in by_po.items():
+            pool = [
+                t for t in entries
+                if not filtered or _needs_test(must_test, t[2])
+            ]
+            pool.sort(key=lambda t: (-t[0], t[1]))
+            out.extend(lp for _d, _i, lp in pool[:per_po])
+        return tuple(out)
+
+    return PathSelection(
+        strategy=f"per-po<={per_po}",
+        selected=pick(False),
+        selected_non_rd=pick(True),
+    )

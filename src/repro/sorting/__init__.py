@@ -1,0 +1,17 @@
+"""Input sorts (Definition 7) and the paper's sorting heuristics."""
+
+from repro.sorting.input_sort import InputSort
+from repro.sorting.heuristics import (
+    heuristic1_sort,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+
+__all__ = [
+    "InputSort",
+    "heuristic1_sort",
+    "heuristic2_sort",
+    "pin_order_sort",
+    "random_sort",
+]

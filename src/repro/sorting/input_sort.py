@@ -1,0 +1,96 @@
+"""Input sorts (Definition 7 of the paper).
+
+An input sort ``π`` totally orders the input leads of every gate;
+``π(g, l)`` is the position of lead ``l`` among the inputs of ``g``.
+The induced complete stabilizing assignment ``σ^π`` always resolves
+Step 2(b) of Algorithm 1 towards the lead with the smallest position,
+and Lemma 2's condition (π3) refers to the *low-order* side inputs —
+those with a smaller position than the on-path lead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.circuit.netlist import Circuit
+
+
+class InputSort:
+    """A per-gate total order of input leads, stored as a dense rank
+    array indexed by lead id: ``rank[l] = π(dst(l), l)`` in ``0..k-1``."""
+
+    def __init__(self, circuit: Circuit, rank: Sequence[int]) -> None:
+        if len(rank) != circuit.num_leads:
+            raise ValueError(
+                f"rank array has {len(rank)} entries, "
+                f"circuit has {circuit.num_leads} leads"
+            )
+        self.circuit = circuit
+        self._rank = tuple(rank)
+        self._validate()
+
+    def _validate(self) -> None:
+        circuit = self.circuit
+        for gid in range(circuit.num_gates):
+            leads = circuit.input_leads(gid)
+            ranks = sorted(self._rank[l] for l in leads)
+            if ranks != list(range(len(leads))):
+                raise ValueError(
+                    f"ranks of gate {circuit.gate_name(gid)} are not a "
+                    f"permutation of 0..{len(leads) - 1}: {ranks}"
+                )
+
+    def rank(self, lead: int) -> int:
+        """π(dst(lead), lead)."""
+        return self._rank[lead]
+
+    def low_order_side_pins(self, lead: int) -> list[int]:
+        """Pins of ``dst(lead)`` whose lead has a smaller π-position
+        (footnote 2: the low-order side-inputs of ``lead``)."""
+        circuit = self.circuit
+        dst = circuit.lead_dst(lead)
+        my_rank = self._rank[lead]
+        return [
+            circuit.lead_pin(other)
+            for other in circuit.input_leads(dst)
+            if self._rank[other] < my_rank
+        ]
+
+    def min_rank_pin(self, gate: int, pins: Sequence[int]) -> int:
+        """Among ``pins`` of ``gate``, the pin whose lead has minimum π."""
+        if not pins:
+            raise ValueError("empty candidate pin set")
+        return min(pins, key=lambda p: self._rank[self.circuit.lead_index(gate, p)])
+
+    def inverted(self) -> "InputSort":
+        """The reversed sort (used for the paper's Heu2-bar column)."""
+        circuit = self.circuit
+        rank = list(self._rank)
+        for gid in range(circuit.num_gates):
+            leads = list(circuit.input_leads(gid))
+            k = len(leads)
+            for l in leads:
+                rank[l] = k - 1 - self._rank[l]
+        return InputSort(circuit, rank)
+
+    @classmethod
+    def from_key(
+        cls, circuit: Circuit, key: Callable[[int], object]
+    ) -> "InputSort":
+        """Build a sort ranking each gate's leads by ``key(lead)``
+        ascending (ties broken by pin order, i.e. stably)."""
+        rank = [0] * circuit.num_leads
+        for gid in range(circuit.num_gates):
+            leads = sorted(circuit.input_leads(gid), key=key)
+            for position, lead in enumerate(leads):
+                rank[lead] = position
+        return cls(circuit, rank)
+
+    @classmethod
+    def pin_order(cls, circuit: Circuit) -> "InputSort":
+        """The trivial sort: π follows the netlist pin order."""
+        rank = [0] * circuit.num_leads
+        for gid in range(circuit.num_gates):
+            for position, lead in enumerate(circuit.input_leads(gid)):
+                rank[lead] = position
+        return cls(circuit, rank)

@@ -1,0 +1,21 @@
+"""Stabilizing systems (Section III of the paper)."""
+
+from repro.stabilize.system import (
+    StabilizingSystem,
+    compute_stabilizing_system,
+    all_stabilizing_systems,
+)
+from repro.stabilize.assignment import (
+    CompleteStabilizingAssignment,
+    assignment_from_policy,
+    assignment_from_sort,
+)
+
+__all__ = [
+    "StabilizingSystem",
+    "compute_stabilizing_system",
+    "all_stabilizing_systems",
+    "CompleteStabilizingAssignment",
+    "assignment_from_policy",
+    "assignment_from_sort",
+]

@@ -1,0 +1,119 @@
+"""Complete stabilizing assignments (Definition 3, Theorem 1).
+
+A complete stabilizing assignment σ picks one stabilizing system per
+input vector (and, for multi-output circuits, per output — the paper
+treats each output cone separately).  ``LP(σ)`` is the union of the
+selected systems' logical paths; Theorem 1 states that testing ``LP(σ)``
+robustly suffices, so ``RD(σ) = LP(C) \\ LP(σ)`` is an RD-set.
+
+This module computes assignments *exactly*, by enumerating all ``2^n``
+input vectors — only feasible for small circuits.  It is the reference
+implementation against which the fast approximate classifier
+(:mod:`repro.classify`) is validated, and the substrate of the exact
+baseline (:mod:`repro.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.logic.simulate import all_vectors
+from repro.paths.path import LogicalPath
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.input_sort import InputSort
+from repro.stabilize.system import (
+    ChoicePolicy,
+    StabilizingSystem,
+    compute_stabilizing_system,
+    first_pin_policy,
+)
+
+_MAX_INPUTS = 20
+
+
+@dataclass(frozen=True)
+class CompleteStabilizingAssignment:
+    """σ: one stabilizing system per (primary output, input vector)."""
+
+    circuit: Circuit
+    systems: Mapping
+
+    def system(self, po: int, vector: tuple[int, ...]) -> StabilizingSystem:
+        return self.systems[(po, vector)]
+
+    def logical_paths(self) -> set[LogicalPath]:
+        """``LP(σ)`` — the paths that must be tested robustly."""
+        paths: set[LogicalPath] = set()
+        for system in self.systems.values():
+            paths |= system.logical_paths()
+        return paths
+
+    def rd_paths(self) -> set[LogicalPath]:
+        """``RD(σ) = LP(C) \\ LP(σ)`` — a true RD-set (Theorem 1)."""
+        selected = self.logical_paths()
+        return {
+            lp for lp in enumerate_logical_paths(self.circuit) if lp not in selected
+        }
+
+    def verify(self, trials_per_system: int = 4, seed: int = 0) -> bool:
+        """Randomised check that every selected system stabilizes."""
+        return all(
+            system.stabilizes(trials=trials_per_system, seed=seed + i)
+            for i, system in enumerate(self.systems.values())
+        )
+
+
+def _check_size(circuit: Circuit) -> None:
+    if len(circuit.inputs) > _MAX_INPUTS:
+        raise ValueError(
+            "exact assignment computation enumerates all input vectors; "
+            f"{len(circuit.inputs)} PIs is too many (max {_MAX_INPUTS})"
+        )
+
+
+def assignment_from_policy(
+    circuit: Circuit, policy: ChoicePolicy = first_pin_policy
+) -> CompleteStabilizingAssignment:
+    """Apply Algorithm 1 with ``policy`` to every (PO, input vector)."""
+    _check_size(circuit)
+    systems = {}
+    for vector in all_vectors(len(circuit.inputs)):
+        for po in circuit.outputs:
+            systems[(po, vector)] = compute_stabilizing_system(
+                circuit, po, vector, policy
+            )
+    return CompleteStabilizingAssignment(circuit=circuit, systems=systems)
+
+
+def assignment_from_sort(
+    circuit: Circuit, sort: InputSort
+) -> CompleteStabilizingAssignment:
+    """The assignment ``σ^π`` induced by input sort ``π`` (Section IV):
+    Step 2(b) always picks the candidate lead of minimum π-position."""
+
+    def policy(
+        c: Circuit, gate: int, pins: Sequence[int], values: Sequence[int]
+    ) -> int:
+        return sort.min_rank_pin(gate, pins)
+
+    return assignment_from_policy(circuit, policy)
+
+
+def assignment_from_choices(
+    circuit: Circuit,
+    chooser: Callable[[tuple[int, ...], int], ChoicePolicy],
+) -> CompleteStabilizingAssignment:
+    """An assignment with a per-(vector, PO) policy — full generality of
+    Definition 3 (used to reproduce Example 2/3, where one single input
+    vector's system is swapped)."""
+    _check_size(circuit)
+    systems = {}
+    for vector in all_vectors(len(circuit.inputs)):
+        for po in circuit.outputs:
+            policy = chooser(vector, po)
+            systems[(po, vector)] = compute_stabilizing_system(
+                circuit, po, vector, policy
+            )
+    return CompleteStabilizingAssignment(circuit=circuit, systems=systems)

@@ -1,0 +1,251 @@
+"""Stabilizing systems and Algorithm 1 of the paper.
+
+A stabilizing system ``S`` of circuit ``C`` for input ``v`` (w.r.t. one
+primary output) is a subcircuit that stabilizes the PO on its final value
+``f(v)`` regardless of the circuitry outside ``S``.  Algorithm 1 computes
+one by walking backwards from the PO:
+
+* NOT (and BUF) gates: include the single input lead;
+* simple gates whose stable inputs are all non-controlling: include every
+  input lead (each one is needed to hold the output);
+* simple gates with controlling stable inputs ``L``: include exactly one
+  lead from ``L`` (a single controlling value suffices) — the *choice*
+  among ``L`` is what makes stabilizing systems non-unique, and is
+  delegated to a pluggable policy.
+
+The resulting system is minimum in the sense of the paper: removing any
+lead breaks the stabilization guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    has_controlling_value,
+)
+from repro.circuit.netlist import Circuit
+from repro.logic.simulate import simulate
+from repro.paths.path import LogicalPath, PhysicalPath
+
+#: Resolves Step 2(b): given the gate, the candidate pins (all carrying
+#: controlling stable values) and the full stable-value table, return the
+#: chosen pin.
+ChoicePolicy = Callable[[Circuit, int, Sequence[int], Sequence[int]], int]
+
+
+def first_pin_policy(
+    circuit: Circuit, gate: int, pins: Sequence[int], values: Sequence[int]
+) -> int:
+    """Deterministic default: the lowest-numbered candidate pin."""
+    return min(pins)
+
+
+@dataclass(frozen=True)
+class StabilizingSystem:
+    """The output of Algorithm 1 for one (PO, input vector) pair."""
+
+    circuit: Circuit
+    po: int
+    vector: tuple[int, ...]
+    leads: frozenset
+    gates: frozenset
+
+    def logical_paths(self) -> set[LogicalPath]:
+        """``LP(v, S)``: the logical paths of the system — every PI→PO
+        path inside ``S``, with the transition whose final value is the
+        PI's stable value under ``v`` (Section III)."""
+        circuit = self.circuit
+        pi_value = dict(zip(circuit.inputs, self.vector))
+        # Adjacency restricted to S: for each gate, the S-leads it drives.
+        drives: dict[int, list[int]] = {}
+        for lead in self.leads:
+            drives.setdefault(circuit.lead_src(lead), []).append(lead)
+        paths: set[LogicalPath] = set()
+        stack: list[int] = []
+
+        def walk(gate: int) -> None:
+            if circuit.gate_type(gate) is GateType.PO:
+                pi = circuit.lead_src(stack[0])
+                paths.add(LogicalPath(PhysicalPath(tuple(stack)), pi_value[pi]))
+                return
+            for lead in drives.get(gate, ()):
+                stack.append(lead)
+                walk(circuit.lead_dst(lead))
+                stack.pop()
+
+        for pi in circuit.inputs:
+            if pi in self.gates:
+                walk(pi)
+        return paths
+
+    def stabilizes(self, trials: int = 16, seed: int = 0) -> bool:
+        """Randomised check of the defining property: values outside the
+        system never change the PO value.
+
+        Every gate outside ``S`` gets a random output value; every input
+        pin of an ``S``-gate whose lead is *not* in ``S`` reads that
+        random value; ``S``-gates then re-evaluate in topological order.
+        The PO must always equal ``f(v)``.
+        """
+        circuit = self.circuit
+        stable = simulate(circuit, self.vector)
+        expected = stable[self.po]
+        rng = random.Random(seed)
+        for _ in range(trials):
+            values = [rng.randint(0, 1) for _ in range(circuit.num_gates)]
+            for gid in circuit.topo_order:
+                if gid not in self.gates:
+                    continue
+                gtype = circuit.gate_type(gid)
+                if gtype is GateType.PI:
+                    values[gid] = stable[gid]
+                    continue
+                ins = []
+                for pin, src in enumerate(circuit.fanin(gid)):
+                    if circuit.lead_index(gid, pin) in self.leads:
+                        ins.append(values[src])
+                    else:
+                        ins.append(rng.randint(0, 1))
+                values[gid] = evaluate_gate(gtype, ins)
+            if values[self.po] != expected:
+                return False
+        return True
+
+    def describe(self) -> str:
+        circuit = self.circuit
+        lead_names = sorted(circuit.lead_name(l) for l in self.leads)
+        bits = "".join(str(b) for b in self.vector)
+        return f"S(v={bits}, {circuit.gate_name(self.po)}): " + ", ".join(lead_names)
+
+
+def compute_stabilizing_system(
+    circuit: Circuit,
+    po: int,
+    vector: Sequence[int],
+    policy: ChoicePolicy = first_pin_policy,
+) -> StabilizingSystem:
+    """Algorithm 1: compute a stabilizing system for ``vector`` w.r.t.
+    primary output ``po`` using ``policy`` to resolve Step 2(b)."""
+    if circuit.gate_type(po) is not GateType.PO:
+        raise ValueError(f"gate {po} is not a PO")
+    values = simulate(circuit, vector)
+    leads: set[int] = set()
+    gates: set[int] = {po}
+    leads.add(circuit.lead_index(po, 0))
+    frontier = [circuit.fanin(po)[0]]
+    while frontier:
+        gate = frontier.pop()
+        if gate in gates:
+            continue
+        gates.add(gate)
+        gtype = circuit.gate_type(gate)
+        if gtype is GateType.PI:
+            continue
+        if gtype in (GateType.NOT, GateType.BUF):
+            chosen_pins: Sequence[int] = (0,)
+        elif has_controlling_value(gtype):
+            c = controlling_value(gtype)
+            ctrl_pins = [
+                pin
+                for pin, src in enumerate(circuit.fanin(gate))
+                if values[src] == c
+            ]
+            if ctrl_pins:
+                chosen_pins = (policy(circuit, gate, ctrl_pins, values),)
+                if chosen_pins[0] not in ctrl_pins:
+                    raise ValueError(
+                        "choice policy returned a pin without a controlling value"
+                    )
+            else:
+                chosen_pins = range(len(circuit.fanin(gate)))
+        else:
+            raise ValueError(f"unsupported gate type {gtype.name} in Algorithm 1")
+        for pin in chosen_pins:
+            leads.add(circuit.lead_index(gate, pin))
+            frontier.append(circuit.fanin(gate)[pin])
+    return StabilizingSystem(
+        circuit=circuit,
+        po=po,
+        vector=tuple(vector),
+        leads=frozenset(leads),
+        gates=frozenset(gates),
+    )
+
+
+def all_stabilizing_systems(
+    circuit: Circuit, po: int, vector: Sequence[int], limit: int = 10_000
+) -> Iterator[StabilizingSystem]:
+    """Enumerate *every* stabilizing system Algorithm 1 can produce for
+    ``vector`` (all resolutions of Step 2(b)).
+
+    Exponential in the number of choice gates; guarded by ``limit``.
+    Used by the exact baseline and to reproduce Figure 1.
+    """
+    values = simulate(circuit, vector)
+    produced = 0
+
+    def extend(
+        frontier: list[int], leads: frozenset, gates: frozenset
+    ) -> Iterator[StabilizingSystem]:
+        nonlocal produced
+        while frontier:
+            gate = frontier[-1]
+            if gate in gates:
+                frontier.pop()
+                continue
+            break
+        if not frontier:
+            produced += 1
+            if produced > limit:
+                raise RuntimeError(f"more than {limit} stabilizing systems")
+            yield StabilizingSystem(
+                circuit=circuit, po=po, vector=tuple(values_vector), leads=leads,
+                gates=gates,
+            )
+            return
+        gate = frontier.pop()
+        gates = gates | {gate}
+        gtype = circuit.gate_type(gate)
+        if gtype is GateType.PI:
+            yield from extend(list(frontier), leads, gates)
+        elif gtype in (GateType.NOT, GateType.BUF):
+            lead = circuit.lead_index(gate, 0)
+            yield from extend(
+                frontier + [circuit.fanin(gate)[0]], leads | {lead}, gates
+            )
+        elif has_controlling_value(gtype):
+            c = controlling_value(gtype)
+            ctrl_pins = [
+                pin
+                for pin, src in enumerate(circuit.fanin(gate))
+                if values[src] == c
+            ]
+            if ctrl_pins:
+                for pin in ctrl_pins:
+                    lead = circuit.lead_index(gate, pin)
+                    yield from extend(
+                        frontier + [circuit.fanin(gate)[pin]],
+                        leads | {lead},
+                        gates,
+                    )
+            else:
+                new_leads = set(leads)
+                new_frontier = list(frontier)
+                for pin, src in enumerate(circuit.fanin(gate)):
+                    new_leads.add(circuit.lead_index(gate, pin))
+                    new_frontier.append(src)
+                yield from extend(new_frontier, frozenset(new_leads), gates)
+        else:
+            raise ValueError(f"unsupported gate type {gtype.name}")
+
+    values_vector = tuple(vector)
+    start_lead = circuit.lead_index(po, 0)
+    yield from extend(
+        [circuit.fanin(po)[0]], frozenset({start_lead}), frozenset({po})
+    )

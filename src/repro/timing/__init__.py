@@ -1,0 +1,31 @@
+"""Timing substrate: delay assignments and event-driven simulation.
+
+Models a *manufactured implementation* ``C_m`` of a circuit (Section II:
+same gate-level structure, arbitrary gate delays) and measures output
+settle times — the empirical side of Definition 1 and Theorem 1.
+"""
+
+from repro.timing.delays import DelayAssignment, random_delays, unit_delays
+from repro.timing.pathdelay import logical_path_delay, max_system_delay
+from repro.timing.eventsim import EventSimulator, settle_time
+from repro.timing.sta import TimingReport, static_timing
+from repro.timing.kpaths import (
+    iter_paths_by_delay,
+    k_longest_paths,
+    paths_above_threshold,
+)
+
+__all__ = [
+    "DelayAssignment",
+    "random_delays",
+    "unit_delays",
+    "logical_path_delay",
+    "max_system_delay",
+    "EventSimulator",
+    "settle_time",
+    "TimingReport",
+    "static_timing",
+    "iter_paths_by_delay",
+    "k_longest_paths",
+    "paths_above_threshold",
+]

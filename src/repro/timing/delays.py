@@ -1,0 +1,88 @@
+"""Delay assignments: a concrete ``C_m`` implementation of a circuit.
+
+Every gate has separate rise/fall output delays (a late-falling NAND and
+a fast-rising one are different manufacturing outcomes); PIs switch at
+time 0; PO sink gates may carry wire delay.  Delays are floats ≥ 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class DelayAssignment:
+    """Per-gate (rise, fall) output delays of one implementation."""
+
+    circuit: Circuit
+    rise: tuple
+    fall: tuple
+
+    def __post_init__(self) -> None:
+        n = self.circuit.num_gates
+        if len(self.rise) != n or len(self.fall) != n:
+            raise ValueError("delay tables must cover every gate")
+        if any(d < 0 for d in self.rise) or any(d < 0 for d in self.fall):
+            raise ValueError("delays must be non-negative")
+
+    def delay(self, gate: int, new_value: int) -> float:
+        """Delay of an output transition of ``gate`` to ``new_value``."""
+        return self.rise[gate] if new_value == 1 else self.fall[gate]
+
+    def scaled(self, factor: float) -> "DelayAssignment":
+        return DelayAssignment(
+            circuit=self.circuit,
+            rise=tuple(d * factor for d in self.rise),
+            fall=tuple(d * factor for d in self.fall),
+        )
+
+    def with_gate_delay(
+        self, gate: int, rise: float, fall: float
+    ) -> "DelayAssignment":
+        """A copy with one gate's delays replaced (fault injection)."""
+        new_rise = list(self.rise)
+        new_fall = list(self.fall)
+        new_rise[gate] = rise
+        new_fall[gate] = fall
+        return DelayAssignment(
+            circuit=self.circuit, rise=tuple(new_rise), fall=tuple(new_fall)
+        )
+
+
+def unit_delays(circuit: Circuit) -> DelayAssignment:
+    """1.0 rise/fall on every gate except PIs (which switch at t=0)."""
+    rise = [0.0 if circuit.gate_type(g) is GateType.PI else 1.0
+            for g in range(circuit.num_gates)]
+    return DelayAssignment(circuit=circuit, rise=tuple(rise), fall=tuple(rise))
+
+
+def random_delays(
+    circuit: Circuit,
+    seed: int = 0,
+    low: float = 0.5,
+    high: float = 2.0,
+    asymmetric: bool = True,
+) -> DelayAssignment:
+    """Uniformly random delays in ``[low, high]`` (process variation).
+
+    ``asymmetric=False`` makes rise == fall per gate.
+    """
+    if low < 0 or high < low:
+        raise ValueError("need 0 <= low <= high")
+    rng = random.Random(seed)
+    rise = []
+    fall = []
+    for g in range(circuit.num_gates):
+        if circuit.gate_type(g) is GateType.PI:
+            rise.append(0.0)
+            fall.append(0.0)
+            continue
+        r = rng.uniform(low, high)
+        f = rng.uniform(low, high) if asymmetric else r
+        rise.append(r)
+        fall.append(f)
+    return DelayAssignment(circuit=circuit, rise=tuple(rise), fall=tuple(fall))

@@ -1,0 +1,158 @@
+"""Event-driven gate-level timing simulation (transport delay model).
+
+Used to observe settle times of implementations ``C_m``:
+
+* start from an arbitrary initial net state (Theorem 1 quantifies over
+  the circuitry outside the stabilizing system, which an arbitrary
+  initial state models conservatively);
+* apply an input vector at t = 0 (every PI assumes its new value
+  instantly);
+* propagate events — a gate re-evaluates whenever an input changes and
+  schedules its (possibly new) output value after its rise/fall delay.
+
+The simulator answers the question "when did the PO last change?",
+which Theorem 1 upper-bounds by the maximum logical path delay of the
+chosen stabilizing system.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Mapping, Sequence
+
+from repro.circuit.gates import GateType, evaluate_gate
+from repro.circuit.netlist import Circuit
+from repro.logic.simulate import simulate
+from repro.timing.delays import DelayAssignment
+
+
+class EventSimulator:
+    """One-shot event-driven simulation of one input application."""
+
+    def __init__(self, circuit: Circuit, delays: DelayAssignment) -> None:
+        if delays.circuit is not circuit:
+            raise ValueError("delay assignment belongs to a different circuit")
+        self.circuit = circuit
+        self.delays = delays
+
+    def run(
+        self,
+        vector: Sequence[int],
+        initial: Sequence[int],
+        horizon: float | None = None,
+    ) -> dict:
+        """Apply ``vector`` at t=0 over ``initial`` net values.
+
+        Returns ``{gate: time of last value change}`` (gates that never
+        change are absent).  ``horizon`` aborts runaway oscillation (a
+        combinational circuit with non-zero delays cannot oscillate, but
+        zero-delay loops in future gate libraries would).
+        """
+        circuit = self.circuit
+        if len(initial) != circuit.num_gates:
+            raise ValueError("initial state must cover every gate")
+        current = list(initial)
+        last_change: dict = {}
+        counter = itertools.count()
+        queue: list = []
+
+        def schedule_eval(t: float, gate: int) -> None:
+            """Schedule a (re-)evaluation of ``gate``'s output for the
+            value its inputs currently imply; the gate is re-evaluated
+            again at pop time, so stale events are harmless."""
+            new_out = evaluate_gate(
+                circuit.gate_type(gate),
+                [current[s] for s in circuit.fanin(gate)],
+            )
+            if new_out != current[gate]:
+                heapq.heappush(
+                    queue,
+                    (t + self.delays.delay(gate, new_out), next(counter), gate),
+                )
+
+        # PIs assume the vector instantly at t = 0.
+        for pi, value in zip(circuit.inputs, vector):
+            if current[pi] != value:
+                current[pi] = value
+                last_change[pi] = 0.0
+        # Every gate whose output disagrees with its (possibly arbitrary)
+        # inputs corrects itself after its own delay — real hardware
+        # evaluates continuously, not only on input edges.
+        for gate in range(circuit.num_gates):
+            if circuit.gate_type(gate) is not GateType.PI:
+                schedule_eval(0.0, gate)
+        while queue:
+            t, _tick, gate = heapq.heappop(queue)
+            if horizon is not None and t > horizon:
+                raise RuntimeError(f"simulation exceeded horizon {horizon}")
+            value = evaluate_gate(
+                circuit.gate_type(gate),
+                [current[s] for s in circuit.fanin(gate)],
+            )
+            if current[gate] == value:
+                continue
+            current[gate] = value
+            last_change[gate] = t
+            for dst, _pin in circuit.fanout(gate):
+                schedule_eval(t, dst)
+        # Sanity: every net must have settled on its stable value.
+        stable = simulate(circuit, vector)
+        for gate in range(circuit.num_gates):
+            if current[gate] != stable[gate]:
+                raise RuntimeError(
+                    f"net {circuit.gate_name(gate)} settled on a wrong value"
+                )
+        return last_change
+
+
+def settle_time(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    vector: Sequence[int],
+    initial: Sequence[int] | None = None,
+    po: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Time of the last change of ``po`` (or the latest PO) after
+    applying ``vector`` over ``initial`` (random if omitted)."""
+    if initial is None:
+        rng = random.Random(seed)
+        initial = [rng.randint(0, 1) for _ in range(circuit.num_gates)]
+        # Make the initial state internally consistent for non-PI gates?
+        # Deliberately not: Theorem 1 permits arbitrary values outside
+        # the stabilizing system, and an inconsistent start only makes
+        # the bound harder to meet.
+    changes = EventSimulator(circuit, delays).run(vector, initial)
+    pos = [po] if po is not None else list(circuit.outputs)
+    return max((changes.get(p, 0.0) for p in pos), default=0.0)
+
+
+def two_pattern_settle(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    v1: Sequence[int],
+    v2: Sequence[int],
+    po: int | None = None,
+) -> float:
+    """Settle time of ``v2`` applied over the stable state of ``v1`` —
+    the delay a two-pattern delay test measures at the PO."""
+    initial = simulate(circuit, v1)
+    return settle_time(circuit, delays, v2, initial=initial, po=po)
+
+
+def stable_state(circuit: Circuit, vector: Sequence[int]) -> list:
+    """The fully stabilized net values under ``vector`` (re-export of
+    :func:`repro.logic.simulate.simulate` for timing call sites)."""
+    return simulate(circuit, vector)
+
+
+def random_initial_state(circuit: Circuit, seed: int = 0) -> list:
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(circuit.num_gates)]
+
+
+def apply_gate_types(circuit: Circuit) -> Mapping[int, GateType]:
+    """gate id -> gate type view (convenience for reporting)."""
+    return {g: circuit.gate_type(g) for g in range(circuit.num_gates)}

@@ -1,0 +1,143 @@
+"""Lazy enumeration of logical paths in decreasing delay order.
+
+Best-first search over the (gate, direction) DAG with an exact
+remaining-delay bound (the suffix analogue of STA), so paths pop off the
+frontier strictly in order of total delay.  This makes the Section-VI
+selection strategies usable on circuits whose *total* path count defies
+enumeration: only the slow prefix of the path population is ever
+materialised — asking for the 10 slowest logical paths of a 16×16
+multiplier (≈10²³ paths) touches a few thousand frontier states.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.circuit.gates import GateType, is_inverting
+from repro.circuit.netlist import Circuit
+from repro.paths.path import LogicalPath, PhysicalPath
+from repro.timing.delays import DelayAssignment
+
+
+def _suffix_best(circuit: Circuit, delays: DelayAssignment) -> list:
+    """``best[g][dir]``: max additional delay from gate ``g``'s output
+    (carrying a transition with final value ``dir``) to any PO."""
+    best = [[float("-inf"), float("-inf")] for _ in range(circuit.num_gates)]
+    for gid in reversed(circuit.topo_order):
+        if circuit.gate_type(gid) is GateType.PO:
+            best[gid][0] = best[gid][1] = 0.0
+            continue
+        for direction in (0, 1):
+            acc = float("-inf")
+            for dst, _pin in circuit.fanout(gid):
+                downstream = (
+                    1 - direction
+                    if is_inverting(circuit.gate_type(dst))
+                    else direction
+                )
+                tail = best[dst][downstream]
+                if tail == float("-inf"):
+                    continue
+                acc = max(acc, delays.delay(dst, downstream) + tail)
+            best[gid][direction] = acc
+    return best
+
+
+def iter_paths_by_delay(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    max_states: int = 10_000_000,
+) -> Iterator[tuple]:
+    """Yield ``(delay, LogicalPath)`` in non-increasing delay order.
+
+    ``max_states`` bounds total frontier expansions (each popped state
+    extends one partial path by one gate); asking for many paths of a
+    huge circuit exhausts it and raises RuntimeError.
+    """
+    if delays.circuit is not circuit:
+        raise ValueError("delay assignment belongs to a different circuit")
+    best = _suffix_best(circuit, delays)
+    # LIFO tie-breaking (negated counter): among equal-delay partial
+    # paths, extend the most recent one first.  FIFO would breadth-first
+    # expand entire equal-delay path classes (millions of states in a
+    # unit-delay multiplier) before completing a single path.
+    counter = itertools.count()
+    heap: list = []
+    for pi in circuit.inputs:
+        for direction in (0, 1):
+            bound = best[pi][direction]
+            if bound == float("-inf"):
+                continue  # PI drives no PO
+            heapq.heappush(
+                heap, (-bound, -next(counter), pi, direction, direction, 0.0, ())
+            )
+    states = 0
+    while heap:
+        neg_total, _tick, gate, direction, start, acc, leads = heapq.heappop(heap)
+        states += 1
+        if states > max_states:
+            raise RuntimeError(f"more than {max_states} frontier states")
+        if circuit.gate_type(gate) is GateType.PO:
+            yield -neg_total, LogicalPath(PhysicalPath(leads), start)
+            continue
+        for dst, pin in circuit.fanout(gate):
+            downstream = (
+                1 - direction
+                if is_inverting(circuit.gate_type(dst))
+                else direction
+            )
+            tail = best[dst][downstream]
+            if tail == float("-inf"):
+                continue
+            step = delays.delay(dst, downstream)
+            new_acc = acc + step
+            heapq.heappush(
+                heap,
+                (
+                    -(new_acc + tail),
+                    -next(counter),
+                    dst,
+                    downstream,
+                    start,
+                    new_acc,
+                    leads + (circuit.lead_index(dst, pin),),
+                ),
+            )
+
+
+def k_longest_paths(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    k: int,
+    max_states: int = 10_000_000,
+) -> list:
+    """The ``k`` slowest logical paths as ``(delay, LogicalPath)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    out = []
+    for item in iter_paths_by_delay(circuit, delays, max_states=max_states):
+        out.append(item)
+        if len(out) == k:
+            break
+    return out
+
+
+def paths_above_threshold(
+    circuit: Circuit,
+    delays: DelayAssignment,
+    threshold: float,
+    max_paths: int = 1_000_000,
+    max_states: int = 10_000_000,
+) -> Iterator[tuple]:
+    """All logical paths with delay ≥ ``threshold``, lazily, slowest
+    first — the scalable form of the Section-VI threshold strategy."""
+    produced = 0
+    for delay, lp in iter_paths_by_delay(circuit, delays, max_states=max_states):
+        if delay < threshold:
+            return
+        produced += 1
+        if produced > max_paths:
+            raise RuntimeError(f"more than {max_paths} paths above threshold")
+        yield delay, lp

@@ -1,0 +1,49 @@
+"""Delay of logical paths and stabilizing systems under an implementation.
+
+The delay of logical path ``(P, x̄→x)`` is the sum, over the gates the
+transition passes through, of each gate's output-transition delay in the
+direction the transition takes there (final stable values, i.e. the
+parity-adjusted transition).  Theorem 1 bounds the settle time of a
+stabilizing system by the maximum of its logical path delays.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import is_inverting
+from repro.circuit.netlist import Circuit
+from repro.paths.path import LogicalPath
+from repro.timing.delays import DelayAssignment
+
+
+def logical_path_delay(
+    circuit: Circuit, lp: LogicalPath, delays: DelayAssignment
+) -> float:
+    """Sum of direction-correct gate delays along the path (PI excluded:
+    input transitions are applied at t = 0)."""
+    value = lp.final_value
+    total = 0.0
+    for lead in lp.path.leads:
+        dst = circuit.lead_dst(lead)
+        if is_inverting(circuit.gate_type(dst)):
+            value = 1 - value
+        total += delays.delay(dst, value)
+    return total
+
+
+def max_system_delay(system, delays: DelayAssignment) -> float:
+    """``max { delay(lp) : lp ∈ LP(v, S) }`` — Theorem 1's bound on the
+    settle time of stabilizing system ``S``."""
+    return max(
+        (logical_path_delay(system.circuit, lp, delays)
+         for lp in system.logical_paths()),
+        default=0.0,
+    )
+
+
+def max_path_delay(
+    circuit: Circuit, paths, delays: DelayAssignment
+) -> float:
+    """Maximum logical path delay over an iterable of paths."""
+    return max(
+        (logical_path_delay(circuit, lp, delays) for lp in paths), default=0.0
+    )

@@ -1,0 +1,103 @@
+"""Structural (topological) static timing analysis.
+
+Computes, per net and transition direction, the latest structural
+arrival time under a :class:`~repro.timing.delays.DelayAssignment` —
+i.e. the longest path delay ending at that net with that final
+transition, ignoring logic masking (the standard pessimistic STA model,
+which is exactly the "expected delay" the paper's Section VI threshold
+strategy speaks about).
+
+Directions follow the path-delay convention of
+:mod:`repro.timing.pathdelay`: the direction at a net is the *final
+value* the transition leaves there, and it flips through inverting
+gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType, is_inverting
+from repro.circuit.netlist import Circuit
+from repro.paths.path import LogicalPath
+from repro.timing.delays import DelayAssignment
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Arrival tables of one STA run.
+
+    ``arrival[g][v]`` — longest structural delay of a transition
+    arriving at gate ``g``'s output with final value ``v``;
+    ``critical_delay`` — the circuit's longest logical path delay.
+    """
+
+    circuit: Circuit
+    delays: DelayAssignment
+    arrival: tuple
+
+    @property
+    def critical_delay(self) -> float:
+        return max(
+            max(self.arrival[po]) for po in self.circuit.outputs
+        )
+
+    def po_arrival(self, po: int) -> float:
+        return max(self.arrival[po])
+
+    def critical_path(self) -> LogicalPath:
+        """One logical path realising ``critical_delay`` (ties broken by
+        lowest gate id), traced back through the arrival tables."""
+        circuit = self.circuit
+        best_po, best_dir = max(
+            ((po, v) for po in circuit.outputs for v in (0, 1)),
+            key=lambda t: (self.arrival[t[0]][t[1]], -t[0], -t[1]),
+        )
+        leads: list = []
+        gate, direction = best_po, best_dir
+        while circuit.gate_type(gate) is not GateType.PI:
+            gdelay = self.delays.delay(gate, direction)
+            upstream = (
+                1 - direction
+                if is_inverting(circuit.gate_type(gate))
+                else direction
+            )
+            target = self.arrival[gate][direction] - gdelay
+            for pin, src in enumerate(circuit.fanin(gate)):
+                if abs(self.arrival[src][upstream] - target) < 1e-12:
+                    leads.append(circuit.lead_index(gate, pin))
+                    gate, direction = src, upstream
+                    break
+            else:
+                raise RuntimeError("inconsistent arrival tables")
+        leads.reverse()
+        from repro.paths.path import PhysicalPath
+
+        return LogicalPath(PhysicalPath(tuple(leads)), direction)
+
+
+def static_timing(circuit: Circuit, delays: DelayAssignment) -> TimingReport:
+    """One topological STA pass over both transition directions."""
+    if delays.circuit is not circuit:
+        raise ValueError("delay assignment belongs to a different circuit")
+    arrival = [[float("-inf"), float("-inf")] for _ in range(circuit.num_gates)]
+    for gid in circuit.topo_order:
+        gtype = circuit.gate_type(gid)
+        if gtype is GateType.PI:
+            arrival[gid][0] = arrival[gid][1] = 0.0
+            continue
+        inverting = is_inverting(gtype)
+        for direction in (0, 1):
+            upstream = 1 - direction if inverting else direction
+            incoming = max(
+                arrival[src][upstream] for src in circuit.fanin(gid)
+            )
+            if incoming > float("-inf"):
+                arrival[gid][direction] = incoming + delays.delay(
+                    gid, direction
+                )
+    return TimingReport(
+        circuit=circuit,
+        delays=delays,
+        arrival=tuple(tuple(a) for a in arrival),
+    )

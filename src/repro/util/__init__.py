@@ -1,0 +1,6 @@
+"""Small shared utilities: timers, RNG helpers, text tables."""
+
+from repro.util.timer import Stopwatch, format_duration
+from repro.util.tables import TextTable
+
+__all__ = ["Stopwatch", "format_duration", "TextTable"]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the experiment reports.
+
+The experiment harness prints tables in the same row/column layout as the
+paper; this module provides the (dependency-free) formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulates rows and renders an aligned plain-text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append(sep)
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

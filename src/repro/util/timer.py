@@ -1,0 +1,51 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            do_work()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as the paper's ``h:mm:ss`` / ``m:ss`` CPU-time style."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    if seconds < 10 and total != seconds:
+        return f"{minutes}:{seconds:05.2f}"
+    return f"{minutes}:{secs:02d}"

@@ -1,0 +1,46 @@
+"""Unit tests for the CNF container."""
+
+import pytest
+
+from repro.atpg.cnf import CNF
+
+
+def test_new_var_sequence():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.num_vars == 2
+
+
+def test_add_clause_validation():
+    cnf = CNF(2)
+    cnf.add_clause([1, -2])
+    with pytest.raises(ValueError):
+        cnf.add_clause([])
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+    with pytest.raises(ValueError):
+        cnf.add_clause([3])
+
+
+def test_evaluate():
+    cnf = CNF(2)
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1])
+    model = [False, False, True]  # x1=False, x2=True
+    assert cnf.evaluate(model)
+    assert not cnf.evaluate([False, True, False])
+
+
+def test_evaluate_model_too_short():
+    cnf = CNF(3)
+    cnf.add_clause([1])
+    with pytest.raises(ValueError):
+        cnf.evaluate([False, True])
+
+
+def test_len_and_repr():
+    cnf = CNF(1)
+    cnf.add_clause([1])
+    assert len(cnf) == 1
+    assert "vars=1" in repr(cnf)

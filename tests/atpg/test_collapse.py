@@ -1,0 +1,75 @@
+"""Fault collapsing validated semantically: claimed-equivalent faults
+must be detected by exactly the same test vectors."""
+
+from repro.atpg.collapse import (
+    all_lead_faults,
+    collapse_faults,
+    collapse_ratio,
+    equivalence_classes,
+)
+from repro.atpg.stuckat import simulate_with_fault
+from repro.logic.simulate import all_vectors, simulate
+
+
+def _detects(circuit, vector, fault):
+    good = simulate(circuit, vector)
+    bad = simulate_with_fault(circuit, vector, fault)
+    return any(good[po] != bad[po] for po in circuit.outputs)
+
+
+class TestEquivalenceSemantics:
+    def test_classes_are_truly_equivalent(self, small_circuits):
+        """Every pair inside a class is detected by exactly the same
+        vectors (exhaustive check)."""
+        for circuit in small_circuits:
+            vectors = list(all_vectors(len(circuit.inputs)))
+            for cls in equivalence_classes(circuit):
+                if len(cls) < 2:
+                    continue
+                reference = [
+                    _detects(circuit, v, cls[0]) for v in vectors
+                ]
+                for fault in cls[1:]:
+                    got = [_detects(circuit, v, fault) for v in vectors]
+                    assert got == reference, (
+                        f"{circuit.name}: {fault.describe(circuit)} not "
+                        f"equivalent to {cls[0].describe(circuit)}"
+                    )
+
+    def test_classes_partition_the_universe(self, small_circuits):
+        for circuit in small_circuits:
+            classes = equivalence_classes(circuit)
+            seen = [f for cls in classes for f in cls]
+            assert sorted(seen, key=lambda f: (f.lead, f.value)) == sorted(
+                all_lead_faults(circuit), key=lambda f: (f.lead, f.value)
+            )
+
+
+class TestCollapseEffect:
+    def test_representatives_cover_all_classes(self, small_circuits):
+        for circuit in small_circuits:
+            reps = collapse_faults(circuit)
+            assert len(reps) == len(equivalence_classes(circuit))
+
+    def test_ratio_below_one_on_multi_input_gates(self, example_circuit):
+        # The 3-input OR alone merges three controlling-input faults.
+        assert collapse_ratio(example_circuit) < 1.0
+
+    def test_chain_collapse(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(4)  # pure buffer chain
+        # Every lead fault folds into one class per polarity.
+        classes = equivalence_classes(circuit)
+        assert len(classes) == 2
+
+    def test_inverter_chain_folds_with_polarity(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(3, invert=True)
+        classes = equivalence_classes(circuit)
+        assert len(classes) == 2
+        # Polarities alternate inside each class.
+        for cls in classes:
+            values = {f.value for f in cls}
+            assert values == {0, 1}

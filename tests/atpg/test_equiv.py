@@ -1,0 +1,70 @@
+"""Unit tests for SAT equivalence checking."""
+
+import pytest
+
+from repro.atpg.equiv import check_equivalence
+from repro.circuit.builder import CircuitBuilder
+from repro.logic.simulate import output_values
+
+
+def _or_circuit(style):
+    b = CircuitBuilder(f"or_{style}")
+    a, c = b.pi("a"), b.pi("c")
+    if style == "plain":
+        b.po(b.or_(a, c), "out")
+    elif style == "demorgan":
+        b.po(b.nand(b.not_(a), b.not_(c)), "out")
+    else:  # broken: actually AND
+        b.po(b.and_(a, c), "out")
+    return b.build()
+
+
+def test_equivalent_implementations():
+    result = check_equivalence(_or_circuit("plain"), _or_circuit("demorgan"))
+    assert result
+    assert result.counterexample is None
+
+
+def test_inequivalent_gives_counterexample():
+    left = _or_circuit("plain")
+    right = _or_circuit("broken")
+    result = check_equivalence(left, right)
+    assert not result
+    vector = result.counterexample
+    assert output_values(left, vector) != output_values(right, vector)
+
+
+def test_pi_name_mismatch_rejected():
+    b = CircuitBuilder("x")
+    b.po(b.pi("weird"), "out")
+    with pytest.raises(ValueError):
+        check_equivalence(_or_circuit("plain"), b.build())
+
+
+def test_simplify_passes_validated_by_equivalence():
+    from repro.circuit.simplify import sweep
+    from repro.gen.random_logic import random_dag
+
+    for seed in range(4):
+        circuit = random_dag(7, 25, seed=seed + 200)
+        assert check_equivalence(circuit, sweep(circuit))
+
+
+def test_bench_round_trip_equivalence(example_circuit):
+    from repro.circuit.bench import parse_bench, write_bench
+
+    again = parse_bench(write_bench(example_circuit))
+    # PO names change in the round trip: positional matching kicks in.
+    assert check_equivalence(example_circuit, again)
+
+
+def test_multi_output_positional_match():
+    def build(name, swap):
+        b = CircuitBuilder(name)
+        a, c = b.pi("a"), b.pi("c")
+        x, y = b.and_(a, c, name="x"), b.or_(a, c, name="y")
+        b.po(x, "p")
+        b.po(y, "q")
+        return b.build()
+
+    assert check_equivalence(build("l", False), build("r", False))

@@ -1,0 +1,67 @@
+"""The full stuck-at ATPG flow, end to end."""
+
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.flow import run_atpg
+from repro.atpg.stuckat import is_redundant
+from repro.logic.bitsim import detected_faults
+
+
+class TestOnPaperExample:
+    def test_flow_accounts_for_every_fault(self, example_circuit):
+        result = run_atpg(example_circuit, random_burst=8)
+        assert result.num_faults == len(collapse_faults(example_circuit))
+        assert result.coverage == 1.0
+        assert not result.aborted
+        # The b pin of the AND is fully redundant (both polarities).
+        redundant_leads = {f.describe(example_circuit) for f in result.redundant}
+        assert any("b->g_and" in d for d in redundant_leads)
+
+    def test_redundant_verdicts_match_sat(self, example_circuit):
+        result = run_atpg(example_circuit, random_burst=0)
+        for fault in result.redundant:
+            assert is_redundant(example_circuit, fault)
+        for fault in result.detected:
+            assert not is_redundant(example_circuit, fault)
+
+
+class TestEngines:
+    @pytest.mark.parametrize("engine", ["podem", "sat"])
+    def test_engines_agree_on_coverage(self, small_circuits, engine):
+        for circuit in small_circuits:
+            result = run_atpg(circuit, engine=engine, random_burst=16)
+            assert result.coverage == 1.0, f"{circuit.name} via {engine}"
+            # Claimed detections must survive re-simulation.
+            regraded = detected_faults(
+                circuit, result.patterns, result.detected
+            )
+            assert regraded == result.detected
+
+    def test_bad_engine(self, example_circuit):
+        with pytest.raises(ValueError):
+            run_atpg(example_circuit, engine="magic")
+
+
+class TestCompaction:
+    def test_pattern_count_reasonable(self):
+        from repro.gen.adders import ripple_carry_adder
+
+        circuit = ripple_carry_adder(4)
+        result = run_atpg(circuit, random_burst=64, seed=3)
+        assert result.coverage == 1.0
+        # Far fewer patterns than faults (random burst + fault dropping).
+        assert len(result.patterns) < result.num_faults / 2
+
+    def test_random_burst_disabled(self, example_circuit):
+        result = run_atpg(example_circuit, random_burst=0)
+        assert result.coverage == 1.0
+
+    def test_explicit_fault_list(self, example_circuit):
+        targets = collapse_faults(example_circuit)[:3]
+        result = run_atpg(example_circuit, faults=targets, random_burst=0)
+        assert result.num_faults == 3
+
+    def test_str(self, example_circuit):
+        text = str(run_atpg(example_circuit))
+        assert "patterns detect" in text and "redundant" in text

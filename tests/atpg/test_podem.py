@@ -1,0 +1,90 @@
+"""PODEM cross-validated against the SAT engine and brute force."""
+
+import pytest
+
+from repro.atpg.podem import PodemResult, generate_test_podem, podem
+from repro.atpg.stuckat import (
+    StuckAtFault,
+    is_redundant,
+    simulate_with_fault,
+)
+from repro.logic.simulate import simulate
+
+
+def _all_faults(circuit):
+    for lead in range(circuit.num_leads):
+        for value in (0, 1):
+            yield StuckAtFault(lead, value)
+
+
+class TestAgainstSat:
+    def test_same_verdict_every_fault(self, small_circuits):
+        for circuit in small_circuits:
+            for fault in _all_faults(circuit):
+                sat_testable = not is_redundant(circuit, fault)
+                result = podem(circuit, fault)
+                assert result.testable == sat_testable, (
+                    f"{circuit.name}: {fault.describe(circuit)} "
+                    f"podem={result.testable} sat={sat_testable}"
+                )
+
+    def test_same_verdict_random_circuits(self):
+        from repro.gen.random_logic import random_dag
+
+        for seed in range(5):
+            circuit = random_dag(5, 12, seed=seed)
+            for fault in _all_faults(circuit):
+                assert podem(circuit, fault).testable == (
+                    not is_redundant(circuit, fault)
+                ), f"seed {seed}: {fault.describe(circuit)}"
+
+
+class TestVectorsDetect:
+    def test_generated_vectors_really_detect(self, small_circuits):
+        for circuit in small_circuits:
+            for fault in _all_faults(circuit):
+                vector = generate_test_podem(circuit, fault)
+                if vector is None:
+                    continue
+                good = simulate(circuit, vector)
+                bad = simulate_with_fault(circuit, vector, fault)
+                assert any(
+                    good[po] != bad[po] for po in circuit.outputs
+                ), f"{circuit.name}: {fault.describe(circuit)} undetected"
+
+
+class TestMechanics:
+    def test_redundant_fault_returns_none(self, example_circuit):
+        g_and = example_circuit.gate_by_name("g_and")
+        b_pin = example_circuit.lead_index(g_and, 0)
+        result = podem(example_circuit, StuckAtFault(b_pin, 0))
+        assert result.vector is None
+        assert result.backtracks >= 1
+
+    def test_result_counters(self, example_circuit):
+        g_or = example_circuit.gate_by_name("g_or")
+        lead = example_circuit.lead_index(g_or, 0)
+        result = podem(example_circuit, StuckAtFault(lead, 1))
+        assert isinstance(result, PodemResult)
+        assert result.decisions >= 1
+
+    def test_backtrack_budget(self, example_circuit):
+        from repro.atpg.podem import PodemAbort
+
+        g_and = example_circuit.gate_by_name("g_and")
+        b_pin = example_circuit.lead_index(g_and, 0)
+        with pytest.raises(PodemAbort):
+            podem(example_circuit, StuckAtFault(b_pin, 0), max_backtracks=0)
+
+    def test_adder_faults(self):
+        """A medium structural circuit: every collapsed-sample fault
+        agrees with the SAT engine."""
+        from repro.gen.adders import ripple_carry_adder
+
+        circuit = ripple_carry_adder(3)
+        for lead in range(0, circuit.num_leads, 5):
+            for value in (0, 1):
+                fault = StuckAtFault(lead, value)
+                assert podem(circuit, fault).testable == (
+                    not is_redundant(circuit, fault)
+                ), fault.describe(circuit)

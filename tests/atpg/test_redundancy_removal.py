@@ -1,0 +1,62 @@
+"""Redundancy removal: equivalence-preserving, converging, complete."""
+
+import pytest
+
+from repro.atpg.equiv import check_equivalence
+from repro.atpg.redundancy_removal import (
+    is_irredundant,
+    remove_redundancies,
+)
+from repro.logic.simulate import all_vectors, output_values
+
+
+class TestPaperExample:
+    def test_removes_the_absorbed_term(self, example_circuit):
+        """out = a + bc + c: the bc term is absorbed by c; removal must
+        find it and shrink the netlist to out = a + c."""
+        result = remove_redundancies(example_circuit)
+        assert result.removed  # something was redundant
+        assert result.circuit.num_gates < example_circuit.num_gates
+        assert is_irredundant(result.circuit)
+        # Function preserved (a OR c, b irrelevant).
+        for a, b, c in all_vectors(3):
+            # The simplified circuit may have dropped unused PIs from
+            # its support; map by name.
+            vector = []
+            values = {"a": a, "b": b, "c": c}
+            for pi in result.circuit.inputs:
+                vector.append(values[result.circuit.gate_name(pi)])
+            assert output_values(result.circuit, vector) == (a | c,)
+
+    def test_result_reporting(self, example_circuit):
+        result = remove_redundancies(example_circuit)
+        assert result.gates_saved > 0
+        text = str(result)
+        assert "redundant" in text and "->" in text
+
+
+class TestGeneralProperties:
+    def test_already_irredundant_is_untouched(self, mux):
+        result = remove_redundancies(mux)
+        assert not result.removed
+        assert result.circuit.num_gates == mux.num_gates
+
+    def test_equivalence_on_redundant_covers(self):
+        from repro.gen.twolevel import factored_circuit, random_cover
+
+        for seed in (1, 4):
+            circuit = factored_circuit(
+                random_cover(7, 2, 14, seed=seed, redundancy=0.5)
+            )
+            result = remove_redundancies(circuit)
+            assert check_equivalence(circuit, result.circuit)
+            assert is_irredundant(result.circuit)
+
+    def test_verification_can_be_disabled(self, example_circuit):
+        result = remove_redundancies(example_circuit, verify=False)
+        assert check_equivalence(example_circuit, result.circuit)
+
+    def test_c17_is_already_irredundant(self):
+        from repro.gen.frozen import load_frozen
+
+        assert is_irredundant(load_frozen("c17"))

@@ -1,0 +1,110 @@
+"""Unit and fuzz tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver, brute_force_sat
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        result = Solver(cnf).solve()
+        assert result.sat
+        assert result.model[1] is True
+
+    def test_trivial_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not Solver(cnf).solve().sat
+
+    def test_tautology_clause_dropped(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, -1])
+        cnf.add_clause([2])
+        result = Solver(cnf).solve()
+        assert result.sat and result.model[2]
+
+    def test_empty_formula_sat(self):
+        assert Solver(CNF(3)).solve().sat
+
+    def test_bool_conversion(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        assert Solver(cnf).solve()
+
+    def test_requires_learning(self):
+        """Pigeonhole PHP(3,2): 3 pigeons, 2 holes — small but forces
+        genuine conflict analysis."""
+        cnf = CNF(6)  # var(p,h) = 2*p + h + 1 for p in 0..2, h in 0..1
+        v = lambda p, h: 2 * p + h + 1
+        for p in range(3):
+            cnf.add_clause([v(p, 0), v(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-v(p1, h), -v(p2, h)])
+        assert not Solver(cnf).solve().sat
+
+
+class TestAssumptions:
+    def test_assumptions_restrict_models(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        result = Solver(cnf).solve(assumptions=[-1])
+        assert result.sat and result.model[2]
+
+    def test_conflicting_assumptions(self):
+        cnf = CNF(2)
+        cnf.add_clause([1])
+        assert not Solver(cnf).solve(assumptions=[-1]).sat
+
+    def test_assumption_pair_unsat(self):
+        cnf = CNF(2)
+        cnf.add_clause([-1, -2])
+        assert not Solver(cnf).solve(assumptions=[1, 2]).sat
+
+
+class TestFuzzAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_formulas(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            nv = rng.randint(3, 11)
+            cnf = CNF(nv)
+            for _ in range(rng.randint(2, 40)):
+                k = rng.randint(1, 4)
+                cnf.add_clause(
+                    [
+                        (v if rng.random() < 0.5 else -v)
+                        for v in (rng.randint(1, nv) for _ in range(k))
+                    ]
+                )
+            expected = brute_force_sat(cnf)
+            result = Solver(cnf).solve()
+            assert result.sat == expected
+            if result.sat:
+                assert cnf.evaluate(result.model)
+
+
+def test_conflict_budget():
+    # An unsatisfiable pigeonhole with a tiny conflict budget must raise.
+    cnf = CNF(12)
+    v = lambda p, h: 3 * p + h + 1
+    for p in range(4):
+        cnf.add_clause([v(p, 0), v(p, 1), v(p, 2)])
+    for h in range(3):
+        for p1 in range(4):
+            for p2 in range(p1 + 1, 4):
+                cnf.add_clause([-v(p1, h), -v(p2, h)])
+    with pytest.raises(RuntimeError):
+        Solver(cnf).solve(max_conflicts=1)
+
+
+def test_brute_force_refuses_wide():
+    with pytest.raises(ValueError):
+        brute_force_sat(CNF(30))

@@ -1,0 +1,80 @@
+"""Unit tests for stuck-at ATPG and redundancy identification."""
+
+import pytest
+
+from repro.atpg.stuckat import (
+    StuckAtFault,
+    generate_test,
+    is_redundant,
+    is_redundant_brute_force,
+    simulate_with_fault,
+)
+from repro.logic.simulate import all_vectors, simulate
+
+
+class TestFaultObject:
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(0, 2)
+
+    def test_describe(self, example_circuit):
+        fault = StuckAtFault(0, 1)
+        assert "s-a-1" in fault.describe(example_circuit)
+
+
+class TestFaultySimulation:
+    def test_fault_forces_pin(self, example_circuit):
+        g_and = example_circuit.gate_by_name("g_and")
+        lead = example_circuit.lead_index(g_and, 0)  # b pin
+        values = simulate_with_fault(
+            example_circuit, (0, 1, 1), StuckAtFault(lead, 0)
+        )
+        assert values[g_and] == 0  # despite b=1, pin sees 0
+
+    def test_no_fault_effect_elsewhere(self, example_circuit):
+        lead = example_circuit.lead_index(example_circuit.gate_by_name("g_and"), 0)
+        values = simulate_with_fault(
+            example_circuit, (1, 0, 0), StuckAtFault(lead, 1)
+        )
+        good = simulate(example_circuit, (1, 0, 0))
+        assert values[example_circuit.gate_by_name("a")] == good[
+            example_circuit.gate_by_name("a")
+        ]
+
+
+class TestGenerateTest:
+    def test_generated_vector_detects(self, small_circuits):
+        for circuit in small_circuits:
+            for lead in range(circuit.num_leads):
+                for value in (0, 1):
+                    fault = StuckAtFault(lead, value)
+                    vector = generate_test(circuit, fault)
+                    if vector is None:
+                        continue
+                    good = simulate(circuit, vector)
+                    bad = simulate_with_fault(circuit, vector, fault)
+                    assert any(
+                        good[po] != bad[po] for po in circuit.outputs
+                    ), f"{circuit.name}: {fault.describe(circuit)} not detected"
+
+
+class TestRedundancyAgainstBruteForce:
+    def test_all_faults_all_small_circuits(self, small_circuits):
+        for circuit in small_circuits:
+            for lead in range(circuit.num_leads):
+                for value in (0, 1):
+                    fault = StuckAtFault(lead, value)
+                    assert is_redundant(circuit, fault) == (
+                        is_redundant_brute_force(circuit, fault)
+                    ), f"{circuit.name}: {fault.describe(circuit)}"
+
+    def test_known_redundancies_of_paper_example(self, example_circuit):
+        """out = a + bc + c: the b pin is entirely irrelevant (absorption)
+        and the c-AND pin is s-a-0 redundant."""
+        g_and = example_circuit.gate_by_name("g_and")
+        b_pin = example_circuit.lead_index(g_and, 0)
+        c_pin = example_circuit.lead_index(g_and, 1)
+        assert is_redundant(example_circuit, StuckAtFault(b_pin, 0))
+        assert is_redundant(example_circuit, StuckAtFault(b_pin, 1))
+        assert is_redundant(example_circuit, StuckAtFault(c_pin, 0))
+        assert not is_redundant(example_circuit, StuckAtFault(c_pin, 1))

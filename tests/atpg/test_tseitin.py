@@ -1,0 +1,80 @@
+"""Unit tests for Tseitin circuit encoding."""
+
+import pytest
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver
+from repro.atpg.tseitin import tseitin_encode
+from repro.logic.simulate import all_vectors, simulate
+
+
+class TestEncodingFaithfulness:
+    def test_models_are_exactly_simulations(self, small_circuits):
+        """For each input vector: force PIs, solve, compare every gate
+        variable against the simulator."""
+        for circuit in small_circuits:
+            enc = tseitin_encode(circuit)
+            for vector in all_vectors(len(circuit.inputs)):
+                assumptions = [
+                    enc.var(pi) if v else -enc.var(pi)
+                    for pi, v in zip(circuit.inputs, vector)
+                ]
+                result = Solver(enc.cnf).solve(assumptions=assumptions)
+                assert result.sat
+                values = simulate(circuit, vector)
+                for g in range(circuit.num_gates):
+                    assert result.model[enc.var(g)] == bool(values[g]), (
+                        f"{circuit.name}: gate {circuit.gate_name(g)} "
+                        f"mismatch under {vector}"
+                    )
+
+    def test_unsat_for_impossible_output(self, and_tree):
+        enc = tseitin_encode(and_tree)
+        root = and_tree.gate_by_name("root")
+        a = and_tree.gate_by_name("a")
+        # root=1 with a=0 is impossible for an AND tree.
+        result = Solver(enc.cnf).solve(
+            assumptions=[enc.var(root), -enc.var(a)]
+        )
+        assert not result.sat
+
+
+class TestSharedVariables:
+    def test_share_vars_reuses_pi_variables(self, example_circuit):
+        cnf = CNF()
+        first = tseitin_encode(example_circuit, cnf)
+        pi_vars = {pi: first.var(pi) for pi in example_circuit.inputs}
+        second = tseitin_encode(example_circuit, cnf, share_vars=pi_vars)
+        for pi in example_circuit.inputs:
+            assert first.var(pi) == second.var(pi)
+        out = example_circuit.outputs[0]
+        assert first.var(out) != second.var(out)
+        # Shared PIs => outputs must agree: asserting difference is UNSAT.
+        d = cnf.new_var()
+        cnf.add_clause([-d, first.var(out), second.var(out)])
+        cnf.add_clause([-d, -first.var(out), -second.var(out)])
+        cnf.add_clause([d])
+        assert not Solver(cnf).solve().sat
+
+
+class TestForcedPins:
+    def test_forced_pin_changes_function(self, example_circuit):
+        # Force the AND's c-pin to 1: function becomes a OR b... OR c.
+        g_and = example_circuit.gate_by_name("g_and")
+        lead = example_circuit.lead_index(g_and, 1)
+        enc = tseitin_encode(example_circuit, forced_pins={lead: 1})
+        out = example_circuit.outputs[0]
+        # With b=1, a=0, c=0 the faulty circuit outputs 1.
+        assumptions = []
+        for pi, v in zip(example_circuit.inputs, (0, 1, 0)):
+            assumptions.append(enc.var(pi) if v else -enc.var(pi))
+        result = Solver(enc.cnf).solve(assumptions=assumptions)
+        assert result.sat and result.model[enc.var(out)]
+
+    def test_decode_inputs(self, example_circuit):
+        enc = tseitin_encode(example_circuit)
+        out = example_circuit.outputs[0]
+        result = Solver(enc.cnf).solve(assumptions=[-enc.var(out)])
+        assert result.sat
+        vector = enc.decode_inputs(example_circuit, result.model)
+        assert simulate(example_circuit, vector)[out] == 0

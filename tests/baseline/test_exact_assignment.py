@@ -1,0 +1,100 @@
+"""Unit tests for the baseline assignment optimiser."""
+
+import pytest
+
+from repro.baseline.exact_assignment import baseline_rd, minimize_assignment
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import exact_path_set
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic2_sort
+from repro.sorting.input_sort import InputSort
+
+
+class TestPaperExample:
+    def test_greedy_finds_optimum(self, example_circuit):
+        result = baseline_rd(example_circuit, method="greedy")
+        assert result.selected == 5
+
+    def test_exact_finds_optimum(self, example_circuit):
+        result = baseline_rd(example_circuit, method="exact")
+        assert result.selected == 5
+        assert result.rd_percent == pytest.approx(37.5)
+
+    def test_unknown_method(self, example_circuit):
+        with pytest.raises(ValueError):
+            baseline_rd(example_circuit, method="magic")
+
+
+class TestSelectionValidity:
+    def test_selected_set_is_a_union_of_systems(self, small_circuits):
+        """The optimiser must return a genuine LP(σ): for every vector a
+        whole candidate system is inside the selection."""
+        from repro.logic.simulate import all_vectors
+        from repro.stabilize.system import all_stabilizing_systems
+
+        for circuit in small_circuits:
+            for po in circuit.outputs:
+                cone, _ = circuit.extract_cone(po)
+                selected = minimize_assignment(cone, cone.outputs[0])
+                for vector in all_vectors(len(cone.inputs)):
+                    candidates = [
+                        frozenset(s.logical_paths())
+                        for s in all_stabilizing_systems(
+                            cone, cone.outputs[0], vector
+                        )
+                    ]
+                    assert any(c <= selected for c in candidates), (
+                        f"{circuit.name} v={vector}: no full system selected"
+                    )
+
+    def test_exact_never_worse_than_greedy(self, small_circuits):
+        for circuit in small_circuits:
+            greedy = baseline_rd(circuit, method="greedy")
+            exact = baseline_rd(circuit, method="exact")
+            assert exact.selected <= greedy.selected
+
+
+class TestAgainstHeuristic2:
+    def test_baseline_at_least_matches_heu2(self, small_circuits):
+        """Table III shape: the baseline (larger search space, exact
+        path sets) reports at least as many RD paths as Heuristic 2."""
+        for circuit in small_circuits:
+            base = baseline_rd(circuit, method="greedy")
+            sort = heuristic2_sort(circuit)
+            heu2 = classify(circuit, Criterion.SIGMA_PI, sort=sort)
+            assert base.rd_count >= heu2.rd_count, circuit.name
+
+    def test_baseline_upper_bounded_by_exact_sigma(self, example_circuit):
+        """min over all σ <= |LP(σ^π)| for any particular π."""
+        base = baseline_rd(example_circuit, method="exact")
+        pin = exact_path_set(
+            example_circuit, Criterion.SIGMA_PI,
+            InputSort.pin_order(example_circuit),
+        )
+        assert base.selected <= len(pin)
+
+
+class TestResultContainer:
+    def test_per_po_sums(self, small_circuits):
+        for circuit in small_circuits:
+            result = baseline_rd(circuit)
+            assert sum(result.per_po.values()) == result.selected
+            assert set(result.per_po) == set(circuit.outputs)
+
+    def test_total_matches_enumeration(self, example_circuit):
+        result = baseline_rd(example_circuit)
+        assert result.total_logical == len(
+            list(enumerate_logical_paths(example_circuit))
+        )
+
+    def test_str(self, example_circuit):
+        assert "baseline/greedy" in str(baseline_rd(example_circuit))
+
+
+def test_wide_cone_refused():
+    from repro.gen.parity import parity_tree
+
+    circuit = parity_tree(16)
+    with pytest.raises(ValueError):
+        baseline_rd(circuit)

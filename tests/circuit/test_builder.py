@@ -1,0 +1,76 @@
+"""Unit tests for CircuitBuilder including the XOR/XNOR/MUX macros."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.logic.simulate import all_vectors, output_values
+
+
+def test_basic_gates_functional():
+    b = CircuitBuilder("t")
+    a, c = b.pi("a"), b.pi("c")
+    b.po(b.and_(a, c), "o_and")
+    b.po(b.or_(a, c), "o_or")
+    b.po(b.nand(a, c), "o_nand")
+    b.po(b.nor(a, c), "o_nor")
+    b.po(b.not_(a), "o_not")
+    b.po(b.buf(c), "o_buf")
+    circuit = b.build()
+    for va, vc in all_vectors(2):
+        got = output_values(circuit, (va, vc))
+        assert got == (
+            va & vc,
+            va | vc,
+            1 - (va & vc),
+            1 - (va | vc),
+            1 - va,
+            vc,
+        )
+
+
+@pytest.mark.parametrize("macro,fn", [
+    ("xor", lambda a, b: a ^ b),
+    ("xnor", lambda a, b: 1 - (a ^ b)),
+    ("xor_nand", lambda a, b: a ^ b),
+])
+def test_xor_macros(macro, fn):
+    b = CircuitBuilder("t")
+    a, c = b.pi("a"), b.pi("c")
+    b.po(getattr(b, macro)(a, c), "out")
+    circuit = b.build()
+    for va, vc in all_vectors(2):
+        assert output_values(circuit, (va, vc)) == (fn(va, vc),)
+
+
+def test_mux_macro():
+    b = CircuitBuilder("t")
+    s, a, c = b.pi("s"), b.pi("a"), b.pi("c")
+    b.po(b.mux(s, a, c), "out")
+    circuit = b.build()
+    for vs, va, vc in all_vectors(3):
+        expected = vc if vs else va
+        assert output_values(circuit, (vs, va, vc)) == (expected,)
+
+
+def test_xor_nand_uses_only_nands():
+    from repro.circuit.gates import GateType
+
+    b = CircuitBuilder("t")
+    a, c = b.pi("a"), b.pi("c")
+    b.po(b.xor_nand(a, c), "out")
+    circuit = b.build()
+    internal = [
+        circuit.gate_type(g)
+        for g in range(circuit.num_gates)
+        if circuit.gate_type(g) not in (GateType.PI, GateType.PO)
+    ]
+    assert internal == [GateType.NAND] * 4
+
+
+def test_builder_circuit_property_access():
+    b = CircuitBuilder("t")
+    a = b.pi("a")
+    assert not b.circuit.frozen
+    b.po(a, "out")
+    built = b.build()
+    assert built.frozen

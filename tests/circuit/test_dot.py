@@ -1,0 +1,36 @@
+"""Unit tests for DOT export."""
+
+from repro.circuit.dot import to_dot
+from repro.stabilize.system import compute_stabilizing_system
+
+
+def test_all_gates_and_leads_present(example_circuit):
+    dot = to_dot(example_circuit)
+    for gid in range(example_circuit.num_gates):
+        assert f"n{gid} [" in dot
+    assert dot.count("->") == example_circuit.num_leads
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+
+
+def test_highlighting_marks_exactly_the_leads(example_circuit):
+    system = compute_stabilizing_system(
+        example_circuit, example_circuit.outputs[0], (1, 0, 0)
+    )
+    dot = to_dot(example_circuit, highlight_leads=system.leads)
+    assert dot.count("color=red") == len(system.leads)
+
+
+def test_name_quoting():
+    from repro.circuit.builder import CircuitBuilder
+
+    b = CircuitBuilder('weird"name')
+    b.po(b.pi("a"), "out")
+    dot = to_dot(b.build())
+    assert 'digraph "weird\\"name"' in dot
+
+
+def test_gate_type_labels(example_circuit):
+    dot = to_dot(example_circuit)
+    assert "AND" in dot and "OR" in dot
+    assert "doublecircle" in dot  # the PO

@@ -1,0 +1,52 @@
+"""The example circuits must have the documented shapes and functions."""
+
+from repro.circuit.examples import (
+    chain_circuit,
+    mux_circuit,
+    paper_example_circuit,
+    reconvergent_circuit,
+    two_and_tree,
+)
+from repro.logic.simulate import all_vectors, output_values
+from repro.paths.count import count_paths
+
+
+def test_paper_example_function():
+    circuit = paper_example_circuit()
+    for a, b, c in all_vectors(3):
+        expected = a | (b & c) | c
+        assert output_values(circuit, (a, b, c)) == (expected,)
+
+
+def test_paper_example_has_8_logical_paths():
+    assert count_paths(paper_example_circuit()).total_logical == 8
+
+
+def test_mux_function():
+    circuit = mux_circuit()
+    for a, s, c in all_vectors(3):
+        expected = (a & s) | ((1 - s) & c)
+        assert output_values(circuit, (a, s, c)) == (expected,)
+
+
+def test_chain_identity_and_inversion():
+    ident = chain_circuit(3)
+    for (v,) in all_vectors(1):
+        assert output_values(ident, (v,)) == (v,)
+    inv = chain_circuit(3, invert=True)
+    for (v,) in all_vectors(1):
+        assert output_values(inv, (v,)) == (1 - v,)
+
+
+def test_and_tree_function():
+    circuit = two_and_tree()
+    for vec in all_vectors(4):
+        assert output_values(circuit, vec) == (
+            vec[0] & vec[1] & vec[2] & vec[3],
+        )
+
+
+def test_reconvergent_function():
+    circuit = reconvergent_circuit()
+    for a, b, c in all_vectors(3):
+        assert output_values(circuit, (a, b, c)) == ((a | b) & (b | c),)

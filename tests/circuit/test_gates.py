@@ -1,0 +1,93 @@
+"""Unit tests for gate-type properties and evaluation."""
+
+import pytest
+
+from repro.circuit.gates import (
+    CONTROLLABLE_TYPES,
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    gate_output_for_oneshot,
+    has_controlling_value,
+    is_inverting,
+    noncontrolling_value,
+)
+
+
+class TestControllingValues:
+    def test_and_family_controlled_by_zero(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+
+    def test_or_family_controlled_by_one(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+
+    def test_noncontrolling_is_complement(self):
+        for gtype in CONTROLLABLE_TYPES:
+            assert noncontrolling_value(gtype) == 1 - controlling_value(gtype)
+
+    @pytest.mark.parametrize(
+        "gtype", [GateType.NOT, GateType.BUF, GateType.PI, GateType.PO]
+    )
+    def test_uncontrollable_types_raise(self, gtype):
+        with pytest.raises(ValueError):
+            controlling_value(gtype)
+        assert not has_controlling_value(gtype)
+
+
+class TestInversion:
+    def test_inverting_gates(self):
+        assert is_inverting(GateType.NAND)
+        assert is_inverting(GateType.NOR)
+        assert is_inverting(GateType.NOT)
+
+    def test_non_inverting_gates(self):
+        for gtype in (GateType.AND, GateType.OR, GateType.BUF, GateType.PI):
+            assert not is_inverting(gtype)
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "gtype,table",
+        [
+            (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        ],
+    )
+    def test_two_input_truth_tables(self, gtype, table):
+        for inputs, expected in table.items():
+            assert evaluate_gate(gtype, inputs) == expected
+
+    def test_wide_gates(self):
+        assert evaluate_gate(GateType.AND, [1, 1, 1, 1]) == 1
+        assert evaluate_gate(GateType.AND, [1, 1, 0, 1]) == 0
+        assert evaluate_gate(GateType.NOR, [0, 0, 0]) == 1
+
+    def test_not_and_buf(self):
+        assert evaluate_gate(GateType.NOT, [0]) == 1
+        assert evaluate_gate(GateType.NOT, [1]) == 0
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+        assert evaluate_gate(GateType.PO, [0]) == 0
+        assert evaluate_gate(GateType.PI, [1]) == 1
+
+    def test_arity_errors(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, [0, 1])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.BUF, [])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [])
+
+    def test_oneshot_matches_eval(self):
+        for gtype in CONTROLLABLE_TYPES:
+            c = controlling_value(gtype)
+            nc = 1 - c
+            assert gate_output_for_oneshot(gtype, True) == evaluate_gate(
+                gtype, [c, nc]
+            )
+            assert gate_output_for_oneshot(gtype, False) == evaluate_gate(
+                gtype, [nc, nc]
+            )

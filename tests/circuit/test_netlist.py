@@ -1,0 +1,191 @@
+"""Unit tests for the Circuit data structure."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError, circuit_from_spec
+
+
+def build_simple() -> Circuit:
+    c = Circuit("t")
+    a = c.add_gate(GateType.PI, "a")
+    b = c.add_gate(GateType.PI, "b")
+    g = c.add_gate(GateType.AND, "g", [a, b])
+    c.add_gate(GateType.PO, "out", [g])
+    return c.freeze()
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        c = build_simple()
+        assert c.num_gates == 4
+        assert c.inputs == (0, 1)
+        assert c.outputs == (3,)
+        assert c.num_leads == 3  # two AND pins + PO pin
+
+    def test_gate_lookup_by_name(self):
+        c = build_simple()
+        assert c.gate_name(c.gate_by_name("g")) == "g"
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit("t")
+        c.add_gate(GateType.PI, "a")
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.PI, "a")
+
+    def test_forward_reference_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.NOT, "n", [5])
+
+    def test_pi_with_fanin_rejected(self):
+        c = Circuit("t")
+        a = c.add_gate(GateType.PI, "a")
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.PI, "b", [a])
+
+    def test_not_arity_enforced(self):
+        c = Circuit("t")
+        a = c.add_gate(GateType.PI, "a")
+        b = c.add_gate(GateType.PI, "b")
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.NOT, "n", [a, b])
+
+    def test_po_must_not_drive(self):
+        c = Circuit("t")
+        a = c.add_gate(GateType.PI, "a")
+        po = c.add_gate(GateType.PO, "out", [a])
+        c.add_gate(GateType.BUF, "b", [po])
+        with pytest.raises(CircuitError):
+            c.freeze()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("t").freeze()
+
+    def test_no_pi_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.AND, "g", [])
+
+    def test_frozen_blocks_add(self):
+        c = build_simple()
+        with pytest.raises(CircuitError):
+            c.add_gate(GateType.PI, "z")
+
+    def test_analysis_requires_freeze(self):
+        c = Circuit("t")
+        c.add_gate(GateType.PI, "a")
+        with pytest.raises(CircuitError):
+            _ = c.inputs
+
+
+class TestLeads:
+    def test_lead_indexing_round_trip(self):
+        c = build_simple()
+        for lead in c.leads():
+            assert c.lead_index(lead.dst, lead.pin) == lead.index
+            assert c.lead_src(lead.index) == lead.src
+
+    def test_input_leads_pin_order(self):
+        c = build_simple()
+        g = c.gate_by_name("g")
+        leads = list(c.input_leads(g))
+        assert [c.lead_pin(l) for l in leads] == [0, 1]
+        assert [c.lead_src(l) for l in leads] == [0, 1]
+
+    def test_lead_name_format(self):
+        c = build_simple()
+        g = c.gate_by_name("g")
+        assert c.lead_name(c.lead_index(g, 0)) == "a->g.0"
+
+    def test_bad_pin_raises(self):
+        c = build_simple()
+        with pytest.raises(IndexError):
+            c.lead_index(c.gate_by_name("g"), 7)
+
+    def test_duplicate_source_pins_are_distinct_leads(self):
+        c = Circuit("dup")
+        a = c.add_gate(GateType.PI, "a")
+        g = c.add_gate(GateType.AND, "g", [a, a])
+        c.add_gate(GateType.PO, "out", [g])
+        c.freeze()
+        leads = list(c.input_leads(g))
+        assert len(leads) == 2
+        assert c.lead_src(leads[0]) == c.lead_src(leads[1]) == a
+        assert len(c.fanout(a)) == 2
+
+
+class TestStructure:
+    def test_levels_monotonic(self):
+        c = build_simple()
+        for gid in range(c.num_gates):
+            for src in c.fanin(gid):
+                assert c.level(src) < c.level(gid)
+
+    def test_cone_of_po(self):
+        c = build_simple()
+        assert c.cone_of(c.outputs[0]) == {0, 1, 2, 3}
+
+    def test_reachable_pos(self):
+        c = build_simple()
+        assert c.reachable_pos(0) == {3}
+
+    def test_copy_is_equal_structure(self):
+        c = build_simple()
+        d = c.copy()
+        assert d.num_gates == c.num_gates
+        assert d.frozen
+        assert [d.gate_type(g) for g in range(d.num_gates)] == [
+            c.gate_type(g) for g in range(c.num_gates)
+        ]
+
+    def test_extract_cone_single_output(self):
+        c = Circuit("two_out")
+        a = c.add_gate(GateType.PI, "a")
+        b = c.add_gate(GateType.PI, "b")
+        g1 = c.add_gate(GateType.AND, "g1", [a, b])
+        g2 = c.add_gate(GateType.OR, "g2", [a, b])
+        c.add_gate(GateType.PO, "o1", [g1])
+        c.add_gate(GateType.PO, "o2", [g2])
+        c.freeze()
+        cone, mapping = c.extract_cone(c.gate_by_name("o1"))
+        assert len(cone.outputs) == 1
+        assert cone.num_gates == 4  # a, b, g1, o1
+        assert cone.gate_name(mapping[g1]) == "g1"
+
+    def test_extract_cone_requires_po(self):
+        c = build_simple()
+        with pytest.raises(CircuitError):
+            c.extract_cone(0)
+
+
+class TestCircuitFromSpec:
+    def test_out_of_order_spec(self):
+        c = circuit_from_spec(
+            "spec",
+            [
+                ("out", GateType.PO, ["g"]),
+                ("g", GateType.AND, ["a", "b"]),
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+            ],
+        )
+        assert c.frozen
+        assert c.num_gates == 4
+
+    def test_undefined_signal(self):
+        with pytest.raises(CircuitError):
+            circuit_from_spec("spec", [("out", GateType.PO, ["missing"])])
+
+    def test_cycle_detected(self):
+        with pytest.raises(CircuitError):
+            circuit_from_spec(
+                "spec",
+                [
+                    ("a", GateType.PI, []),
+                    ("g1", GateType.AND, ["a", "g2"]),
+                    ("g2", GateType.AND, ["a", "g1"]),
+                    ("out", GateType.PO, ["g1"]),
+                ],
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for the .pla parser and two-level synthesis."""
+
+import pytest
+
+from repro.circuit.pla import PlaParseError, TwoLevelCover, parse_pla, write_pla
+from repro.logic.simulate import all_vectors, output_values
+
+SAMPLE = """
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 11
+--1 01
+.e
+"""
+
+
+class TestParse:
+    def test_structure(self):
+        cover = parse_pla(SAMPLE)
+        assert cover.num_inputs == 3
+        assert cover.num_outputs == 2
+        assert cover.input_names == ["a", "b", "c"]
+        assert len(cover.cubes) == 3
+
+    def test_missing_directives(self):
+        with pytest.raises(PlaParseError):
+            parse_pla("1-0 1\n")
+
+    def test_bad_cube_width(self):
+        with pytest.raises(PlaParseError):
+            parse_pla(".i 3\n.o 1\n1- 1\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(PlaParseError):
+            parse_pla(".i 2\n.o 1\n1z 1\n")
+
+    def test_write_parse_round_trip(self):
+        cover = parse_pla(SAMPLE)
+        again = parse_pla(write_pla(cover))
+        assert again.cubes == cover.cubes
+        assert again.input_names == cover.input_names
+
+
+class TestEvaluate:
+    def test_cover_semantics(self):
+        cover = parse_pla(SAMPLE)
+        # f = a!c + !a b c ; g = !a b c + c
+        for va, vb, vc in all_vectors(3):
+            f = (va and not vc) or ((not va) and vb and vc)
+            g = ((not va) and vb and vc) or vc
+            assert cover.evaluate((va, vb, vc)) == (int(f), int(g))
+
+    def test_width_check(self):
+        cover = parse_pla(SAMPLE)
+        with pytest.raises(ValueError):
+            cover.evaluate((0, 1))
+
+
+class TestToCircuit:
+    def test_circuit_matches_cover(self):
+        cover = parse_pla(SAMPLE)
+        circuit = cover.to_circuit()
+        for vector in all_vectors(3):
+            assert output_values(circuit, vector) == cover.evaluate(vector)
+
+    def test_shared_terms_fan_out(self):
+        cover = parse_pla(SAMPLE)
+        circuit = cover.to_circuit()
+        # The cube 011 drives both outputs: its AND term must fan out.
+        term = circuit.gate_by_name("t1")
+        assert len(circuit.fanout(term)) == 2
+
+    def test_empty_onset_rejected(self):
+        cover = TwoLevelCover(num_inputs=2, num_outputs=2)
+        cover.add_cube("1-", "10")
+        with pytest.raises(PlaParseError):
+            cover.to_circuit()
+
+    def test_universal_cube_rejected(self):
+        cover = TwoLevelCover(num_inputs=2, num_outputs=1)
+        cover.add_cube("--", "1")
+        with pytest.raises(PlaParseError):
+            cover.to_circuit()
+
+    def test_single_literal_cube(self):
+        cover = TwoLevelCover(num_inputs=2, num_outputs=1)
+        cover.add_cube("1-", "1")
+        cover.add_cube("-1", "1")
+        circuit = cover.to_circuit()
+        for va, vb in all_vectors(2):
+            assert output_values(circuit, (va, vb)) == (va | vb,)

@@ -1,0 +1,121 @@
+"""Simplification passes verified by exhaustive functional equivalence."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.simplify import (
+    propagate_constants,
+    remove_double_inverters,
+    sweep,
+)
+from repro.logic.simulate import all_vectors, output_values, simulate
+
+
+class TestDoubleInverters:
+    def test_collapses_pairs(self):
+        b = CircuitBuilder("t")
+        a = b.pi("a")
+        n1 = b.not_(a, "n1")
+        n2 = b.not_(n1, "n2")
+        b.po(n2, "out")
+        circuit = b.build()
+        simplified, mapping = remove_double_inverters(circuit)
+        assert simplified.num_gates == circuit.num_gates - 1
+        # n2 resolves to a.
+        assert simplified.gate_name(mapping[n2]) == "a"
+        for (v,) in all_vectors(1):
+            assert output_values(simplified, (v,)) == output_values(
+                circuit, (v,)
+            )
+
+    def test_long_chain(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(6, invert=True)  # even: identity
+        simplified = sweep(circuit)
+        assert simplified.num_gates < circuit.num_gates
+        for (v,) in all_vectors(1):
+            assert output_values(simplified, (v,)) == (v,)
+
+    def test_no_op_when_clean(self, example_circuit):
+        simplified, mapping = remove_double_inverters(example_circuit)
+        assert simplified.num_gates == example_circuit.num_gates
+        assert mapping == {g: g for g in range(example_circuit.num_gates)}
+
+    def test_random_circuits_equivalent(self):
+        from repro.gen.random_logic import random_dag
+        from repro.logic.simulate import truth_table
+
+        for seed in range(6):
+            circuit = random_dag(5, 14, seed=seed)
+            simplified = sweep(circuit)
+            assert truth_table(simplified) == truth_table(circuit), seed
+
+
+class TestConstantPropagation:
+    def _circuit(self):
+        b = CircuitBuilder("t")
+        a, s, c = b.pi("a"), b.pi("s"), b.pi("c")
+        g1 = b.and_(a, s, name="g1")
+        g2 = b.or_(g1, c, name="g2")
+        b.po(g2, "out")
+        return b.build(), (a, s, c)
+
+    def test_noncontrolling_constant_drops_pin(self):
+        circuit, (a, s, c) = self._circuit()
+        # s = 1: AND passes a through; g1 disappears (alias to a).
+        simplified, mapping = propagate_constants(circuit, {s: 1})
+        assert simplified.num_gates < circuit.num_gates
+        for va, vc in all_vectors(2):
+            expected = output_values(circuit, (va, 1, vc))
+            # simplified keeps all three PIs; s is dangling.
+            got = output_values(simplified, (va, 0, vc))
+            assert got == expected
+
+    def test_controlling_constant_folds_gate(self):
+        circuit, (a, s, c) = self._circuit()
+        # s = 0 kills g1; g2 = OR(0, c) aliases to c.
+        simplified, mapping = propagate_constants(circuit, {s: 0})
+        for va, vc in all_vectors(2):
+            assert output_values(simplified, (va, 1, vc)) == (vc,)
+
+    def test_constant_po_rejected(self):
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        b.po(b.and_(a, c, name="g"), "out")
+        circuit = b.build()
+        with pytest.raises(ValueError):
+            propagate_constants(circuit, {a: 0})
+
+    def test_nand_with_nc_constant_becomes_inverter(self):
+        from repro.circuit.gates import GateType
+
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        b.po(b.nand(a, c, name="g"), "out")
+        circuit = b.build()
+        simplified, mapping = propagate_constants(
+            circuit, {circuit.gate_by_name("c"): 1}
+        )
+        g = mapping[circuit.gate_by_name("g")]
+        assert simplified.gate_type(g) is GateType.NOT
+        for (va,) in all_vectors(1):
+            assert output_values(simplified, (va, 0)) == (1 - va,)
+
+    def test_equivalence_on_random_circuits(self):
+        from repro.gen.random_logic import random_dag
+
+        for seed in range(6):
+            circuit = random_dag(5, 12, seed=seed + 50)
+            pi = circuit.inputs[0]
+            for value in (0, 1):
+                try:
+                    simplified, _ = propagate_constants(circuit, {pi: value})
+                except ValueError:
+                    continue  # a PO became constant: legitimately refused
+                for vector in all_vectors(5):
+                    if vector[0] != value:
+                        continue
+                    assert output_values(simplified, vector) == (
+                        output_values(circuit, vector)
+                    ), (seed, value, vector)

@@ -1,0 +1,29 @@
+"""Unit tests for circuit statistics."""
+
+from repro.circuit.examples import paper_example_circuit
+from repro.circuit.stats import circuit_stats, internal_fanout_count
+
+
+def test_stats_of_paper_example():
+    stats = circuit_stats(paper_example_circuit())
+    assert stats.num_gates == 6
+    assert stats.num_inputs == 3
+    assert stats.num_outputs == 1
+    assert stats.num_leads == 6
+    assert stats.depth == 3
+    assert stats.max_fanout == 2  # PI c drives the AND and the OR
+    assert stats.gate_counts["PI"] == 3
+    assert stats.gate_counts["AND"] == 1
+    assert stats.gate_counts["OR"] == 1
+
+
+def test_internal_fanout_count():
+    circuit = paper_example_circuit()
+    # Only the PI c fans out; no internal gate does.
+    assert internal_fanout_count(circuit) == 0
+
+
+def test_stats_render():
+    text = str(circuit_stats(paper_example_circuit()))
+    assert "paper_example" in text
+    assert "6 gates" in text

@@ -1,0 +1,131 @@
+"""Unit tests for structural transforms (leaf-dag, stripping)."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.examples import paper_example_circuit, two_and_tree
+from repro.circuit.gates import GateType
+from repro.circuit.transforms import (
+    LeafDagTooLarge,
+    has_internal_fanout,
+    strip_unreachable,
+    unfold_leaf_dag,
+)
+from repro.logic.simulate import truth_table
+from repro.paths.count import count_paths
+
+
+class TestStripUnreachable:
+    def test_removes_dangling_logic(self):
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        used = b.and_(a, c, name="used")
+        b.and_(a, c, name="dangling")
+        b.po(used, "out")
+        circuit = b.build()
+        stripped = strip_unreachable(circuit)
+        assert stripped.num_gates == circuit.num_gates - 1
+        names = {stripped.gate_name(g) for g in range(stripped.num_gates)}
+        assert "dangling" not in names
+
+    def test_keeps_unused_pis(self):
+        b = CircuitBuilder("t")
+        a = b.pi("a")
+        b.pi("unused")
+        b.po(a, "out")
+        stripped = strip_unreachable(b.build())
+        assert len(stripped.inputs) == 2
+
+    def test_function_preserved(self):
+        circuit = paper_example_circuit()
+        stripped = strip_unreachable(circuit)
+        assert truth_table(stripped) == truth_table(circuit)
+
+
+class TestLeafDag:
+    def test_tree_is_unchanged_in_size(self):
+        circuit = two_and_tree()
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        assert dag.circuit.num_gates == circuit.num_gates
+
+    def test_paper_example_already_leaf_dag(self):
+        # Only PI c fans out, which is allowed in a leaf-dag.
+        circuit = paper_example_circuit()
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        assert dag.circuit.num_gates == circuit.num_gates
+        assert truth_table(dag.circuit) == truth_table(circuit)
+
+    def test_internal_fanout_duplicates(self):
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        shared = b.and_(a, c, name="shared")
+        o1 = b.or_(shared, a, name="o1")
+        o2 = b.or_(shared, c, name="o2")
+        b.po(b.and_(o1, o2, name="root"), "out")
+        circuit = b.build()
+        assert has_internal_fanout(circuit)
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        assert not has_internal_fanout(dag.circuit)
+        assert truth_table(dag.circuit) == truth_table(circuit)
+
+    def test_branch_paths_bijective_with_physical_paths(self):
+        circuit = paper_example_circuit()
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        counts = count_paths(circuit)
+        assert len(dag.branch_paths) == counts.total_physical
+        # Each recorded original path must be a valid PI->PO lead path.
+        from repro.paths.path import PhysicalPath
+
+        for leads in dag.branch_paths.values():
+            PhysicalPath(leads).validate(circuit)
+
+    def test_leaf_dag_path_count_preserved(self):
+        # Unfolding preserves the number of PI->PO paths of the cone.
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        shared = b.and_(a, c, name="shared")
+        o1 = b.or_(shared, a, name="o1")
+        o2 = b.or_(shared, c, name="o2")
+        b.po(b.and_(o1, o2, name="root"), "out")
+        circuit = b.build()
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        assert (
+            count_paths(dag.circuit).total_physical
+            == count_paths(circuit).total_physical
+        )
+
+    def test_gate_budget_enforced(self):
+        from repro.gen.parity import parity_tree
+
+        circuit = parity_tree(16)
+        with pytest.raises(LeafDagTooLarge):
+            unfold_leaf_dag(circuit, circuit.outputs[0], max_gates=10)
+
+    def test_requires_po(self):
+        circuit = paper_example_circuit()
+        from repro.circuit.netlist import CircuitError
+
+        with pytest.raises(CircuitError):
+            unfold_leaf_dag(circuit, circuit.inputs[0])
+
+    def test_origin_maps_to_original_gates(self):
+        circuit = paper_example_circuit()
+        dag = unfold_leaf_dag(circuit, circuit.outputs[0])
+        for copy_gid, orig_gid in dag.origin.items():
+            assert (
+                dag.circuit.gate_type(copy_gid) == circuit.gate_type(orig_gid)
+            )
+
+
+class TestHasInternalFanout:
+    def test_pi_fanout_is_allowed(self):
+        circuit = paper_example_circuit()  # c fans out, but c is a PI
+        assert not has_internal_fanout(circuit)
+
+    def test_gate_fanout_detected(self):
+        b = CircuitBuilder("t")
+        a, c = b.pi("a"), b.pi("c")
+        g = b.and_(a, c, name="g")
+        b.po(b.or_(g, a, name="o1"), "out1")
+        b.po(b.or_(g, c, name="o2"), "out2")
+        assert has_internal_fanout(b.build())

@@ -1,0 +1,63 @@
+"""Unit tests for the per-gate side-input conditions of each criterion."""
+
+import pytest
+
+from repro.classify.conditions import Criterion, required_side_pins
+from repro.sorting.input_sort import InputSort
+
+
+@pytest.fixture
+def or_lead(example_circuit):
+    """The lead g_and->g_or (pin 1 of the 3-input OR)."""
+    g_or = example_circuit.gate_by_name("g_or")
+    return example_circuit.lead_index(g_or, 1)
+
+
+class TestNonControllingCase:
+    """When the on-path value is non-controlling, every criterion demands
+    all side inputs non-controlling (FU2/NR2/pi-2)."""
+
+    @pytest.mark.parametrize("criterion", list(Criterion))
+    def test_all_sides_required(self, example_circuit, or_lead, criterion):
+        sort = InputSort.pin_order(example_circuit)
+        pins = required_side_pins(criterion, example_circuit, or_lead, False, sort)
+        assert sorted(pins) == [0, 2]
+
+
+class TestControllingCase:
+    def test_fs_requires_nothing(self, example_circuit, or_lead):
+        assert required_side_pins(
+            Criterion.FS, example_circuit, or_lead, True, None
+        ) == []
+
+    def test_nr_requires_everything(self, example_circuit, or_lead):
+        pins = required_side_pins(
+            Criterion.NR, example_circuit, or_lead, True, None
+        )
+        assert sorted(pins) == [0, 2]
+
+    def test_sigma_requires_low_order_only(self, example_circuit, or_lead):
+        sort = InputSort.pin_order(example_circuit)
+        pins = required_side_pins(
+            Criterion.SIGMA_PI, example_circuit, or_lead, True, sort
+        )
+        assert pins == [0]  # only pin 0 precedes pin 1 in pin order
+
+    def test_sigma_with_reversed_sort(self, example_circuit, or_lead):
+        sort = InputSort.pin_order(example_circuit).inverted()
+        pins = required_side_pins(
+            Criterion.SIGMA_PI, example_circuit, or_lead, True, sort
+        )
+        assert pins == [2]  # in the inverted order, pin 2 precedes pin 1
+
+    def test_sigma_needs_sort(self, example_circuit, or_lead):
+        with pytest.raises(ValueError):
+            required_side_pins(
+                Criterion.SIGMA_PI, example_circuit, or_lead, True, None
+            )
+
+
+def test_criterion_needs_sort_flags():
+    assert Criterion.SIGMA_PI.needs_sort
+    assert not Criterion.FS.needs_sort
+    assert not Criterion.NR.needs_sort

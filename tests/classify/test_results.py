@@ -1,0 +1,31 @@
+"""Unit tests for the classification result container."""
+
+from repro.classify.conditions import Criterion
+from repro.classify.results import ClassificationResult
+
+
+def make(total=100, accepted=40):
+    return ClassificationResult(
+        circuit_name="c",
+        criterion=Criterion.FS,
+        total_logical=total,
+        accepted=accepted,
+        elapsed=1.5,
+    )
+
+
+def test_rd_count_and_fraction():
+    r = make()
+    assert r.rd_count == 60
+    assert r.rd_fraction == 0.6
+    assert r.rd_percent == 60.0
+
+
+def test_zero_total():
+    r = make(total=0, accepted=0)
+    assert r.rd_fraction == 0.0
+
+
+def test_str_mentions_everything():
+    text = str(make())
+    assert "c" in text and "FS" in text and "60.00%" in text

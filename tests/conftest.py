@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.examples import (
+    chain_circuit,
+    mux_circuit,
+    paper_example_circuit,
+    reconvergent_circuit,
+    two_and_tree,
+)
+
+
+@pytest.fixture
+def example_circuit():
+    """The paper's running example: out = OR(a, AND(b, c), c)."""
+    return paper_example_circuit()
+
+
+@pytest.fixture
+def mux():
+    return mux_circuit()
+
+
+@pytest.fixture
+def reconv():
+    return reconvergent_circuit()
+
+
+@pytest.fixture
+def and_tree():
+    return two_and_tree()
+
+
+@pytest.fixture
+def chain():
+    return chain_circuit(4)
+
+
+@pytest.fixture
+def small_circuits(example_circuit, mux, reconv, and_tree, chain):
+    """A fixed family of small circuits for cross-validation loops."""
+    return [example_circuit, mux, reconv, and_tree, chain]

@@ -1,0 +1,113 @@
+"""Unit tests for the path delay fault simulator (two-pattern coverage)."""
+
+import pytest
+
+from repro.delaytest.simulator import (
+    robust_coverage_of_test_set,
+    sensitized_paths,
+    simulate_test_set,
+)
+from repro.delaytest.testability import robust_test
+from repro.paths.enumerate import enumerate_logical_paths
+
+
+class TestSensitizedPaths:
+    def test_no_transition_no_paths(self, example_circuit):
+        cov = sensitized_paths(example_circuit, (0, 0, 0), (0, 0, 0))
+        assert not cov.robust and not cov.nonrobust
+
+    def test_single_input_rise(self, example_circuit):
+        cov = sensitized_paths(example_circuit, (0, 0, 0), (1, 0, 0))
+        names = {lp.describe(example_circuit) for lp in cov.robust}
+        assert names == {"a -> g_or -> out [0->1]"}
+
+    def test_robust_subset_of_nonrobust(self, small_circuits):
+        from repro.logic.simulate import all_vectors
+
+        for circuit in small_circuits:
+            n = len(circuit.inputs)
+            for v1 in all_vectors(n):
+                for v2 in all_vectors(n):
+                    cov = sensitized_paths(circuit, v1, v2)
+                    assert cov.robust <= cov.nonrobust
+
+    def test_sensitized_paths_are_real(self, example_circuit):
+        cov = sensitized_paths(example_circuit, (1, 1, 1), (0, 1, 0))
+        for lp in cov.nonrobust:
+            lp.path.validate(example_circuit)
+
+    def test_budget_guard(self, example_circuit):
+        with pytest.raises(RuntimeError):
+            sensitized_paths(example_circuit, (0, 0, 0), (1, 0, 0), max_paths=0)
+
+
+class TestAgainstPerPathOracle:
+    def test_union_over_all_pairs_equals_robust_testability(
+        self, small_circuits
+    ):
+        """A path is robustly testable iff SOME pair robustly
+        sensitizes it: the simulator unioned over all pairs must equal
+        the per-path SAT verdicts."""
+        from repro.delaytest.testability import is_robustly_testable
+        from repro.logic.simulate import all_vectors
+
+        for circuit in small_circuits:
+            n = len(circuit.inputs)
+            pairs = [
+                (v1, v2)
+                for v1 in all_vectors(n)
+                for v2 in all_vectors(n)
+            ]
+            cov = simulate_test_set(circuit, pairs)
+            for lp in enumerate_logical_paths(circuit):
+                assert (lp in cov.robust) == is_robustly_testable(
+                    circuit, lp
+                ), f"{circuit.name}: {lp.describe(circuit)}"
+
+    def test_union_matches_nonrobust_testability(self, example_circuit):
+        from repro.delaytest.testability import is_nonrobustly_testable
+        from repro.logic.simulate import all_vectors
+
+        pairs = [
+            (v1, v2)
+            for v1 in all_vectors(3)
+            for v2 in all_vectors(3)
+        ]
+        cov = simulate_test_set(example_circuit, pairs)
+        for lp in enumerate_logical_paths(example_circuit):
+            if lp in cov.nonrobust:
+                assert is_nonrobustly_testable(example_circuit, lp)
+
+
+class TestGeneratedTestsAreSimulatedAsCovering:
+    def test_sat_generated_pair_covers_its_path(self, small_circuits):
+        for circuit in small_circuits:
+            for lp in enumerate_logical_paths(circuit):
+                pair = robust_test(circuit, lp)
+                if pair is None:
+                    continue
+                cov = sensitized_paths(circuit, *pair)
+                assert lp in cov.robust, (
+                    f"{circuit.name}: generated test does not cover "
+                    f"{lp.describe(circuit)}"
+                )
+
+
+class TestCoverageMetric:
+    def test_full_coverage_with_all_pairs(self, example_circuit):
+        from repro.logic.simulate import all_vectors
+
+        pairs = [
+            (v1, v2) for v1 in all_vectors(3) for v2 in all_vectors(3)
+        ]
+        robust = [
+            lp
+            for lp in enumerate_logical_paths(example_circuit)
+            if robust_test(example_circuit, lp) is not None
+        ]
+        assert robust_coverage_of_test_set(
+            example_circuit, pairs, robust
+        ) == pytest.approx(1.0)
+
+    def test_empty_targets(self, example_circuit):
+        assert robust_coverage_of_test_set(example_circuit, [], []) == 1.0

@@ -1,0 +1,151 @@
+"""Unit tests for robust / non-robust testability."""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.exact import exists_vector
+from repro.delaytest.testability import (
+    coverage,
+    fs_vector,
+    is_nonrobustly_testable,
+    is_robustly_testable,
+    nonrobust_test,
+    robust_test,
+)
+from repro.logic.simulate import simulate
+from repro.paths.enumerate import enumerate_logical_paths
+
+
+def paths_of(circuit):
+    return list(enumerate_logical_paths(circuit))
+
+
+class TestAgainstBruteForceOracles:
+    def test_fs_vector_matches_exact(self, small_circuits):
+        for circuit in small_circuits:
+            for lp in paths_of(circuit):
+                sat = fs_vector(circuit, lp) is not None
+                brute = exists_vector(circuit, Criterion.FS, lp)
+                assert sat == brute, f"{circuit.name}: {lp.describe(circuit)}"
+
+    def test_nonrobust_matches_exact(self, small_circuits):
+        for circuit in small_circuits:
+            for lp in paths_of(circuit):
+                sat = nonrobust_test(circuit, lp) is not None
+                brute = exists_vector(circuit, Criterion.NR, lp)
+                assert sat == brute, f"{circuit.name}: {lp.describe(circuit)}"
+
+
+class TestHierarchy:
+    def test_robust_implies_nonrobust_implies_fs(self, small_circuits):
+        for circuit in small_circuits:
+            for lp in paths_of(circuit):
+                if is_robustly_testable(circuit, lp):
+                    assert is_nonrobustly_testable(circuit, lp)
+                if is_nonrobustly_testable(circuit, lp):
+                    assert fs_vector(circuit, lp) is not None
+
+
+class TestReturnedVectors:
+    def test_nonrobust_vector_satisfies_conditions(self, small_circuits):
+        from repro.classify.exact import satisfies_criterion
+
+        for circuit in small_circuits:
+            for lp in paths_of(circuit):
+                vector = nonrobust_test(circuit, lp)
+                if vector is not None:
+                    assert satisfies_criterion(
+                        circuit, Criterion.NR, lp, vector
+                    )
+
+    def test_robust_pair_shape(self, example_circuit):
+        for lp in paths_of(example_circuit):
+            pair = robust_test(example_circuit, lp)
+            if pair is None:
+                continue
+            v1, v2 = pair
+            pi = lp.path.source(example_circuit)
+            idx = example_circuit.inputs.index(pi)
+            assert v1[idx] == 1 - lp.final_value
+            assert v2[idx] == lp.final_value
+            # v2 must non-robustly sensitize the path.
+            from repro.classify.exact import satisfies_criterion
+
+            assert satisfies_criterion(example_circuit, Criterion.NR, lp, v2)
+
+    def test_robust_steadiness_on_example(self, example_circuit):
+        """For a robust test of a->OR rising, the OR's side inputs must
+        be steady 0 across both vectors."""
+        target = next(
+            lp
+            for lp in paths_of(example_circuit)
+            if lp.describe(example_circuit) == "a -> g_or -> out [0->1]"
+        )
+        v1, v2 = robust_test(example_circuit, target)
+        g_and = example_circuit.gate_by_name("g_and")
+        c = example_circuit.gate_by_name("c")
+        for vec in (v1, v2):
+            values = simulate(example_circuit, vec)
+            assert values[g_and] == 0
+            assert values[c] == 0
+
+
+class TestPaperExampleFacts:
+    def test_robust_count_is_five(self, example_circuit):
+        robust = [
+            lp
+            for lp in paths_of(example_circuit)
+            if is_robustly_testable(example_circuit, lp)
+        ]
+        assert len(robust) == 5
+
+    def test_bA_falling_untestable_both_ways(self, example_circuit):
+        lp = next(
+            p
+            for p in paths_of(example_circuit)
+            if p.describe(example_circuit) == "b -> g_and -> g_or -> out [1->0]"
+        )
+        assert not is_robustly_testable(example_circuit, lp)
+        assert not is_nonrobustly_testable(example_circuit, lp)
+        assert fs_vector(example_circuit, lp) is not None  # but FS
+
+    def test_cA_rising_nr_gap(self, example_circuit):
+        """c->AND rising is FS but neither robust nor non-robust
+        (needs c=1 at the AND side and c=0 at the OR side)."""
+        lp = next(
+            p
+            for p in paths_of(example_circuit)
+            if p.describe(example_circuit) == "c -> g_and -> g_or -> out [0->1]"
+        )
+        assert fs_vector(example_circuit, lp) is not None
+        assert not is_nonrobustly_testable(example_circuit, lp)
+
+
+class TestCoverage:
+    def test_example3_full_coverage(self, example_circuit):
+        from repro.experiments.figures import example3_sort
+        from repro.stabilize.assignment import assignment_from_sort
+
+        sigma = assignment_from_sort(
+            example_circuit, example3_sort(example_circuit)
+        )
+        testable, total, fraction = coverage(
+            example_circuit, sigma.logical_paths()
+        )
+        assert (testable, total, fraction) == (5, 5, 1.0)
+
+    def test_example2_five_sixths(self, example_circuit):
+        from repro.experiments.figures import example2_sort
+        from repro.stabilize.assignment import assignment_from_sort
+
+        sigma = assignment_from_sort(
+            example_circuit, example2_sort(example_circuit)
+        )
+        testable, total, fraction = coverage(
+            example_circuit, sigma.logical_paths()
+        )
+        assert (testable, total) == (5, 6)
+        assert fraction == pytest.approx(5 / 6)
+
+    def test_empty_selection(self, example_circuit):
+        assert coverage(example_circuit, []) == (0, 0, 1.0)

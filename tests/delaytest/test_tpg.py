@@ -1,0 +1,91 @@
+"""Unit tests for robust test-set generation with compaction."""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.delaytest.simulator import simulate_test_set
+from repro.delaytest.testability import is_robustly_testable
+from repro.delaytest.tpg import generate_test_set
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic2_sort
+
+
+def non_rd_targets(circuit):
+    targets = []
+    classify(
+        circuit,
+        Criterion.SIGMA_PI,
+        sort=heuristic2_sort(circuit),
+        on_path=targets.append,
+    )
+    return targets
+
+
+class TestOnPaperExample:
+    def test_full_coverage_of_optimal_selection(self, example_circuit):
+        targets = non_rd_targets(example_circuit)
+        assert len(targets) == 5
+        result = generate_test_set(example_circuit, targets)
+        assert result.coverage == 1.0
+        assert not result.untestable
+        assert len(result.pairs) <= 5
+
+    def test_untestable_path_reported(self, example_circuit):
+        # Include the known-untestable path bA falling as a target.
+        targets = list(enumerate_logical_paths(example_circuit))
+        result = generate_test_set(example_circuit, targets)
+        untestable = {
+            lp.describe(example_circuit) for lp in result.untestable
+        }
+        assert "b -> g_and -> g_or -> out [1->0]" in untestable
+        for lp in result.covered:
+            assert is_robustly_testable(example_circuit, lp)
+
+
+class TestSoundnessOfCoverage:
+    def test_claimed_coverage_verified_by_simulation(self, small_circuits):
+        """Re-simulate the produced pairs: everything marked covered must
+        actually be robustly sensitized by some pair."""
+        for circuit in small_circuits:
+            targets = non_rd_targets(circuit)
+            result = generate_test_set(circuit, targets)
+            resim = simulate_test_set(circuit, result.pairs)
+            for lp in result.covered:
+                assert lp in resim.robust, (
+                    f"{circuit.name}: {lp.describe(circuit)} claimed but "
+                    "not covered"
+                )
+
+    def test_every_target_accounted_for(self, small_circuits):
+        for circuit in small_circuits:
+            targets = set(non_rd_targets(circuit))
+            result = generate_test_set(circuit, targets)
+            accounted = set(result.covered) | set(result.untestable)
+            assert accounted == targets
+
+
+class TestCompaction:
+    def test_simulation_never_increases_pattern_count(self):
+        from repro.gen.adders import ripple_carry_adder
+
+        circuit = ripple_carry_adder(3)
+        targets = non_rd_targets(circuit)
+        compact = generate_test_set(circuit, targets, fault_simulate=True)
+        naive = generate_test_set(circuit, targets, fault_simulate=False)
+        assert len(compact.pairs) <= len(naive.pairs)
+        assert compact.coverage == naive.coverage
+        # On an adder, compaction is substantial (many shared patterns).
+        assert compact.compaction > 1.5
+
+    def test_metrics(self, example_circuit):
+        result = generate_test_set(example_circuit, non_rd_targets(example_circuit))
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.elapsed >= 0.0
+        text = str(result)
+        assert "test pairs" in text and "robust coverage" in text
+
+    def test_empty_targets(self, example_circuit):
+        result = generate_test_set(example_circuit, [])
+        assert result.coverage == 1.0
+        assert not result.pairs

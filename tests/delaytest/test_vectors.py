@@ -1,0 +1,65 @@
+"""Unit tests for two-pattern test-set persistence."""
+
+import pytest
+
+from repro.delaytest.simulator import simulate_test_set
+from repro.delaytest.tpg import generate_test_set
+from repro.delaytest.vectors import (
+    VectorFormatError,
+    dumps_pairs,
+    load_pairs,
+    loads_pairs,
+    save_pairs,
+)
+from repro.paths.enumerate import enumerate_logical_paths
+
+
+def test_round_trip(example_circuit):
+    pairs = [((0, 0, 0), (1, 0, 0)), ((1, 1, 1), (0, 1, 0))]
+    text = dumps_pairs(example_circuit, pairs)
+    assert loads_pairs(example_circuit, text) == pairs
+
+
+def test_round_trip_preserves_coverage(example_circuit, tmp_path):
+    """A generated test set survives save/load with identical coverage."""
+    targets = list(enumerate_logical_paths(example_circuit))
+    result = generate_test_set(example_circuit, targets)
+    path = tmp_path / "tests.pat"
+    save_pairs(example_circuit, result.pairs, path)
+    loaded = load_pairs(example_circuit, path)
+    assert loaded == result.pairs
+    before = simulate_test_set(example_circuit, result.pairs).robust
+    after = simulate_test_set(example_circuit, loaded).robust
+    assert before == after
+
+
+def test_header_mismatch_detected(example_circuit, mux):
+    text = dumps_pairs(example_circuit, [((0, 0, 0), (1, 1, 1))])
+    with pytest.raises(VectorFormatError):
+        loads_pairs(mux, text)
+    # Non-strict loading skips the check (same PI count).
+    assert loads_pairs(mux, text, strict=False)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "01 1",           # missing half
+        "0a0 111",        # bad bit
+        "01 01 01",       # too many fields
+        "0101 0101",      # wrong width for a 3-PI circuit
+    ],
+)
+def test_malformed_lines(example_circuit, bad):
+    with pytest.raises(VectorFormatError):
+        loads_pairs(example_circuit, bad)
+
+
+def test_width_check_on_dump(example_circuit):
+    with pytest.raises(VectorFormatError):
+        dumps_pairs(example_circuit, [((0, 0), (1, 1))])
+
+
+def test_comments_and_blanks_ignored(example_circuit):
+    text = "# hello\n\n000 100\n# bye\n"
+    assert loads_pairs(example_circuit, text) == [((0, 0, 0), (1, 0, 0))]

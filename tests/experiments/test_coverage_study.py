@@ -1,0 +1,43 @@
+"""Unit tests for the fault-coverage study."""
+
+import pytest
+
+from repro.experiments.coverage_study import compare_sorts, estimate_coverage
+from repro.sorting.heuristics import heuristic2_sort, pin_order_sort
+
+
+def test_paper_example_coverages(example_circuit):
+    """The paper's Example 2/3 numbers as coverage estimates: the
+    optimal sort reaches 100%, pin order selects all 8 paths of which
+    only 5 are robustly testable (62.5%)."""
+    optimal = estimate_coverage(
+        example_circuit, heuristic2_sort(example_circuit), "heu2"
+    )
+    assert optimal.selected == 5
+    assert optimal.coverage == 1.0
+    pin = estimate_coverage(
+        example_circuit, pin_order_sort(example_circuit), "pin"
+    )
+    assert pin.selected == 8
+    assert pin.coverage == pytest.approx(5 / 8)
+
+
+def test_sampling_is_deterministic(example_circuit):
+    a = estimate_coverage(example_circuit, pin_order_sort(example_circuit),
+                          sample_size=4, seed=9)
+    b = estimate_coverage(example_circuit, pin_order_sort(example_circuit),
+                          sample_size=4, seed=9)
+    assert a == b
+
+
+def test_compare_sorts_shape(example_circuit):
+    estimates = compare_sorts(
+        example_circuit,
+        {
+            "pin": pin_order_sort(example_circuit),
+            "heu2": heuristic2_sort(example_circuit),
+        },
+    )
+    assert set(estimates) == {"pin", "heu2"}
+    assert estimates["heu2"].coverage >= estimates["pin"].coverage
+    assert "robust coverage" in str(estimates["heu2"])

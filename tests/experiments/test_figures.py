@@ -1,0 +1,51 @@
+"""The figure reproductions must state the paper's numbers."""
+
+from repro.experiments.figures import (
+    all_figures,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+
+
+def test_figure1_three_systems():
+    report = figure1()
+    assert "3 found" in report.title
+    assert len(report.lines) == 3
+
+
+def test_figure2_six_paths_one_untestable():
+    report, paths = figure2()
+    assert len(paths) == 6
+    assert any("|LP(sigma)| = 6" in line for line in report.lines)
+    assert any("b -> g_and -> g_or -> out [1->0]" in line for line in report.lines)
+
+
+def test_figure3_hierarchy():
+    report = figure3()
+    text = report.render()
+    assert "|T(C)| = 5" in text
+    assert "|FS(C)| = 8" in text
+    assert "True" in text and "False" not in text
+
+
+def test_figure4_optimum():
+    report, paths = figure4()
+    assert len(paths) == 5
+    assert any("not robustly testable: none" in line for line in report.lines)
+
+
+def test_figure5_sort_and_optimum():
+    report = figure5()
+    text = report.render()
+    assert "|LP(sigma^pi)| = 5" in text
+    # The optimum sort prefers c over b at the AND gate.
+    assert "c->g_and.1 < b->g_and.0" in text
+
+
+def test_all_figures_renders():
+    text = all_figures()
+    for marker in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+        assert marker in text

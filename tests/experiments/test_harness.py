@@ -1,0 +1,56 @@
+"""Unit tests for the experiment harness on small circuits."""
+
+from repro.experiments.harness import (
+    run_table1_row,
+    run_table3_row,
+    sigma_pi_percent,
+)
+from repro.sorting.heuristics import heuristic1_sort
+
+
+class TestTable1Row:
+    def test_paper_example_row(self, example_circuit):
+        row = run_table1_row(example_circuit)
+        assert row.total_logical == 8
+        assert row.fus_percent == 0.0  # every example path is FS
+        assert row.heu1_percent == 25.0  # 6 of 8 selected
+        assert row.heu2_percent == 37.5  # the 5-path optimum
+        assert row.heu2_inverse_percent <= row.heu2_percent
+        assert row.check_expected_shape() == []
+
+    def test_row_shape_on_small_circuits(self, small_circuits):
+        for circuit in small_circuits:
+            row = run_table1_row(circuit)
+            assert row.check_expected_shape() == [], circuit.name
+            assert row.time_heu1 >= 0 and row.time_heu2 >= 0
+
+    def test_shape_checker_flags_violations(self):
+        from repro.experiments.harness import Table1Row
+
+        bad = Table1Row(
+            name="x", total_logical=10, fus_percent=50.0,
+            heu1_percent=40.0, heu2_percent=45.0,
+            heu2_inverse_percent=60.0, time_heu1=0, time_heu2=0,
+        )
+        problems = bad.check_expected_shape()
+        assert any("Lemma 1" in p for p in problems)
+        assert any("inverse" in p for p in problems)
+
+
+class TestTable3Row:
+    def test_paper_example_row(self, example_circuit):
+        row = run_table3_row(example_circuit)
+        assert row.baseline_percent == 37.5
+        assert row.heu2_percent == 37.5
+        assert row.quality_gap == 0.0
+        assert row.speedup >= 0
+
+    def test_gap_never_negative_on_small_circuits(self, small_circuits):
+        for circuit in small_circuits:
+            row = run_table3_row(circuit)
+            assert row.quality_gap >= -1e-9, circuit.name
+
+
+def test_sigma_pi_percent_helper(example_circuit):
+    pct = sigma_pi_percent(example_circuit, heuristic1_sort(example_circuit))
+    assert pct == 25.0

@@ -1,0 +1,33 @@
+"""Unit tests for scaling sweeps."""
+
+from repro.experiments.sweep import growth_factors, sweep_family
+from repro.gen.multiplier import array_multiplier
+from repro.gen.parity import parity_tree
+
+
+def test_multiplier_sweep_explodes():
+    points = sweep_family(array_multiplier, [2, 3, 4])
+    totals = [p.total_logical for p in points]
+    assert totals == sorted(totals)
+    factors = growth_factors(points)
+    assert all(f > 5 for f in factors)  # super-geometric growth
+    # Small sizes classified, with sane RD percentages.
+    assert points[0].accepted is not None
+    assert 0 <= points[-1].rd_percent <= 100
+
+
+def test_budget_produces_counting_only_points():
+    points = sweep_family(
+        array_multiplier, [2, 5], classification_budget=100
+    )
+    assert points[0].accepted is not None  # 56 paths fit the budget
+    assert points[1].accepted is None  # 2M paths do not
+    assert points[1].rd_percent is None
+    assert points[1].total_logical > 10**6
+
+
+def test_parity_sweep_rd_grows_with_depth():
+    family = lambda w: parity_tree(w, style="nand")
+    points = sweep_family(family, [8, 16, 32])
+    rd = [p.rd_percent for p in points]
+    assert rd == sorted(rd)  # deeper trees: larger FUS fraction

@@ -1,0 +1,40 @@
+"""Table generators exercised on small custom circuit lists (the full
+suite runs live in benchmarks/)."""
+
+from repro.circuit.examples import mux_circuit, paper_example_circuit
+from repro.experiments import table1, table2, table3
+
+
+def _circuits():
+    return [paper_example_circuit(), mux_circuit()]
+
+
+def test_table1_runs_and_renders():
+    table, rows = table1.run(_circuits())
+    text = table.render()
+    assert "paper_example" in text
+    assert "FUS" in text and "Heu2" in text
+    assert len(rows) == 2
+    for row in rows:
+        assert row.check_expected_shape() == []
+
+
+def test_table2_reuses_rows():
+    _table, rows = table1.run(_circuits())
+    text = table2.run(rows=rows, include_count_only=False).render()
+    assert "paper_example" in text
+    assert "8" in text  # the path count
+
+
+def test_table2_count_only_rows():
+    text = table2.run(circuits=_circuits(), include_count_only=True).render()
+    assert "(count only)" in text
+    assert "s6288-mult" in text
+
+
+def test_table3_runs_and_renders():
+    table, rows = table3.run(_circuits())
+    text = table.render()
+    assert "baseline RD%" in text
+    for row in rows:
+        assert row.quality_gap >= -1e-9

@@ -1,0 +1,41 @@
+"""The frozen netlists must match the live generators."""
+
+import pytest
+
+from repro.circuit.bench import write_bench
+from repro.gen.frozen import frozen_names, frozen_path, load_frozen
+from repro.gen.suite import SUITE, get_circuit
+from repro.paths.count import count_paths
+
+
+def test_every_suite_circuit_is_frozen():
+    assert set(frozen_names()) == set(SUITE)
+
+
+@pytest.mark.parametrize("name", sorted(set(SUITE) - {"c17"}))
+def test_frozen_matches_generator(name):
+    """Byte-stable: serialising the freshly generated circuit reproduces
+    the shipped file exactly.  (c17 is excluded: its frozen file is the
+    authentic ISCAS netlist, not our serialisation.)"""
+    live = get_circuit(name)
+    assert write_bench(live) == frozen_path(name).read_text()
+
+
+def test_loaded_frozen_equivalent_structure():
+    # PO sink gates get renamed by the round trip; structural counts
+    # (gates, paths) are invariant.
+    for name in ("s880-alu", "apex-a", "xprienc16"):
+        live = get_circuit(name)
+        frozen = load_frozen(name)
+        assert frozen.num_gates == live.num_gates
+        assert (
+            count_paths(frozen).total_logical
+            == count_paths(live).total_logical
+        )
+
+
+def test_unknown_frozen_name():
+    with pytest.raises(KeyError):
+        load_frozen("nope")
+    with pytest.raises(KeyError):
+        frozen_path("nope")

@@ -1,0 +1,171 @@
+"""Functional correctness of the benchmark circuit generators."""
+
+import pytest
+
+from repro.gen.adders import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from repro.gen.alu import simple_alu
+from repro.gen.multiplier import array_multiplier
+from repro.gen.mux import decoder, mux_tree
+from repro.gen.parity import ecc_encoder, parity_tree
+from repro.gen.random_logic import random_dag
+from repro.logic.simulate import all_vectors, output_values
+
+
+def bits_to_int(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+class TestAdders:
+    @pytest.mark.parametrize("maker", [
+        ripple_carry_adder,
+        carry_lookahead_adder,
+        lambda w: carry_select_adder(w, block=2),
+    ])
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_addition_exhaustive(self, maker, width):
+        circuit = maker(width)
+        for vector in all_vectors(2 * width + 1):
+            a = bits_to_int(vector[0:width])
+            b = bits_to_int(vector[width:2 * width])
+            cin = vector[2 * width]
+            out = output_values(circuit, vector)
+            total = bits_to_int(out[:width]) + (out[width] << width)
+            assert total == a + b + cin, f"{a}+{b}+{cin}"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+        with pytest.raises(ValueError):
+            carry_lookahead_adder(0)
+        with pytest.raises(ValueError):
+            carry_select_adder(4, block=0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_multiplication_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        for vector in all_vectors(2 * width):
+            a = bits_to_int(vector[0:width])
+            b = bits_to_int(vector[width:2 * width])
+            out = output_values(circuit, vector)
+            assert bits_to_int(out) == a * b, f"{a}*{b}"
+
+    def test_mult4_spot_checks(self):
+        circuit = array_multiplier(4)
+
+        def mult(a, b):
+            vec = [(a >> i) & 1 for i in range(4)] + [
+                (b >> i) & 1 for i in range(4)
+            ]
+            return bits_to_int(output_values(circuit, vec))
+
+        assert mult(15, 15) == 225
+        assert mult(7, 9) == 63
+        assert mult(0, 13) == 0
+
+
+class TestParity:
+    @pytest.mark.parametrize("style", ["sop", "nand"])
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_parity_function(self, style, width):
+        circuit = parity_tree(width, style=style)
+        for vector in all_vectors(width):
+            expected = sum(vector) % 2
+            assert output_values(circuit, vector) == (expected,)
+
+    def test_style_validation(self):
+        with pytest.raises(ValueError):
+            parity_tree(8, style="qm")
+
+    @pytest.mark.parametrize("style", ["sop", "nand"])
+    def test_ecc_parity_groups(self, style):
+        data_bits = 5
+        circuit = ecc_encoder(data_bits, style=style)
+        num_parity = len(circuit.outputs) - data_bits
+        for vector in all_vectors(data_bits):
+            out = output_values(circuit, vector)
+            parities = out[:num_parity]
+            datas = out[num_parity:]
+            assert datas == vector  # data passes through
+            for k in range(num_parity):
+                members = [
+                    vector[i] for i in range(data_bits) if ((i + 1) >> k) & 1
+                ]
+                assert parities[k] == sum(members) % 2
+
+
+class TestAlu:
+    def test_all_operations(self):
+        width = 3
+        circuit = simple_alu(width)
+        for vector in all_vectors(2 + 2 * width + 1):
+            s1, s0 = vector[0], vector[1]
+            a = bits_to_int(vector[2:2 + width])
+            b = bits_to_int(vector[2 + width:2 + 2 * width])
+            cin = vector[-1]
+            out = output_values(circuit, vector)
+            result = bits_to_int(out[:width])
+            cout = out[width]
+            op = (s1 << 1) | s0
+            if op == 0:
+                assert (result, cout) == (a & b, 0)
+            elif op == 1:
+                assert (result, cout) == (a | b, 0)
+            elif op == 2:
+                assert (result, cout) == (a ^ b, 0)
+            else:
+                total = a + b + cin
+                assert result == total % (1 << width)
+                assert cout == total >> width
+
+
+class TestMuxAndDecoder:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_mux_tree_selects(self, levels):
+        circuit = mux_tree(levels)
+        n_data = 1 << levels
+        for vector in all_vectors(levels + n_data):
+            selects = vector[:levels]
+            data = vector[levels:]
+            index = sum(s << k for k, s in enumerate(selects))
+            assert output_values(circuit, vector) == (data[index],)
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_decoder_one_hot(self, width):
+        circuit = decoder(width)
+        for vector in all_vectors(width):
+            out = output_values(circuit, vector)
+            code = sum(v << i for i, v in enumerate(vector))
+            assert sum(out) == 1
+            assert out[code] == 1
+
+
+class TestRandomDag:
+    def test_deterministic(self):
+        a = random_dag(6, 20, seed=5)
+        b = random_dag(6, 20, seed=5)
+        from repro.circuit.bench import write_bench
+
+        assert write_bench(a) == write_bench(b)
+
+    def test_all_gates_observable(self):
+        circuit = random_dag(6, 30, seed=1)
+        for g in range(circuit.num_gates):
+            from repro.circuit.gates import GateType
+
+            if circuit.gate_type(g) is GateType.PI:
+                continue
+            assert circuit.reachable_pos(g), (
+                f"gate {circuit.gate_name(g)} drives no PO"
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_dag(0, 5)
+        with pytest.raises(ValueError):
+            random_dag(4, 5, max_fanin=1)

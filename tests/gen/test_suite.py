@@ -1,0 +1,68 @@
+"""Sanity checks on the named benchmark suite."""
+
+import pytest
+
+from repro.classify.exact import is_po_constant
+from repro.gen.suite import (
+    SUITE,
+    count_only_suite,
+    extra_suite,
+    get_circuit,
+    table1_suite,
+    table3_suite,
+)
+from repro.paths.count import count_paths
+
+
+def test_get_circuit_by_name():
+    circuit = get_circuit("s432-rand")
+    assert circuit.name == "s432-rand"
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(KeyError, match="s432-rand"):
+        get_circuit("nope")
+
+
+def test_suites_are_disjoint_unions():
+    names = set(SUITE)
+    t1 = {c.name for c in table1_suite()}
+    t3 = {c.name for c in table3_suite()}
+    co = {c.name for c in count_only_suite()}
+    extra = {c.name for c in extra_suite()}
+    assert t1 | t3 | co | extra == names
+    assert not (t1 & t3) and not (extra & (t1 | t3 | co))
+
+
+def test_table1_path_count_spread():
+    """The suite must span several orders of magnitude of path counts
+    (the paper's 17k..57M spread, scaled)."""
+    totals = [count_paths(c).total_logical for c in table1_suite()]
+    assert min(totals) < 2_000
+    assert max(totals) > 1_000_000
+
+
+def test_count_only_monster_has_huge_path_count():
+    totals = [count_paths(c).total_logical for c in count_only_suite()]
+    assert max(totals) > 10**20  # the c6288 role
+
+
+def test_table3_circuits_are_baseline_sized():
+    for circuit in table3_suite():
+        assert len(circuit.inputs) <= 12
+        assert count_paths(circuit).total_logical < 2_000
+
+
+def test_table3_outputs_not_constant():
+    for circuit in table3_suite():
+        for po in circuit.outputs:
+            assert not is_po_constant(circuit, po), (
+                f"{circuit.name}: {circuit.gate_name(po)} is constant"
+            )
+
+
+def test_all_suite_circuits_build_and_freeze():
+    for name in SUITE:
+        circuit = get_circuit(name)
+        assert circuit.frozen
+        assert circuit.inputs and circuit.outputs

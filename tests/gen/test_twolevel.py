@@ -1,0 +1,85 @@
+"""Unit tests for random covers and the multi-level factoring pass."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.gen.twolevel import factored_circuit, random_cover
+from repro.logic.simulate import all_vectors, output_values
+
+
+class TestRandomCover:
+    def test_deterministic(self):
+        a = random_cover(6, 2, 10, seed=3)
+        b = random_cover(6, 2, 10, seed=3)
+        assert a.cubes == b.cubes
+
+    def test_every_output_covered(self):
+        for seed in range(6):
+            cover = random_cover(7, 3, 12, seed=seed)
+            for j in range(cover.num_outputs):
+                assert any(out[j] == "1" for _, out in cover.cubes), (
+                    f"seed {seed}: output {j} uncovered"
+                )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_cover(1, 1, 4)
+        with pytest.raises(ValueError):
+            random_cover(6, 3, 2)
+        with pytest.raises(ValueError):
+            random_cover(6, 1, 4, redundancy=1.5)
+
+    def test_redundancy_creates_specialised_cubes(self):
+        cover = random_cover(8, 2, 24, seed=1, redundancy=0.6)
+
+        def literals(cube):
+            return {
+                (i, lit) for i, lit in enumerate(cube) if lit != "-"
+            }
+
+        specialised = 0
+        for i, (cube_i, out_i) in enumerate(cover.cubes):
+            for j, (cube_j, out_j) in enumerate(cover.cubes):
+                if i == j:
+                    continue
+                if literals(cube_j) < literals(cube_i):
+                    specialised += 1
+                    break
+        assert specialised > 0
+
+
+class TestFactoredCircuit:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_function_preserved(self, seed):
+        cover = random_cover(7, 3, 14, seed=seed)
+        circuit = factored_circuit(cover)
+        for vector in all_vectors(7):
+            assert output_values(circuit, vector) == cover.evaluate(vector), (
+                f"seed {seed} vector {vector}"
+            )
+
+    def test_two_input_gates_only(self):
+        cover = random_cover(7, 2, 12, seed=2)
+        circuit = factored_circuit(cover)
+        for g in range(circuit.num_gates):
+            if circuit.gate_type(g) in (GateType.AND, GateType.OR):
+                assert len(circuit.fanin(g)) == 2
+
+    def test_sharing_creates_internal_fanout(self):
+        from repro.circuit.transforms import has_internal_fanout
+
+        cover = random_cover(8, 3, 20, seed=4, redundancy=0.5)
+        circuit = factored_circuit(cover)
+        assert has_internal_fanout(circuit)
+
+    def test_smaller_than_flat_two_level(self):
+        """Hash-consing + extraction shouldn't blow the netlist up
+        relative to the flat AND-OR form by more than the 2-input
+        decomposition factor."""
+        cover = random_cover(8, 3, 20, seed=4)
+        flat = cover.to_circuit()
+        multi = factored_circuit(cover)
+        literal_count = sum(
+            sum(1 for lit in cube if lit != "-") for cube, _ in cover.cubes
+        )
+        assert multi.num_gates <= flat.num_gates + literal_count

@@ -1,0 +1,92 @@
+"""Bit-parallel simulation validated against the scalar simulator."""
+
+import pytest
+
+from repro.atpg.stuckat import StuckAtFault, simulate_with_fault
+from repro.logic.bitsim import (
+    detected_faults,
+    pack_patterns,
+    random_patterns,
+    simulate_patterns,
+    simulate_words,
+)
+from repro.logic.simulate import all_vectors, output_values, simulate
+
+
+class TestPacking:
+    def test_pack_round_trip(self):
+        patterns = [(1, 0, 1), (0, 0, 0), (1, 1, 1)]
+        words, mask = pack_patterns(patterns)
+        assert mask == 0b111
+        for i, vector in enumerate(patterns):
+            for j, bit in enumerate(vector):
+                assert (words[j] >> i) & 1 == bit
+
+    def test_empty(self):
+        assert pack_patterns([]) == ([], 0)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            pack_patterns([(1, 0), (1,)])
+
+
+class TestAgainstScalarSim:
+    def test_exhaustive_agreement(self, small_circuits):
+        for circuit in small_circuits:
+            patterns = list(all_vectors(len(circuit.inputs)))
+            packed = simulate_patterns(circuit, patterns)
+            for vector, got in zip(patterns, packed):
+                assert got == output_values(circuit, vector), circuit.name
+
+    def test_every_net_agrees(self, small_circuits):
+        for circuit in small_circuits:
+            patterns = random_patterns(circuit, 100, seed=5)
+            words, mask = pack_patterns(patterns)
+            values = simulate_words(circuit, words, mask)
+            for i, vector in enumerate(patterns):
+                scalar = simulate(circuit, vector)
+                for g in range(circuit.num_gates):
+                    assert (values[g] >> i) & 1 == scalar[g]
+
+    def test_word_width_beyond_64(self, example_circuit):
+        """Python ints are unbounded: 1000 patterns in one pass."""
+        patterns = random_patterns(example_circuit, 1000, seed=1)
+        packed = simulate_patterns(example_circuit, patterns)
+        assert len(packed) == 1000
+        # Spot-check a tail pattern.
+        assert packed[977] == output_values(example_circuit, patterns[977])
+
+    def test_wrong_word_count(self, example_circuit):
+        with pytest.raises(ValueError):
+            simulate_words(example_circuit, [0], 1)
+
+
+class TestFaultGrading:
+    def test_detection_matches_scalar_fault_sim(self, small_circuits):
+        for circuit in small_circuits:
+            patterns = list(all_vectors(len(circuit.inputs)))
+            faults = [
+                StuckAtFault(lead, v)
+                for lead in range(circuit.num_leads)
+                for v in (0, 1)
+            ]
+            fast = detected_faults(circuit, patterns, faults)
+            for fault in faults:
+                slow = any(
+                    any(
+                        simulate(circuit, vec)[po]
+                        != simulate_with_fault(circuit, vec, fault)[po]
+                        for po in circuit.outputs
+                    )
+                    for vec in patterns
+                )
+                assert (fault in fast) == slow, (
+                    f"{circuit.name}: {fault.describe(circuit)}"
+                )
+
+    def test_no_patterns_detect_nothing(self, example_circuit):
+        assert detected_faults(example_circuit, [], [StuckAtFault(0, 0)]) == set()
+
+    def test_type_check(self, example_circuit):
+        with pytest.raises(TypeError):
+            detected_faults(example_circuit, [(0, 0, 0)], ["not-a-fault"])

@@ -1,0 +1,182 @@
+"""Unit tests for the trail-based implication engine."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.examples import paper_example_circuit, two_and_tree
+from repro.logic.implication import ImplicationEngine
+from repro.logic.values import X
+
+
+@pytest.fixture
+def engine(example_circuit):
+    return ImplicationEngine(example_circuit)
+
+
+class TestBasicAssume:
+    def test_assign_and_read(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        assert engine.assume(a, 1)
+        assert engine.value(a) == 1
+
+    def test_conflict_on_reassign(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        assert engine.assume(a, 1)
+        assert not engine.assume(a, 0)
+        assert engine.assume(a, 1)  # same value is consistent
+
+    def test_requires_frozen_circuit(self):
+        from repro.circuit.netlist import Circuit, CircuitError
+        from repro.circuit.gates import GateType
+
+        c = Circuit("t")
+        c.add_gate(GateType.PI, "a")
+        with pytest.raises(CircuitError):
+            ImplicationEngine(c)
+
+
+class TestForwardImplication:
+    def test_controlling_input_forces_output(self, example_circuit, engine):
+        c = example_circuit.gate_by_name("c")
+        g_and = example_circuit.gate_by_name("g_and")
+        assert engine.assume(c, 0)
+        assert engine.value(g_and) == 0  # AND with a 0 input
+
+    def test_all_nc_forces_output(self, example_circuit, engine):
+        b = example_circuit.gate_by_name("b")
+        c = example_circuit.gate_by_name("c")
+        g_and = example_circuit.gate_by_name("g_and")
+        assert engine.assume(b, 1)
+        assert engine.value(g_and) == X
+        assert engine.assume(c, 1)
+        assert engine.value(g_and) == 1
+
+    def test_propagates_to_po(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        out = example_circuit.outputs[0]
+        assert engine.assume(a, 1)
+        assert engine.value(out) == 1
+
+
+class TestBackwardImplication:
+    def test_uncontrolled_output_forces_all_inputs(self, example_circuit, engine):
+        g_or = example_circuit.gate_by_name("g_or")
+        assert engine.assume(g_or, 0)
+        for name in ("a", "c", "g_and"):
+            assert engine.value(example_circuit.gate_by_name(name)) == 0
+
+    def test_last_input_justification(self, example_circuit, engine):
+        g_and = example_circuit.gate_by_name("g_and")
+        b = example_circuit.gate_by_name("b")
+        c = example_circuit.gate_by_name("c")
+        assert engine.assume(g_and, 0)
+        assert engine.value(c) == X  # two candidates: no implication yet
+        assert engine.assume(b, 1)
+        assert engine.value(c) == 0  # last unassigned input must control
+
+    def test_not_gate_bidirectional(self):
+        b = CircuitBuilder("t")
+        a = b.pi("a")
+        n = b.not_(a, "n")
+        b.po(n, "out")
+        circuit = b.build()
+        engine = ImplicationEngine(circuit)
+        assert engine.assume(circuit.gate_by_name("n"), 1)
+        assert engine.value(a) == 0
+
+    def test_deep_backward_chain(self, and_tree):
+        engine = ImplicationEngine(and_tree)
+        root = and_tree.gate_by_name("root")
+        assert engine.assume(root, 1)  # AND=1 forces every leaf to 1
+        for name in "abcd":
+            assert engine.value(and_tree.gate_by_name(name)) == 1
+
+
+class TestConflictDetection:
+    def test_reconvergent_conflict(self, example_circuit, engine):
+        # g_or = 0 forces c = 0; then g_and = 1 needs c = 1: conflict.
+        g_or = example_circuit.gate_by_name("g_or")
+        g_and = example_circuit.gate_by_name("g_and")
+        assert engine.assume(g_or, 0)
+        assert not engine.assume(g_and, 1)
+
+    def test_conflict_preserves_trail_for_undo(self, example_circuit, engine):
+        mark = engine.mark()
+        g_or = example_circuit.gate_by_name("g_or")
+        engine.assume(g_or, 0)
+        engine.assume(example_circuit.gate_by_name("g_and"), 1)
+        engine.undo_to(mark)
+        assert engine.num_assigned() == 0
+        for g in range(example_circuit.num_gates):
+            assert engine.value(g) == X
+
+
+class TestTrail:
+    def test_mark_undo_nesting(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        c = example_circuit.gate_by_name("c")
+        m0 = engine.mark()
+        engine.assume(a, 0)
+        m1 = engine.mark()
+        engine.assume(c, 1)
+        engine.undo_to(m1)
+        assert engine.value(a) == 0
+        assert engine.value(c) == X
+        engine.undo_to(m0)
+        assert engine.value(a) == X
+
+    def test_reset(self, example_circuit, engine):
+        engine.assume(example_circuit.gate_by_name("a"), 1)
+        engine.reset()
+        assert engine.num_assigned() == 0
+
+    def test_assignment_snapshot(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        engine.assume(a, 1)
+        snapshot = engine.assignment()
+        assert snapshot[a] == 1
+
+    def test_assume_all(self, example_circuit, engine):
+        a = example_circuit.gate_by_name("a")
+        c = example_circuit.gate_by_name("c")
+        assert engine.assume_all([(a, 1), (c, 0)])
+        assert engine.value(a) == 1 and engine.value(c) == 0
+        assert not engine.assume_all([(a, 1), (a, 0)])
+
+
+class TestSoundness:
+    def test_implications_never_exclude_real_solutions(self, small_circuits):
+        """If the engine says 'consistent', there must exist no *proof*
+        requirement; but if it says 'conflict', truly no input vector
+        satisfies the assumption set.  Verified by brute force."""
+        from itertools import product
+
+        from repro.logic.simulate import all_vectors, simulate
+
+        for circuit in small_circuits:
+            n = len(circuit.inputs)
+            gate_ids = list(range(circuit.num_gates))
+            # try all (gate, value) pairs and pairs of pairs
+            singles = [((g, v),) for g in gate_ids for v in (0, 1)]
+            import random
+
+            rng = random.Random(0)
+            doubles = [
+                tuple(rng.sample(singles, 2)[0] + rng.sample(singles, 2)[1])
+                for _ in range(30)
+            ]
+            for assumption in singles + doubles:
+                engine = ImplicationEngine(circuit)
+                ok = engine.assume_all(list(assumption))
+                satisfiable = any(
+                    all(
+                        simulate(circuit, vec)[g] == v
+                        for g, v in assumption
+                    )
+                    for vec in all_vectors(n)
+                )
+                if not ok:
+                    assert not satisfiable, (
+                        f"{circuit.name}: engine reported conflict for "
+                        f"satisfiable assumptions {assumption}"
+                    )

@@ -1,0 +1,72 @@
+"""Unit tests for binary/ternary full simulation."""
+
+import pytest
+
+from repro.circuit.examples import paper_example_circuit
+from repro.logic.simulate import (
+    all_vectors,
+    output_values,
+    simulate,
+    simulate_ternary,
+    truth_table,
+)
+from repro.logic.values import X
+
+
+def test_simulate_known_vectors(example_circuit):
+    values = simulate(example_circuit, (1, 1, 1))
+    assert values[example_circuit.gate_by_name("g_and")] == 1
+    assert values[example_circuit.outputs[0]] == 1
+    values = simulate(example_circuit, (0, 1, 0))
+    assert values[example_circuit.outputs[0]] == 0
+
+
+def test_simulate_wrong_width(example_circuit):
+    with pytest.raises(ValueError):
+        simulate(example_circuit, (0, 1))
+
+
+def test_ternary_partial_assignment(example_circuit):
+    a = example_circuit.gate_by_name("a")
+    values = simulate_ternary(example_circuit, {a: 1})
+    # a=1 controls the OR regardless of b, c.
+    assert values[example_circuit.outputs[0]] == 1
+    values = simulate_ternary(example_circuit, {a: 0})
+    assert values[example_circuit.outputs[0]] == X
+
+
+def test_ternary_agrees_with_binary_when_fully_assigned(example_circuit):
+    for vector in all_vectors(3):
+        full = dict(zip(example_circuit.inputs, vector))
+        assert simulate_ternary(example_circuit, full) == simulate(
+            example_circuit, vector
+        )
+
+
+def test_truth_table_shape():
+    table = truth_table(paper_example_circuit())
+    assert len(table) == 8
+    assert all(len(row) == 1 for row in table)
+
+
+def test_truth_table_refuses_wide_circuits():
+    from repro.gen.parity import parity_tree
+
+    with pytest.raises(ValueError):
+        truth_table(parity_tree(24))
+
+
+def test_all_vectors_msb_order():
+    vectors = list(all_vectors(2))
+    assert vectors == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_output_values_order():
+    from repro.circuit.builder import CircuitBuilder
+
+    b = CircuitBuilder("t")
+    a, c = b.pi("a"), b.pi("c")
+    b.po(a, "first")
+    b.po(c, "second")
+    circuit = b.build()
+    assert output_values(circuit, (1, 0)) == (1, 0)

@@ -1,0 +1,59 @@
+"""Unit tests for the ternary value algebra."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.logic.values import (
+    X,
+    controlled_output,
+    ternary_gate_eval,
+    uncontrolled_output,
+)
+
+
+class TestTernaryEval:
+    def test_controlling_input_decides_despite_x(self):
+        assert ternary_gate_eval(GateType.AND, [0, X, X]) == 0
+        assert ternary_gate_eval(GateType.NAND, [X, 0]) == 1
+        assert ternary_gate_eval(GateType.OR, [1, X]) == 1
+        assert ternary_gate_eval(GateType.NOR, [X, 1, X]) == 0
+
+    def test_all_noncontrolling_decides(self):
+        assert ternary_gate_eval(GateType.AND, [1, 1]) == 1
+        assert ternary_gate_eval(GateType.NOR, [0, 0]) == 1
+
+    def test_unknown_when_undetermined(self):
+        assert ternary_gate_eval(GateType.AND, [1, X]) == X
+        assert ternary_gate_eval(GateType.OR, [0, X]) == X
+
+    def test_not_and_wires(self):
+        assert ternary_gate_eval(GateType.NOT, [X]) == X
+        assert ternary_gate_eval(GateType.NOT, [0]) == 1
+        assert ternary_gate_eval(GateType.BUF, [X]) == X
+        assert ternary_gate_eval(GateType.PO, [1]) == 1
+
+    def test_binary_agreement_with_evaluate_gate(self):
+        from itertools import product
+
+        from repro.circuit.gates import evaluate_gate
+
+        for gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR):
+            for inputs in product((0, 1), repeat=3):
+                assert ternary_gate_eval(gtype, inputs) == evaluate_gate(
+                    gtype, inputs
+                )
+
+
+class TestControlledOutputs:
+    @pytest.mark.parametrize(
+        "gtype,ctrl_out,nc_out",
+        [
+            (GateType.AND, 0, 1),
+            (GateType.NAND, 1, 0),
+            (GateType.OR, 1, 0),
+            (GateType.NOR, 0, 1),
+        ],
+    )
+    def test_values(self, gtype, ctrl_out, nc_out):
+        assert controlled_output(gtype) == ctrl_out
+        assert uncontrolled_output(gtype) == nc_out

@@ -1,0 +1,64 @@
+"""Unit tests for DP path counting (validated against enumeration)."""
+
+from repro.circuit.examples import paper_example_circuit, two_and_tree
+from repro.gen.multiplier import array_multiplier
+from repro.gen.parity import parity_tree
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_logical_paths, enumerate_physical_paths
+
+
+def test_paper_example_counts():
+    counts = count_paths(paper_example_circuit())
+    assert counts.total_physical == 4
+    assert counts.total_logical == 8
+
+
+def test_counts_match_enumeration(small_circuits):
+    for circuit in small_circuits:
+        counts = count_paths(circuit)
+        assert counts.total_physical == sum(
+            1 for _ in enumerate_physical_paths(circuit)
+        )
+        assert counts.total_logical == sum(
+            1 for _ in enumerate_logical_paths(circuit)
+        )
+
+
+def test_per_lead_counts_match_enumeration(small_circuits):
+    for circuit in small_circuits:
+        counts = count_paths(circuit)
+        per_lead = [0] * circuit.num_leads
+        for p in enumerate_physical_paths(circuit):
+            for lead in p.leads:
+                per_lead[lead] += 1
+        assert list(counts.through_lead) == per_lead
+
+
+def test_remark4_identities():
+    """|LP_c(l)| = 1/2 |LP(l)| = |P(l)| (Remark 4 of the paper)."""
+    counts = count_paths(paper_example_circuit())
+    for lead in range(counts.circuit.num_leads):
+        p = counts.physical_through_lead(lead)
+        assert counts.logical_through_lead(lead) == 2 * p
+        assert counts.controlling_logical_through_lead(lead) == p
+
+
+def test_tree_counts():
+    counts = count_paths(two_and_tree())
+    assert counts.total_physical == 4  # one path per leaf in a tree
+
+
+def test_bigint_counting_no_overflow():
+    circuit = array_multiplier(12)
+    counts = count_paths(circuit)
+    assert counts.total_logical > 10**15  # exact big-int arithmetic
+    # consistency: total equals the PO-side sum
+    assert counts.total_physical == sum(counts.up[po] for po in circuit.outputs)
+
+
+def test_up_down_consistency():
+    circuit = parity_tree(16)
+    counts = count_paths(circuit)
+    pi_side = sum(counts.down[pi] for pi in circuit.inputs)
+    po_side = sum(counts.up[po] for po in circuit.outputs)
+    assert pi_side == po_side == counts.total_physical

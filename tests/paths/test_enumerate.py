@@ -1,0 +1,49 @@
+"""Unit tests for explicit path enumeration."""
+
+import pytest
+
+from repro.circuit.examples import paper_example_circuit
+from repro.paths.enumerate import enumerate_logical_paths, enumerate_physical_paths
+from repro.paths.path import FALLING, RISING
+
+
+def test_expected_paths_of_paper_example():
+    circuit = paper_example_circuit()
+    descriptions = sorted(
+        p.describe(circuit) for p in enumerate_physical_paths(circuit)
+    )
+    assert descriptions == [
+        "a -> g_or -> out",
+        "b -> g_and -> g_or -> out",
+        "c -> g_and -> g_or -> out",
+        "c -> g_or -> out",
+    ]
+
+
+def test_logical_paths_pair_up():
+    circuit = paper_example_circuit()
+    logical = list(enumerate_logical_paths(circuit))
+    assert len(logical) == 8
+    rising = [lp for lp in logical if lp.final_value == RISING]
+    falling = [lp for lp in logical if lp.final_value == FALLING]
+    assert len(rising) == len(falling) == 4
+    assert {lp.path for lp in rising} == {lp.path for lp in falling}
+
+
+def test_paths_are_unique():
+    circuit = paper_example_circuit()
+    paths = list(enumerate_physical_paths(circuit))
+    assert len(set(paths)) == len(paths)
+
+
+def test_limit_guard():
+    from repro.gen.parity import parity_tree
+
+    circuit = parity_tree(16)
+    with pytest.raises(RuntimeError):
+        list(enumerate_physical_paths(circuit, limit=10))
+
+
+def test_limit_none_disables_guard():
+    circuit = paper_example_circuit()
+    assert len(list(enumerate_physical_paths(circuit, limit=None))) == 4

@@ -1,0 +1,106 @@
+"""Unit tests for physical/logical path objects."""
+
+import pytest
+
+from repro.paths.enumerate import enumerate_physical_paths
+from repro.paths.path import (
+    FALLING,
+    RISING,
+    LogicalPath,
+    PhysicalPath,
+    path_parity,
+)
+
+
+def path_by_names(circuit, *gate_names):
+    """Find the physical path visiting exactly these gates (by name)."""
+    want = tuple(gate_names)
+    for p in enumerate_physical_paths(circuit):
+        names = tuple(circuit.gate_name(g) for g in p.gates(circuit))
+        if names == want:
+            return p
+    raise AssertionError(f"no path {want}")
+
+
+class TestPhysicalPath:
+    def test_gates_reconstruction(self, example_circuit):
+        p = path_by_names(example_circuit, "b", "g_and", "g_or", "out")
+        assert [example_circuit.gate_name(g) for g in p.gates(example_circuit)] == [
+            "b", "g_and", "g_or", "out",
+        ]
+        assert example_circuit.gate_name(p.source(example_circuit)) == "b"
+        assert example_circuit.gate_name(p.sink(example_circuit)) == "out"
+        assert len(p) == 3
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalPath(())
+
+    def test_validate_accepts_real_paths(self, example_circuit):
+        for p in enumerate_physical_paths(example_circuit):
+            p.validate(example_circuit)
+
+    def test_validate_rejects_disconnected_leads(self, example_circuit):
+        paths = list(enumerate_physical_paths(example_circuit))
+        a_path = path_by_names(example_circuit, "a", "g_or", "out")
+        b_path = path_by_names(example_circuit, "b", "g_and", "g_or", "out")
+        frankenstein = PhysicalPath((b_path.leads[0], a_path.leads[0]))
+        with pytest.raises(ValueError):
+            frankenstein.validate(example_circuit)
+
+    def test_describe(self, example_circuit):
+        p = path_by_names(example_circuit, "a", "g_or", "out")
+        assert p.describe(example_circuit) == "a -> g_or -> out"
+
+
+class TestLogicalPath:
+    def test_final_value_validation(self, example_circuit):
+        p = path_by_names(example_circuit, "a", "g_or", "out")
+        with pytest.raises(ValueError):
+            LogicalPath(p, 2)
+
+    def test_transition_names(self, example_circuit):
+        p = path_by_names(example_circuit, "a", "g_or", "out")
+        assert LogicalPath(p, RISING).transition == "0->1"
+        assert LogicalPath(p, FALLING).transition == "1->0"
+
+    def test_value_propagation_no_inversion(self, example_circuit):
+        p = path_by_names(example_circuit, "b", "g_and", "g_or", "out")
+        lp = LogicalPath(p, RISING)
+        # AND and OR do not invert: value stays 1 along the path.
+        for pos in range(4):
+            assert lp.value_at(example_circuit, pos) == 1
+        assert lp.output_value(example_circuit) == 1
+
+    def test_value_propagation_with_inversion(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(3, invert=True)
+        p = next(iter(enumerate_physical_paths(circuit)))
+        lp = LogicalPath(p, RISING)
+        # three NOTs then PO: values 1,0,1,0,0(po copies)
+        assert [lp.value_at(circuit, i) for i in range(5)] == [1, 0, 1, 0, 0]
+
+    def test_value_at_bounds(self, example_circuit):
+        p = path_by_names(example_circuit, "a", "g_or", "out")
+        lp = LogicalPath(p, RISING)
+        with pytest.raises(IndexError):
+            lp.value_at(example_circuit, 17)
+
+    def test_hashable_and_equal(self, example_circuit):
+        p = path_by_names(example_circuit, "a", "g_or", "out")
+        assert LogicalPath(p, 1) == LogicalPath(PhysicalPath(p.leads), 1)
+        assert len({LogicalPath(p, 1), LogicalPath(p, 1)}) == 1
+
+
+class TestParity:
+    def test_parity_counts_inverting_gates(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(4, invert=True)
+        p = next(iter(enumerate_physical_paths(circuit)))
+        assert path_parity(circuit, p.leads) == 0  # 4 NOTs cancel
+
+        circuit = chain_circuit(3, invert=True)
+        p = next(iter(enumerate_physical_paths(circuit)))
+        assert path_parity(circuit, p.leads) == 1

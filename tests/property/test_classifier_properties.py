@@ -1,0 +1,71 @@
+"""Property-based tests of the core soundness claims (Algorithm 2,
+Lemma 1, Lemma 2) on random circuits."""
+
+from hypothesis import given, settings
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import exact_lp_sigma, exact_path_set
+from repro.sorting.heuristics import heuristic1_sort
+from repro.sorting.input_sort import InputSort
+
+from tests.strategies import small_circuits
+
+
+def _approx(circuit, criterion, sort=None):
+    accepted = set()
+    classify(circuit, criterion, sort=sort, on_path=accepted.add)
+    return accepted
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_superset_soundness_fs_nr(circuit):
+    for criterion in (Criterion.FS, Criterion.NR):
+        assert exact_path_set(circuit, criterion) <= _approx(circuit, criterion)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_superset_soundness_sigma(circuit):
+    sort = InputSort.pin_order(circuit)
+    exact = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+    assert exact <= _approx(circuit, Criterion.SIGMA_PI, sort)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_lemma2_equivalence(circuit):
+    """Conditions (π1)-(π3) characterise exactly LP(σ^π)."""
+    sort = heuristic1_sort(circuit)
+    assert exact_path_set(circuit, Criterion.SIGMA_PI, sort) == exact_lp_sigma(
+        circuit, sort
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_lemma1_hierarchy(circuit):
+    t_set = exact_path_set(circuit, Criterion.NR)
+    fs_set = exact_path_set(circuit, Criterion.FS)
+    for sort in (InputSort.pin_order(circuit), heuristic1_sort(circuit)):
+        sigma = exact_path_set(circuit, Criterion.SIGMA_PI, sort)
+        assert t_set <= sigma <= fs_set
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=12))
+def test_nr_accepted_subset_of_fs_accepted(circuit):
+    """Monotonicity of the approximation: stronger conditions can only
+    lose paths (this underpins Heuristic 2's non-negative measure)."""
+    assert _approx(circuit, Criterion.NR) <= _approx(circuit, Criterion.FS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=12))
+def test_sigma_between_nr_and_fs_supersets(circuit):
+    sort = InputSort.pin_order(circuit)
+    nr = _approx(circuit, Criterion.NR)
+    fs = _approx(circuit, Criterion.FS)
+    sigma = _approx(circuit, Criterion.SIGMA_PI, sort)
+    assert nr <= sigma <= fs

@@ -1,0 +1,36 @@
+"""Property-based tests: path counting vs enumeration on random circuits."""
+
+from hypothesis import given, settings
+
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_physical_paths
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=60, deadline=None)
+@given(circuit=small_circuits())
+def test_dp_count_equals_enumeration(circuit):
+    counts = count_paths(circuit)
+    enumerated = list(enumerate_physical_paths(circuit, limit=None))
+    assert counts.total_physical == len(enumerated)
+
+
+@settings(max_examples=60, deadline=None)
+@given(circuit=small_circuits())
+def test_per_lead_counts_are_consistent(circuit):
+    counts = count_paths(circuit)
+    per_lead = [0] * circuit.num_leads
+    for p in enumerate_physical_paths(circuit, limit=None):
+        for lead in p.leads:
+            per_lead[lead] += 1
+    assert list(counts.through_lead) == per_lead
+
+
+@settings(max_examples=60, deadline=None)
+@given(circuit=small_circuits())
+def test_pi_po_count_duality(circuit):
+    counts = count_paths(circuit)
+    assert sum(counts.down[pi] for pi in circuit.inputs) == sum(
+        counts.up[po] for po in circuit.outputs
+    )

@@ -1,0 +1,72 @@
+"""Property-based tests: the implication engine never reports a false
+conflict, and its derived values are logically entailed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.implication import ImplicationEngine
+from repro.logic.simulate import all_vectors, simulate
+from repro.logic.values import X
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=50, deadline=None)
+@given(circuit=small_circuits(), data=st.data())
+def test_no_false_conflicts(circuit, data):
+    """If the engine reports a conflict for a set of net assumptions, no
+    input vector realises them (brute-force check)."""
+    num = data.draw(st.integers(1, 3))
+    assumptions = [
+        (
+            data.draw(st.integers(0, circuit.num_gates - 1)),
+            data.draw(st.integers(0, 1)),
+        )
+        for _ in range(num)
+    ]
+    engine = ImplicationEngine(circuit)
+    ok = engine.assume_all(assumptions)
+    if not ok:
+        for vector in all_vectors(len(circuit.inputs)):
+            values = simulate(circuit, vector)
+            assert not all(values[g] == v for g, v in assumptions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(circuit=small_circuits(), data=st.data())
+def test_derived_values_are_entailed(circuit, data):
+    """Every value the engine derives must hold in every input vector
+    consistent with the assumptions."""
+    gate = data.draw(st.integers(0, circuit.num_gates - 1))
+    value = data.draw(st.integers(0, 1))
+    engine = ImplicationEngine(circuit)
+    if not engine.assume(gate, value):
+        return
+    derived = engine.assignment()
+    consistent = [
+        simulate(circuit, vector)
+        for vector in all_vectors(len(circuit.inputs))
+        if simulate(circuit, vector)[gate] == value
+    ]
+    for values in consistent:
+        for g, v in derived.items():
+            assert values[g] == v, (
+                f"derived {circuit.gate_name(g)}={v} not entailed"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=small_circuits(), data=st.data())
+def test_undo_restores_exactly(circuit, data):
+    engine = ImplicationEngine(circuit)
+    snapshots = []
+    for _ in range(data.draw(st.integers(1, 4))):
+        snapshots.append(
+            (engine.mark(), [engine.value(g) for g in range(circuit.num_gates)])
+        )
+        gate = data.draw(st.integers(0, circuit.num_gates - 1))
+        value = data.draw(st.integers(0, 1))
+        engine.assume(gate, value)
+    for mark, expected in reversed(snapshots):
+        engine.undo_to(mark)
+        assert [engine.value(g) for g in range(circuit.num_gates)] == expected

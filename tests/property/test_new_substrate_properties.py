@@ -1,0 +1,110 @@
+"""Property-based tests for the newer substrates: bit-parallel
+simulation, fault collapsing, the ATPG flow, simplification, STA and
+k-longest paths, TPG."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=small_circuits(), data=st.data())
+def test_bitsim_matches_scalar(circuit, data):
+    from repro.logic.bitsim import pack_patterns, simulate_words
+    from repro.logic.simulate import simulate
+
+    count = data.draw(st.integers(1, 80))
+    patterns = [
+        tuple(data.draw(st.integers(0, 1)) for _ in circuit.inputs)
+        for _ in range(count)
+    ]
+    words, mask = pack_patterns(patterns)
+    values = simulate_words(circuit, words, mask)
+    probe = data.draw(st.integers(0, count - 1))
+    scalar = simulate(circuit, patterns[probe])
+    for g in range(circuit.num_gates):
+        assert (values[g] >> probe) & 1 == scalar[g]
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_collapse_classes_equivalent(circuit, data):
+    from repro.atpg.collapse import equivalence_classes
+    from repro.atpg.stuckat import simulate_with_fault
+    from repro.logic.simulate import all_vectors, simulate
+
+    classes = [cls for cls in equivalence_classes(circuit) if len(cls) > 1]
+    if not classes:
+        return
+    cls = classes[data.draw(st.integers(0, len(classes) - 1))]
+    vectors = list(all_vectors(len(circuit.inputs)))
+    signatures = set()
+    for fault in cls:
+        sig = tuple(
+            tuple(
+                simulate(circuit, v)[po] != simulate_with_fault(circuit, v, fault)[po]
+                for po in circuit.outputs
+            )
+            for v in vectors
+        )
+        signatures.add(sig)
+    assert len(signatures) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(circuit=small_circuits(max_gates=9))
+def test_atpg_flow_is_complete_and_sound(circuit):
+    from repro.atpg.flow import run_atpg
+    from repro.atpg.stuckat import is_redundant
+    from repro.logic.bitsim import detected_faults
+
+    result = run_atpg(circuit, random_burst=8)
+    assert result.coverage == 1.0
+    assert not result.aborted
+    regraded = detected_faults(circuit, result.patterns, result.detected)
+    assert regraded == result.detected
+    for fault in result.redundant:
+        assert is_redundant(circuit, fault)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=12))
+def test_sweep_preserves_function(circuit):
+    from repro.circuit.simplify import sweep
+    from repro.logic.simulate import truth_table
+
+    assert truth_table(sweep(circuit)) == truth_table(circuit)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_sta_and_kpaths_consistent(circuit, data):
+    from repro.timing.delays import random_delays
+    from repro.timing.kpaths import iter_paths_by_delay
+    from repro.timing.pathdelay import logical_path_delay
+    from repro.timing.sta import static_timing
+
+    delays = random_delays(circuit, seed=data.draw(st.integers(0, 500)))
+    report = static_timing(circuit, delays)
+    produced = list(iter_paths_by_delay(circuit, delays))
+    values = [d for d, _ in produced]
+    assert values == sorted(values, reverse=True)
+    assert abs(values[0] - report.critical_delay) < 1e-9
+    for delay, lp in produced[:5]:
+        assert abs(delay - logical_path_delay(circuit, lp, delays)) < 1e-9
+
+
+@settings(max_examples=8, deadline=None)
+@given(circuit=small_circuits(max_gates=9))
+def test_tpg_claims_survive_resimulation(circuit):
+    from repro.delaytest.simulator import simulate_test_set
+    from repro.delaytest.tpg import generate_test_set
+    from repro.paths.enumerate import enumerate_logical_paths
+
+    targets = list(enumerate_logical_paths(circuit))
+    result = generate_test_set(circuit, targets)
+    resim = simulate_test_set(circuit, result.pairs)
+    for lp in result.covered:
+        assert lp in resim.robust
+    assert set(result.covered) | set(result.untestable) == set(targets)

@@ -1,0 +1,63 @@
+"""Property-based round trips: bench serialisation, leaf-dag unfolding,
+and testability hierarchy on random circuits."""
+
+from hypothesis import given, settings
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.transforms import unfold_leaf_dag
+from repro.delaytest.testability import (
+    fs_vector,
+    is_nonrobustly_testable,
+    is_robustly_testable,
+)
+from repro.logic.simulate import truth_table
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_logical_paths
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=small_circuits())
+def test_bench_round_trip_function(circuit):
+    again = parse_bench(write_bench(circuit))
+    assert truth_table(again) == truth_table(circuit)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=8))
+def test_leaf_dag_preserves_function_and_paths(circuit):
+    for po in circuit.outputs:
+        dag = unfold_leaf_dag(circuit, po, max_gates=20_000)
+        cone, _ = circuit.extract_cone(po)
+        assert truth_table(dag.circuit) == truth_table(cone)
+        assert (
+            count_paths(dag.circuit).total_physical
+            == count_paths(cone).total_physical
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(circuit=small_circuits(max_gates=8))
+def test_generated_robust_tests_simulate_as_covering(circuit):
+    """The SAT test generator and the fault simulator agree: every
+    generated robust pair robustly covers its target path."""
+    from repro.delaytest.simulator import sensitized_paths
+    from repro.delaytest.testability import robust_test
+
+    for lp in enumerate_logical_paths(circuit):
+        pair = robust_test(circuit, lp)
+        if pair is not None:
+            assert lp in sensitized_paths(circuit, *pair).robust
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=small_circuits(max_gates=8))
+def test_testability_hierarchy(circuit):
+    """robust ⊆ non-robust ⊆ functionally sensitizable, path by path."""
+    for lp in enumerate_logical_paths(circuit):
+        robust = is_robustly_testable(circuit, lp)
+        nonrobust = is_nonrobustly_testable(circuit, lp)
+        fs = fs_vector(circuit, lp) is not None
+        assert (not robust) or nonrobust
+        assert (not nonrobust) or fs

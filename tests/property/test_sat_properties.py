@@ -1,0 +1,76 @@
+"""Property-based fuzzing of the SAT solver and stuck-at redundancy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.cnf import CNF
+from repro.atpg.sat import Solver, brute_force_sat
+from repro.atpg.stuckat import (
+    StuckAtFault,
+    is_redundant,
+    is_redundant_brute_force,
+)
+
+from tests.strategies import small_circuits
+
+
+@st.composite
+def cnfs(draw):
+    nv = draw(st.integers(2, 10))
+    cnf = CNF(nv)
+    for _ in range(draw(st.integers(1, 30))):
+        k = draw(st.integers(1, 4))
+        lits = draw(
+            st.lists(
+                st.integers(1, nv).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        cnf.add_clause(lits)
+    return cnf
+
+
+@settings(max_examples=120, deadline=None)
+@given(cnf=cnfs())
+def test_solver_matches_brute_force(cnf):
+    result = Solver(cnf).solve()
+    assert result.sat == brute_force_sat(cnf)
+    if result.sat:
+        assert cnf.evaluate(result.model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf=cnfs(), data=st.data())
+def test_solver_with_assumptions(cnf, data):
+    lit = data.draw(st.integers(1, cnf.num_vars))
+    if data.draw(st.booleans()):
+        lit = -lit
+    result = Solver(cnf).solve(assumptions=[lit])
+    # Oracle: add the assumption as a unit clause and brute force.
+    cnf.add_clause([lit])
+    assert result.sat == brute_force_sat(cnf)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=9), data=st.data())
+def test_redundancy_matches_brute_force(circuit, data):
+    lead = data.draw(st.integers(0, circuit.num_leads - 1))
+    value = data.draw(st.integers(0, 1))
+    fault = StuckAtFault(lead, value)
+    assert is_redundant(circuit, fault) == is_redundant_brute_force(
+        circuit, fault
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=9), data=st.data())
+def test_podem_agrees_with_sat(circuit, data):
+    from repro.atpg.podem import podem
+
+    lead = data.draw(st.integers(0, circuit.num_leads - 1))
+    value = data.draw(st.integers(0, 1))
+    fault = StuckAtFault(lead, value)
+    assert podem(circuit, fault).testable == (not is_redundant(circuit, fault))

@@ -1,0 +1,64 @@
+"""Property-based tests for path selection and the scan expansion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_threshold_selection_is_exact_cut(circuit, data):
+    from repro.paths.enumerate import enumerate_logical_paths
+    from repro.selection.strategies import select_by_threshold
+    from repro.timing.delays import random_delays
+    from repro.timing.pathdelay import logical_path_delay
+
+    delays = random_delays(circuit, seed=data.draw(st.integers(0, 100)))
+    every = list(enumerate_logical_paths(circuit))
+    threshold = data.draw(
+        st.floats(0.0, 1.0)
+    ) * max(logical_path_delay(circuit, lp, delays) for lp in every)
+    sel = select_by_threshold(circuit, delays, threshold, lambda lp: True)
+    chosen = set(sel.selected)
+    for lp in every:
+        slow = logical_path_delay(circuit, lp, delays) >= threshold
+        assert (lp in chosen) == slow
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_lazy_threshold_equals_eager(circuit, data):
+    from repro.selection.strategies import (
+        select_by_threshold,
+        select_by_threshold_lazy,
+    )
+    from repro.timing.delays import random_delays
+    from repro.timing.sta import static_timing
+
+    delays = random_delays(circuit, seed=data.draw(st.integers(0, 100)))
+    fraction = data.draw(st.floats(0.1, 1.0))
+    threshold = fraction * static_timing(circuit, delays).critical_delay
+    eager = select_by_threshold(circuit, delays, threshold, lambda lp: True)
+    lazy = select_by_threshold_lazy(
+        circuit, delays, threshold, lambda lp: True
+    )
+    assert set(lazy.selected) == set(eager.selected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_scan_next_state_matches_manual_simulation(data):
+    """The ScanCircuit next_state hook equals hand-wiring the core."""
+    from repro.circuit.sequential import S27_LIKE, parse_sequential_bench
+    from repro.logic.simulate import simulate
+
+    scan = parse_sequential_bench(S27_LIKE)
+    vector = tuple(
+        data.draw(st.integers(0, 1)) for _ in scan.core.inputs
+    )
+    values = simulate(scan.core, vector)
+    expected = tuple(
+        values[po] for _pi, po in scan.flipflops.values()
+    )
+    assert scan.next_state(vector) == expected

@@ -1,0 +1,51 @@
+"""Property-based tests of Algorithm 1 and Theorem 1 on random circuits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.simulate import all_vectors
+from repro.stabilize.system import compute_stabilizing_system
+from repro.timing.delays import random_delays
+from repro.timing.eventsim import EventSimulator, random_initial_state
+from repro.timing.pathdelay import max_system_delay
+
+from tests.strategies import small_circuits
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_stabilizing_system_stabilizes(circuit, data):
+    vector = tuple(
+        data.draw(st.integers(0, 1)) for _ in circuit.inputs
+    )
+    for po in circuit.outputs:
+        system = compute_stabilizing_system(circuit, po, vector)
+        assert system.stabilizes(trials=8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_theorem1_settle_bound(circuit, data):
+    vector = tuple(data.draw(st.integers(0, 1)) for _ in circuit.inputs)
+    delays = random_delays(circuit, seed=data.draw(st.integers(0, 1000)))
+    sim = EventSimulator(circuit, delays)
+    initial = random_initial_state(circuit, data.draw(st.integers(0, 1000)))
+    changes = sim.run(vector, initial)
+    for po in circuit.outputs:
+        system = compute_stabilizing_system(circuit, po, vector)
+        bound = max_system_delay(system, delays)
+        assert changes.get(po, 0.0) <= bound + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_systems_cover_every_vector(circuit):
+    """Algorithm 1 terminates with a well-formed system for every vector
+    and PO: the system's paths all start at PIs with the right values."""
+    for vector in all_vectors(len(circuit.inputs)):
+        for po in circuit.outputs:
+            system = compute_stabilizing_system(circuit, po, vector)
+            pi_value = dict(zip(circuit.inputs, vector))
+            for lp in system.logical_paths():
+                assert lp.final_value == pi_value[lp.path.source(circuit)]
+                assert lp.path.sink(circuit) == po

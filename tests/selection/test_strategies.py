@@ -1,0 +1,156 @@
+"""Unit tests for the Section-VI path selection strategies."""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.selection.strategies import (
+    select_by_threshold,
+    select_longest_per_po,
+    select_per_lead_limit,
+)
+from repro.sorting.heuristics import heuristic2_sort
+from repro.timing.delays import unit_delays
+from repro.timing.pathdelay import logical_path_delay
+
+
+@pytest.fixture
+def must_test(example_circuit):
+    accepted = set()
+    classify(
+        example_circuit,
+        Criterion.SIGMA_PI,
+        sort=heuristic2_sort(example_circuit),
+        on_path=accepted.add,
+    )
+    return accepted
+
+
+class TestThreshold:
+    def test_selects_slow_paths_only(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        sel = select_by_threshold(example_circuit, delays, 3.0, must_test)
+        # Only the 3-gate paths (through the AND) have delay >= 3.
+        assert all(len(lp.path) == 3 for lp in sel.selected)
+        assert len(sel.selected) == 4
+
+    def test_rd_filter_is_intersection(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        sel = select_by_threshold(example_circuit, delays, 0.0, must_test)
+        assert set(sel.selected) == set(
+            enumerate_logical_paths(example_circuit)
+        )
+        assert set(sel.selected_non_rd) == must_test
+        assert sel.saving == 3
+
+    def test_callable_predicate(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        sel = select_by_threshold(
+            example_circuit, delays, 0.0, lambda lp: lp.final_value == 1
+        )
+        assert all(lp.final_value == 1 for lp in sel.selected_non_rd)
+
+    def test_str(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        text = str(select_by_threshold(example_circuit, delays, 3.0, must_test))
+        assert "threshold" in text and "saved" in text
+
+
+class TestLazyThreshold:
+    def test_matches_eager(self, example_circuit, must_test):
+        from repro.selection.strategies import select_by_threshold_lazy
+
+        delays = unit_delays(example_circuit)
+        for threshold in (0.0, 2.5, 3.0, 99.0):
+            eager = select_by_threshold(
+                example_circuit, delays, threshold, must_test
+            )
+            lazy = select_by_threshold_lazy(
+                example_circuit, delays, threshold, must_test
+            )
+            assert set(lazy.selected) == set(eager.selected)
+            assert set(lazy.selected_non_rd) == set(eager.selected_non_rd)
+
+    def test_huge_circuit_slice(self, must_test):
+        """Lazy selection slices the top of a circuit whose total path
+        population could never be enumerated."""
+        from repro.gen.multiplier import array_multiplier
+        from repro.selection.strategies import select_by_threshold_lazy
+        from repro.timing.delays import random_delays
+        from repro.timing.sta import static_timing
+
+        circuit = array_multiplier(12)
+        # Continuous random delays keep the above-threshold slice small
+        # (unit delays would put millions of tied paths at the top).
+        delays = random_delays(circuit, seed=4)
+        critical = static_timing(circuit, delays).critical_delay
+        sel = select_by_threshold_lazy(
+            circuit, delays, 0.98 * critical, lambda lp: True
+        )
+        assert sel.selected  # at least the critical path
+        from repro.timing.pathdelay import logical_path_delay
+
+        for lp in sel.selected:
+            assert logical_path_delay(circuit, lp, delays) >= 0.98 * critical
+
+
+class TestPerLead:
+    def test_every_lead_covered_up_to_quota(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        sel = select_per_lead_limit(example_circuit, delays, 1, must_test)
+        covered = set()
+        for lp in sel.selected:
+            covered.update(lp.path.leads)
+        assert covered == set(range(example_circuit.num_leads))
+
+    def test_quota_validation(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        with pytest.raises(ValueError):
+            select_per_lead_limit(example_circuit, delays, 0, must_test)
+
+    def test_filtered_selection_only_non_rd(self, example_circuit, must_test):
+        delays = unit_delays(example_circuit)
+        sel = select_per_lead_limit(example_circuit, delays, 2, must_test)
+        assert all(lp in must_test for lp in sel.selected_non_rd)
+
+    def test_prefers_slower_paths(self, mux):
+        delays = unit_delays(mux)
+        sel = select_per_lead_limit(mux, delays, 1, lambda lp: True)
+        # The very slowest path must be selected (its leads were free).
+        slowest = max(
+            enumerate_logical_paths(mux),
+            key=lambda lp: logical_path_delay(mux, lp, delays),
+        )
+        assert any(
+            logical_path_delay(mux, lp, delays)
+            == logical_path_delay(mux, slowest, delays)
+            for lp in sel.selected
+        )
+
+
+class TestPerPo:
+    def test_per_po_counts(self, small_circuits):
+        for circuit in small_circuits:
+            delays = unit_delays(circuit)
+            sel = select_longest_per_po(circuit, delays, 2, lambda lp: True)
+            per_po = {}
+            for lp in sel.selected:
+                po = lp.path.sink(circuit)
+                per_po[po] = per_po.get(po, 0) + 1
+            assert all(v <= 2 for v in per_po.values())
+            assert set(per_po) <= set(circuit.outputs)
+
+    def test_filter_backfills_quota(self, example_circuit, must_test):
+        """With filtering, the quota is filled from non-RD paths, so the
+        filtered selection can differ from intersecting the raw one."""
+        delays = unit_delays(example_circuit)
+        sel = select_longest_per_po(example_circuit, delays, 5, must_test)
+        assert len(sel.selected_non_rd) == 5  # all five non-RD paths
+        assert all(lp in must_test for lp in sel.selected_non_rd)
+
+    def test_quota_validation(self, example_circuit, must_test):
+        with pytest.raises(ValueError):
+            select_longest_per_po(
+                example_circuit, unit_delays(example_circuit), 0, must_test
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for the input-sort heuristics (Section V)."""
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.paths.count import count_paths
+from repro.sorting.heuristics import (
+    heuristic1_sort,
+    heuristic2_analysis,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+
+
+class TestHeuristic1:
+    def test_orders_by_path_count(self, example_circuit):
+        sort = heuristic1_sort(example_circuit)
+        counts = count_paths(example_circuit)
+        for gid in range(example_circuit.num_gates):
+            leads = sorted(
+                example_circuit.input_leads(gid), key=sort.rank
+            )
+            values = [counts.through_lead[l] for l in leads]
+            assert values == sorted(values)
+
+    def test_beats_pin_order_on_example(self, example_circuit):
+        """Heuristic 1 selects 6 paths where pin order selects all 8."""
+        res_pin = classify(
+            example_circuit, Criterion.SIGMA_PI, sort=pin_order_sort(example_circuit)
+        )
+        res_h1 = classify(
+            example_circuit, Criterion.SIGMA_PI, sort=heuristic1_sort(example_circuit)
+        )
+        assert res_h1.accepted < res_pin.accepted
+
+
+class TestHeuristic2:
+    def test_analysis_contains_both_passes(self, example_circuit):
+        analysis = heuristic2_analysis(example_circuit)
+        assert analysis.fs_result.criterion is Criterion.FS
+        assert analysis.nr_result.criterion is Criterion.NR
+        assert len(analysis.fs_result.lead_ctrl_counts) == example_circuit.num_leads
+
+    def test_measure_nonnegative(self, small_circuits):
+        """FS_c^sup(l) superset of T_c^sup(l): the measure is >= 0.
+        (Monotone: NR assumes strictly more, so NR-accepted implies
+        FS-accepted path-by-path.)"""
+        for circuit in small_circuits:
+            analysis = heuristic2_analysis(circuit)
+            assert all(m >= 0 for m in analysis.measure), circuit.name
+
+    def test_finds_the_optimum_on_example(self, example_circuit):
+        sort = heuristic2_sort(example_circuit)
+        result = classify(example_circuit, Criterion.SIGMA_PI, sort=sort)
+        assert result.accepted == 5
+
+    def test_heu2_at_least_as_good_as_heu1_on_example(self, example_circuit):
+        res1 = classify(
+            example_circuit, Criterion.SIGMA_PI,
+            sort=heuristic1_sort(example_circuit),
+        )
+        res2 = classify(
+            example_circuit, Criterion.SIGMA_PI,
+            sort=heuristic2_sort(example_circuit),
+        )
+        assert res2.accepted <= res1.accepted
+
+
+class TestRandomSort:
+    def test_deterministic_per_seed(self, example_circuit):
+        a = random_sort(example_circuit, seed=3)
+        b = random_sort(example_circuit, seed=3)
+        assert all(
+            a.rank(l) == b.rank(l) for l in range(example_circuit.num_leads)
+        )
+
+    def test_different_seeds_differ_somewhere(self, example_circuit):
+        sorts = [random_sort(example_circuit, seed=s) for s in range(8)]
+        signatures = {
+            tuple(s.rank(l) for l in range(example_circuit.num_leads))
+            for s in sorts
+        }
+        assert len(signatures) > 1
+
+
+class TestSigmaMonotonicityAgainstInverse:
+    def test_inverse_never_beats_heu2_on_small_circuits(self, small_circuits):
+        """The paper's Heu2-bar column: the inverted sort's RD share
+        collapses (never exceeds Heu2's)."""
+        for circuit in small_circuits:
+            sort = heuristic2_sort(circuit)
+            good = classify(circuit, Criterion.SIGMA_PI, sort=sort)
+            bad = classify(circuit, Criterion.SIGMA_PI, sort=sort.inverted())
+            assert bad.rd_count <= good.rd_count, circuit.name

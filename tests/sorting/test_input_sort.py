@@ -1,0 +1,75 @@
+"""Unit tests for the InputSort abstraction (Definition 7)."""
+
+import pytest
+
+from repro.sorting.input_sort import InputSort
+
+
+class TestValidation:
+    def test_pin_order_valid(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        for lead in range(example_circuit.num_leads):
+            assert sort.rank(lead) == example_circuit.lead_pin(lead)
+
+    def test_wrong_length_rejected(self, example_circuit):
+        with pytest.raises(ValueError):
+            InputSort(example_circuit, [0])
+
+    def test_non_permutation_rejected(self, example_circuit):
+        rank = [0] * example_circuit.num_leads
+        with pytest.raises(ValueError):
+            InputSort(example_circuit, rank)
+
+
+class TestLowOrderSides:
+    def test_pin_order_low_order(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        g_or = example_circuit.gate_by_name("g_or")
+        lead_mid = example_circuit.lead_index(g_or, 1)
+        assert sort.low_order_side_pins(lead_mid) == [0]
+        lead_last = example_circuit.lead_index(g_or, 2)
+        assert sorted(sort.low_order_side_pins(lead_last)) == [0, 1]
+        lead_first = example_circuit.lead_index(g_or, 0)
+        assert sort.low_order_side_pins(lead_first) == []
+
+
+class TestMinRankPin:
+    def test_picks_minimum(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        g_or = example_circuit.gate_by_name("g_or")
+        assert sort.min_rank_pin(g_or, [2, 1]) == 1
+        assert sort.min_rank_pin(g_or, [0, 1, 2]) == 0
+
+    def test_empty_candidates_rejected(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        with pytest.raises(ValueError):
+            sort.min_rank_pin(example_circuit.gate_by_name("g_or"), [])
+
+
+class TestInversion:
+    def test_inverted_reverses_each_gate(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        inv = sort.inverted()
+        g_or = example_circuit.gate_by_name("g_or")
+        leads = list(example_circuit.input_leads(g_or))
+        assert [inv.rank(l) for l in leads] == [2, 1, 0]
+
+    def test_double_inversion_is_identity(self, example_circuit):
+        sort = InputSort.pin_order(example_circuit)
+        twice = sort.inverted().inverted()
+        for lead in range(example_circuit.num_leads):
+            assert twice.rank(lead) == sort.rank(lead)
+
+
+class TestFromKey:
+    def test_orders_by_key_ascending(self, example_circuit):
+        key = lambda lead: -lead  # reverse of lead order within gates
+        sort = InputSort.from_key(example_circuit, key)
+        g_or = example_circuit.gate_by_name("g_or")
+        leads = list(example_circuit.input_leads(g_or))
+        assert [sort.rank(l) for l in leads] == [2, 1, 0]
+
+    def test_ties_keep_pin_order(self, example_circuit):
+        sort = InputSort.from_key(example_circuit, lambda lead: 0)
+        for lead in range(example_circuit.num_leads):
+            assert sort.rank(lead) == example_circuit.lead_pin(lead)

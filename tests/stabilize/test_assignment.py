@@ -1,0 +1,74 @@
+"""Unit tests for complete stabilizing assignments (Theorem 1 machinery)."""
+
+import pytest
+
+from repro.logic.simulate import all_vectors
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.input_sort import InputSort
+from repro.stabilize.assignment import (
+    assignment_from_policy,
+    assignment_from_sort,
+)
+
+
+class TestAssignmentFromPolicy:
+    def test_covers_all_vectors_and_pos(self, example_circuit):
+        sigma = assignment_from_policy(example_circuit)
+        assert len(sigma.systems) == 8  # 2^3 vectors x 1 PO
+
+    def test_logical_paths_union(self, example_circuit):
+        sigma = assignment_from_policy(example_circuit)
+        paths = sigma.logical_paths()
+        every = set(enumerate_logical_paths(example_circuit))
+        assert paths <= every
+        assert len(paths) >= 1
+
+    def test_rd_paths_complement(self, example_circuit):
+        sigma = assignment_from_policy(example_circuit)
+        every = set(enumerate_logical_paths(example_circuit))
+        assert sigma.logical_paths() | sigma.rd_paths() == every
+        assert sigma.logical_paths() & sigma.rd_paths() == set()
+
+    def test_verify_randomized(self, example_circuit):
+        assert assignment_from_policy(example_circuit).verify()
+
+    def test_too_many_inputs_refused(self):
+        from repro.gen.parity import parity_tree
+
+        with pytest.raises(ValueError):
+            assignment_from_policy(parity_tree(24))
+
+    def test_multi_output_circuit(self, small_circuits):
+        for circuit in small_circuits:
+            sigma = assignment_from_policy(circuit)
+            expected = (1 << len(circuit.inputs)) * len(circuit.outputs)
+            assert len(sigma.systems) == expected
+
+
+class TestAssignmentFromSort:
+    def test_pin_order_sigma_pi(self, example_circuit):
+        sigma = assignment_from_sort(
+            example_circuit, InputSort.pin_order(example_circuit)
+        )
+        # Pin order prefers 'a' at the OR (pin 0) and 'b' at the AND:
+        # selects all 8 paths (b's paths included via v=000).
+        assert len(sigma.logical_paths()) == 8
+
+    def test_sigma_pi_respects_min_rank(self, example_circuit):
+        # Sort preferring c at the AND yields the 5-path optimum
+        # (Example 3 of the paper).
+        from repro.experiments.figures import example3_sort
+
+        sigma = assignment_from_sort(
+            example_circuit, example3_sort(example_circuit)
+        )
+        assert len(sigma.logical_paths()) == 5
+
+    def test_system_lookup(self, example_circuit):
+        sigma = assignment_from_sort(
+            example_circuit, InputSort.pin_order(example_circuit)
+        )
+        po = example_circuit.outputs[0]
+        for vector in all_vectors(3):
+            system = sigma.system(po, vector)
+            assert system.vector == vector

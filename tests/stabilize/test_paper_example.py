@@ -1,0 +1,116 @@
+"""Regression suite: every numbered fact the paper states about its
+running example circuit, re-derived mechanically.
+
+This is the repository's ground-truth anchor — if the example circuit or
+any core algorithm drifts, these tests name the exact violated claim.
+"""
+
+from repro.baseline.exact_assignment import baseline_rd
+from repro.baseline.leafdag_rd import leafdag_rd_paths
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import exact_path_set
+from repro.classify.exact import testability_counts as hierarchy_counts
+from repro.delaytest.testability import is_robustly_testable
+from repro.experiments.figures import example2_sort, example3_sort
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic2_sort
+from repro.stabilize.assignment import assignment_from_sort
+from repro.stabilize.system import all_stabilizing_systems
+
+
+def test_fact_8_logical_paths(example_circuit):
+    assert count_paths(example_circuit).total_logical == 8
+
+
+def test_fact_three_stabilizing_systems_for_111(example_circuit):
+    """Figure 1: exactly three stabilizing systems for input 111."""
+    systems = list(
+        all_stabilizing_systems(example_circuit, example_circuit.outputs[0], (1, 1, 1))
+    )
+    assert len(systems) == 3
+
+
+def test_fact_example2_selects_6_paths(example_circuit):
+    """Example 2: |LP(σ)| = 6."""
+    sigma = assignment_from_sort(example_circuit, example2_sort(example_circuit))
+    assert len(sigma.logical_paths()) == 6
+
+
+def test_fact_example2_exactly_one_untestable(example_circuit):
+    """Example 2/3: exactly one of the 6 paths is not robustly testable
+    (fault coverage 5/6)."""
+    sigma = assignment_from_sort(example_circuit, example2_sort(example_circuit))
+    untestable = [
+        lp
+        for lp in sigma.logical_paths()
+        if not is_robustly_testable(example_circuit, lp)
+    ]
+    assert len(untestable) == 1
+    (lp,) = untestable
+    assert lp.describe(example_circuit) == "b -> g_and -> g_or -> out [1->0]"
+
+
+def test_fact_example3_optimum_five_paths_full_coverage(example_circuit):
+    """Example 3 / Figure 4: σ' selects exactly the 5 robustly testable
+    paths — 100% fault coverage."""
+    sigma = assignment_from_sort(example_circuit, example3_sort(example_circuit))
+    paths = sigma.logical_paths()
+    assert len(paths) == 5
+    assert all(is_robustly_testable(example_circuit, lp) for lp in paths)
+
+
+def test_fact_exactly_five_robustly_testable(example_circuit):
+    robust = [
+        lp
+        for lp in enumerate_logical_paths(example_circuit)
+        if is_robustly_testable(example_circuit, lp)
+    ]
+    assert len(robust) == 5
+
+
+def test_fact_t_and_fs_counts(example_circuit):
+    """T(C) = 5 non-robustly testable paths; FS(C) = all 8 paths."""
+    t_count, fs_count, total = hierarchy_counts(example_circuit)
+    assert (t_count, fs_count, total) == (5, 8, 8)
+
+
+def test_fact_figure5_optimum_input_sort(example_circuit):
+    """Figure 5: an input sort recovering the 5-path optimum exists, and
+    Heuristic 2 finds one."""
+    sort = heuristic2_sort(example_circuit)
+    result = classify(example_circuit, Criterion.SIGMA_PI, sort=sort)
+    assert result.accepted == 5
+    assert result.rd_count == 3
+
+
+def test_fact_baseline_optimum_is_five(example_circuit):
+    result = baseline_rd(example_circuit, method="exact")
+    assert result.selected == 5
+    assert result.rd_count == 3
+
+
+def test_fact_leafdag_identifies_max_rd_set(example_circuit):
+    rd = leafdag_rd_paths(example_circuit, example_circuit.outputs[0])
+    described = {lp.describe(example_circuit) for lp in rd}
+    assert described == {
+        "b -> g_and -> g_or -> out [0->1]",
+        "b -> g_and -> g_or -> out [1->0]",
+        "c -> g_and -> g_or -> out [0->1]",
+    }
+
+
+def test_fact_cA_falling_is_in_every_lp_sigma(example_circuit):
+    """The falling path through the AND from c is forced into every
+    LP(σ): under v=010 the OR is uncontrolled and the AND's only
+    controlling input is c.  (This is the counterexample that rules out
+    naive iterated redundancy removal — see baseline/leafdag_rd.py.)"""
+    sigma_exact = exact_path_set(example_circuit, Criterion.SIGMA_PI,
+                                 example3_sort(example_circuit))
+    target = [
+        lp
+        for lp in sigma_exact
+        if lp.describe(example_circuit) == "c -> g_and -> g_or -> out [1->0]"
+    ]
+    assert target, "cA falling missing from the optimal LP(sigma)"

@@ -1,0 +1,155 @@
+"""Unit tests for Algorithm 1 and stabilizing systems."""
+
+import pytest
+
+from repro.circuit.examples import chain_circuit, two_and_tree
+from repro.logic.simulate import all_vectors
+from repro.stabilize.system import (
+    all_stabilizing_systems,
+    compute_stabilizing_system,
+    first_pin_policy,
+)
+
+
+class TestAlgorithm1:
+    def test_or_with_one_controlling_input_is_forced(self, example_circuit):
+        # v=100: only a=1 controls the OR.
+        s = compute_stabilizing_system(
+            example_circuit, example_circuit.outputs[0], (1, 0, 0)
+        )
+        lead_names = {example_circuit.lead_name(l) for l in s.leads}
+        assert lead_names == {"a->g_or.0", "g_or->out.0"}
+
+    def test_uncontrolled_gate_includes_all_inputs(self, example_circuit):
+        # v=010: out=0, OR uncontrolled: all three inputs included.
+        s = compute_stabilizing_system(
+            example_circuit, example_circuit.outputs[0], (0, 1, 0)
+        )
+        names = {example_circuit.lead_name(l) for l in s.leads}
+        assert "a->g_or.0" in names
+        assert "g_and->g_or.1" in names
+        assert "c->g_or.2" in names
+        # AND has controlling input c=0: exactly one of its leads chosen.
+        assert "c->g_and.1" in names and "b->g_and.0" not in names
+
+    def test_chain_includes_whole_path(self):
+        circuit = chain_circuit(3, invert=True)
+        s = compute_stabilizing_system(circuit, circuit.outputs[0], (1,))
+        assert len(s.leads) == 4  # 3 NOT input leads + PO lead
+
+    def test_policy_controls_choice(self, example_circuit):
+        def pick_last(circuit, gate, pins, values):
+            return max(pins)
+
+        s = compute_stabilizing_system(
+            example_circuit, example_circuit.outputs[0], (1, 1, 1), pick_last
+        )
+        names = {example_circuit.lead_name(l) for l in s.leads}
+        assert "c->g_or.2" in names  # pin 2 preferred over pin 0
+
+    def test_bad_policy_rejected(self, example_circuit):
+        def rogue(circuit, gate, pins, values):
+            return 1 if 1 not in pins else 0
+
+        with pytest.raises(ValueError):
+            compute_stabilizing_system(
+                example_circuit, example_circuit.outputs[0], (1, 0, 0), rogue
+            )
+
+    def test_requires_po(self, example_circuit):
+        with pytest.raises(ValueError):
+            compute_stabilizing_system(example_circuit, 0, (1, 1, 1))
+
+
+class TestStabilizationProperty:
+    def test_every_system_stabilizes(self, small_circuits):
+        for circuit in small_circuits:
+            for vector in all_vectors(len(circuit.inputs)):
+                for po in circuit.outputs:
+                    s = compute_stabilizing_system(circuit, po, vector)
+                    assert s.stabilizes(trials=8), (
+                        f"{circuit.name} v={vector} system does not stabilize"
+                    )
+
+    def test_minimality_dropping_a_lead_breaks_it(self, example_circuit):
+        """The paper: removing any lead from S voids the guarantee.
+        Checked for the forced single-lead system of v=100."""
+        from dataclasses import replace
+
+        po = example_circuit.outputs[0]
+        s = compute_stabilizing_system(example_circuit, po, (1, 0, 0))
+        for lead in s.leads:
+            if example_circuit.lead_dst(lead) == po:
+                continue  # the PO lead is structural
+            crippled = replace(s, leads=frozenset(s.leads - {lead}))
+            assert not crippled.stabilizes(trials=64), (
+                f"dropping {example_circuit.lead_name(lead)} still stabilizes"
+            )
+
+
+class TestLogicalPathsOfSystem:
+    def test_paths_of_forced_system(self, example_circuit):
+        s = compute_stabilizing_system(
+            example_circuit, example_circuit.outputs[0], (1, 0, 0)
+        )
+        paths = s.logical_paths()
+        assert len(paths) == 1
+        (lp,) = paths
+        assert lp.describe(example_circuit) == "a -> g_or -> out [0->1]"
+
+    def test_transition_final_value_matches_pi(self, example_circuit):
+        s = compute_stabilizing_system(
+            example_circuit, example_circuit.outputs[0], (0, 1, 0)
+        )
+        for lp in s.logical_paths():
+            pi = lp.path.source(example_circuit)
+            pi_index = example_circuit.inputs.index(pi)
+            assert lp.final_value == (0, 1, 0)[pi_index]
+
+
+class TestAllStabilizingSystems:
+    def test_three_systems_for_111(self, example_circuit):
+        """Figure 1 of the paper."""
+        systems = list(
+            all_stabilizing_systems(example_circuit, example_circuit.outputs[0], (1, 1, 1))
+        )
+        assert len(systems) == 3
+        assert len({s.leads for s in systems}) == 3
+
+    def test_enumeration_contains_policy_system(self, small_circuits):
+        for circuit in small_circuits:
+            for vector in all_vectors(len(circuit.inputs)):
+                for po in circuit.outputs:
+                    default = compute_stabilizing_system(
+                        circuit, po, vector, first_pin_policy
+                    )
+                    every = {
+                        s.leads
+                        for s in all_stabilizing_systems(circuit, po, vector)
+                    }
+                    assert default.leads in every
+
+    def test_all_enumerated_systems_stabilize(self, example_circuit):
+        for vector in all_vectors(3):
+            for s in all_stabilizing_systems(
+                example_circuit, example_circuit.outputs[0], vector
+            ):
+                assert s.stabilizes(trials=8)
+
+    def test_limit_guard(self):
+        from repro.gen.random_logic import random_dag
+
+        circuit = random_dag(8, 60, seed=5)
+        po = circuit.outputs[0]
+        with pytest.raises(RuntimeError):
+            for vector in all_vectors(8):
+                list(
+                    all_stabilizing_systems(circuit, po, vector, limit=1)
+                )
+
+
+def test_describe_mentions_vector(example_circuit):
+    s = compute_stabilizing_system(
+        example_circuit, example_circuit.outputs[0], (1, 0, 0)
+    )
+    assert "v=100" in s.describe()

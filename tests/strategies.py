@@ -1,0 +1,66 @@
+"""Hypothesis strategies for circuits and related objects.
+
+``small_circuits()`` draws structurally diverse little circuits (3-6
+PIs, up to ~18 gates) suitable for exhaustive cross-validation against
+brute-force oracles.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_GATES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.NOT]
+
+
+@st.composite
+def small_circuits(
+    draw,
+    min_inputs: int = 3,
+    max_inputs: int = 5,
+    min_gates: int = 3,
+    max_gates: int = 14,
+) -> Circuit:
+    num_inputs = draw(st.integers(min_inputs, max_inputs))
+    num_gates = draw(st.integers(min_gates, max_gates))
+    circuit = Circuit("hyp")
+    nodes = [circuit.add_gate(GateType.PI, f"x{i}") for i in range(num_inputs)]
+    for g in range(num_gates):
+        gtype = draw(st.sampled_from(_GATES))
+        if gtype is GateType.NOT:
+            fanin = [nodes[draw(st.integers(0, len(nodes) - 1))]]
+        else:
+            k = draw(st.integers(2, 3))
+            indices = draw(
+                st.lists(
+                    st.integers(0, len(nodes) - 1),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+            fanin = [nodes[i] for i in indices]
+        nodes.append(circuit.add_gate(gtype, f"g{g}", fanin))
+    # Wire all sinks to POs so every gate is observable.
+    read: set = set()
+    for gid in range(circuit.num_gates):
+        read.update(circuit.fanin(gid))
+    sinks = [
+        gid
+        for gid in range(circuit.num_gates)
+        if gid not in read and circuit.gate_type(gid) is not GateType.PI
+    ]
+    if not sinks:
+        sinks = [nodes[-1]]
+    for k, gid in enumerate(sinks):
+        circuit.add_gate(GateType.PO, f"out{k}", [gid])
+    return circuit.freeze()
+
+
+@st.composite
+def vectors_for(draw, circuit: Circuit) -> tuple:
+    return tuple(
+        draw(st.integers(0, 1)) for _ in range(len(circuit.inputs))
+    )

@@ -1,0 +1,71 @@
+"""Full analysis of c17 — the one genuine ISCAS-85 netlist small enough
+to bundle.  Everything here is computed against exhaustive oracles, so
+these are real reference numbers for the real benchmark."""
+
+import pytest
+
+from repro.baseline.exact_assignment import baseline_rd
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.exact import exact_path_set
+from repro.delaytest.testability import is_robustly_testable
+from repro.gen.frozen import load_frozen
+from repro.paths.count import count_paths
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic1_sort, heuristic2_sort
+
+
+@pytest.fixture(scope="module")
+def c17():
+    return load_frozen("c17")
+
+
+def test_structure(c17):
+    assert len(c17.inputs) == 5
+    assert len(c17.outputs) == 2
+    # 5 PIs + 6 NANDs + 2 POs
+    assert c17.num_gates == 13
+
+
+def test_path_counts(c17):
+    counts = count_paths(c17)
+    assert counts.total_physical == 11
+    assert counts.total_logical == 22
+
+
+def test_classification_is_exact_on_c17(c17):
+    """The local-implication approximation is exact on c17 for all
+    three criteria (verified against brute force)."""
+    for criterion in (Criterion.FS, Criterion.NR):
+        approx = set()
+        classify(c17, criterion, on_path=approx.add)
+        assert approx == exact_path_set(c17, criterion)
+    for sort in (heuristic1_sort(c17), heuristic2_sort(c17)):
+        approx = set()
+        classify(c17, Criterion.SIGMA_PI, sort=sort, on_path=approx.add)
+        assert approx == exact_path_set(c17, Criterion.SIGMA_PI, sort)
+
+
+def test_c17_reference_numbers(c17):
+    """Reference results for the real benchmark: every path of c17 is
+    functionally sensitizable and robustly testable, and no RD paths
+    exist (its reconvergence is too shallow to make any path
+    dispensable)."""
+    fs = classify(c17, Criterion.FS)
+    assert fs.accepted == 22
+    robust = sum(
+        1
+        for lp in enumerate_logical_paths(c17)
+        if is_robustly_testable(c17, lp)
+    )
+    assert robust == 22
+    base = baseline_rd(c17, method="exact")
+    assert base.rd_count == 0
+
+
+def test_c17_atpg_flow(c17):
+    from repro.atpg.flow import run_atpg
+
+    result = run_atpg(c17, random_burst=16)
+    assert result.coverage == 1.0
+    assert not result.redundant  # c17 is fully irredundant

@@ -1,0 +1,140 @@
+"""End-to-end tests of the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, load_circuit, main
+
+
+class TestLoadCircuit:
+    def test_suite_name(self):
+        assert load_circuit("s432-rand").name == "s432-rand"
+
+    def test_bench_file(self, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        circuit = load_circuit(str(path))
+        assert circuit.name == "c"
+
+    def test_pla_file(self, tmp_path):
+        path = tmp_path / "c.pla"
+        path.write_text(".i 2\n.o 1\n11 1\n.e\n")
+        circuit = load_circuit(str(path))
+        assert len(circuit.inputs) == 2
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            load_circuit("never-heard-of-it")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s499-ecc" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "s432-rand"]) == 0
+        out = capsys.readouterr().out
+        assert "logical paths" in out
+
+    def test_classify_fs(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["classify", str(path), "--criterion", "fs"]) == 0
+        out = capsys.readouterr().out
+        assert "FS" in out
+
+    def test_classify_sigma_sorts(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        for sort in ("pin", "heu1", "heu2", "heu2inv", "random"):
+            assert main(["classify", str(path), "--sort", sort]) == 0
+        out = capsys.readouterr().out
+        assert "SIGMA_PI" in out
+
+    def test_baseline(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["baseline", str(path), "--method", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "37.50% RD" in out
+
+    def test_testgen(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["testgen", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "robust tests" in out
+        assert "<" in out  # at least one two-pattern test printed
+
+    def test_select(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["select", str(path), "--fraction", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "RD filtering" in out
+
+    def test_sta(self, capsys):
+        assert main(["sta", "xcmp16", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "critical delay" in out
+        assert "slowest logical paths" in out
+
+    def test_atpg(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["atpg", str(path), "--show-redundant"]) == 0
+        out = capsys.readouterr().out
+        assert "patterns detect" in out
+        assert "redundant:" in out
+
+    def test_dot(self, capsys, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+            "m = AND(b, c)\ny = OR(a, m, c)\n"
+        )
+        assert main(["dot", str(path), "--stabilize", "111"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "color=red" in out
+
+    def test_dot_bad_vector(self, tmp_path):
+        path = tmp_path / "c.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        with pytest.raises(SystemExit):
+            main(["dot", str(path), "--stabilize", "10"])
+
+    def test_table1_json_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--json"])
+        assert args.json
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_parser_help_lists_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("info", "classify", "baseline", "table1"):
+            assert cmd in text

@@ -1,0 +1,54 @@
+"""Golden regression numbers for the deterministic benchmark suite.
+
+Every generator is seeded, so these exact values are reproducible; a
+change here means either a deliberate suite re-calibration (update the
+table *and* EXPERIMENTS.md) or a behavioural regression in the
+classifier / counting / generators.
+
+Columns: (circuit, gate count, total logical paths, |FS^sup|,
+|LP^sup(σ^heu1)|).
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.gen.suite import get_circuit
+from repro.paths.count import count_paths
+from repro.sorting.heuristics import heuristic1_sort
+
+GOLDEN = [
+    ("s432-rand", 120, 124230, 6091, 1146),
+    ("s880-alu", 235, 1190, 1062, 1062),
+    ("s1355-par", 197, 47952, 13616, 13616),
+    ("s1908-csel", 490, 9728, 8396, 8396),
+    ("s5315-rca", 514, 12930, 10882, 10882),
+    ("s7552-mix", 419, 171126, 28464, 4808),
+    ("apex-a", 75, 166, 166, 160),
+    ("z5xp-b", 72, 202, 202, 194),
+    ("bw-d", 91, 338, 338, 320),
+    ("xshift32", 711, 3680, 3440, 3440),
+    ("xcmp16", 226, 2176, 2116, 2060),
+    ("xprienc16", 70, 696, 696, 689),
+]
+
+
+@pytest.mark.parametrize(
+    "name,gates,total,fs_sup,heu1_sup",
+    GOLDEN,
+    ids=[row[0] for row in GOLDEN],
+)
+def test_golden(name, gates, total, fs_sup, heu1_sup):
+    circuit = get_circuit(name)
+    assert circuit.num_gates == gates
+    assert count_paths(circuit).total_logical == total
+    assert classify(circuit, Criterion.FS).accepted == fs_sup
+    sort = heuristic1_sort(circuit)
+    assert classify(circuit, Criterion.SIGMA_PI, sort=sort).accepted == heu1_sup
+
+
+def test_golden_hierarchy_consistency():
+    """Sanity over the golden table itself: σ^π counts never exceed FS
+    counts (Lemma 1 at the superset level)."""
+    for _name, _gates, total, fs_sup, heu1_sup in GOLDEN:
+        assert heu1_sup <= fs_sup <= total

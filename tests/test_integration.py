@@ -1,0 +1,107 @@
+"""End-to-end integration flows crossing all subsystems."""
+
+import pytest
+
+from repro import (
+    Criterion,
+    classify,
+    count_paths,
+    heuristic2_sort,
+    parse_bench,
+    robust_test,
+    write_bench,
+)
+from repro.baseline.exact_assignment import baseline_rd
+from repro.delaytest.testability import is_robustly_testable
+from repro.gen.adders import ripple_carry_adder
+from repro.gen.twolevel import factored_circuit, random_cover
+from repro.logic.simulate import simulate
+from repro.selection.strategies import select_by_threshold
+from repro.timing.delays import unit_delays
+from repro.timing.eventsim import two_pattern_settle
+from repro.timing.pathdelay import logical_path_delay
+
+
+def test_full_flow_classify_generate_validate():
+    """Classify an adder, robust-test a non-RD path, inject a delay
+    fault on that path, and observe the late output in timing sim."""
+    circuit = ripple_carry_adder(3)
+    sort = heuristic2_sort(circuit)
+    must_test = []
+    classify(circuit, Criterion.SIGMA_PI, sort=sort, on_path=must_test.append)
+    assert must_test
+    lp = pair = None
+    for candidate in sorted(must_test, key=lambda p: -len(p.path)):
+        pair = robust_test(circuit, candidate)
+        if pair is not None:
+            lp = candidate
+            break
+    assert lp is not None, "no robustly testable selected path found"
+    v1, v2 = pair
+    delays = unit_delays(circuit)
+    nominal = two_pattern_settle(circuit, delays, v1, v2)
+    victim = circuit.lead_dst(lp.path.leads[0])
+    slow = delays.with_gate_delay(victim, 40.0, 40.0)
+    late = two_pattern_settle(circuit, slow, v1, v2)
+    assert late >= 40.0
+    assert late > nominal
+
+
+def test_bench_roundtrip_preserves_classification():
+    """Serialise a generated circuit to .bench, re-parse, and classify:
+    RD counts must match exactly."""
+    circuit = factored_circuit(random_cover(7, 2, 12, seed=9))
+    again = parse_bench(write_bench(circuit))
+    for criterion in (Criterion.FS, Criterion.NR):
+        assert (
+            classify(circuit, criterion).accepted
+            == classify(again, criterion).accepted
+        )
+
+
+def test_rd_identification_consistent_across_engines():
+    """Three independent computations of 'how many paths need testing'
+    on the same circuit must be consistent: baseline <= heu2-exactish
+    and both within total."""
+    circuit = factored_circuit(random_cover(6, 2, 9, seed=2))
+    total = count_paths(circuit).total_logical
+    base = baseline_rd(circuit, method="greedy")
+    heu2 = classify(circuit, Criterion.SIGMA_PI, sort=heuristic2_sort(circuit))
+    assert base.selected <= heu2.accepted <= total
+    assert base.total_logical == heu2.total_logical == total
+
+
+def test_selection_on_top_of_classification():
+    """Threshold selection + RD filter: the filtered set is exactly the
+    slow non-RD paths, and its robust coverage is at least the raw
+    set's."""
+    circuit = ripple_carry_adder(2)
+    sort = heuristic2_sort(circuit)
+    must_test = set()
+    classify(circuit, Criterion.SIGMA_PI, sort=sort, on_path=must_test.add)
+    delays = unit_delays(circuit)
+    sel = select_by_threshold(circuit, delays, 4.0, must_test)
+    for lp in sel.selected_non_rd:
+        assert logical_path_delay(circuit, lp, delays) >= 4.0
+        assert lp in must_test
+
+
+def test_generated_tests_apply_cleanly():
+    """Robust tests returned by the SAT generator simulate to the
+    expected stable values at both pattern steps."""
+    circuit = ripple_carry_adder(2)
+    sort = heuristic2_sort(circuit)
+    must_test = []
+    classify(circuit, Criterion.SIGMA_PI, sort=sort, on_path=must_test.append)
+    checked = 0
+    for lp in must_test[:20]:
+        pair = robust_test(circuit, lp)
+        if pair is None:
+            continue
+        v1, v2 = pair
+        pi = lp.path.source(circuit)
+        assert simulate(circuit, v1)[pi] == 1 - lp.final_value
+        assert simulate(circuit, v2)[pi] == lp.final_value
+        assert is_robustly_testable(circuit, lp)
+        checked += 1
+    assert checked > 0

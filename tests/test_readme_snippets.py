@@ -1,0 +1,45 @@
+"""The README's code snippets must actually work."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks(text: str) -> list:
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_readme_python_snippets_execute():
+    blocks = _python_blocks(README.read_text())
+    assert blocks, "README lost its python examples"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, "<README>", "exec"), namespace)  # noqa: S102
+
+
+def test_readme_quickstart_claims():
+    """The numbers printed in the quickstart comments are real."""
+    from repro import (
+        CircuitBuilder,
+        Criterion,
+        classify,
+        count_paths,
+        heuristic2_sort,
+    )
+
+    b = CircuitBuilder("demo")
+    a, s, c = b.pi("a"), b.pi("b"), b.pi("c")
+    b.po(b.or_(a, b.and_(s, c), c), "out")
+    circuit = b.build()
+    assert count_paths(circuit).total_logical == 8
+    result = classify(
+        circuit, Criterion.SIGMA_PI, sort=heuristic2_sort(circuit)
+    )
+    assert result.rd_percent == 37.5
+
+
+def test_readme_mentions_the_shipped_docs():
+    text = README.read_text()
+    for doc in ("DESIGN.md", "EXPERIMENTS.md", "THEORY.md", "API.md"):
+        assert doc in text

@@ -1,0 +1,84 @@
+"""Unit tests for the util helpers (timer, tables)."""
+
+import time
+
+import pytest
+
+from repro.util.tables import TextTable
+from repro.util.timer import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.01
+
+    def test_accumulates_across_restarts(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= first
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0:00"),
+            (59, "0:59"),
+            (61, "1:01"),
+            (3600, "1:00:00"),
+            (3661, "1:01:01"),
+            (52178, "14:29:38"),  # the paper's c3540 Heu2 time
+        ],
+    )
+    def test_known_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_fractional_seconds_keep_precision(self):
+        assert format_duration(2.5).startswith("0:02.5")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"], title="T")
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 12345])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "long-name" in text
+
+    def test_row_width_check(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_rows_copy(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        rows = table.rows
+        rows[0][0] = "tampered"
+        assert table.rows[0][0] == "1"
+
+    def test_str_is_render(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()

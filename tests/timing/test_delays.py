@@ -1,0 +1,103 @@
+"""Unit tests for delay assignments and path delays."""
+
+import pytest
+
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.timing.delays import DelayAssignment, random_delays, unit_delays
+from repro.timing.pathdelay import logical_path_delay, max_path_delay
+
+
+class TestDelayAssignment:
+    def test_unit_delays(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        for g in range(example_circuit.num_gates):
+            expected = 0.0 if g in example_circuit.inputs else 1.0
+            assert delays.delay(g, 1) == expected
+            assert delays.delay(g, 0) == expected
+
+    def test_random_delays_in_range(self, example_circuit):
+        delays = random_delays(example_circuit, seed=1, low=0.5, high=2.0)
+        for g in range(example_circuit.num_gates):
+            if g in example_circuit.inputs:
+                continue
+            assert 0.5 <= delays.delay(g, 1) <= 2.0
+            assert 0.5 <= delays.delay(g, 0) <= 2.0
+
+    def test_random_deterministic(self, example_circuit):
+        a = random_delays(example_circuit, seed=7)
+        b = random_delays(example_circuit, seed=7)
+        assert a.rise == b.rise and a.fall == b.fall
+
+    def test_symmetric_option(self, example_circuit):
+        delays = random_delays(example_circuit, seed=1, asymmetric=False)
+        assert delays.rise == delays.fall
+
+    def test_negative_rejected(self, example_circuit):
+        n = example_circuit.num_gates
+        with pytest.raises(ValueError):
+            DelayAssignment(
+                circuit=example_circuit,
+                rise=tuple([-1.0] * n),
+                fall=tuple([1.0] * n),
+            )
+
+    def test_wrong_size_rejected(self, example_circuit):
+        with pytest.raises(ValueError):
+            DelayAssignment(circuit=example_circuit, rise=(1.0,), fall=(1.0,))
+
+    def test_scaled(self, example_circuit):
+        delays = unit_delays(example_circuit).scaled(2.5)
+        g = example_circuit.gate_by_name("g_or")
+        assert delays.delay(g, 1) == 2.5
+
+    def test_with_gate_delay(self, example_circuit):
+        g = example_circuit.gate_by_name("g_and")
+        slow = unit_delays(example_circuit).with_gate_delay(g, 9.0, 8.0)
+        assert slow.delay(g, 1) == 9.0
+        assert slow.delay(g, 0) == 8.0
+
+
+class TestPathDelay:
+    def test_unit_delay_equals_length(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        for lp in enumerate_logical_paths(example_circuit):
+            assert logical_path_delay(example_circuit, lp, delays) == len(
+                lp.path
+            )
+
+    def test_direction_dependent_delay(self, example_circuit):
+        g_or = example_circuit.gate_by_name("g_or")
+        delays = unit_delays(example_circuit).with_gate_delay(g_or, 5.0, 1.0)
+        rising = next(
+            lp
+            for lp in enumerate_logical_paths(example_circuit)
+            if lp.describe(example_circuit) == "a -> g_or -> out [0->1]"
+        )
+        falling = next(
+            lp
+            for lp in enumerate_logical_paths(example_circuit)
+            if lp.describe(example_circuit) == "a -> g_or -> out [1->0]"
+        )
+        # Rising at a propagates as a rise at the OR: uses the 5.0 delay,
+        # plus 1.0 for the PO wire gate.
+        assert logical_path_delay(example_circuit, rising, delays) == 6.0
+        assert logical_path_delay(example_circuit, falling, delays) == 2.0
+
+    def test_inversion_flips_direction(self):
+        from repro.circuit.examples import chain_circuit
+        from repro.paths.enumerate import enumerate_logical_paths
+
+        circuit = chain_circuit(1, invert=True)
+        n0 = circuit.gate_by_name("n0")
+        delays = unit_delays(circuit).with_gate_delay(n0, 10.0, 1.0)
+        rising_in = next(
+            lp for lp in enumerate_logical_paths(circuit) if lp.final_value == 1
+        )
+        # Input rises -> NOT output falls: fall delay (1.0) + PO (1.0).
+        assert logical_path_delay(circuit, rising_in, delays) == 2.0
+
+    def test_max_path_delay(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        paths = list(enumerate_logical_paths(example_circuit))
+        assert max_path_delay(example_circuit, paths, delays) == 3.0
+        assert max_path_delay(example_circuit, [], delays) == 0.0

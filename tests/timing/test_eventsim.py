@@ -1,0 +1,81 @@
+"""Unit tests for the event-driven timing simulator."""
+
+import pytest
+
+from repro.logic.simulate import all_vectors, simulate
+from repro.timing.delays import random_delays, unit_delays
+from repro.timing.eventsim import EventSimulator, settle_time, two_pattern_settle
+
+
+class TestConvergence:
+    def test_settles_to_stable_values(self, small_circuits):
+        """The simulator asserts internally that every net reaches its
+        stable value; run it over all vectors and random initial states."""
+        for circuit in small_circuits:
+            delays = random_delays(circuit, seed=42)
+            sim = EventSimulator(circuit, delays)
+            for vector in all_vectors(len(circuit.inputs)):
+                for seed in range(3):
+                    from repro.timing.eventsim import random_initial_state
+
+                    sim.run(vector, random_initial_state(circuit, seed))
+
+    def test_consistent_initial_state_no_events(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        vector = (1, 0, 1)
+        stable = simulate(example_circuit, vector)
+        changes = EventSimulator(example_circuit, delays).run(vector, stable)
+        assert changes == {}
+
+
+class TestTimingValues:
+    def test_chain_delay_adds_up(self):
+        from repro.circuit.examples import chain_circuit
+
+        circuit = chain_circuit(4)
+        delays = unit_delays(circuit)
+        v1 = simulate(circuit, (0,))
+        changes = EventSimulator(circuit, delays).run((1,), v1)
+        po = circuit.outputs[0]
+        assert changes[po] == pytest.approx(5.0)  # 4 BUFs + PO wire
+
+    def test_two_pattern_settle_measures_path(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        # a: 0->1 with b=c=0: only path a->OR->out toggles: 2 gate delays.
+        t = two_pattern_settle(example_circuit, delays, (0, 0, 0), (1, 0, 0))
+        assert t == pytest.approx(2.0)
+
+    def test_slow_gate_visible_at_po(self, example_circuit):
+        g_or = example_circuit.gate_by_name("g_or")
+        delays = unit_delays(example_circuit).with_gate_delay(g_or, 7.0, 7.0)
+        t = two_pattern_settle(example_circuit, delays, (0, 0, 0), (1, 0, 0))
+        assert t == pytest.approx(8.0)
+
+    def test_settle_time_wrapper(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        t = settle_time(example_circuit, delays, (1, 0, 0), seed=5)
+        stable_bound = 3.0 + 1e-9  # depth of the circuit in unit delays
+        assert 0.0 <= t <= stable_bound
+
+
+class TestGuards:
+    def test_wrong_initial_size(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        with pytest.raises(ValueError):
+            EventSimulator(example_circuit, delays).run((1, 0, 0), [0, 1])
+
+    def test_delay_circuit_mismatch(self, example_circuit, mux):
+        delays = unit_delays(mux)
+        with pytest.raises(ValueError):
+            EventSimulator(example_circuit, delays)
+
+    def test_horizon_guard(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        # Start from the exact complement of the stable state so events
+        # are guaranteed to be scheduled past the tiny horizon.
+        stable = simulate(example_circuit, (1, 0, 0))
+        initial = [1 - v for v in stable]
+        with pytest.raises(RuntimeError):
+            EventSimulator(example_circuit, delays).run(
+                (1, 0, 0), initial, horizon=1e-6
+            )

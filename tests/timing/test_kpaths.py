@@ -1,0 +1,99 @@
+"""Unit tests for lazy k-longest path enumeration."""
+
+import pytest
+
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.timing.delays import random_delays, unit_delays
+from repro.timing.kpaths import (
+    iter_paths_by_delay,
+    k_longest_paths,
+    paths_above_threshold,
+)
+from repro.timing.pathdelay import logical_path_delay
+from repro.timing.sta import static_timing
+
+
+class TestOrderAndCompleteness:
+    def test_yields_all_paths_in_decreasing_order(self, small_circuits):
+        for circuit in small_circuits:
+            for seed in range(3):
+                delays = random_delays(circuit, seed=seed)
+                produced = list(iter_paths_by_delay(circuit, delays))
+                # Non-increasing delays.
+                values = [d for d, _ in produced]
+                assert values == sorted(values, reverse=True), circuit.name
+                # Exactly the full logical path set.
+                assert {lp for _, lp in produced} == set(
+                    enumerate_logical_paths(circuit)
+                )
+                # Reported delays are correct.
+                for delay, lp in produced:
+                    assert delay == pytest.approx(
+                        logical_path_delay(circuit, lp, delays)
+                    )
+
+    def test_first_path_is_critical(self, small_circuits):
+        for circuit in small_circuits:
+            delays = random_delays(circuit, seed=11)
+            (first_delay, _lp), = k_longest_paths(circuit, delays, 1)
+            report = static_timing(circuit, delays)
+            assert first_delay == pytest.approx(report.critical_delay)
+
+
+class TestKLongest:
+    def test_k_larger_than_population(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        out = k_longest_paths(example_circuit, delays, 100)
+        assert len(out) == 8
+
+    def test_k_validation(self, example_circuit):
+        with pytest.raises(ValueError):
+            k_longest_paths(example_circuit, unit_delays(example_circuit), 0)
+
+    def test_monster_circuit_top_paths(self):
+        """The headline capability: the slowest paths of a multiplier
+        with ~10^23 logical paths, without enumeration."""
+        from repro.gen.multiplier import array_multiplier
+        from repro.paths.count import count_paths
+
+        circuit = array_multiplier(16)
+        assert count_paths(circuit).total_logical > 10**20
+        delays = unit_delays(circuit)
+        top = k_longest_paths(circuit, delays, 10)
+        assert len(top) == 10
+        values = [d for d, _ in top]
+        assert values == sorted(values, reverse=True)
+        report = static_timing(circuit, delays)
+        assert values[0] == pytest.approx(report.critical_delay)
+        for _d, lp in top:
+            lp.path.validate(circuit)
+
+
+class TestThreshold:
+    def test_matches_eager_selection(self, small_circuits):
+        for circuit in small_circuits:
+            delays = random_delays(circuit, seed=5)
+            threshold = 0.6 * static_timing(circuit, delays).critical_delay
+            lazy = {lp for _d, lp in paths_above_threshold(
+                circuit, delays, threshold
+            )}
+            eager = {
+                lp
+                for lp in enumerate_logical_paths(circuit)
+                if logical_path_delay(circuit, lp, delays) >= threshold
+            }
+            assert lazy == eager, circuit.name
+
+    def test_path_budget_guard(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        with pytest.raises(RuntimeError):
+            list(
+                paths_above_threshold(
+                    example_circuit, delays, 0.0, max_paths=2
+                )
+            )
+
+    def test_state_budget_guard(self, example_circuit):
+        delays = unit_delays(example_circuit)
+        with pytest.raises(RuntimeError):
+            list(iter_paths_by_delay(example_circuit, delays, max_states=1))

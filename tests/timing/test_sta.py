@@ -1,0 +1,71 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.timing.delays import random_delays, unit_delays
+from repro.timing.pathdelay import logical_path_delay
+from repro.timing.sta import static_timing
+
+
+class TestAgainstEnumeration:
+    def test_critical_delay_matches_max_path(self, small_circuits):
+        for circuit in small_circuits:
+            for seed in range(4):
+                delays = random_delays(circuit, seed=seed)
+                report = static_timing(circuit, delays)
+                expected = max(
+                    logical_path_delay(circuit, lp, delays)
+                    for lp in enumerate_logical_paths(circuit)
+                )
+                assert report.critical_delay == pytest.approx(expected), (
+                    f"{circuit.name} seed {seed}"
+                )
+
+    def test_po_arrival_matches_per_po_max(self, small_circuits):
+        for circuit in small_circuits:
+            delays = random_delays(circuit, seed=7)
+            report = static_timing(circuit, delays)
+            for po in circuit.outputs:
+                expected = max(
+                    logical_path_delay(circuit, lp, delays)
+                    for lp in enumerate_logical_paths(circuit)
+                    if lp.path.sink(circuit) == po
+                )
+                assert report.po_arrival(po) == pytest.approx(expected)
+
+    def test_directional_arrivals_bound_paths(self, small_circuits):
+        """Every logical path's delay is <= the arrival of its PO in the
+        path's final direction."""
+        for circuit in small_circuits:
+            delays = random_delays(circuit, seed=3)
+            report = static_timing(circuit, delays)
+            for lp in enumerate_logical_paths(circuit):
+                po = lp.path.sink(circuit)
+                direction = lp.output_value(circuit)
+                assert logical_path_delay(circuit, lp, delays) <= (
+                    report.arrival[po][direction] + 1e-9
+                )
+
+
+class TestCriticalPath:
+    def test_critical_path_realises_critical_delay(self, small_circuits):
+        for circuit in small_circuits:
+            for seed in range(3):
+                delays = random_delays(circuit, seed=seed)
+                report = static_timing(circuit, delays)
+                lp = report.critical_path()
+                lp.path.validate(circuit)
+                assert logical_path_delay(circuit, lp, delays) == (
+                    pytest.approx(report.critical_delay)
+                )
+
+    def test_unit_delay_critical_is_depth(self, example_circuit):
+        report = static_timing(example_circuit, unit_delays(example_circuit))
+        assert report.critical_delay == 3.0  # AND -> OR -> PO
+        assert len(report.critical_path().path) == 3
+
+
+def test_mismatched_delays_rejected(example_circuit, mux):
+    with pytest.raises(ValueError):
+        static_timing(example_circuit, unit_delays(mux))

@@ -1,0 +1,116 @@
+"""Integration tests: the paper's Theorem 1 and Definition 1, observed
+on the event-driven timing simulator.
+
+Theorem 1: for any implementation C_m and any input v, the output settles
+within the maximum logical-path delay of the chosen stabilizing system —
+from an arbitrary initial state.
+
+Definition 1 (RD-set validity): if every non-RD path is fast, no
+two-pattern application can reveal a late output; conversely a slow
+non-RD path must be what any observed lateness traces back to.
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.logic.simulate import all_vectors, simulate
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting.heuristics import heuristic2_sort
+from repro.stabilize.system import compute_stabilizing_system
+from repro.timing.delays import random_delays
+from repro.timing.eventsim import EventSimulator, random_initial_state
+from repro.timing.pathdelay import logical_path_delay, max_system_delay
+
+
+class TestTheorem1Bound:
+    def test_settle_time_bounded_by_system_delay(self, small_circuits):
+        for circuit in small_circuits:
+            for delay_seed in range(3):
+                delays = random_delays(circuit, seed=delay_seed)
+                sim = EventSimulator(circuit, delays)
+                for vector in all_vectors(len(circuit.inputs)):
+                    for po in circuit.outputs:
+                        system = compute_stabilizing_system(circuit, po, vector)
+                        bound = max_system_delay(system, delays)
+                        for init_seed in range(2):
+                            changes = sim.run(
+                                vector,
+                                random_initial_state(circuit, init_seed),
+                            )
+                            settle = changes.get(po, 0.0)
+                            assert settle <= bound + 1e-9, (
+                                f"{circuit.name} v={vector}: PO settled at "
+                                f"{settle} > bound {bound}"
+                            )
+
+
+class TestRdSetValidity:
+    def test_non_rd_paths_bound_the_circuit_delay(self, example_circuit):
+        """Definition 1 observed: make the RD paths arbitrarily slow —
+        as long as non-RD paths are fast, every two-pattern application
+        settles within the non-RD bound.
+
+        On the example circuit, the maximal RD-set leaves the 5 paths of
+        σ'; slowing the b-cone (whose paths are RD) must not push any
+        observed settle time beyond the non-RD path bound."""
+        circuit = example_circuit
+        sort = heuristic2_sort(circuit)
+        selected = set()
+        classify(circuit, Criterion.SIGMA_PI, sort=sort, on_path=selected.add)
+        assert len(selected) == 5
+        delays = random_delays(circuit, seed=3)
+        # Make the gate unique to RD paths (the AND's b input is only on
+        # RD paths; slow b's cone by slowing nothing shared — the AND
+        # itself is shared, so slow only the PI-side: not possible; we
+        # instead verify the bound with the delays as-is and with the
+        # AND slowed, recomputing the non-RD bound each time.)
+        for variant in (delays, delays.with_gate_delay(
+            circuit.gate_by_name("g_and"), 50.0, 50.0
+        )):
+            bound = max(
+                logical_path_delay(circuit, lp, variant) for lp in selected
+            )
+            sim = EventSimulator(circuit, variant)
+            for v1 in all_vectors(3):
+                initial = simulate(circuit, v1)
+                for v2 in all_vectors(3):
+                    changes = sim.run(v2, list(initial))
+                    settle = changes.get(circuit.outputs[0], 0.0)
+                    assert settle <= bound + 1e-9, (
+                        f"v1={v1} v2={v2}: settle {settle} > non-RD bound "
+                        f"{bound}"
+                    )
+
+    def test_rd_sets_of_random_circuits_are_valid(self):
+        """Same validity check on random small circuits: slow everything
+        (random delays), compute LP^sup(σ^π), and confirm the observed
+        two-pattern settle times never exceed the selected-path bound."""
+        from repro.gen.random_logic import random_dag
+
+        for seed in range(4):
+            circuit = random_dag(4, 9, seed=seed)
+            sort = heuristic2_sort(circuit)
+            selected = set()
+            classify(circuit, Criterion.SIGMA_PI, sort=sort, on_path=selected.add)
+            delays = random_delays(circuit, seed=seed + 100)
+            per_po_bound = {}
+            for po in circuit.outputs:
+                po_paths = [
+                    lp for lp in selected if lp.path.sink(circuit) == po
+                ]
+                per_po_bound[po] = max(
+                    (logical_path_delay(circuit, lp, delays) for lp in po_paths),
+                    default=0.0,
+                )
+            sim = EventSimulator(circuit, delays)
+            for v1 in all_vectors(4):
+                initial = simulate(circuit, v1)
+                for v2 in all_vectors(4):
+                    changes = sim.run(v2, list(initial))
+                    for po in circuit.outputs:
+                        settle = changes.get(po, 0.0)
+                        assert settle <= per_po_bound[po] + 1e-9, (
+                            f"seed {seed}: PO {circuit.gate_name(po)} "
+                            f"violates the RD bound"
+                        )
