@@ -74,3 +74,23 @@ def table1_rows():
 @pytest.fixture(scope="session")
 def table3_rows():
     return TABLE3_ROWS
+
+
+#: circuit name -> CircuitSession, shared across the whole bench session
+#: so repeated pipelines hit the per-circuit caches (counts, engine,
+#: per-(criterion, sort) tables) instead of rebuilding them.
+_SESSIONS: dict = {}
+
+
+@pytest.fixture(scope="session")
+def circuit_sessions():
+    """Factory returning the shared per-circuit analysis session."""
+    from repro.classify.session import CircuitSession
+
+    def get(circuit):
+        session = _SESSIONS.get(circuit.name)
+        if session is None or session.circuit is not circuit:
+            session = _SESSIONS[circuit.name] = CircuitSession(circuit)
+        return session
+
+    return get

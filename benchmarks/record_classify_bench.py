@@ -1,0 +1,84 @@
+"""Record classifier throughput on the frozen Table-I suite.
+
+Runs one FS and one SIGMA_PI (Heuristic-1 sort) classification pass per
+suite circuit through a shared :class:`~repro.classify.session.CircuitSession`
+and writes ``BENCH_classify.json`` at the repo root: per-circuit
+path-edge counts, wall time, and edges/second, plus suite totals.  The
+committed file is the reference point for spotting classifier-core
+regressions; rerun after any engine change:
+
+    PYTHONPATH=src python benchmarks/record_classify_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.classify.conditions import Criterion
+from repro.classify.session import CircuitSession
+from repro.gen.suite import table1_suite
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_classify.json"
+
+
+def bench_circuit(circuit) -> dict:
+    session = CircuitSession(circuit)
+    passes = {}
+    for label, criterion, sort in (
+        ("fs", Criterion.FS, None),
+        ("sigma_heu1", Criterion.SIGMA_PI, session.heuristic1_sort()),
+    ):
+        result = session.classify(criterion, sort=sort)
+        passes[label] = {
+            "accepted": result.accepted,
+            "rd_percent": round(result.rd_percent, 2),
+            "edges_visited": result.edges_visited,
+            "elapsed_s": round(result.elapsed, 4),
+            "edges_per_second": round(result.edges_per_second),
+        }
+    return {
+        "circuit": circuit.name,
+        "gates": circuit.num_gates,
+        "total_logical_paths": session.counts.total_logical,
+        "passes": passes,
+    }
+
+
+def main() -> None:
+    circuits = table1_suite()
+    rows = []
+    for circuit in circuits:
+        row = bench_circuit(circuit)
+        rows.append(row)
+        fs = row["passes"]["fs"]
+        print(
+            f"{row['circuit']:<16} {fs['edges_visited']:>9} edges "
+            f"{fs['elapsed_s']:>8.2f}s  {fs['edges_per_second']:>8} edges/s"
+        )
+    edges = sum(
+        p["edges_visited"] for r in rows for p in r["passes"].values()
+    )
+    elapsed = sum(
+        p["elapsed_s"] for r in rows for p in r["passes"].values()
+    )
+    doc = {
+        "benchmark": "classify-throughput",
+        "unit": "path-edge extensions per second",
+        "suite": [r["circuit"] for r in rows],
+        "python": platform.python_version(),
+        "totals": {
+            "edges_visited": edges,
+            "elapsed_s": round(elapsed, 2),
+            "edges_per_second": round(edges / elapsed) if elapsed else 0,
+        },
+        "circuits": rows,
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"\ntotal: {doc['totals']['edges_per_second']} edges/s -> {OUT}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

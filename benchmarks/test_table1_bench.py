@@ -22,10 +22,14 @@ _CIRCUITS = {c.name: c for c in table1_suite()}
 
 
 @pytest.mark.parametrize("name", sorted(_CIRCUITS))
-def test_table1_row(benchmark, name):
+def test_table1_row(benchmark, name, circuit_sessions):
     circuit = _CIRCUITS[name]
     row = benchmark.pedantic(
-        run_table1_row, args=(circuit,), rounds=1, iterations=1
+        run_table1_row,
+        args=(circuit,),
+        kwargs={"session": circuit_sessions(circuit)},
+        rounds=1,
+        iterations=1,
     )
     TABLE1_ROWS[name] = row
     problems = row.check_expected_shape()

@@ -30,6 +30,7 @@ from repro.circuit import (
     write_bench,
 )
 from repro.classify import (
+    CircuitSession,
     ClassificationResult,
     Criterion,
     check_logical_path,
@@ -83,6 +84,7 @@ __all__ = [
     "parse_pla",
     "parse_pla_file",
     "write_bench",
+    "CircuitSession",
     "ClassificationResult",
     "Criterion",
     "check_logical_path",

@@ -78,37 +78,51 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
     ids: dict[str, int] = {}
     state: dict[str, int] = {}
 
-    def build(signal: str, chain: tuple[str, ...]) -> int:
-        if signal in ids:
-            return ids[signal]
-        if state.get(signal) == 1:
-            raise BenchParseError(f"combinational cycle through {signal!r}")
-        if signal in defs:
-            state[signal] = 1
-            func, args = defs[signal]
-            fanin = [build(a, chain + (signal,)) for a in args]
-            if func in _SIMPLE:
-                gtype = _SIMPLE[func]
-                if gtype in (GateType.NOT, GateType.BUF) and len(fanin) != 1:
+    # Explicit-stack post-order build (fanin chains can be deeper than
+    # the interpreter recursion limit). state: 1 = expanding (on the
+    # stack, a repeat visit means a combinational cycle), 2 = built.
+    def build(signal: str) -> int:
+        stack = [(signal, False)]
+        while stack:
+            sig, expanded = stack.pop()
+            if sig in ids:
+                continue
+            if expanded:
+                func, args = defs[sig]
+                fanin = [ids[a] for a in args]
+                if func in _SIMPLE:
+                    gtype = _SIMPLE[func]
+                    if gtype in (GateType.NOT, GateType.BUF) and len(fanin) != 1:
+                        raise BenchParseError(
+                            f"gate {sig!r}: {func} takes exactly one input"
+                        )
+                    gid = circuit.add_gate(gtype, sig, fanin)
+                else:
+                    gid = _build_xor_tree(circuit, sig, fanin, func == "XNOR")
+                state[sig] = 2
+                ids[sig] = gid
+            elif sig in defs:
+                if state.get(sig) == 1:
                     raise BenchParseError(
-                        f"gate {signal!r}: {func} takes exactly one input"
+                        f"combinational cycle through {sig!r}"
                     )
-                gid = circuit.add_gate(gtype, signal, fanin)
+                state[sig] = 1
+                stack.append((sig, True))
+                # Reversed push => fanins resolve left-to-right, keeping
+                # gate creation order identical to the recursive build.
+                for a in reversed(defs[sig][1]):
+                    if a not in ids:
+                        stack.append((a, False))
+            elif sig in inputs:
+                ids[sig] = circuit.add_gate(GateType.PI, sig)
             else:
-                gid = _build_xor_tree(circuit, signal, fanin, func == "XNOR")
-            state[signal] = 2
-            ids[signal] = gid
-            return gid
-        if signal in inputs:
-            gid = circuit.add_gate(GateType.PI, signal)
-            ids[signal] = gid
-            return gid
-        raise BenchParseError(f"signal {signal!r} used but never defined")
+                raise BenchParseError(f"signal {sig!r} used but never defined")
+        return ids[signal]
 
     for signal in inputs:
-        build(signal, ())
+        build(signal)
     for signal in outputs:
-        gid = build(signal, ())
+        gid = build(signal)
         circuit.add_gate(GateType.PO, f"{signal}_po", [gid])
     return circuit.freeze()
 

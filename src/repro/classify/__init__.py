@@ -20,9 +20,12 @@ from repro.classify.exact import (
     exact_lp_sigma,
 )
 from repro.classify.results import ClassificationResult
+from repro.classify.session import CircuitSession, SessionStats
 
 __all__ = [
     "Criterion",
+    "CircuitSession",
+    "SessionStats",
     "classify",
     "check_logical_path",
     "exact_path_set",

@@ -7,6 +7,11 @@ a contradiction prunes the segment *and all its extensions* (the prime
 segment concept, footnote 3 of the paper).  A path that reaches a PO
 without contradiction is counted into ``LP^sup``.
 
+The traversal keeps its own explicit frame stack, so arbitrarily deep
+circuits are handled without recursion (and without touching the
+interpreter's recursion limit) — one small list per pending gate instead
+of a Python frame per path edge.
+
 Because only local (direct) implications are performed, the check is
 one-sided: accepted paths may in truth be unsatisfiable (hence the
 superset), but every rejected path is certainly not in the criterion set
@@ -15,7 +20,6 @@ superset), but every rejected path is certainly not in the criterion set
 
 from __future__ import annotations
 
-import sys
 from typing import TYPE_CHECKING, Callable
 
 from repro.circuit.gates import GateType, controlling_value, has_controlling_value
@@ -24,11 +28,12 @@ from repro.classify.conditions import Criterion, required_side_pins
 from repro.classify.results import ClassificationResult
 from repro.logic.implication import ImplicationEngine
 from repro.logic.values import controlled_output, uncontrolled_output
-from repro.paths.count import count_paths
+from repro.paths.count import PathCounts, count_paths
 from repro.paths.path import LogicalPath
 from repro.util.timer import Stopwatch
 
 if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
+    from repro.classify.session import CircuitSession
     from repro.sorting.input_sort import InputSort
 
 _K_PO = 0
@@ -92,6 +97,143 @@ class _Tables:
         ]
 
 
+def _run(
+    circuit: Circuit,
+    criterion: Criterion,
+    tables: _Tables,
+    engine: ImplicationEngine,
+    counts: PathCounts,
+    collect_lead_counts: bool,
+    max_accepted: int | None,
+    on_path: Callable[[LogicalPath], None] | None,
+) -> ClassificationResult:
+    """The enumeration core shared by :func:`classify` and
+    :class:`~repro.classify.session.CircuitSession`.
+
+    Iterative DFS with an explicit frame stack; a frame is the mutable
+    list ``[branches, next_index, value, entry_mark, entered_via_lead]``
+    — the fanout branches still to try at the current gate, the on-path
+    value at its output, and the trail mark / path bookkeeping to unwind
+    when the frame is exhausted.  The engine's trail is restored to its
+    entry state even on exceptions, so engines may be reused across runs.
+    """
+    accepted = 0
+    edges = 0
+    lead_counts = [0] * circuit.num_leads if collect_lead_counts else []
+    # Stack of (lead, final value at lead equals dst's controlling value).
+    ctrl_stack: list[tuple[int, bool]] = []
+    path_stack: list[int] = []
+
+    kind = tables.kind
+    ctrl = tables.ctrl
+    out_ctrl = tables.out_ctrl
+    out_nc = tables.out_nc
+    nc = tables.nc
+    side_all = tables.side_all
+    side_ctrl = tables.side_ctrl
+    fanout = tables.fanout
+    assume = engine.assume
+    mark = engine.mark
+    undo = engine.undo_to
+    if on_path is not None:
+        from repro.paths.path import PhysicalPath  # local: rarely used
+
+    base = mark()
+    with Stopwatch() as sw:
+        try:
+            for pi in circuit.inputs:
+                for x in (1, 0):
+                    m0 = mark()
+                    if assume(pi, x):
+                        frames = [[fanout[pi], 0, x, m0, False]]
+                        while frames:
+                            frame = frames[-1]
+                            branches = frame[0]
+                            i = frame[1]
+                            if i == len(branches):
+                                frames.pop()
+                                if frame[4]:
+                                    path_stack.pop()
+                                    ctrl_stack.pop()
+                                    undo(frame[3])
+                                continue
+                            frame[1] = i + 1
+                            lead, dst = branches[i]
+                            edges += 1
+                            k = kind[dst]
+                            if k == _K_PO:
+                                accepted += 1
+                                if (
+                                    max_accepted is not None
+                                    and accepted > max_accepted
+                                ):
+                                    raise RuntimeError(
+                                        f"more than {max_accepted} paths "
+                                        "accepted; raise max_accepted or use "
+                                        "a smaller circuit"
+                                    )
+                                if collect_lead_counts:
+                                    for l2, is_c in ctrl_stack:
+                                        if is_c:
+                                            lead_counts[l2] += 1
+                                if on_path is not None:
+                                    on_path(
+                                        LogicalPath(
+                                            PhysicalPath(
+                                                tuple(path_stack) + (lead,)
+                                            ),
+                                            x,
+                                        )
+                                    )
+                                continue
+                            val = frame[2]
+                            m = mark()
+                            if k == _K_SIMPLE:
+                                is_ctrl = val == ctrl[dst]
+                                if is_ctrl:
+                                    sides = side_ctrl[lead]
+                                    newval = out_ctrl[dst]
+                                else:
+                                    sides = side_all[lead]
+                                    newval = out_nc[dst]
+                                ok = True
+                                ncv = nc[dst]
+                                for src in sides:
+                                    if not assume(src, ncv):
+                                        ok = False
+                                        break
+                                if ok:
+                                    ok = assume(dst, newval)
+                            elif k == _K_NOT:
+                                is_ctrl = False
+                                newval = 1 - val
+                                ok = assume(dst, newval)
+                            else:  # _K_WIRE
+                                is_ctrl = False
+                                newval = val
+                                ok = assume(dst, newval)
+                            if ok:
+                                ctrl_stack.append((lead, is_ctrl))
+                                path_stack.append(lead)
+                                frames.append(
+                                    [fanout[dst], 0, newval, m, True]
+                                )
+                            else:
+                                undo(m)
+                    undo(m0)
+        finally:
+            undo(base)
+    return ClassificationResult(
+        circuit_name=circuit.name,
+        criterion=criterion,
+        total_logical=counts.total_logical,
+        accepted=accepted,
+        elapsed=sw.elapsed,
+        lead_ctrl_counts=lead_counts,
+        edges_visited=edges,
+    )
+
+
 def classify(
     circuit: Circuit,
     criterion: Criterion,
@@ -99,6 +241,8 @@ def classify(
     collect_lead_counts: bool = False,
     max_accepted: int | None = None,
     on_path: Callable[[LogicalPath], None] | None = None,
+    counts: PathCounts | None = None,
+    session: CircuitSession | None = None,
 ) -> ClassificationResult:
     """Count ``|LP^sup|`` for ``criterion`` over all logical paths.
 
@@ -121,106 +265,39 @@ def classify(
         optional callback invoked with every accepted
         :class:`~repro.paths.path.LogicalPath` (slow; for debugging and
         small-circuit set extraction).
+    counts:
+        precomputed :func:`~repro.paths.count.count_paths` result for
+        ``circuit``; pass it when the caller already has the exact
+        counts to avoid recomputing them.
+    session:
+        a :class:`~repro.classify.session.CircuitSession` for
+        ``circuit``; when given, the per-(criterion, sort) tables, the
+        implication engine and the path counts all come from (and warm)
+        the session's caches.
     """
+    if session is not None:
+        if session.circuit is not circuit:
+            raise ValueError("session was created for a different circuit")
+        return session.classify(
+            criterion,
+            sort=sort,
+            collect_lead_counts=collect_lead_counts,
+            max_accepted=max_accepted,
+            on_path=on_path,
+        )
     tables = _Tables(circuit, criterion, sort)
     engine = ImplicationEngine(circuit)
-    counts = count_paths(circuit)
-    needed_depth = max(circuit.level(g) for g in range(circuit.num_gates)) + 64
-    if sys.getrecursionlimit() < 4 * needed_depth:
-        sys.setrecursionlimit(4 * needed_depth + 1000)
-
-    accepted = 0
-    lead_counts = [0] * circuit.num_leads if collect_lead_counts else []
-    # Stack of (lead, final value at lead equals dst's controlling value).
-    ctrl_stack: list[tuple[int, bool]] = []
-    path_stack: list[int] = []
-
-    kind = tables.kind
-    ctrl = tables.ctrl
-    out_ctrl = tables.out_ctrl
-    out_nc = tables.out_nc
-    nc = tables.nc
-    side_all = tables.side_all
-    side_ctrl = tables.side_ctrl
-    fanout = tables.fanout
-    assume = engine.assume
-    mark = engine.mark
-    undo = engine.undo_to
-
-    def accept(start_value: int) -> None:
-        nonlocal accepted
-        accepted += 1
-        if max_accepted is not None and accepted > max_accepted:
-            raise RuntimeError(
-                f"more than {max_accepted} paths accepted; raise max_accepted "
-                "or use a smaller circuit"
-            )
-        if collect_lead_counts:
-            for lead, is_ctrl in ctrl_stack:
-                if is_ctrl:
-                    lead_counts[lead] += 1
-        if on_path is not None:
-            from repro.paths.path import PhysicalPath  # local: rarely used
-
-            on_path(LogicalPath(PhysicalPath(tuple(path_stack)), start_value))
-
-    def dfs(gate: int, val: int, start_value: int) -> None:
-        for lead, dst in fanout[gate]:
-            k = kind[dst]
-            if k == _K_PO:
-                ctrl_stack.append((lead, False))
-                path_stack.append(lead)
-                accept(start_value)
-                path_stack.pop()
-                ctrl_stack.pop()
-                continue
-            m = mark()
-            if k == _K_SIMPLE:
-                is_ctrl = val == ctrl[dst]
-                if is_ctrl:
-                    sides = side_ctrl[lead]
-                    newval = out_ctrl[dst]
-                else:
-                    sides = side_all[lead]
-                    newval = out_nc[dst]
-                ok = True
-                ncv = nc[dst]
-                for src in sides:
-                    if not assume(src, ncv):
-                        ok = False
-                        break
-                if ok:
-                    ok = assume(dst, newval)
-            elif k == _K_NOT:
-                is_ctrl = False
-                newval = 1 - val
-                ok = assume(dst, newval)
-            else:  # _K_WIRE
-                is_ctrl = False
-                newval = val
-                ok = assume(dst, newval)
-            if ok:
-                ctrl_stack.append((lead, is_ctrl))
-                path_stack.append(lead)
-                dfs(dst, newval, start_value)
-                path_stack.pop()
-                ctrl_stack.pop()
-            undo(m)
-
-    with Stopwatch() as sw:
-        for pi in circuit.inputs:
-            for x in (1, 0):
-                m = mark()
-                if assume(pi, x):
-                    dfs(pi, x, x)
-                undo(m)
-    return ClassificationResult(
-        circuit_name=circuit.name,
-        criterion=criterion,
-        total_logical=counts.total_logical,
-        accepted=accepted,
-        elapsed=sw.elapsed,
-        lead_ctrl_counts=lead_counts,
+    if counts is None:
+        counts = count_paths(circuit)
+    return _run(
+        circuit,
+        criterion,
+        tables,
+        engine,
+        counts,
+        collect_lead_counts,
+        max_accepted,
+        on_path,
     )
 
 

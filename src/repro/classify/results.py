@@ -26,6 +26,9 @@ class ClassificationResult:
     #: lead is the destination gate's controlling value (|FS_c^sup(l)| /
     #: |T_c^sup(l)| of Algorithm 3); only filled when requested.
     lead_ctrl_counts: list = field(default_factory=list)
+    #: path-edge extensions attempted by the DFS (accepted or pruned) —
+    #: the classifier's unit of work, used for throughput accounting.
+    edges_visited: int = 0
 
     @property
     def rd_count(self) -> int:
@@ -43,6 +46,13 @@ class ClassificationResult:
     @property
     def rd_percent(self) -> float:
         return 100.0 * self.rd_fraction
+
+    @property
+    def edges_per_second(self) -> float:
+        """Classifier throughput in path-edge extensions per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.edges_visited / self.elapsed
 
     def __str__(self) -> str:
         return (

@@ -1,0 +1,166 @@
+"""Analysis sessions: shared per-circuit state for classification runs.
+
+Every paper pipeline runs *several* classification passes over the same
+circuit — Heuristic 2 alone pays an FS pass, an NR pass and a final
+SIGMA_PI pass, and a full Table-I row adds the Heu1 and inverted-sort
+passes on top.  A :class:`CircuitSession` makes the state those passes
+share a first-class, reusable artifact instead of per-call scratch:
+
+* the exact path counts (:func:`~repro.paths.count.count_paths`) are
+  computed once per circuit;
+* one :class:`~repro.logic.implication.ImplicationEngine` is built per
+  circuit and reused across passes (its trail is provably empty between
+  runs — the enumeration core restores it even on exceptions);
+* the static per-lead condition tables are cached per
+  ``(criterion, sort)`` — the inverted-Heu2 control pass, for example,
+  shares nothing with the forward pass, but repeated passes with the
+  same sort (re-runs, benches, coverage studies) hit the cache.
+
+Sessions are deliberately cheap to create (all caches are lazy), purely
+per-process (they are *not* sent across the
+:mod:`~repro.experiments.harness` process pool — each worker builds its
+own), and observable: :attr:`CircuitSession.stats` counts cache hits and
+builds so tests can assert "exactly one ``count_paths`` per circuit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.classify.engine import _run, _Tables
+from repro.classify.results import ClassificationResult
+from repro.logic.implication import ImplicationEngine
+from repro.paths.count import PathCounts, count_paths
+
+if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
+    from repro.paths.path import LogicalPath
+    from repro.sorting.heuristics import Heuristic2Analysis
+    from repro.sorting.input_sort import InputSort
+
+
+@dataclass
+class SessionStats:
+    """Cache observability for one :class:`CircuitSession`."""
+
+    count_paths_calls: int = 0
+    engines_built: int = 0
+    tables_built: int = 0
+    tables_reused: int = 0
+    classify_passes: int = 0
+
+    @property
+    def tables_hit_rate(self) -> float:
+        total = self.tables_built + self.tables_reused
+        if not total:
+            return 0.0
+        return self.tables_reused / total
+
+
+@dataclass
+class CircuitSession:
+    """Lazily-cached analysis state for one frozen circuit.
+
+    Usage::
+
+        session = CircuitSession(circuit)
+        fs = session.classify(Criterion.FS)
+        analysis = session.heuristic2_analysis()
+        final = session.classify(Criterion.SIGMA_PI, sort=analysis.sort)
+        session.counts.total_logical   # computed once, shared by all
+
+    All classification entry points (:func:`repro.classify.classify`,
+    the sorting heuristics, the experiment harness) accept a session and
+    route through these caches.
+    """
+
+    circuit: Circuit
+    stats: SessionStats = field(default_factory=SessionStats)
+    _counts: PathCounts | None = field(default=None, repr=False)
+    _engine: ImplicationEngine | None = field(default=None, repr=False)
+    _tables: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.circuit._require_frozen()  # noqa: SLF001 - deliberate check
+
+    # -- cached artifacts ----------------------------------------------
+    @property
+    def counts(self) -> PathCounts:
+        """Exact path counts, computed at most once per session."""
+        if self._counts is None:
+            self.stats.count_paths_calls += 1
+            self._counts = count_paths(self.circuit)
+        return self._counts
+
+    @property
+    def engine(self) -> ImplicationEngine:
+        """The shared implication engine (trail empty between passes)."""
+        if self._engine is None:
+            self.stats.engines_built += 1
+            self._engine = ImplicationEngine(self.circuit)
+        return self._engine
+
+    def tables(
+        self, criterion: Criterion, sort: "InputSort | None" = None
+    ) -> _Tables:
+        """Per-lead condition tables, cached by ``(criterion, π ranks)``."""
+        key = (criterion, None if sort is None else sort.ranks)
+        cached = self._tables.get(key)
+        if cached is None:
+            self.stats.tables_built += 1
+            cached = self._tables[key] = _Tables(self.circuit, criterion, sort)
+        else:
+            self.stats.tables_reused += 1
+        return cached
+
+    # -- classification ------------------------------------------------
+    def classify(
+        self,
+        criterion: Criterion,
+        sort: "InputSort | None" = None,
+        collect_lead_counts: bool = False,
+        max_accepted: int | None = None,
+        on_path: "Callable[[LogicalPath], None] | None" = None,
+    ) -> ClassificationResult:
+        """One classification pass through the session caches.
+
+        Same contract as :func:`repro.classify.classify`; the tables,
+        implication engine and path counts come from (and warm) this
+        session.
+        """
+        self.stats.classify_passes += 1
+        tables = self.tables(criterion, sort)
+        engine = self.engine
+        engine.reset()  # defensive: a prior pass may have been aborted
+        return _run(
+            self.circuit,
+            criterion,
+            tables,
+            engine,
+            self.counts,
+            collect_lead_counts,
+            max_accepted,
+            on_path,
+        )
+
+    # -- sorting heuristics (convenience, session-cached) --------------
+    def heuristic1_sort(self) -> "InputSort":
+        """Heuristic 1 from the cached path counts (no extra counting)."""
+        from repro.sorting.heuristics import heuristic1_sort
+
+        return heuristic1_sort(self.circuit, counts=self.counts)
+
+    def heuristic2_analysis(
+        self, max_accepted: int | None = None
+    ) -> "Heuristic2Analysis":
+        """Algorithm 3 with both superset passes through this session."""
+        from repro.sorting.heuristics import heuristic2_analysis
+
+        return heuristic2_analysis(
+            self.circuit, max_accepted=max_accepted, session=self
+        )
+
+    def heuristic2_sort(self, max_accepted: int | None = None) -> "InputSort":
+        return self.heuristic2_analysis(max_accepted=max_accepted).sort

@@ -6,7 +6,7 @@ Subcommands::
     repro-rd info s499-ecc                # stats + path counts
     repro-rd classify s1355-par --criterion sigma --sort heu2
     repro-rd baseline apex-a --method exact
-    repro-rd table1 / table2 / table3 / figures
+    repro-rd table1 / table2 / table3 / figures   (tables take --jobs N)
     repro-rd info my_circuit.bench        # file inputs work everywhere
 """
 
@@ -22,9 +22,8 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.pla import parse_pla_file
 from repro.circuit.stats import circuit_stats, internal_fanout_count
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
+from repro.classify.session import CircuitSession
 from repro.gen.suite import SUITE, get_circuit
-from repro.paths.count import count_paths
 from repro.sorting.heuristics import (
     heuristic1_sort,
     heuristic2_sort,
@@ -49,15 +48,21 @@ def load_circuit(spec: str) -> Circuit:
     return get_circuit(spec)
 
 
-def _make_sort(circuit: Circuit, kind: str, seed: int):
+def _make_sort(
+    circuit: Circuit, kind: str, seed: int,
+    session: "CircuitSession | None" = None,
+):
+    """Build a named sort, reusing ``session`` caches for the heuristic
+    sorts (the heu2 variants cost two classification passes)."""
     if kind == "pin":
         return pin_order_sort(circuit)
     if kind == "heu1":
-        return heuristic1_sort(circuit)
+        counts = session.counts if session is not None else None
+        return heuristic1_sort(circuit, counts=counts)
     if kind == "heu2":
-        return heuristic2_sort(circuit)
+        return heuristic2_sort(circuit, session=session)
     if kind == "heu2inv":
-        return heuristic2_sort(circuit).inverted()
+        return heuristic2_sort(circuit, session=session).inverted()
     if kind == "random":
         return random_sort(circuit, seed=seed)
     raise ValueError(f"unknown sort {kind!r}")
@@ -72,7 +77,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_info(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
     stats = circuit_stats(circuit)
-    counts = count_paths(circuit)
+    counts = CircuitSession(circuit).counts
     print(stats)
     print(f"internal fanout stems: {internal_fanout_count(circuit)}")
     print(f"physical paths: {counts.total_physical:,}")
@@ -83,11 +88,12 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_classify(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
     criterion = _CRITERIA[args.criterion]
+    session = CircuitSession(circuit)
     sort = None
     if criterion is Criterion.SIGMA_PI:
-        sort = _make_sort(circuit, args.sort, args.seed)
-    result = classify(
-        circuit, criterion, sort=sort, max_accepted=args.max_accepted
+        sort = _make_sort(circuit, args.sort, args.seed, session=session)
+    result = session.classify(
+        criterion, sort=sort, max_accepted=args.max_accepted
     )
     print(result)
     return 0
@@ -102,14 +108,14 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_testgen(args: argparse.Namespace) -> int:
     """Generate robust delay tests for the non-RD paths of a circuit."""
-    from repro.classify.engine import classify as run_classify
     from repro.delaytest.testability import robust_test
 
     circuit = load_circuit(args.circuit)
-    sort = _make_sort(circuit, args.sort, 0)
+    session = CircuitSession(circuit)
+    sort = _make_sort(circuit, args.sort, 0, session=session)
     must_test: list = []
-    result = run_classify(
-        circuit, Criterion.SIGMA_PI, sort=sort,
+    result = session.classify(
+        Criterion.SIGMA_PI, sort=sort,
         max_accepted=args.max_accepted, on_path=must_test.append,
     )
     print(result)
@@ -135,16 +141,16 @@ def cmd_testgen(args: argparse.Namespace) -> int:
 
 def cmd_select(args: argparse.Namespace) -> int:
     """Threshold path selection with RD filtering (Section VI)."""
-    from repro.classify.engine import classify as run_classify
     from repro.selection.strategies import select_by_threshold
     from repro.timing.delays import unit_delays
     from repro.timing.pathdelay import logical_path_delay
 
     circuit = load_circuit(args.circuit)
-    sort = _make_sort(circuit, args.sort, 0)
+    session = CircuitSession(circuit)
+    sort = _make_sort(circuit, args.sort, 0, session=session)
     must_test: set = set()
-    run_classify(
-        circuit, Criterion.SIGMA_PI, sort=sort,
+    session.classify(
+        Criterion.SIGMA_PI, sort=sort,
         max_accepted=args.max_accepted, on_path=must_test.add,
     )
     delays = unit_delays(circuit)
@@ -226,33 +232,35 @@ def cmd_dot(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import table1
 
+    jobs = getattr(args, "jobs", 1)
     if getattr(args, "json", False):
         from repro.experiments.report import table1_to_dict, to_json
 
-        _table, rows = table1.run()
+        _table, rows = table1.run(jobs=jobs)
         print(to_json(table1_to_dict(rows)))
         return 0
-    table1.main()
+    table1.main(jobs=jobs)
     return 0
 
 
-def cmd_table2(_args: argparse.Namespace) -> int:
+def cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments import table2
 
-    table2.main()
+    table2.main(jobs=getattr(args, "jobs", 1))
     return 0
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments import table3
 
+    jobs = getattr(args, "jobs", 1)
     if getattr(args, "json", False):
         from repro.experiments.report import table3_to_dict, to_json
 
-        _table, rows = table3.run()
+        _table, rows = table3.run(jobs=jobs)
         print(to_json(table3_to_dict(rows)))
         return 0
-    table3.main()
+    table3.main(jobs=jobs)
     return 0
 
 
@@ -349,12 +357,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--po", type=int, default=0, help="output index for --stabilize")
     p.set_defaults(fn=cmd_dot)
 
+    jobs_help = "worker processes (circuits fan out; 1 = in-process)"
     p = sub.add_parser("table1", help="regenerate Table I")
     p.add_argument("--json", action="store_true", help="emit JSON")
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     p.set_defaults(fn=cmd_table1)
-    sub.add_parser("table2", help="regenerate Table II").set_defaults(fn=cmd_table2)
+    p = sub.add_parser("table2", help="regenerate Table II")
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    p.set_defaults(fn=cmd_table2)
     p = sub.add_parser("table3", help="regenerate Table III")
     p.add_argument("--json", action="store_true", help="emit JSON")
+    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     p.set_defaults(fn=cmd_table3)
     sub.add_parser("figures", help="regenerate Figures 1-5").set_defaults(
         fn=cmd_figures

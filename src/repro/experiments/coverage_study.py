@@ -10,11 +10,12 @@ and SAT-checking robust testability per sample, and compares sorts.
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
+from repro.classify.session import CircuitSession
 from repro.delaytest.testability import is_robustly_testable
 from repro.sorting.input_sort import InputSort
 
@@ -50,11 +51,13 @@ def estimate_coverage(
     sample_size: int = 100,
     seed: int = 0,
     max_accepted: "int | None" = 2_000_000,
+    session: "CircuitSession | None" = None,
 ) -> CoverageEstimate:
     """Sampled Theorem-1 fault coverage of ``LP^sup(σ^π)``."""
+    if session is None:
+        session = CircuitSession(circuit)
     selected: list = []
-    result = classify(
-        circuit,
+    result = session.classify(
         Criterion.SIGMA_PI,
         sort=sort,
         max_accepted=max_accepted,
@@ -77,17 +80,40 @@ def estimate_coverage(
     )
 
 
+def _coverage_task(
+    payload: "tuple[Circuit, InputSort, str, int, int]",
+) -> CoverageEstimate:
+    """Top-level worker (picklable) for the sort-comparison pool."""
+    circuit, sort, label, sample_size, seed = payload
+    return estimate_coverage(
+        circuit, sort, sort_label=label, sample_size=sample_size, seed=seed
+    )
+
+
 def compare_sorts(
     circuit: Circuit,
     sorts: "dict[str, InputSort]",
     sample_size: int = 100,
     seed: int = 0,
+    jobs: int = 1,
 ) -> "dict[str, CoverageEstimate]":
-    """Coverage estimates for several sorts on one circuit."""
-    return {
-        label: estimate_coverage(
-            circuit, sort, sort_label=label,
-            sample_size=sample_size, seed=seed,
-        )
-        for label, sort in sorts.items()
-    }
+    """Coverage estimates for several sorts on one circuit.
+
+    With ``jobs > 1`` the per-sort estimates (one classification pass +
+    SAT testability sampling each) fan out across a process pool; the
+    seeded sampling makes results identical across job counts.
+    """
+    labels = list(sorts)
+    work = [
+        (circuit, sorts[label], label, sample_size, seed) for label in labels
+    ]
+    if jobs <= 1 or len(work) <= 1:
+        estimates = [_coverage_task(payload) for payload in work]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=max(1, min(jobs, len(work)))
+        ) as pool:
+            estimates = list(pool.map(_coverage_task, work))
+    # One shared session would be wasted across processes; per-call
+    # sessions still dedupe the counts/tables within each estimate.
+    return dict(zip(labels, estimates))

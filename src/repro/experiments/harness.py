@@ -9,22 +9,37 @@ A Table-I/II row runs the full paper pipeline on one circuit:
    the induced sort, + one SIGMA_PI pass;
 5. the inverted-Heuristic-2 control (the paper's "Heu2-bar" column).
 
-Timings follow the paper's accounting: Heu1 = sort + one classification
-pass; Heu2 = three classification passes + sort.
+All passes of one row run through a single
+:class:`~repro.classify.session.CircuitSession`, so the exact path
+counts are computed once and the implication engine is reused.  Timings
+follow the paper's accounting: Heu1 = sort + one classification pass;
+Heu2 = three classification passes + sort.
+
+Multi-circuit runs fan out across a ``ProcessPoolExecutor`` when
+``jobs > 1`` (one session per worker process); ``jobs=1`` is the
+deterministic in-process fallback.  Results are identical either way —
+only wall-clock changes — because every pass is deterministic and
+``executor.map`` preserves input order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.baseline.exact_assignment import BaselineResult, baseline_rd
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
-from repro.paths.count import count_paths
+from repro.classify.results import ClassificationResult
+from repro.classify.session import CircuitSession
 from repro.sorting.heuristics import heuristic1_sort, heuristic2_analysis
 from repro.sorting.input_sort import InputSort
 from repro.util.timer import Stopwatch
+
+
+def _pool_size(jobs: int, tasks: int) -> int:
+    return max(1, min(jobs, tasks))
 
 
 @dataclass
@@ -57,27 +72,37 @@ class Table1Row:
         return problems
 
 
-def run_table1_row(circuit: Circuit, max_accepted: int | None = None) -> Table1Row:
-    """The full pipeline on one circuit (see module docstring)."""
-    counts = count_paths(circuit)
+def run_table1_row(
+    circuit: Circuit,
+    max_accepted: int | None = None,
+    session: CircuitSession | None = None,
+) -> Table1Row:
+    """The full pipeline on one circuit (see module docstring).
+
+    Exactly one ``count_paths`` runs per circuit: the session computes
+    it lazily and every pass (including the Heuristic-1 sort) reuses it.
+    """
+    if session is None:
+        session = CircuitSession(circuit)
+    counts = session.counts
     # --- Heuristic 1 -----------------------------------------------------
     with Stopwatch() as sw1:
-        sort1 = heuristic1_sort(circuit)
-        res1 = classify(
-            circuit, Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
+        sort1 = heuristic1_sort(circuit, counts=counts)
+        res1 = session.classify(
+            Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
         )
     # --- Heuristic 2 (Algorithm 3: FS pass + NR pass + final pass) -------
     with Stopwatch() as sw2:
-        analysis = heuristic2_analysis(circuit, max_accepted=max_accepted)
-        res2 = classify(
-            circuit,
+        analysis = heuristic2_analysis(
+            circuit, max_accepted=max_accepted, session=session
+        )
+        res2 = session.classify(
             Criterion.SIGMA_PI,
             sort=analysis.sort,
             max_accepted=max_accepted,
         )
     # --- inverse control --------------------------------------------------
-    res2_inv = classify(
-        circuit,
+    res2_inv = session.classify(
         Criterion.SIGMA_PI,
         sort=analysis.sort.inverted(),
         max_accepted=max_accepted,
@@ -92,6 +117,30 @@ def run_table1_row(circuit: Circuit, max_accepted: int | None = None) -> Table1R
         time_heu1=sw1.elapsed,
         time_heu2=sw2.elapsed,
     )
+
+
+def _table1_task(payload: "tuple[Circuit, int | None]") -> Table1Row:
+    """Top-level worker (must be picklable for the process pool)."""
+    circuit, max_accepted = payload
+    return run_table1_row(circuit, max_accepted=max_accepted)
+
+
+def run_table1_rows(
+    circuits: Iterable[Circuit],
+    max_accepted: int | None = None,
+    jobs: int = 1,
+) -> list[Table1Row]:
+    """Table-I rows for several circuits, optionally in parallel.
+
+    ``jobs=1`` runs in-process; ``jobs > 1`` fans circuits out across a
+    process pool.  Row order always follows ``circuits``, and all
+    RD-percentage columns are bit-identical across job counts.
+    """
+    work = [(circuit, max_accepted) for circuit in circuits]
+    if jobs <= 1 or len(work) <= 1:
+        return [_table1_task(payload) for payload in work]
+    with ProcessPoolExecutor(max_workers=_pool_size(jobs, len(work))) as pool:
+        return list(pool.map(_table1_task, work))
 
 
 @dataclass
@@ -119,12 +168,16 @@ class Table3Row:
 
 
 def run_table3_row(
-    circuit: Circuit, baseline_method: str = "greedy"
+    circuit: Circuit,
+    baseline_method: str = "greedy",
+    session: CircuitSession | None = None,
 ) -> Table3Row:
+    if session is None:
+        session = CircuitSession(circuit)
     baseline: BaselineResult = baseline_rd(circuit, method=baseline_method)
     with Stopwatch() as sw:
-        analysis = heuristic2_analysis(circuit)
-        res2 = classify(circuit, Criterion.SIGMA_PI, sort=analysis.sort)
+        analysis = heuristic2_analysis(circuit, session=session)
+        res2 = session.classify(Criterion.SIGMA_PI, sort=analysis.sort)
     return Table3Row(
         name=circuit.name,
         total_logical=baseline.total_logical,
@@ -135,6 +188,74 @@ def run_table3_row(
     )
 
 
-def sigma_pi_percent(circuit: Circuit, sort: InputSort) -> float:
+def _table3_task(payload: "tuple[Circuit, str]") -> Table3Row:
+    circuit, baseline_method = payload
+    return run_table3_row(circuit, baseline_method=baseline_method)
+
+
+def run_table3_rows(
+    circuits: Iterable[Circuit],
+    baseline_method: str = "greedy",
+    jobs: int = 1,
+) -> list[Table3Row]:
+    """Table-III rows for several circuits, optionally in parallel."""
+    work = [(circuit, baseline_method) for circuit in circuits]
+    if jobs <= 1 or len(work) <= 1:
+        return [_table3_task(payload) for payload in work]
+    with ProcessPoolExecutor(max_workers=_pool_size(jobs, len(work))) as pool:
+        return list(pool.map(_table3_task, work))
+
+
+def _cone_task(
+    payload: "tuple[Circuit, int, Criterion, Callable[[Circuit], InputSort] | None]",
+) -> ClassificationResult:
+    circuit, po, criterion, sort_builder = payload
+    cone, _mapping = circuit.extract_cone(po)
+    session = CircuitSession(cone)
+    sort = sort_builder(cone) if sort_builder is not None else None
+    return session.classify(criterion, sort=sort)
+
+
+def classify_cones(
+    circuit: Circuit,
+    criterion: Criterion,
+    sort_builder: "Callable[[Circuit], InputSort] | None" = None,
+    jobs: int = 1,
+) -> ClassificationResult:
+    """Classify per extracted PO cone and combine (the paper applies its
+    single-output theory cone by cone; every PI→PO path lies in exactly
+    one cone, so the accepted counts add up).
+
+    ``sort_builder`` builds the per-cone sort for ``SIGMA_PI`` (e.g.
+    :func:`~repro.sorting.heuristics.heuristic1_sort`); for ``jobs > 1``
+    it must be picklable (a module-level function, not a lambda).
+    ``elapsed`` sums per-cone CPU time — the paper's accounting — not
+    pool wall-clock.
+    """
+    work = [(circuit, po, criterion, sort_builder) for po in circuit.outputs]
+    if jobs <= 1 or len(work) <= 1:
+        parts = [_cone_task(payload) for payload in work]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=_pool_size(jobs, len(work))
+        ) as pool:
+            parts = list(pool.map(_cone_task, work))
+    return ClassificationResult(
+        circuit_name=circuit.name,
+        criterion=criterion,
+        total_logical=sum(p.total_logical for p in parts),
+        accepted=sum(p.accepted for p in parts),
+        elapsed=sum(p.elapsed for p in parts),
+        edges_visited=sum(p.edges_visited for p in parts),
+    )
+
+
+def sigma_pi_percent(
+    circuit: Circuit,
+    sort: InputSort,
+    session: CircuitSession | None = None,
+) -> float:
     """RD%% of one SIGMA_PI pass (ablation helper)."""
-    return classify(circuit, Criterion.SIGMA_PI, sort=sort).rd_percent
+    if session is None:
+        session = CircuitSession(circuit)
+    return session.classify(Criterion.SIGMA_PI, sort=sort).rd_percent

@@ -5,17 +5,24 @@ cost grow with circuit size, per family.  Used by the scaling example
 and the growth tests; each point records exact counts and one FS
 classification (skipped above the enumeration budget, mirroring the
 paper's "could not be completed" entries).
+
+Circuits are built serially (generator families are often lambdas,
+which do not pickle), but the measurements themselves fan out across a
+process pool when ``jobs > 1``; each point runs through its own
+:class:`~repro.classify.session.CircuitSession`, so the exact count
+feeding ``total_logical`` is also the one the classifier reports
+against — one DP per point.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
-from repro.paths.count import count_paths
+from repro.classify.session import CircuitSession
 from repro.util.timer import Stopwatch
 
 
@@ -36,42 +43,52 @@ class SweepPoint:
         return 100.0 * (1 - self.accepted / self.total_logical)
 
 
+def _sweep_task(payload: "tuple[int, Circuit, int]") -> SweepPoint:
+    """Measure one prebuilt circuit (top-level: picklable for the pool)."""
+    parameter, circuit, classification_budget = payload
+    session = CircuitSession(circuit)
+    total_logical = session.counts.total_logical
+    accepted = None
+    seconds = None
+    try:
+        with Stopwatch() as sw:
+            result = session.classify(
+                Criterion.FS, max_accepted=classification_budget
+            )
+        accepted = result.accepted
+        seconds = sw.elapsed
+    except RuntimeError:
+        pass  # over budget: counting-only point
+    return SweepPoint(
+        parameter=parameter,
+        gates=circuit.num_gates,
+        total_logical=total_logical,
+        accepted=accepted,
+        classify_seconds=seconds,
+    )
+
+
 def sweep_family(
     family: Callable[[int], Circuit],
     parameters: "Sequence[int] | Iterable[int]",
     classification_budget: int = 500_000,
+    jobs: int = 1,
 ) -> "list[SweepPoint]":
     """Measure one generator family across ``parameters``.
 
     Classification (FS criterion) runs only while the *accepted* path
     count stays within ``classification_budget``; larger instances are
-    counted exactly but not enumerated.
+    counted exactly but not enumerated.  ``jobs > 1`` measures the
+    points concurrently (point order and values are unchanged).
     """
-    points: list = []
-    for parameter in parameters:
-        circuit = family(parameter)
-        counts = count_paths(circuit)
-        accepted = None
-        seconds = None
-        try:
-            with Stopwatch() as sw:
-                result = classify(
-                    circuit, Criterion.FS, max_accepted=classification_budget
-                )
-            accepted = result.accepted
-            seconds = sw.elapsed
-        except RuntimeError:
-            pass  # over budget: counting-only point
-        points.append(
-            SweepPoint(
-                parameter=parameter,
-                gates=circuit.num_gates,
-                total_logical=counts.total_logical,
-                accepted=accepted,
-                classify_seconds=seconds,
-            )
-        )
-    return points
+    work = [
+        (parameter, family(parameter), classification_budget)
+        for parameter in parameters
+    ]
+    if jobs <= 1 or len(work) <= 1:
+        return [_sweep_task(payload) for payload in work]
+    with ProcessPoolExecutor(max_workers=max(1, min(jobs, len(work)))) as pool:
+        return list(pool.map(_sweep_task, work))
 
 
 def growth_factors(points: "Sequence[SweepPoint]") -> "list[float]":

@@ -10,16 +10,17 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.circuit.netlist import Circuit
-from repro.experiments.harness import Table1Row, run_table1_row
+from repro.experiments.harness import Table1Row, run_table1_rows
 from repro.gen.suite import table1_suite
 from repro.util.tables import TextTable
 
 
-def run(circuits: Iterable[Circuit] | None = None) -> tuple[TextTable, list[Table1Row]]:
-    rows = [
-        run_table1_row(circuit)
-        for circuit in (circuits if circuits is not None else table1_suite())
-    ]
+def run(
+    circuits: Iterable[Circuit] | None = None, jobs: int = 1
+) -> tuple[TextTable, list[Table1Row]]:
+    rows = run_table1_rows(
+        circuits if circuits is not None else table1_suite(), jobs=jobs
+    )
     table = TextTable(
         ["circuit", "FUS", "Heu1", "Heu2", "inv-Heu2"],
         title="Table I: % of logical paths identified RD (ISCAS-85 stand-ins)",
@@ -37,8 +38,8 @@ def run(circuits: Iterable[Circuit] | None = None) -> tuple[TextTable, list[Tabl
     return table, rows
 
 
-def main() -> None:
-    table, rows = run()
+def main(jobs: int = 1) -> None:
+    table, rows = run(jobs=jobs)
     print(table.render())
     for row in rows:
         for problem in row.check_expected_shape():

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.circuit.netlist import Circuit
-from repro.experiments.harness import Table1Row, run_table1_row
+from repro.experiments.harness import Table1Row, run_table1_rows
 from repro.gen.suite import count_only_suite, table1_suite
 from repro.paths.count import count_paths
 from repro.util.tables import TextTable
@@ -21,13 +21,13 @@ def run(
     circuits: Iterable[Circuit] | None = None,
     rows: "list[Table1Row] | None" = None,
     include_count_only: bool = True,
+    jobs: int = 1,
 ) -> TextTable:
     """Render Table II; pass ``rows`` to reuse Table I measurements."""
     if rows is None:
-        rows = [
-            run_table1_row(circuit)
-            for circuit in (circuits if circuits is not None else table1_suite())
-        ]
+        rows = run_table1_rows(
+            circuits if circuits is not None else table1_suite(), jobs=jobs
+        )
     table = TextTable(
         ["circuit", "total logical paths", "CPU-time Heu1", "CPU-time Heu2"],
         title="Table II: path counts and running times",
@@ -55,8 +55,8 @@ def run(
     return table
 
 
-def main() -> None:
-    print(run().render())
+def main(jobs: int = 1) -> None:
+    print(run(jobs=jobs).render())
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.circuit.netlist import Circuit
-from repro.experiments.harness import Table3Row, run_table3_row
+from repro.experiments.harness import Table3Row, run_table3_rows
 from repro.gen.suite import table3_suite
 from repro.util.tables import TextTable
 from repro.util.timer import format_duration
@@ -20,11 +20,13 @@ from repro.util.timer import format_duration
 def run(
     circuits: Iterable[Circuit] | None = None,
     baseline_method: str = "greedy",
+    jobs: int = 1,
 ) -> tuple[TextTable, list[Table3Row]]:
-    rows = [
-        run_table3_row(circuit, baseline_method=baseline_method)
-        for circuit in (circuits if circuits is not None else table3_suite())
-    ]
+    rows = run_table3_rows(
+        circuits if circuits is not None else table3_suite(),
+        baseline_method=baseline_method,
+        jobs=jobs,
+    )
     table = TextTable(
         [
             "circuit",
@@ -54,8 +56,8 @@ def run(
     return table, rows
 
 
-def main() -> None:
-    table, rows = run()
+def main(jobs: int = 1) -> None:
+    table, rows = run(jobs=jobs)
     print(table.render())
     gaps = [row.quality_gap for row in rows]
     print(f"mean quality gap: {sum(gaps) / len(gaps):.2f} % (paper: 2.05 %)")

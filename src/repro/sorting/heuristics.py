@@ -20,9 +20,9 @@ from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
 from repro.classify.results import ClassificationResult
-from repro.paths.count import count_paths
+from repro.classify.session import CircuitSession
+from repro.paths.count import PathCounts, count_paths
 from repro.sorting.input_sort import InputSort
 
 
@@ -38,9 +38,16 @@ def random_sort(circuit: Circuit, seed: int = 0) -> InputSort:
     return InputSort.from_key(circuit, lambda lead: noise[lead])
 
 
-def heuristic1_sort(circuit: Circuit) -> InputSort:
-    """Heuristic 1: rank gate inputs by path count through the lead."""
-    counts = count_paths(circuit)
+def heuristic1_sort(
+    circuit: Circuit, counts: "PathCounts | None" = None
+) -> InputSort:
+    """Heuristic 1: rank gate inputs by path count through the lead.
+
+    Pass precomputed ``counts`` (e.g. from a
+    :class:`~repro.classify.session.CircuitSession`) to skip the DP.
+    """
+    if counts is None:
+        counts = count_paths(circuit)
     return InputSort.from_key(circuit, lambda lead: counts.through_lead[lead])
 
 
@@ -66,14 +73,25 @@ class Heuristic2Analysis:
 
 
 def heuristic2_analysis(
-    circuit: Circuit, max_accepted: int | None = None
+    circuit: Circuit,
+    max_accepted: int | None = None,
+    session: "CircuitSession | None" = None,
 ) -> Heuristic2Analysis:
-    """Algorithm 3: the two superset passes plus the induced sort."""
-    fs_result = classify(
-        circuit, Criterion.FS, collect_lead_counts=True, max_accepted=max_accepted
+    """Algorithm 3: the two superset passes plus the induced sort.
+
+    Both passes run through ``session`` (a fresh one when not given), so
+    the implication engine and path counts are shared with — and warm
+    the caches of — any surrounding pipeline.
+    """
+    if session is None:
+        session = CircuitSession(circuit)
+    elif session.circuit is not circuit:
+        raise ValueError("session was created for a different circuit")
+    fs_result = session.classify(
+        Criterion.FS, collect_lead_counts=True, max_accepted=max_accepted
     )
-    nr_result = classify(
-        circuit, Criterion.NR, collect_lead_counts=True, max_accepted=max_accepted
+    nr_result = session.classify(
+        Criterion.NR, collect_lead_counts=True, max_accepted=max_accepted
     )
     measure = [
         fs - t
@@ -84,7 +102,11 @@ def heuristic2_analysis(
 
 
 def heuristic2_sort(
-    circuit: Circuit, max_accepted: int | None = None
+    circuit: Circuit,
+    max_accepted: int | None = None,
+    session: "CircuitSession | None" = None,
 ) -> InputSort:
     """Heuristic 2: rank gate inputs by ``|FS_c^sup \\ T_c^sup|``."""
-    return heuristic2_analysis(circuit, max_accepted=max_accepted).sort
+    return heuristic2_analysis(
+        circuit, max_accepted=max_accepted, session=session
+    ).sort

@@ -44,6 +44,13 @@ class InputSort:
         """π(dst(lead), lead)."""
         return self._rank[lead]
 
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """The dense rank array, indexed by lead id.  Hashable — two
+        sorts with equal ranks induce the same σ^π, so this is the
+        cache key used by analysis sessions."""
+        return self._rank
+
     def low_order_side_pins(self, lead: int) -> list[int]:
         """Pins of ``dst(lead)`` whose lead has a smaller π-position
         (footnote 2: the low-order side-inputs of ``lead``)."""

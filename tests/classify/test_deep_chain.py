@@ -1,0 +1,80 @@
+"""Deep-circuit regression: the iterative engine must survive circuits
+far deeper than any Python recursion limit, without touching it.
+
+The old recursive DFS needed a ``sys.setrecursionlimit`` bump scaled to
+circuit depth (one interpreter frame per path edge); a ~5k-gate inverter
+chain is ~5x past the default limit of 1000 and would crash it."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.classify.engine import classify
+from repro.classify.session import CircuitSession
+from repro.sorting.input_sort import InputSort
+
+CHAIN_DEPTH = 5_000
+
+
+def _chain(depth: int) -> Circuit:
+    """PI -> depth alternating NOT/BUF gates -> PO (one physical path)."""
+    circuit = Circuit(f"chain{depth}")
+    node = circuit.add_gate(GateType.PI, "x")
+    for i in range(depth):
+        gtype = GateType.NOT if i % 2 == 0 else GateType.BUF
+        node = circuit.add_gate(gtype, f"g{i}", [node])
+    circuit.add_gate(GateType.PO, "y", [node])
+    return circuit.freeze()
+
+
+@pytest.mark.parametrize(
+    "criterion", [Criterion.FS, Criterion.NR, Criterion.SIGMA_PI]
+)
+def test_deep_chain_classifies_without_recursionlimit_mutation(criterion):
+    circuit = _chain(CHAIN_DEPTH)
+    assert circuit.num_gates > CHAIN_DEPTH
+    limit_before = sys.getrecursionlimit()
+    assert CHAIN_DEPTH > limit_before, (
+        "chain must be deeper than the recursion limit for this test "
+        "to prove anything"
+    )
+    sort = InputSort.pin_order(circuit) if criterion.needs_sort else None
+    result = classify(circuit, criterion, sort=sort)
+    assert sys.getrecursionlimit() == limit_before
+    # One physical path, both transitions propagate through NOT/BUF.
+    assert result.total_logical == 2
+    assert result.accepted == 2
+    assert result.edges_visited == 2 * (CHAIN_DEPTH + 1)
+
+
+def test_deep_chain_streams_paths_and_lead_counts():
+    circuit = _chain(CHAIN_DEPTH)
+    session = CircuitSession(circuit)
+    paths: list = []
+    result = session.classify(
+        Criterion.FS, collect_lead_counts=True, on_path=paths.append
+    )
+    assert result.accepted == 2
+    assert len(paths) == 2
+    assert all(len(lp.path.leads) == CHAIN_DEPTH + 1 for lp in paths)
+    # NOT/BUF/PO destinations have no controlling value.
+    assert sum(result.lead_ctrl_counts) == 0
+
+
+def test_no_recursionlimit_mutation_anywhere_in_library():
+    """Enforce the acceptance criterion at the source level: nothing in
+    src/repro/ may touch the interpreter recursion limit."""
+    src = Path(repro.__file__).resolve().parent
+    offenders = [
+        str(py)
+        for py in sorted(src.rglob("*.py"))
+        if "setrecursionlimit" in py.read_text(encoding="utf-8")
+    ]
+    assert offenders == []

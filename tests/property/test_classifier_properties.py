@@ -4,8 +4,10 @@ Lemma 1, Lemma 2) on random circuits."""
 from hypothesis import given, settings
 
 from repro.classify.conditions import Criterion
-from repro.classify.engine import classify
+from repro.classify.engine import check_logical_path, classify
 from repro.classify.exact import exact_lp_sigma, exact_path_set
+from repro.classify.session import CircuitSession
+from repro.paths.enumerate import enumerate_logical_paths
 from repro.sorting.heuristics import heuristic1_sort
 from repro.sorting.input_sort import InputSort
 
@@ -69,3 +71,46 @@ def test_sigma_between_nr_and_fs_supersets(circuit):
     fs = _approx(circuit, Criterion.FS)
     sigma = _approx(circuit, Criterion.SIGMA_PI, sort)
     assert nr <= sigma <= fs
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_iterative_engine_agrees_with_per_path_check(circuit):
+    """The implicit (iterative, prime-segment-pruned) enumeration and
+    the explicit single-path checker are the same approximation: for
+    every logical path of the circuit, membership in the accepted set
+    equals ``check_logical_path``'s verdict, per criterion."""
+    sort = heuristic1_sort(circuit)
+    all_paths = list(enumerate_logical_paths(circuit))
+    for criterion, s in (
+        (Criterion.FS, None),
+        (Criterion.NR, None),
+        (Criterion.SIGMA_PI, sort),
+    ):
+        accepted = _approx(circuit, criterion, s)
+        for lp in all_paths:
+            assert (lp in accepted) == check_logical_path(
+                circuit, criterion, lp, s
+            ), (criterion, lp)
+        # The DFS emits each accepted path exactly once.
+        assert accepted <= set(all_paths)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=small_circuits(max_gates=10))
+def test_session_reuse_preserves_results(circuit):
+    """Back-to-back passes through one session (shared engine + cached
+    tables) are indistinguishable from fresh per-call state — in either
+    pass order."""
+    session = CircuitSession(circuit)
+    sort = InputSort.pin_order(circuit)
+    plan = [
+        (Criterion.SIGMA_PI, sort),
+        (Criterion.FS, None),
+        (Criterion.NR, None),
+        (Criterion.FS, None),  # repeat: exercises the table cache
+    ]
+    for criterion, s in plan:
+        cached: set = set()
+        session.classify(criterion, sort=s, on_path=cached.add)
+        assert cached == _approx(circuit, criterion, s), criterion
