@@ -18,6 +18,14 @@ Quickstart::
     print(f"{result.rd_percent:.1f}% of logical paths need no robust test")
 """
 
+from repro.errors import (
+    CircuitError,
+    ClassifyError,
+    HarnessError,
+    ReproError,
+    TaskCrashed,
+    TaskTimeout,
+)
 from repro.circuit import (
     Circuit,
     CircuitBuilder,
@@ -75,6 +83,12 @@ from repro.timing import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "CircuitError",
+    "ClassifyError",
+    "HarnessError",
+    "TaskTimeout",
+    "TaskCrashed",
     "Circuit",
     "CircuitBuilder",
     "GateType",

@@ -44,8 +44,20 @@ class BenchParseError(CircuitError):
     """Raised for malformed .bench input."""
 
 
-def parse_bench(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source text into a frozen :class:`Circuit`."""
+def parse_bench(
+    text: str, name: str = "bench", source: "str | None" = None
+) -> Circuit:
+    """Parse ``.bench`` source text into a frozen :class:`Circuit`.
+
+    ``source`` names where the text came from (a file path); every
+    :class:`BenchParseError` message is prefixed with it, so errors from
+    multi-file runs point at the offending file, not just a line number.
+    """
+    prefix = f"{source}: " if source else ""
+
+    def err(message: str) -> BenchParseError:
+        return BenchParseError(prefix + message)
+
     inputs: list[str] = []
     outputs: list[str] = []
     defs: dict[str, tuple[str, list[str]]] = {}
@@ -62,16 +74,16 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
             continue
         gate_match = _GATE_RE.match(line)
         if not gate_match:
-            raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+            raise err(f"line {lineno}: cannot parse {raw!r}")
         out_name, func, arg_text = gate_match.groups()
         func = func.upper()
         args = [a.strip() for a in arg_text.split(",") if a.strip()]
         if func not in _SIMPLE and func not in ("XOR", "XNOR"):
-            raise BenchParseError(f"line {lineno}: unknown gate function {func!r}")
+            raise err(f"line {lineno}: unknown gate function {func!r}")
         if not args:
-            raise BenchParseError(f"line {lineno}: gate {out_name!r} has no inputs")
+            raise err(f"line {lineno}: gate {out_name!r} has no inputs")
         if out_name in defs or out_name in inputs:
-            raise BenchParseError(f"line {lineno}: signal {out_name!r} redefined")
+            raise err(f"line {lineno}: signal {out_name!r} redefined")
         defs[out_name] = (func, args)
 
     circuit = Circuit(name)
@@ -93,7 +105,7 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
                 if func in _SIMPLE:
                     gtype = _SIMPLE[func]
                     if gtype in (GateType.NOT, GateType.BUF) and len(fanin) != 1:
-                        raise BenchParseError(
+                        raise err(
                             f"gate {sig!r}: {func} takes exactly one input"
                         )
                     gid = circuit.add_gate(gtype, sig, fanin)
@@ -103,9 +115,7 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
                 ids[sig] = gid
             elif sig in defs:
                 if state.get(sig) == 1:
-                    raise BenchParseError(
-                        f"combinational cycle through {sig!r}"
-                    )
+                    raise err(f"combinational cycle through {sig!r}")
                 state[sig] = 1
                 stack.append((sig, True))
                 # Reversed push => fanins resolve left-to-right, keeping
@@ -116,7 +126,7 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
             elif sig in inputs:
                 ids[sig] = circuit.add_gate(GateType.PI, sig)
             else:
-                raise BenchParseError(f"signal {sig!r} used but never defined")
+                raise err(f"signal {sig!r} used but never defined")
         return ids[signal]
 
     for signal in inputs:
@@ -161,9 +171,10 @@ def _build_xor_tree(
 
 
 def parse_bench_file(path: str | Path) -> Circuit:
-    """Parse a ``.bench`` file; the circuit name is the file stem."""
+    """Parse a ``.bench`` file; the circuit name is the file stem and
+    parse errors carry the file path (``<path>: line N: ...``)."""
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem)
+    return parse_bench(path.read_text(), name=path.stem, source=str(path))
 
 
 def write_bench(circuit: Circuit) -> str:

@@ -19,6 +19,9 @@ from __future__ import annotations
 from typing import Iterable, Iterator, NamedTuple, Sequence
 
 from repro.circuit.gates import GateType
+from repro.errors import CircuitError
+
+__all__ = ["Circuit", "CircuitError", "Lead"]
 
 
 class Lead(NamedTuple):
@@ -28,10 +31,6 @@ class Lead(NamedTuple):
     src: int
     dst: int
     pin: int
-
-
-class CircuitError(ValueError):
-    """Raised for structurally invalid circuits."""
 
 
 class Circuit:

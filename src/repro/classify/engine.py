@@ -26,6 +26,7 @@ from repro.circuit.gates import GateType, controlling_value, has_controlling_val
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion, required_side_pins
 from repro.classify.results import ClassificationResult
+from repro.errors import ClassifyError
 from repro.logic.implication import ImplicationEngine
 from repro.logic.values import controlled_output, uncontrolled_output
 from repro.paths.count import PathCounts, count_paths
@@ -167,7 +168,7 @@ def _run(
                                     max_accepted is not None
                                     and accepted > max_accepted
                                 ):
-                                    raise RuntimeError(
+                                    raise ClassifyError(
                                         f"more than {max_accepted} paths "
                                         "accepted; raise max_accepted or use "
                                         "a smaller circuit"
@@ -257,7 +258,8 @@ def classify(
         controlling value (``|·_c^sup(l)|`` — the cost measures of
         Algorithm 3).  Costs O(path length) extra per accepted path.
     max_accepted:
-        abort with :class:`RuntimeError` once more than this many paths
+        abort with :class:`~repro.errors.ClassifyError` (a
+        ``RuntimeError`` subclass) once more than this many paths
         are accepted (guard against accidentally enumerating a huge
         circuit; RD-heavy circuits stay cheap regardless of total path
         count thanks to prime-segment pruning).

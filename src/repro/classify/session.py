@@ -32,6 +32,7 @@ from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
 from repro.classify.engine import _run, _Tables
 from repro.classify.results import ClassificationResult
+from repro.errors import ClassifyError
 from repro.logic.implication import ImplicationEngine
 from repro.paths.count import PathCounts, count_paths
 
@@ -50,6 +51,7 @@ class SessionStats:
     tables_built: int = 0
     tables_reused: int = 0
     classify_passes: int = 0
+    budget_aborts: int = 0
 
     @property
     def tables_hit_rate(self) -> float:
@@ -128,22 +130,29 @@ class CircuitSession:
 
         Same contract as :func:`repro.classify.classify`; the tables,
         implication engine and path counts come from (and warm) this
-        session.
+        session.  A ``max_accepted`` overflow raises
+        :class:`~repro.errors.ClassifyError` (counted in
+        :attr:`SessionStats.budget_aborts`); the session stays usable —
+        the engine trail is restored even on abort.
         """
         self.stats.classify_passes += 1
         tables = self.tables(criterion, sort)
         engine = self.engine
         engine.reset()  # defensive: a prior pass may have been aborted
-        return _run(
-            self.circuit,
-            criterion,
-            tables,
-            engine,
-            self.counts,
-            collect_lead_counts,
-            max_accepted,
-            on_path,
-        )
+        try:
+            return _run(
+                self.circuit,
+                criterion,
+                tables,
+                engine,
+                self.counts,
+                collect_lead_counts,
+                max_accepted,
+                on_path,
+            )
+        except ClassifyError:
+            self.stats.budget_aborts += 1
+            raise
 
     # -- sorting heuristics (convenience, session-cached) --------------
     def heuristic1_sort(self) -> "InputSort":

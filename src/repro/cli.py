@@ -229,38 +229,51 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervision_kwargs(args: argparse.Namespace) -> dict:
+    """The shared table1/2/3 supervision options, as keyword arguments."""
+    if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
+        raise SystemExit("--resume requires --checkpoint FILE")
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "checkpoint": getattr(args, "checkpoint", None),
+        "resume": getattr(args, "resume", False),
+        "task_timeout": getattr(args, "task_timeout", None),
+        "max_retries": getattr(args, "max_retries", None),
+    }
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments import table1
 
-    jobs = getattr(args, "jobs", 1)
+    kwargs = _supervision_kwargs(args)
     if getattr(args, "json", False):
         from repro.experiments.report import table1_to_dict, to_json
 
-        _table, rows = table1.run(jobs=jobs)
+        _table, rows = table1.run(**kwargs)
         print(to_json(table1_to_dict(rows)))
         return 0
-    table1.main(jobs=jobs)
+    table1.main(**kwargs)
     return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments import table2
 
-    table2.main(jobs=getattr(args, "jobs", 1))
+    table2.main(**_supervision_kwargs(args))
     return 0
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments import table3
 
-    jobs = getattr(args, "jobs", 1)
+    kwargs = _supervision_kwargs(args)
     if getattr(args, "json", False):
         from repro.experiments.report import table3_to_dict, to_json
 
-        _table, rows = table3.run(jobs=jobs)
+        _table, rows = table3.run(**kwargs)
         print(to_json(table3_to_dict(rows)))
         return 0
-    table3.main(jobs=jobs)
+    table3.main(**kwargs)
     return 0
 
 
@@ -358,16 +371,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_dot)
 
     jobs_help = "worker processes (circuits fan out; 1 = in-process)"
+
+    def add_supervision_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=_positive_int, default=1, help=jobs_help)
+        p.add_argument(
+            "--checkpoint", metavar="FILE", default=None,
+            help="stream completed rows to this JSONL file",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="skip circuits already recorded in --checkpoint",
+        )
+        p.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="flat per-circuit wall-clock budget (default: derived "
+            "from each circuit's exact path count; jobs > 1 only)",
+        )
+        p.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="pool retries per circuit before the in-process rerun",
+        )
+
     p = sub.add_parser("table1", help="regenerate Table I")
     p.add_argument("--json", action="store_true", help="emit JSON")
-    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    add_supervision_flags(p)
     p.set_defaults(fn=cmd_table1)
     p = sub.add_parser("table2", help="regenerate Table II")
-    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    add_supervision_flags(p)
     p.set_defaults(fn=cmd_table2)
     p = sub.add_parser("table3", help="regenerate Table III")
     p.add_argument("--json", action="store_true", help="emit JSON")
-    p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    add_supervision_flags(p)
     p.set_defaults(fn=cmd_table3)
     sub.add_parser("figures", help="regenerate Figures 1-5").set_defaults(
         fn=cmd_figures
@@ -375,9 +409,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: reject 0 and negatives loudly."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # checkpoint records are flushed+fsynced as rows complete, so
+        # whatever finished before ^C is already safe on disk
+        print(
+            "interrupted — completed rows (if --checkpoint was given) are "
+            "on disk; rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

@@ -1,0 +1,69 @@
+"""The library-wide exception taxonomy.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, split by subsystem::
+
+    ReproError
+    ├── CircuitError        parse / construction / validation
+    │   └── BenchParseError   (repro.circuit.bench)
+    ├── ClassifyError       classification aborted (budget exhausted)
+    └── HarnessError        supervised experiment execution
+        ├── TaskTimeout       a pool task exceeded its wall-clock budget
+        └── TaskCrashed       a pool worker died (crash / kill / OOM)
+
+Callers that want "anything this library can throw" catch
+:class:`ReproError`; subsystem code catches the narrow type.  For
+backwards compatibility the circuit and classification errors also
+subclass the builtin types they historically were (``ValueError`` and
+``RuntimeError`` respectively), so pre-taxonomy ``except`` clauses keep
+working.
+
+This module is a leaf: it imports nothing from the rest of the library,
+so any subsystem may import it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error in this library."""
+
+
+class CircuitError(ReproError, ValueError):
+    """Invalid circuit input: parse errors, bad construction, failed
+    validation.  (Also a ``ValueError`` for backwards compatibility.)"""
+
+
+class ClassifyError(ReproError, RuntimeError):
+    """A classification pass aborted — e.g. ``max_accepted`` exhausted.
+    (Also a ``RuntimeError`` for backwards compatibility.)"""
+
+
+class HarnessError(ReproError):
+    """Supervised experiment execution failed."""
+
+
+class TaskTimeout(HarnessError):
+    """A supervised task exceeded its wall-clock budget.
+
+    The supervisor tears the pool down (the worker may be hung) and
+    retries; this type surfaces in :class:`RowFailure` records and in
+    retry bookkeeping.
+    """
+
+    def __init__(self, label: str, budget: float):
+        super().__init__(
+            f"task {label!r} exceeded its {budget:g}s wall-clock budget"
+        )
+        self.label = label
+        self.budget = budget
+
+
+class TaskCrashed(HarnessError):
+    """A pool worker died before returning a result (killed process,
+    ``BrokenProcessPool``, unpicklable payload...)."""
+
+    def __init__(self, label: str, cause: str):
+        super().__init__(f"worker running task {label!r} crashed: {cause}")
+        self.label = label
+        self.cause = cause

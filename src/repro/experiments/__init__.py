@@ -1,12 +1,27 @@
-"""Experiment harness regenerating every table and figure of the paper."""
+"""Experiment harness regenerating every table and figure of the paper.
+
+Multi-circuit runs are supervised (per-task timeouts, retry with pool
+respawn, in-process degradation) and checkpointable — see
+:mod:`repro.experiments.supervisor`.
+"""
 
 from repro.experiments.harness import Table1Row, run_table1_row, run_table3_row
+from repro.experiments.supervisor import (
+    Checkpoint,
+    RowFailure,
+    TaskRunner,
+    default_task_budget,
+)
 from repro.experiments import table1, table2, table3, figures
 
 __all__ = [
     "Table1Row",
     "run_table1_row",
     "run_table3_row",
+    "Checkpoint",
+    "RowFailure",
+    "TaskRunner",
+    "default_task_budget",
     "table1",
     "table2",
     "table3",

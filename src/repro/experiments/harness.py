@@ -15,17 +15,27 @@ counts are computed once and the implication engine is reused.  Timings
 follow the paper's accounting: Heu1 = sort + one classification pass;
 Heu2 = three classification passes + sort.
 
-Multi-circuit runs fan out across a ``ProcessPoolExecutor`` when
-``jobs > 1`` (one session per worker process); ``jobs=1`` is the
-deterministic in-process fallback.  Results are identical either way —
-only wall-clock changes — because every pass is deterministic and
-``executor.map`` preserves input order.
+Multi-circuit runs fan out through the supervised
+:class:`~repro.experiments.supervisor.TaskRunner` when ``jobs > 1`` (one
+session per worker process); ``jobs=1`` is the deterministic in-process
+fallback.  Results are identical either way — only wall-clock changes —
+because every pass is deterministic and the runner preserves input
+order.  The supervisor adds per-task wall-clock budgets derived from
+each circuit's exact path count, bounded retry with pool respawn on
+worker crashes, and in-process degradation: a row is recorded as a
+structured :class:`~repro.experiments.supervisor.RowFailure` only after
+retries *and* the in-process rerun failed, so one bad circuit never
+aborts a table run.
+
+Completed rows can be streamed to a JSONL checkpoint (``checkpoint=``)
+and skipped on a rerun (``resume=True``) — the final tables are
+byte-identical whether a run went straight through, was resumed after a
+kill, or degraded around faults.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable
 
 from repro.baseline.exact_assignment import BaselineResult, baseline_rd
@@ -33,13 +43,42 @@ from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
 from repro.classify.results import ClassificationResult
 from repro.classify.session import CircuitSession
+from repro.errors import HarnessError
+from repro.experiments.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    Checkpoint,
+    RowFailure,
+    TaskRunner,
+    as_checkpoint,
+    default_task_budget,
+)
+from repro.paths.count import count_paths
 from repro.sorting.heuristics import heuristic1_sort, heuristic2_analysis
 from repro.sorting.input_sort import InputSort
 from repro.util.timer import Stopwatch
 
 
-def _pool_size(jobs: int, tasks: int) -> int:
-    return max(1, min(jobs, tasks))
+def _make_runner(
+    runner: "TaskRunner | None", jobs: int, max_retries: int
+) -> TaskRunner:
+    """The caller's preconfigured runner, or a fresh default one."""
+    if runner is not None:
+        return runner
+    return TaskRunner(jobs=jobs, max_retries=max_retries)
+
+
+def _circuit_budgets(
+    circuits: "list[Circuit]", task_timeout: "float | None"
+) -> "list[float]":
+    """Per-task wall-clock budgets: a flat override, or derived from
+    each circuit's exact logical path count (a cheap DP — no
+    enumeration)."""
+    if task_timeout is not None:
+        return [task_timeout] * len(circuits)
+    return [
+        default_task_budget(count_paths(circuit).total_logical)
+        for circuit in circuits
+    ]
 
 
 @dataclass
@@ -70,6 +109,14 @@ class Table1Row:
         if self.heu2_inverse_percent > self.heu2_percent + 1e-9:
             problems.append("inverse sort beats Heu2")
         return problems
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpointing (floats round-trip exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table1Row":
+        return cls(**data)
 
 
 def run_table1_row(
@@ -125,22 +172,94 @@ def _table1_task(payload: "tuple[Circuit, int | None]") -> Table1Row:
     return run_table1_row(circuit, max_accepted=max_accepted)
 
 
+def _run_checkpointed_rows(
+    circuits: "list[Circuit]",
+    task,
+    payload_of,
+    row_type,
+    kind: str,
+    jobs: int,
+    checkpoint,
+    resume: bool,
+    task_timeout: "float | None",
+    max_retries: int,
+    runner: "TaskRunner | None",
+) -> list:
+    """Shared supervised/checkpointed driver for the table-row runners.
+
+    Rows come back in ``circuits`` order, one entry per circuit: a
+    ``row_type`` instance, or a :class:`RowFailure` if the task failed
+    even after retry and in-process degradation.  With ``resume=True``
+    circuits whose rows are already in the checkpoint are not recomputed
+    (rows are keyed by circuit name, so names must be unique).
+    """
+    circuits = list(circuits)
+    ckpt: "Checkpoint | None" = as_checkpoint(checkpoint, kind)
+    done: dict = {}
+    if ckpt is not None and resume:
+        done = {
+            name: row_type.from_dict(data)
+            for name, data in ckpt.load().items()
+        }
+    todo = [circuit for circuit in circuits if circuit.name not in done]
+    results = dict(done)
+
+    def on_result(index: int, result) -> None:
+        if ckpt is not None and isinstance(result, row_type):
+            ckpt.record(result.name, result.to_dict())
+
+    supervisor = _make_runner(runner, jobs, max_retries)
+    pooled = supervisor.jobs > 1 and len(todo) > 1
+    fresh = supervisor.map(
+        task,
+        [payload_of(circuit) for circuit in todo],
+        labels=[circuit.name for circuit in todo],
+        budgets=_circuit_budgets(todo, task_timeout) if pooled else None,
+        on_result=on_result,
+    )
+    for circuit, result in zip(todo, fresh):
+        results[circuit.name] = result
+    return [results[circuit.name] for circuit in circuits]
+
+
 def run_table1_rows(
     circuits: Iterable[Circuit],
     max_accepted: int | None = None,
     jobs: int = 1,
-) -> list[Table1Row]:
+    *,
+    checkpoint: "str | Checkpoint | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    runner: "TaskRunner | None" = None,
+) -> "list[Table1Row | RowFailure]":
     """Table-I rows for several circuits, optionally in parallel.
 
     ``jobs=1`` runs in-process; ``jobs > 1`` fans circuits out across a
-    process pool.  Row order always follows ``circuits``, and all
-    RD-percentage columns are bit-identical across job counts.
+    supervised process pool (see :mod:`repro.experiments.supervisor`).
+    Row order always follows ``circuits``, and all RD-percentage columns
+    are bit-identical across job counts, faults and resumes.
+
+    ``checkpoint`` (a path or :class:`Checkpoint`) streams each
+    completed row to JSONL; ``resume=True`` skips circuits already
+    recorded there.  ``task_timeout`` is a flat per-task wall-clock
+    budget overriding the path-count-derived default; ``runner`` lets a
+    caller supply a preconfigured :class:`TaskRunner` (e.g. with a fault
+    hook — then ``jobs``/``max_retries`` here are ignored).
     """
-    work = [(circuit, max_accepted) for circuit in circuits]
-    if jobs <= 1 or len(work) <= 1:
-        return [_table1_task(payload) for payload in work]
-    with ProcessPoolExecutor(max_workers=_pool_size(jobs, len(work))) as pool:
-        return list(pool.map(_table1_task, work))
+    return _run_checkpointed_rows(
+        list(circuits),
+        _table1_task,
+        lambda circuit: (circuit, max_accepted),
+        Table1Row,
+        "table1",
+        jobs,
+        checkpoint,
+        resume,
+        task_timeout,
+        max_retries,
+        runner,
+    )
 
 
 @dataclass
@@ -165,6 +284,14 @@ class Table3Row:
         if self.heu2_time <= 0:
             return float("inf")
         return self.baseline_time / self.heu2_time
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpointing (floats round-trip exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table3Row":
+        return cls(**data)
 
 
 def run_table3_row(
@@ -197,13 +324,31 @@ def run_table3_rows(
     circuits: Iterable[Circuit],
     baseline_method: str = "greedy",
     jobs: int = 1,
-) -> list[Table3Row]:
-    """Table-III rows for several circuits, optionally in parallel."""
-    work = [(circuit, baseline_method) for circuit in circuits]
-    if jobs <= 1 or len(work) <= 1:
-        return [_table3_task(payload) for payload in work]
-    with ProcessPoolExecutor(max_workers=_pool_size(jobs, len(work))) as pool:
-        return list(pool.map(_table3_task, work))
+    *,
+    checkpoint: "str | Checkpoint | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    runner: "TaskRunner | None" = None,
+) -> "list[Table3Row | RowFailure]":
+    """Table-III rows for several circuits, optionally in parallel.
+
+    Supervision, checkpointing and resume work exactly as in
+    :func:`run_table1_rows` (checkpoint kind ``table3``).
+    """
+    return _run_checkpointed_rows(
+        list(circuits),
+        _table3_task,
+        lambda circuit: (circuit, baseline_method),
+        Table3Row,
+        "table3",
+        jobs,
+        checkpoint,
+        resume,
+        task_timeout,
+        max_retries,
+        runner,
+    )
 
 
 def _cone_task(
@@ -221,6 +366,7 @@ def classify_cones(
     criterion: Criterion,
     sort_builder: "Callable[[Circuit], InputSort] | None" = None,
     jobs: int = 1,
+    runner: "TaskRunner | None" = None,
 ) -> ClassificationResult:
     """Classify per extracted PO cone and combine (the paper applies its
     single-output theory cone by cone; every PI→PO path lies in exactly
@@ -230,16 +376,24 @@ def classify_cones(
     :func:`~repro.sorting.heuristics.heuristic1_sort`); for ``jobs > 1``
     it must be picklable (a module-level function, not a lambda).
     ``elapsed`` sums per-cone CPU time — the paper's accounting — not
-    pool wall-clock.
+    pool wall-clock.  Cone tasks run supervised (crashed workers are
+    retried, then degraded in-process), but because a combined result
+    needs *every* cone, a cone that still fails raises
+    :class:`~repro.errors.HarnessError` instead of degrading to a
+    partial sum.
     """
     work = [(circuit, po, criterion, sort_builder) for po in circuit.outputs]
-    if jobs <= 1 or len(work) <= 1:
-        parts = [_cone_task(payload) for payload in work]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=_pool_size(jobs, len(work))
-        ) as pool:
-            parts = list(pool.map(_cone_task, work))
+    parts = _make_runner(runner, jobs, DEFAULT_MAX_RETRIES).map(
+        _cone_task,
+        work,
+        labels=[f"{circuit.name}/cone[{po}]" for po in circuit.outputs],
+    )
+    failures = [part for part in parts if isinstance(part, RowFailure)]
+    if failures:
+        raise HarnessError(
+            "cone classification failed: "
+            + "; ".join(str(failure) for failure in failures)
+        )
     return ClassificationResult(
         circuit_name=circuit.name,
         criterion=criterion,

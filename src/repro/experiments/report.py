@@ -11,14 +11,21 @@ import json
 from typing import Iterable
 
 from repro.experiments.harness import Table1Row, Table3Row
+from repro.experiments.supervisor import RowFailure
 
 
-def table1_to_dict(rows: "Iterable[Table1Row]") -> dict:
+def _failure_entry(failure: RowFailure) -> dict:
+    return {"circuit": failure.label, "failure": failure.to_dict()}
+
+
+def table1_to_dict(rows: "Iterable[Table1Row | RowFailure]") -> dict:
     return {
         "table": "I",
         "description": "% of logical paths identified robust dependent",
         "rows": [
-            {
+            _failure_entry(row)
+            if isinstance(row, RowFailure)
+            else {
                 "circuit": row.name,
                 "total_logical_paths": row.total_logical,
                 "fus_percent": row.fus_percent,
@@ -34,12 +41,14 @@ def table1_to_dict(rows: "Iterable[Table1Row]") -> dict:
     }
 
 
-def table3_to_dict(rows: "Iterable[Table3Row]") -> dict:
+def table3_to_dict(rows: "Iterable[Table3Row | RowFailure]") -> dict:
     return {
         "table": "III",
         "description": "approach of [1] vs Heuristic 2",
         "rows": [
-            {
+            _failure_entry(row)
+            if isinstance(row, RowFailure)
+            else {
                 "circuit": row.name,
                 "total_logical_paths": row.total_logical,
                 "baseline_rd_percent": row.baseline_percent,

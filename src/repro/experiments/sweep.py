@@ -7,22 +7,37 @@ classification (skipped above the enumeration budget, mirroring the
 paper's "could not be completed" entries).
 
 Circuits are built serially (generator families are often lambdas,
-which do not pickle), but the measurements themselves fan out across a
-process pool when ``jobs > 1``; each point runs through its own
+which do not pickle), but the measurements themselves fan out through
+the supervised :class:`~repro.experiments.supervisor.TaskRunner` when
+``jobs > 1``; each point runs through its own
 :class:`~repro.classify.session.CircuitSession`, so the exact count
 feeding ``total_logical`` is also the one the classifier reports
 against — one DP per point.
+
+Long sweeps are restartable: pass ``checkpoint=`` to stream each
+completed point to JSONL, and ``resume=True`` to skip parameters
+already recorded (their circuits are not even built) — a sweep killed
+mid-run recomputes only the missing points and yields identical data.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
 from repro.classify.session import CircuitSession
+from repro.errors import ClassifyError
+from repro.paths.count import count_paths
+from repro.experiments.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    Checkpoint,
+    RowFailure,
+    TaskRunner,
+    as_checkpoint,
+    default_task_budget,
+)
 from repro.util.timer import Stopwatch
 
 
@@ -42,6 +57,14 @@ class SweepPoint:
             return None
         return 100.0 * (1 - self.accepted / self.total_logical)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for checkpointing (floats round-trip exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPoint":
+        return cls(**data)
+
 
 def _sweep_task(payload: "tuple[int, Circuit, int]") -> SweepPoint:
     """Measure one prebuilt circuit (top-level: picklable for the pool)."""
@@ -57,7 +80,7 @@ def _sweep_task(payload: "tuple[int, Circuit, int]") -> SweepPoint:
             )
         accepted = result.accepted
         seconds = sw.elapsed
-    except RuntimeError:
+    except ClassifyError:
         pass  # over budget: counting-only point
     return SweepPoint(
         parameter=parameter,
@@ -73,22 +96,64 @@ def sweep_family(
     parameters: "Sequence[int] | Iterable[int]",
     classification_budget: int = 500_000,
     jobs: int = 1,
-) -> "list[SweepPoint]":
+    *,
+    checkpoint: "str | Checkpoint | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    runner: "TaskRunner | None" = None,
+) -> "list[SweepPoint | RowFailure]":
     """Measure one generator family across ``parameters``.
 
     Classification (FS criterion) runs only while the *accepted* path
     count stays within ``classification_budget``; larger instances are
     counted exactly but not enumerated.  ``jobs > 1`` measures the
-    points concurrently (point order and values are unchanged).
+    points concurrently under supervision (point order and values are
+    unchanged; a point that fails even after retry and in-process
+    degradation comes back as a
+    :class:`~repro.experiments.supervisor.RowFailure`).  ``checkpoint``
+    / ``resume`` stream and skip completed points, keyed by parameter.
     """
+    parameters = list(parameters)
+    ckpt = as_checkpoint(checkpoint, "sweep")
+    done: "dict[int, SweepPoint]" = {}
+    if ckpt is not None and resume:
+        done = {
+            int(key): SweepPoint.from_dict(data)
+            for key, data in ckpt.load().items()
+        }
+    todo = [parameter for parameter in parameters if parameter not in done]
     work = [
         (parameter, family(parameter), classification_budget)
-        for parameter in parameters
+        for parameter in todo
     ]
-    if jobs <= 1 or len(work) <= 1:
-        return [_sweep_task(payload) for payload in work]
-    with ProcessPoolExecutor(max_workers=max(1, min(jobs, len(work)))) as pool:
-        return list(pool.map(_sweep_task, work))
+    if runner is None:
+        runner = TaskRunner(jobs=jobs, max_retries=max_retries)
+    budgets = None
+    if runner.jobs > 1 and len(work) > 1:
+        if task_timeout is not None:
+            budgets = [task_timeout] * len(work)
+        else:
+            budgets = [
+                default_task_budget(count_paths(circuit).total_logical)
+                for _parameter, circuit, _budget in work
+            ]
+
+    def on_result(index: int, result) -> None:
+        if ckpt is not None and isinstance(result, SweepPoint):
+            ckpt.record(str(result.parameter), result.to_dict())
+
+    fresh = runner.map(
+        _sweep_task,
+        work,
+        labels=[f"sweep[{parameter}]" for parameter in todo],
+        budgets=budgets,
+        on_result=on_result,
+    )
+    results: dict = dict(done)
+    for parameter, result in zip(todo, fresh):
+        results[parameter] = result
+    return [results[parameter] for parameter in parameters]
 
 
 def growth_factors(points: "Sequence[SweepPoint]") -> "list[float]":

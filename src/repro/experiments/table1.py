@@ -3,6 +3,11 @@
 Columns, as in the paper: FUS (functionally unsensitizable, [2]),
 Heu1, Heu2 (the new approach with both sorting heuristics), and
 Heu2-bar (the inverted input sort, the paper's control experiment).
+
+Runs are supervised: a circuit whose task failed even after retry and
+in-process degradation renders as a ``FAILED`` row instead of aborting
+the table, and ``checkpoint``/``resume`` make long runs restartable
+(see :mod:`repro.experiments.supervisor`).
 """
 
 from __future__ import annotations
@@ -11,21 +16,39 @@ from typing import Iterable
 
 from repro.circuit.netlist import Circuit
 from repro.experiments.harness import Table1Row, run_table1_rows
+from repro.experiments.supervisor import RowFailure, TaskRunner
 from repro.gen.suite import table1_suite
 from repro.util.tables import TextTable
 
 
 def run(
-    circuits: Iterable[Circuit] | None = None, jobs: int = 1
-) -> tuple[TextTable, list[Table1Row]]:
+    circuits: Iterable[Circuit] | None = None,
+    jobs: int = 1,
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+    runner: "TaskRunner | None" = None,
+) -> "tuple[TextTable, list[Table1Row | RowFailure]]":
+    extra = {} if max_retries is None else {"max_retries": max_retries}
     rows = run_table1_rows(
-        circuits if circuits is not None else table1_suite(), jobs=jobs
+        circuits if circuits is not None else table1_suite(),
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        task_timeout=task_timeout,
+        runner=runner,
+        **extra,
     )
     table = TextTable(
         ["circuit", "FUS", "Heu1", "Heu2", "inv-Heu2"],
         title="Table I: % of logical paths identified RD (ISCAS-85 stand-ins)",
     )
     for row in rows:
+        if isinstance(row, RowFailure):
+            table.add_row([row.label, "FAILED", "FAILED", "FAILED", "FAILED"])
+            continue
         table.add_row(
             [
                 row.name,
@@ -38,10 +61,26 @@ def run(
     return table, rows
 
 
-def main(jobs: int = 1) -> None:
-    table, rows = run(jobs=jobs)
+def main(
+    jobs: int = 1,
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+) -> None:
+    table, rows = run(
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )
     print(table.render())
     for row in rows:
+        if isinstance(row, RowFailure):
+            print(f"!! {row}")
+            continue
         for problem in row.check_expected_shape():
             print(f"!! {row.name}: {problem}")
 

@@ -3,6 +3,9 @@
 Includes the "could not be completed" rows of the paper (c6288 role):
 circuits whose exact path count is computed (big integers, no
 enumeration) but whose classification is beyond the enumeration budget.
+
+Runs are supervised like Table I: failed circuits render as ``FAILED``
+rows, and ``checkpoint``/``resume`` make long runs restartable.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from typing import Iterable
 
 from repro.circuit.netlist import Circuit
 from repro.experiments.harness import Table1Row, run_table1_rows
+from repro.experiments.supervisor import RowFailure
 from repro.gen.suite import count_only_suite, table1_suite
 from repro.paths.count import count_paths
 from repro.util.tables import TextTable
@@ -19,20 +23,34 @@ from repro.util.timer import format_duration
 
 def run(
     circuits: Iterable[Circuit] | None = None,
-    rows: "list[Table1Row] | None" = None,
+    rows: "list[Table1Row | RowFailure] | None" = None,
     include_count_only: bool = True,
     jobs: int = 1,
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
 ) -> TextTable:
     """Render Table II; pass ``rows`` to reuse Table I measurements."""
     if rows is None:
+        extra = {} if max_retries is None else {"max_retries": max_retries}
         rows = run_table1_rows(
-            circuits if circuits is not None else table1_suite(), jobs=jobs
+            circuits if circuits is not None else table1_suite(),
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            task_timeout=task_timeout,
+            **extra,
         )
     table = TextTable(
         ["circuit", "total logical paths", "CPU-time Heu1", "CPU-time Heu2"],
         title="Table II: path counts and running times",
     )
     for row in rows:
+        if isinstance(row, RowFailure):
+            table.add_row([row.label, "FAILED", "FAILED", "FAILED"])
+            continue
         table.add_row(
             [
                 row.name,
@@ -55,8 +73,23 @@ def run(
     return table
 
 
-def main(jobs: int = 1) -> None:
-    print(run(jobs=jobs).render())
+def main(
+    jobs: int = 1,
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+) -> None:
+    print(
+        run(
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+        ).render()
+    )
 
 
 if __name__ == "__main__":

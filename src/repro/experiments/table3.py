@@ -4,6 +4,11 @@ The baseline optimises over all complete stabilizing assignments (the
 exact objective of [1], see :mod:`repro.baseline`); Heuristic 2 is the
 paper's fast approximation.  The paper reports a mean quality gap of
 2.05% and speedups of one to three orders of magnitude.
+
+Runs are supervised: a circuit whose task failed even after retry and
+in-process degradation renders as a ``FAILED`` row instead of aborting
+the table, and ``checkpoint``/``resume`` make long runs restartable
+(see :mod:`repro.experiments.supervisor`).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Iterable
 
 from repro.circuit.netlist import Circuit
 from repro.experiments.harness import Table3Row, run_table3_rows
+from repro.experiments.supervisor import RowFailure, TaskRunner
 from repro.gen.suite import table3_suite
 from repro.util.tables import TextTable
 from repro.util.timer import format_duration
@@ -21,11 +27,23 @@ def run(
     circuits: Iterable[Circuit] | None = None,
     baseline_method: str = "greedy",
     jobs: int = 1,
-) -> tuple[TextTable, list[Table3Row]]:
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+    runner: "TaskRunner | None" = None,
+) -> "tuple[TextTable, list[Table3Row | RowFailure]]":
+    extra = {} if max_retries is None else {"max_retries": max_retries}
     rows = run_table3_rows(
         circuits if circuits is not None else table3_suite(),
         baseline_method=baseline_method,
         jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        task_timeout=task_timeout,
+        runner=runner,
+        **extra,
     )
     table = TextTable(
         [
@@ -41,6 +59,9 @@ def run(
         title="Table III: approach of [1] vs Heuristic 2 (MCNC-like stand-ins)",
     )
     for row in rows:
+        if isinstance(row, RowFailure):
+            table.add_row([row.label] + ["FAILED"] * 7)
+            continue
         table.add_row(
             [
                 row.name,
@@ -56,11 +77,28 @@ def run(
     return table, rows
 
 
-def main(jobs: int = 1) -> None:
-    table, rows = run(jobs=jobs)
+def main(
+    jobs: int = 1,
+    *,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+) -> None:
+    table, rows = run(
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )
     print(table.render())
-    gaps = [row.quality_gap for row in rows]
-    print(f"mean quality gap: {sum(gaps) / len(gaps):.2f} % (paper: 2.05 %)")
+    failures = [row for row in rows if isinstance(row, RowFailure)]
+    for failure in failures:
+        print(f"!! {failure}")
+    gaps = [row.quality_gap for row in rows if isinstance(row, Table3Row)]
+    if gaps:
+        print(f"mean quality gap: {sum(gaps) / len(gaps):.2f} % (paper: 2.05 %)")
 
 
 if __name__ == "__main__":

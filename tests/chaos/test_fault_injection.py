@@ -1,0 +1,195 @@
+"""Fault-injection tests for the supervised experiment harness.
+
+Each test wires a hook into the pool-worker entrypoint
+(:func:`repro.experiments.supervisor._supervised_call`) that kills,
+hangs or blows up workers, then asserts the supervisor recovers and the
+final tables are identical to a clean ``jobs=1`` run — the harness's
+core robustness contract.  Hooks are module-level functions (they cross
+the process boundary by pickle) and fire only in pool workers, never on
+the in-process degradation path.
+
+All tests here are marked ``chaos``; CI runs them as a separate step.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.circuit.examples import mux_circuit, paper_example_circuit
+from repro.experiments import table1, table3
+from repro.experiments.harness import run_table1_rows, run_table3_rows
+from repro.experiments.supervisor import RowFailure, TaskRunner
+
+pytestmark = pytest.mark.chaos
+
+#: injected hang length; must exceed every task_timeout used below but
+#: never shows up in wall-clock (the hung worker is killed)
+_HANG = 60.0
+
+
+def _circuits():
+    return [paper_example_circuit(), mux_circuit()]
+
+
+def _percent_columns(rows):
+    return [
+        (
+            row.name,
+            row.total_logical,
+            row.fus_percent,
+            row.heu1_percent,
+            row.heu2_percent,
+            row.heu2_inverse_percent,
+        )
+        for row in rows
+    ]
+
+
+# -- fault hooks (module-level: must be picklable) ----------------------
+
+
+def kill_mux_first_attempt(label, attempt):
+    if "mux" in label and attempt == 0:
+        os._exit(3)  # simulate an OOM-killed worker
+
+
+def kill_always(label, attempt):
+    os._exit(3)
+
+
+def hang_mux_first_attempt(label, attempt):
+    if "mux" in label and attempt == 0:
+        time.sleep(_HANG)
+
+
+def raise_always(label, attempt):
+    raise RuntimeError("injected task fault")
+
+
+def crash_and_hang(label, attempt):
+    if attempt == 0 and "mux" in label:
+        os._exit(3)
+    if attempt == 0 and "paper" in label:
+        time.sleep(_HANG)
+
+
+# -- recovery tests -----------------------------------------------------
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_retried(self):
+        clean = run_table1_rows(_circuits())
+        runner = TaskRunner(
+            jobs=2, fault_hook=kill_mux_first_attempt, backoff_base=0.01
+        )
+        rows = run_table1_rows(_circuits(), runner=runner)
+        assert _percent_columns(rows) == _percent_columns(clean)
+        assert any(e.kind == "crashed" for e in runner.events)
+
+    def test_kill_every_attempt_degrades_in_process(self):
+        """A worker that dies on every pool attempt still yields a row:
+        the in-process rerun (where the hook does not fire) saves it."""
+        clean = run_table1_rows(_circuits())
+        runner = TaskRunner(
+            jobs=2, fault_hook=kill_always, max_retries=1, backoff_base=0.01
+        )
+        rows = run_table1_rows(_circuits(), runner=runner)
+        assert _percent_columns(rows) == _percent_columns(clean)
+        assert any(e.kind == "degraded" for e in runner.events)
+
+    def test_table3_crash_recovery(self):
+        clean = run_table3_rows(_circuits())
+        runner = TaskRunner(
+            jobs=2, fault_hook=kill_mux_first_attempt, backoff_base=0.01
+        )
+        rows = run_table3_rows(_circuits(), runner=runner)
+        assert [(r.name, r.total_logical, r.baseline_percent, r.heu2_percent)
+                for r in rows] == [
+            (r.name, r.total_logical, r.baseline_percent, r.heu2_percent)
+            for r in clean
+        ]
+
+
+class TestTaskRaises:
+    def test_raising_task_degrades_to_identical_rows(self):
+        clean = run_table1_rows(_circuits())
+        runner = TaskRunner(
+            jobs=2, fault_hook=raise_always, max_retries=1, backoff_base=0.01
+        )
+        rows = run_table1_rows(_circuits(), runner=runner)
+        assert _percent_columns(rows) == _percent_columns(clean)
+        assert any(e.kind == "raised" for e in runner.events)
+        assert any(e.kind == "degraded" for e in runner.events)
+
+    def test_exhausted_without_degradation_yields_row_failure(self):
+        runner = TaskRunner(
+            jobs=2,
+            fault_hook=raise_always,
+            max_retries=0,
+            backoff_base=0.01,
+            degrade_in_process=False,
+        )
+        rows = run_table1_rows(_circuits(), runner=runner)
+        assert all(isinstance(row, RowFailure) for row in rows)
+        assert [row.label for row in rows] == [c.name for c in _circuits()]
+        # a failed table still renders instead of raising
+        table, _rows = table1.run(_circuits(), runner=TaskRunner(
+            jobs=2,
+            fault_hook=raise_always,
+            max_retries=0,
+            backoff_base=0.01,
+            degrade_in_process=False,
+        ))
+        assert "FAILED" in table.render()
+
+
+class TestHungWorker:
+    def test_hang_times_out_and_recovers(self):
+        clean = run_table1_rows(_circuits())
+        runner = TaskRunner(
+            jobs=2, fault_hook=hang_mux_first_attempt, backoff_base=0.01
+        )
+        started = time.monotonic()
+        rows = run_table1_rows(_circuits(), runner=runner, task_timeout=1.0)
+        elapsed = time.monotonic() - started
+        assert _percent_columns(rows) == _percent_columns(clean)
+        assert any(e.kind == "timeout" for e in runner.events)
+        assert elapsed < _HANG / 2  # the hung worker was killed, not joined
+
+
+class TestAcceptance:
+    def test_crash_plus_hang_table1_byte_identical(self):
+        """The ISSUE's acceptance scenario: one injected worker crash
+        plus one injected hang; every row present and the rendered
+        Table I byte-identical to a clean ``jobs=1`` run."""
+        runner = TaskRunner(
+            jobs=2, fault_hook=crash_and_hang, backoff_base=0.01
+        )
+        started = time.monotonic()
+        faulty, rows = table1.run(
+            _circuits(), runner=runner, task_timeout=1.5
+        )
+        elapsed = time.monotonic() - started
+        clean, _ = table1.run(_circuits(), jobs=1)
+        assert not any(isinstance(row, RowFailure) for row in rows)
+        assert faulty.render() == clean.render()
+        assert elapsed < _HANG / 2  # the hang never ran to completion
+        # both faults were handled — which kind the hang surfaces as
+        # depends on interleaving (the crash may break the pool first,
+        # turning the hung worker into a pool casualty), so assert
+        # recovery happened rather than an exact event sequence
+        kinds = {e.kind for e in runner.events}
+        assert "crashed" in kinds
+        assert kinds & {"timeout", "requeued", "crashed"}
+
+    def test_table3_percent_columns_after_faults(self):
+        runner = TaskRunner(
+            jobs=2, fault_hook=crash_and_hang, backoff_base=0.01
+        )
+        _table, rows = table3.run(
+            _circuits(), runner=runner, task_timeout=1.5
+        )
+        _clean_table, clean = table3.run(_circuits(), jobs=1)
+        assert [(r.name, r.baseline_percent, r.heu2_percent) for r in rows] \
+            == [(r.name, r.baseline_percent, r.heu2_percent) for r in clean]

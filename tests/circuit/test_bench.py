@@ -90,6 +90,36 @@ class TestParseErrors:
         with pytest.raises(BenchParseError):
             parse_bench(text)
 
+    def test_file_errors_carry_path_and_line(self, tmp_path):
+        """Errors from a file parse are prefixed ``<path>: line N: ...``
+        so multi-file runs point at the offending file."""
+        from repro.circuit.bench import parse_bench_file
+
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench_file(path)
+        message = str(excinfo.value)
+        assert message.startswith(f"{path}: line 3: ")
+        assert "FROB" in message
+
+    def test_file_errors_without_lineno_still_carry_path(self, tmp_path):
+        from repro.circuit.bench import parse_bench_file
+
+        path = tmp_path / "undefined.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench_file(path)
+        assert str(excinfo.value).startswith(f"{path}: ")
+        assert "ghost" in str(excinfo.value)
+
+    def test_text_errors_keep_bare_format(self):
+        """Parsing from a string (no source) keeps the historic
+        ``line N: ...`` format with no leading path."""
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        assert str(excinfo.value).startswith("line 3: ")
+
 
 class TestRoundTrip:
     def test_write_parse_preserves_function(self):

@@ -61,6 +61,22 @@ class TestCaching:
         again = session.classify(Criterion.FS)
         assert again.accepted == fresh.accepted
 
+    def test_budget_abort_raises_classify_error_and_is_counted(
+        self, circuit
+    ):
+        from repro.errors import ClassifyError, ReproError
+
+        session = CircuitSession(circuit)
+        with pytest.raises(ClassifyError):
+            session.classify(Criterion.FS, max_accepted=1)
+        assert session.stats.budget_aborts == 1
+        # the taxonomy makes it catchable as the library-wide base too
+        with pytest.raises(ReproError):
+            session.classify(Criterion.FS, max_accepted=1)
+        assert session.stats.budget_aborts == 2
+        session.classify(Criterion.FS)  # clean pass: no extra abort
+        assert session.stats.budget_aborts == 2
+
 
 class TestEquivalence:
     @pytest.mark.parametrize("seed", range(3))

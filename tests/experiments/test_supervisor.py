@@ -1,0 +1,231 @@
+"""Unit tests for the supervised task runner and JSONL checkpointing
+(the non-violent half; process-killing tests live in ``tests/chaos``)."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ClassifyError,
+    HarnessError,
+    ReproError,
+    TaskCrashed,
+    TaskTimeout,
+)
+from repro.experiments.harness import Table1Row, Table3Row
+from repro.experiments.supervisor import (
+    Checkpoint,
+    RowFailure,
+    TaskRunner,
+    as_checkpoint,
+    default_task_budget,
+)
+from repro.experiments.sweep import SweepPoint
+
+
+def _double(x):
+    return 2 * x
+
+
+def _maybe_fail(x):
+    if x == 2:
+        raise ValueError("boom")
+    return x
+
+
+class TestTaskRunnerSerial:
+    def test_map_preserves_order(self):
+        assert TaskRunner().map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TaskRunner(jobs=0)
+        with pytest.raises(ValueError):
+            TaskRunner(jobs=-4)
+
+    def test_max_retries_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            TaskRunner(max_retries=-1)
+
+    def test_in_process_failure_becomes_row_failure(self):
+        runner = TaskRunner()
+        results = runner.map(_maybe_fail, [1, 2, 3], labels=["a", "b", "c"])
+        assert results[0] == 1 and results[2] == 3
+        failure = results[1]
+        assert isinstance(failure, RowFailure)
+        assert failure.label == "b"
+        assert failure.kind == "error"
+        assert "boom" in failure.message
+        assert any(e.kind == "failed" for e in runner.events)
+
+    def test_on_result_streams_in_order(self):
+        seen = []
+        TaskRunner().map(
+            _double, [1, 2], on_result=lambda i, r: seen.append((i, r))
+        )
+        assert seen == [(0, 2), (1, 4)]
+
+    def test_label_and_budget_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TaskRunner().map(_double, [1, 2], labels=["only-one"])
+        with pytest.raises(ValueError):
+            TaskRunner().map(_double, [1, 2], budgets=[1.0])
+
+
+class TestTaskRunnerPool:
+    def test_pool_map_matches_serial(self):
+        serial = TaskRunner().map(_double, list(range(6)))
+        pooled = TaskRunner(jobs=3).map(_double, list(range(6)))
+        assert pooled == serial
+
+    def test_single_task_stays_in_process(self):
+        """n=1 short-circuits the pool entirely (deterministic path)."""
+        runner = TaskRunner(jobs=4)
+        assert runner.map(_double, [21]) == [42]
+        assert runner.events == []
+
+
+class TestRowFailure:
+    def test_round_trip(self):
+        failure = RowFailure("c432", "timeout", "over budget", 3)
+        assert RowFailure.from_dict(failure.to_dict()) == failure
+
+    def test_str_mentions_everything(self):
+        text = str(RowFailure("c432", "crashed", "worker died", 2))
+        assert "c432" in text and "crashed" in text and "2" in text
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(TaskTimeout, HarnessError)
+        assert issubclass(TaskCrashed, HarnessError)
+        assert issubclass(HarnessError, ReproError)
+        # backwards compatibility with pre-taxonomy except clauses
+        assert issubclass(ClassifyError, RuntimeError)
+        from repro.circuit.netlist import CircuitError
+
+        assert issubclass(CircuitError, ReproError)
+        assert issubclass(CircuitError, ValueError)
+        from repro.circuit.bench import BenchParseError
+
+        assert issubclass(BenchParseError, ReproError)
+
+    def test_task_timeout_message(self):
+        exc = TaskTimeout("c880", 12.5)
+        assert "c880" in str(exc) and "12.5" in str(exc)
+        assert exc.budget == 12.5
+
+    def test_task_crashed_message(self):
+        exc = TaskCrashed("c880", "worker killed")
+        assert "c880" in str(exc) and "worker killed" in str(exc)
+
+
+class TestDefaultTaskBudget:
+    def test_floor_applies_to_tiny_circuits(self):
+        assert default_task_budget(0) == 60.0
+
+    def test_grows_with_path_count(self):
+        small = default_task_budget(10_000)
+        large = default_task_budget(50_000_000)
+        assert large > small > 0
+
+
+class TestCheckpoint:
+    def test_record_and_load(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "c.jsonl", "table1")
+        ckpt.record("a", {"x": 1})
+        ckpt.record("b", {"x": 2})
+        assert ckpt.load() == {"a": {"x": 1}, "b": {"x": 2}}
+
+    def test_kind_namespacing(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        Checkpoint(path, "table1").record("a", {"x": 1})
+        Checkpoint(path, "sweep").record("2", {"y": 3})
+        assert Checkpoint(path, "table1").load() == {"a": {"x": 1}}
+        assert Checkpoint(path, "sweep").load() == {"2": {"y": 3}}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Checkpoint(tmp_path / "nope.jsonl", "table1").load() == {}
+
+    def test_torn_tail_and_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        ckpt = Checkpoint(path, "table1")
+        ckpt.record("a", {"x": 1})
+        with path.open("a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"kind": "table1", "key": "torn')  # torn tail
+        assert ckpt.load() == {"a": {"x": 1}}
+
+    def test_later_record_wins(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "c.jsonl", "table1")
+        ckpt.record("a", {"x": 1})
+        ckpt.record("a", {"x": 2})
+        assert ckpt.load() == {"a": {"x": 2}}
+
+    def test_float_values_round_trip_exactly(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "c.jsonl", "table1")
+        value = 93.33333333333333  # a repr-faithful percent
+        ckpt.record("a", {"p": value})
+        assert ckpt.load()["a"]["p"] == value
+
+    def test_as_checkpoint_normalization(self, tmp_path):
+        assert as_checkpoint(None, "table1") is None
+        instance = Checkpoint(tmp_path / "c.jsonl", "table1")
+        assert as_checkpoint(instance, "table1") is instance
+        built = as_checkpoint(str(tmp_path / "d.jsonl"), "sweep")
+        assert isinstance(built, Checkpoint) and built.kind == "sweep"
+
+
+class TestRowSerialization:
+    def test_table1_row_round_trip(self):
+        row = Table1Row(
+            name="c17",
+            total_logical=22,
+            fus_percent=18.181818181818183,
+            heu1_percent=27.27272727272727,
+            heu2_percent=31.818181818181817,
+            heu2_inverse_percent=22.727272727272727,
+            time_heu1=0.001,
+            time_heu2=0.003,
+        )
+        copied = Table1Row.from_dict(
+            json.loads(json.dumps(row.to_dict()))
+        )
+        assert copied == row
+
+    def test_table3_row_round_trip(self):
+        row = Table3Row(
+            name="apex",
+            total_logical=100,
+            baseline_percent=12.5,
+            baseline_time=1.25,
+            heu2_percent=10.0,
+            heu2_time=0.05,
+        )
+        assert Table3Row.from_dict(
+            json.loads(json.dumps(row.to_dict()))
+        ) == row
+
+    def test_sweep_point_round_trip(self):
+        point = SweepPoint(
+            parameter=4,
+            gates=30,
+            total_logical=64,
+            accepted=12,
+            classify_seconds=0.002,
+        )
+        assert SweepPoint.from_dict(
+            json.loads(json.dumps(point.to_dict()))
+        ) == point
+
+    def test_sweep_point_none_fields_round_trip(self):
+        point = SweepPoint(
+            parameter=9,
+            gates=400,
+            total_logical=10**12,
+            accepted=None,
+            classify_seconds=None,
+        )
+        assert SweepPoint.from_dict(
+            json.loads(json.dumps(point.to_dict()))
+        ) == point

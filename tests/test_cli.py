@@ -138,3 +138,51 @@ class TestCommands:
         text = parser.format_help()
         for cmd in ("info", "classify", "baseline", "table1"):
             assert cmd in text
+
+
+class TestSupervisionFlags:
+    @pytest.mark.parametrize("bad", ["0", "-1", "-8"])
+    def test_nonpositive_jobs_rejected_by_argparse(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["table1", "--jobs", bad])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--jobs", "two"])
+        assert "invalid" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("table", ["table1", "table2", "table3"])
+    def test_supervision_flags_parse(self, table):
+        args = build_parser().parse_args(
+            [
+                table,
+                "--jobs", "4",
+                "--checkpoint", "rows.jsonl",
+                "--resume",
+                "--task-timeout", "90",
+                "--max-retries", "5",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.checkpoint == "rows.jsonl"
+        assert args.resume
+        assert args.task_timeout == 90.0
+        assert args.max_retries == 5
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.experiments.table1 as table1_mod
+
+        def interrupted(**_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(table1_mod, "main", interrupted)
+        assert main(["table1"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
