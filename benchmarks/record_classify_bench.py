@@ -8,6 +8,12 @@ committed file is the reference point for spotting classifier-core
 regressions; rerun after any engine change:
 
     PYTHONPATH=src python benchmarks/record_classify_bench.py
+
+``--store`` instead measures the persistent result store: the same
+passes once against a cold (empty) store and once fully warm, writing
+the cold/warm wall times and speedups to ``BENCH_store.json``:
+
+    PYTHONPATH=src python benchmarks/record_classify_bench.py --store
 """
 
 from __future__ import annotations
@@ -15,13 +21,17 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import tempfile
+import time
 from pathlib import Path
 
 from repro.classify.conditions import Criterion
 from repro.classify.session import CircuitSession
 from repro.gen.suite import table1_suite
+from repro.store.db import ResultStore
 
 OUT = Path(__file__).resolve().parent.parent / "BENCH_classify.json"
+OUT_STORE = Path(__file__).resolve().parent.parent / "BENCH_store.json"
 
 
 def bench_circuit(circuit) -> dict:
@@ -80,5 +90,66 @@ def main() -> None:
     print(f"\ntotal: {doc['totals']['edges_per_second']} edges/s -> {OUT}")
 
 
+def _timed_run(circuit, store) -> "tuple[float, dict]":
+    """One FS + SIGMA_PI(heu1) pass pair through a store-backed session;
+    returns (wall seconds, session counters)."""
+    start = time.perf_counter()
+    session = CircuitSession(circuit, store=store)
+    session.classify(Criterion.FS)
+    session.classify(Criterion.SIGMA_PI, sort=session.heuristic1_sort())
+    return time.perf_counter() - start, session.stats.to_dict()
+
+
+def main_store() -> None:
+    """Cold-vs-warm store timings on the Table-I suite."""
+    circuits = table1_suite()
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "bench_store.sqlite")
+        for circuit in circuits:
+            cold_s, cold_stats = _timed_run(circuit, store)
+            warm_s, warm_stats = _timed_run(circuit, store)
+            assert warm_stats["store_misses"] == 0, circuit.name
+            speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+            rows.append(
+                {
+                    "circuit": circuit.name,
+                    "gates": circuit.num_gates,
+                    "cold_s": round(cold_s, 4),
+                    "warm_s": round(warm_s, 4),
+                    "speedup": round(speedup, 1),
+                    "warm_store_hits": warm_stats["store_hits"],
+                }
+            )
+            print(
+                f"{circuit.name:<16} cold {cold_s:>8.3f}s  "
+                f"warm {warm_s:>8.4f}s  {speedup:>8.1f}x"
+            )
+        entries = store.stats().entries
+        store.close()
+    cold_total = sum(r["cold_s"] for r in rows)
+    warm_total = sum(r["warm_s"] for r in rows)
+    doc = {
+        "benchmark": "store-cold-vs-warm",
+        "unit": "wall seconds per FS+SIGMA_PI pass pair",
+        "suite": [r["circuit"] for r in rows],
+        "python": platform.python_version(),
+        "totals": {
+            "cold_s": round(cold_total, 2),
+            "warm_s": round(warm_total, 2),
+            "speedup": round(cold_total / warm_total, 1)
+            if warm_total
+            else 0,
+            "store_entries": entries,
+        },
+        "circuits": rows,
+    }
+    OUT_STORE.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\ncold {cold_total:.2f}s -> warm {warm_total:.2f}s "
+        f"({doc['totals']['speedup']}x) -> {OUT_STORE}"
+    )
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main_store() if "--store" in sys.argv[1:] else main())

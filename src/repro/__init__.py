@@ -18,11 +18,19 @@ Quickstart::
     print(f"{result.rd_percent:.1f}% of logical paths need no robust test")
 """
 
+# defined before any submodule import: repro.service.server reads it
+# while this package is still initializing
+__version__ = "1.0.0"
+
 from repro.errors import (
     CircuitError,
     ClassifyError,
     HarnessError,
+    ProtocolError,
+    RemoteError,
     ReproError,
+    ServiceError,
+    StoreError,
     TaskCrashed,
     TaskTimeout,
 )
@@ -79,8 +87,8 @@ from repro.timing import (
     settle_time,
     unit_delays,
 )
-
-__version__ = "1.0.0"
+from repro.store import ResultStore, canonical_form, fingerprint
+from repro.service import AnalysisServer, ServiceClient
 
 __all__ = [
     "ReproError",
@@ -89,6 +97,10 @@ __all__ = [
     "HarnessError",
     "TaskTimeout",
     "TaskCrashed",
+    "StoreError",
+    "ServiceError",
+    "ProtocolError",
+    "RemoteError",
     "Circuit",
     "CircuitBuilder",
     "GateType",
@@ -129,5 +141,10 @@ __all__ = [
     "random_delays",
     "settle_time",
     "unit_delays",
+    "ResultStore",
+    "canonical_form",
+    "fingerprint",
+    "AnalysisServer",
+    "ServiceClient",
     "__version__",
 ]

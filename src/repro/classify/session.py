@@ -21,11 +21,26 @@ per-process (they are *not* sent across the
 :mod:`~repro.experiments.harness` process pool — each worker builds its
 own), and observable: :attr:`CircuitSession.stats` counts cache hits and
 builds so tests can assert "exactly one ``count_paths`` per circuit".
+
+**Persistent store.**  Passing ``store=`` (a
+:class:`~repro.store.db.ResultStore` or a path) extends the caches
+*across* processes: path counts, completed classification passes and the
+heuristic sorts are read through from — and written back to — a
+content-addressed SQLite store keyed by the circuit's canonical
+fingerprint.  Per-lead payloads cross the store in canonical lead order,
+so a permuted declaration of the same netlist still hits.  Reads are
+strictly validated; anything corrupt or version-mismatched is treated as
+a miss and recomputed.  Passes that stream paths (``on_path``) bypass
+the store (the paths themselves are not cached), and a pass whose cached
+``accepted`` exceeds the caller's ``max_accepted`` is recomputed so the
+abort contract is identical cold and warm.  :attr:`SessionStats` gains
+``store_hits``/``store_misses`` for observability.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.circuit.netlist import Circuit
@@ -40,6 +55,8 @@ if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
     from repro.paths.path import LogicalPath
     from repro.sorting.heuristics import Heuristic2Analysis
     from repro.sorting.input_sort import InputSort
+    from repro.store.db import ResultStore
+    from repro.store.fingerprint import CanonicalForm
 
 
 @dataclass
@@ -52,6 +69,8 @@ class SessionStats:
     tables_reused: int = 0
     classify_passes: int = 0
     budget_aborts: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def tables_hit_rate(self) -> float:
@@ -59,6 +78,42 @@ class SessionStats:
         if not total:
             return 0.0
         return self.tables_reused / total
+
+    def to_dict(self) -> dict:
+        """JSON-safe counters (embedded in experiment rows)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionStats":
+        known = {f for f in cls.__dataclass_fields__}  # tolerate extras
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def summary(self) -> str:
+        """One human-readable line for ``--verbose`` table runs."""
+        parts = [
+            f"passes={self.classify_passes}",
+            f"count_paths={self.count_paths_calls}",
+            f"tables={self.tables_built}+{self.tables_reused}r",
+        ]
+        if self.store_hits or self.store_misses:
+            total = self.store_hits + self.store_misses
+            parts.append(
+                f"store={self.store_hits}/{total} hit"
+                f" ({100.0 * self.store_hits / total:.0f}%)"
+            )
+        else:
+            parts.append("store=off")
+        if self.budget_aborts:
+            parts.append(f"aborts={self.budget_aborts}")
+        return " ".join(parts)
+
+
+def format_session_stats(data: "dict | None") -> str:
+    """Render a :meth:`SessionStats.to_dict` payload (e.g. one embedded
+    in a checkpointed experiment row) as the ``--verbose`` summary."""
+    if not data:
+        return "(no session stats)"
+    return SessionStats.from_dict(data).summary()
 
 
 @dataclass
@@ -80,20 +135,99 @@ class CircuitSession:
 
     circuit: Circuit
     stats: SessionStats = field(default_factory=SessionStats)
+    store: "ResultStore | str | Path | None" = None
     _counts: PathCounts | None = field(default=None, repr=False)
     _engine: ImplicationEngine | None = field(default=None, repr=False)
     _tables: dict = field(default_factory=dict, repr=False)
+    _canon: "CanonicalForm | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.circuit._require_frozen()  # noqa: SLF001 - deliberate check
+        if isinstance(self.store, (str, Path)):
+            from repro.store.db import ResultStore
+
+            self.store = ResultStore(self.store)
+
+    # -- persistent store plumbing -------------------------------------
+    @property
+    def canonical(self) -> "CanonicalForm":
+        """The circuit's canonical form (computed once, store or not)."""
+        if self._canon is None:
+            from repro.store.fingerprint import canonical_form
+
+            self._canon = canonical_form(self.circuit)
+        return self._canon
+
+    @property
+    def fingerprint(self) -> str:
+        """The circuit's content-addressed fingerprint."""
+        return self.canonical.fingerprint
+
+    def _store_get(self, kind: str, variant: str, load: Callable):
+        """Read-through with strict validation: ``load(payload)`` builds
+        the in-memory artifact and may raise or return ``None`` for
+        anything malformed — corrupted or mismatched entries count as
+        misses and are recomputed, never served."""
+        if self.store is None:
+            return None
+        payload = self.store.get(self.fingerprint, kind, variant)
+        value = None
+        if payload is not None:
+            try:
+                value = load(payload)
+            except Exception:  # noqa: BLE001 - corrupt entry == miss
+                value = None
+        if value is None:
+            self.stats.store_misses += 1
+        else:
+            self.stats.store_hits += 1
+        return value
+
+    def _store_put(self, kind: str, variant: str, payload: dict) -> None:
+        if self.store is not None:
+            self.store.put(self.fingerprint, kind, variant, payload)
 
     # -- cached artifacts ----------------------------------------------
+    def _load_counts(self, payload: dict) -> "PathCounts | None":
+        up_c, down_c = payload["up"], payload["down"]
+        n = self.circuit.num_gates
+        if len(up_c) != n or len(down_c) != n:
+            return None
+        if not all(isinstance(v, int) for v in up_c + down_c):
+            return None
+        up = self.canonical.unpack_gates(up_c)
+        down = self.canonical.unpack_gates(down_c)
+        # |P(l)| = up[src] * down[dst] — cheaper to rebuild than to store
+        through = [
+            up[self.circuit.lead_src(lead)] * down[self.circuit.lead_dst(lead)]
+            for lead in range(self.circuit.num_leads)
+        ]
+        return PathCounts(
+            circuit=self.circuit,
+            up=tuple(up),
+            down=tuple(down),
+            through_lead=tuple(through),
+        )
+
     @property
     def counts(self) -> PathCounts:
-        """Exact path counts, computed at most once per session."""
+        """Exact path counts: loaded from the store if possible, else
+        computed at most once per session (and written back)."""
         if self._counts is None:
-            self.stats.count_paths_calls += 1
-            self._counts = count_paths(self.circuit)
+            loaded = self._store_get("counts", "", self._load_counts)
+            if loaded is not None:
+                self._counts = loaded
+            else:
+                self.stats.count_paths_calls += 1
+                self._counts = count_paths(self.circuit)
+                self._store_put(
+                    "counts",
+                    "",
+                    {
+                        "up": self.canonical.pack_gates(self._counts.up),
+                        "down": self.canonical.pack_gates(self._counts.down),
+                    },
+                )
         return self._counts
 
     @property
@@ -118,6 +252,47 @@ class CircuitSession:
         return cached
 
     # -- classification ------------------------------------------------
+    def _classify_variant(
+        self, criterion: Criterion, sort: "InputSort | None"
+    ) -> str:
+        sort_key = "none" if sort is None else self.canonical.sort_key(sort.ranks)
+        return f"{criterion.name}|{sort_key}"
+
+    def _load_classification(
+        self,
+        payload: dict,
+        criterion: Criterion,
+        collect_lead_counts: bool,
+        max_accepted: "int | None",
+    ) -> "ClassificationResult | None":
+        total = payload["total_logical"]
+        accepted = payload["accepted"]
+        if not isinstance(total, int) or not isinstance(accepted, int):
+            return None
+        if max_accepted is not None and accepted > max_accepted:
+            # the cached pass completed but this caller's budget would
+            # have aborted it — recompute so the abort contract holds
+            return None
+        lead_counts: list = []
+        if collect_lead_counts:
+            stored = payload.get("lead_ctrl_counts")
+            if (
+                not isinstance(stored, list)
+                or len(stored) != self.circuit.num_leads
+                or not all(isinstance(v, int) for v in stored)
+            ):
+                return None  # entry predates the per-lead request
+            lead_counts = self.canonical.unpack_leads(stored)
+        return ClassificationResult(
+            circuit_name=self.circuit.name,
+            criterion=criterion,
+            total_logical=total,
+            accepted=accepted,
+            elapsed=float(payload["elapsed"]),
+            lead_ctrl_counts=lead_counts,
+            edges_visited=int(payload["edges_visited"]),
+        )
+
     def classify(
         self,
         criterion: Criterion,
@@ -134,13 +309,32 @@ class CircuitSession:
         :class:`~repro.errors.ClassifyError` (counted in
         :attr:`SessionStats.budget_aborts`); the session stays usable —
         the engine trail is restored even on abort.
+
+        With a persistent :attr:`store`, a completed pass for the same
+        circuit structure, criterion and sort is served without running
+        the enumeration at all.  ``on_path`` passes bypass the store
+        (the paths themselves are not cached); an aborted pass is never
+        written back.
         """
         self.stats.classify_passes += 1
+        use_store = self.store is not None and on_path is None
+        variant = ""
+        if use_store:
+            variant = self._classify_variant(criterion, sort)
+            cached = self._store_get(
+                "classify",
+                variant,
+                lambda payload: self._load_classification(
+                    payload, criterion, collect_lead_counts, max_accepted
+                ),
+            )
+            if cached is not None:
+                return cached
         tables = self.tables(criterion, sort)
         engine = self.engine
         engine.reset()  # defensive: a prior pass may have been aborted
         try:
-            return _run(
+            result = _run(
                 self.circuit,
                 criterion,
                 tables,
@@ -153,13 +347,54 @@ class CircuitSession:
         except ClassifyError:
             self.stats.budget_aborts += 1
             raise
+        if use_store:
+            payload = {
+                "total_logical": result.total_logical,
+                "accepted": result.accepted,
+                "elapsed": result.elapsed,
+                "edges_visited": result.edges_visited,
+            }
+            if collect_lead_counts:
+                payload["lead_ctrl_counts"] = self.canonical.pack_leads(
+                    result.lead_ctrl_counts
+                )
+            self._store_put("classify", variant, payload)
+        return result
 
     # -- sorting heuristics (convenience, session-cached) --------------
+    def _load_sort(self, payload: dict) -> "InputSort | None":
+        from repro.sorting.input_sort import InputSort
+
+        stored = payload["ranks"]
+        if (
+            not isinstance(stored, list)
+            or len(stored) != self.circuit.num_leads
+            or not all(isinstance(v, int) for v in stored)
+        ):
+            return None
+        # InputSort validates per-gate rank permutations; a corrupt
+        # entry raises ValueError, which _store_get turns into a miss
+        return InputSort(self.circuit, self.canonical.unpack_leads(stored))
+
+    def record_sort(self, name: str, sort: "InputSort") -> None:
+        """Write a derived heuristic sort back to the persistent store
+        (no-op without one)."""
+        if self.store is not None:
+            self._store_put(
+                "sort", name, {"ranks": self.canonical.pack_leads(sort.ranks)}
+            )
+
     def heuristic1_sort(self) -> "InputSort":
         """Heuristic 1 from the cached path counts (no extra counting)."""
         from repro.sorting.heuristics import heuristic1_sort
 
-        return heuristic1_sort(self.circuit, counts=self.counts)
+        if self.store is not None:
+            cached = self._store_get("sort", "heu1", self._load_sort)
+            if cached is not None:
+                return cached
+        sort = heuristic1_sort(self.circuit, counts=self.counts)
+        self.record_sort("heu1", sort)
+        return sort
 
     def heuristic2_analysis(
         self, max_accepted: int | None = None
@@ -172,4 +407,8 @@ class CircuitSession:
         )
 
     def heuristic2_sort(self, max_accepted: int | None = None) -> "InputSort":
+        if self.store is not None:
+            cached = self._store_get("sort", "heu2", self._load_sort)
+            if cached is not None:
+                return cached
         return self.heuristic2_analysis(max_accepted=max_accepted).sort

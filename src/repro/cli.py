@@ -5,14 +5,19 @@ Subcommands::
     repro-rd list                         # suite circuits
     repro-rd info s499-ecc                # stats + path counts
     repro-rd classify s1355-par --criterion sigma --sort heu2
+    repro-rd classify c17 --store results.sqlite   # persistent cache
+    repro-rd classify c17 --remote 127.0.0.1:7463  # via the daemon
     repro-rd baseline apex-a --method exact
     repro-rd table1 / table2 / table3 / figures   (tables take --jobs N)
+    repro-rd serve --port 7463 --store results.sqlite
+    repro-rd cache stats results.sqlite   # also: gc, clear
     repro-rd info my_circuit.bench        # file inputs work everywhere
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -36,6 +41,19 @@ _CRITERIA = {
     "nr": Criterion.NR,
     "sigma": Criterion.SIGMA_PI,
 }
+
+
+def package_version() -> str:
+    """The installed distribution's version, falling back to the
+    package constant for source-tree (PYTHONPATH) runs."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
 
 
 def load_circuit(spec: str) -> Circuit:
@@ -86,9 +104,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    if args.remote is not None:
+        return _classify_remote(args)
     circuit = load_circuit(args.circuit)
     criterion = _CRITERIA[args.criterion]
-    session = CircuitSession(circuit)
+    session = CircuitSession(circuit, store=args.store)
     sort = None
     if criterion is Criterion.SIGMA_PI:
         sort = _make_sort(circuit, args.sort, args.seed, session=session)
@@ -96,6 +116,53 @@ def cmd_classify(args: argparse.Namespace) -> int:
         criterion, sort=sort, max_accepted=args.max_accepted
     )
     print(result)
+    if args.verbose:
+        from repro.classify.session import format_session_stats
+
+        print(format_session_stats(session.stats.to_dict()))
+    return 0
+
+
+def _classify_remote(args: argparse.Namespace) -> int:
+    """``classify --remote``: send the request to a running daemon.
+
+    Suite names travel by name (the server's generator builds the
+    circuit); file inputs are serialized to ``.bench`` text.
+    """
+    from repro.classify.session import format_session_stats
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    path = Path(args.circuit)
+    spec: "Circuit | str"
+    if path.suffix in (".bench", ".pla") and path.exists():
+        spec = load_circuit(args.circuit)
+    else:
+        spec = args.circuit
+    events = []
+    try:
+        with ServiceClient.connect(args.remote) as client:
+            result = client.classify(
+                circuit=spec,
+                criterion=args.criterion,
+                sort=args.sort,
+                max_accepted=args.max_accepted,
+                on_event=events.append if args.verbose else None,
+            )
+    except ServiceError as exc:
+        print(f"remote classify failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{result['name']} [{result['criterion']}]: "
+        f"{result['accepted']}/{result['total_logical']} accepted, "
+        f"{result['rd_percent']:.2f}% RD, {result['elapsed']:.2f}s "
+        f"(remote {args.remote})"
+    )
+    if args.verbose:
+        for event in events:
+            print(f"  event: {event}")
+        print(f"  {format_session_stats(result['session'])}")
+        print(f"  fingerprint: {result['fingerprint']}")
     return 0
 
 
@@ -229,6 +296,56 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_version(_args: argparse.Namespace) -> int:
+    print(f"repro-rd {package_version()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.service.server import serve
+
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit("serve needs exactly one of --socket PATH or --port N")
+
+    def announce(address: str) -> None:
+        where = address if args.socket else f"tcp://{address}"
+        print(f"repro-rd {package_version()} serving on {where}", flush=True)
+
+    return asyncio.run(
+        serve(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            store=args.store,
+            concurrency=args.concurrency,
+            default_deadline=args.deadline,
+            max_accepted=args.max_accepted,
+            ready=announce,
+        )
+    )
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain a persistent result store."""
+    from repro.store.db import ResultStore
+
+    if args.action != "stats" and not Path(args.store).exists():
+        raise SystemExit(f"no store at {args.store!r}")
+    with ResultStore(args.store) as store:
+        if args.action == "stats":
+            print(store.stats().render())
+        elif args.action == "gc":
+            removed = store.gc(max_age_days=args.max_age_days)
+            print(f"removed {removed} entries")
+        else:  # clear
+            removed = store.clear()
+            print(f"removed {removed} entries")
+    return 0
+
+
 def _supervision_kwargs(args: argparse.Namespace) -> dict:
     """The shared table1/2/3 supervision options, as keyword arguments."""
     if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
@@ -239,6 +356,7 @@ def _supervision_kwargs(args: argparse.Namespace) -> dict:
         "resume": getattr(args, "resume", False),
         "task_timeout": getattr(args, "task_timeout", None),
         "max_retries": getattr(args, "max_retries", None),
+        "store": getattr(args, "store", None),
     }
 
 
@@ -252,7 +370,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         _table, rows = table1.run(**kwargs)
         print(to_json(table1_to_dict(rows)))
         return 0
-    table1.main(**kwargs)
+    table1.main(**kwargs, verbose=getattr(args, "verbose", False))
     return 0
 
 
@@ -273,7 +391,7 @@ def cmd_table3(args: argparse.Namespace) -> int:
         _table, rows = table3.run(**kwargs)
         print(to_json(table3_to_dict(rows)))
         return 0
-    table3.main(**kwargs)
+    table3.main(**kwargs, verbose=getattr(args, "verbose", False))
     return 0
 
 
@@ -289,9 +407,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-rd",
         description="Robust dependent path delay fault identification (DAC'95)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-rd {package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list suite circuits").set_defaults(fn=cmd_list)
+
+    sub.add_parser(
+        "version", help="print the package version"
+    ).set_defaults(fn=cmd_version)
 
     p = sub.add_parser("info", help="circuit statistics and path counts")
     p.add_argument("circuit", help="suite name or .bench/.pla file")
@@ -312,6 +437,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-accepted", type=int, default=None,
         help="abort after this many accepted paths",
+    )
+    p.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="persistent result store (SQLite; created if missing)",
+    )
+    p.add_argument(
+        "--remote", metavar="HOST:PORT|SOCKET", default=None,
+        help="send the request to a running 'repro-rd serve' daemon",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print session cache counters (and remote events)",
     )
     p.set_defaults(fn=cmd_classify)
 
@@ -391,9 +528,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-retries", type=int, default=None, metavar="N",
             help="pool retries per circuit before the in-process rerun",
         )
+        p.add_argument(
+            "--store", metavar="FILE", default=None,
+            help="persistent result store shared by all workers "
+            "(SQLite; created if missing)",
+        )
 
     p = sub.add_parser("table1", help="regenerate Table I")
     p.add_argument("--json", action="store_true", help="emit JSON")
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-circuit session cache counters",
+    )
     add_supervision_flags(p)
     p.set_defaults(fn=cmd_table1)
     p = sub.add_parser("table2", help="regenerate Table II")
@@ -401,11 +547,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_table2)
     p = sub.add_parser("table3", help="regenerate Table III")
     p.add_argument("--json", action="store_true", help="emit JSON")
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-circuit session cache counters",
+    )
     add_supervision_flags(p)
     p.set_defaults(fn=cmd_table3)
     sub.add_parser("figures", help="regenerate Figures 1-5").set_defaults(
         fn=cmd_figures
     )
+
+    p = sub.add_parser("serve", help="run the analysis daemon")
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="listen on a unix socket")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen on TCP (0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="persistent result store backing the session pool",
+    )
+    p.add_argument(
+        "--concurrency", type=_positive_int, default=8,
+        help="max classifications in flight (default 8)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="flat per-request wall-clock budget (default: derived "
+        "from each circuit's exact path count)",
+    )
+    p.add_argument(
+        "--max-accepted", type=int, default=None,
+        help="server-wide abort threshold on accepted paths",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("cache", help="inspect/maintain a result store")
+    p.add_argument("action", choices=["stats", "gc", "clear"])
+    p.add_argument("store", metavar="FILE", help="store file")
+    p.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="for gc: also drop entries unused for this long",
+    )
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 
@@ -426,6 +610,11 @@ def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro-rd cache stats f | head`); die
+        # quietly like cat(1) instead of tracebacking
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     except KeyboardInterrupt:
         # checkpoint records are flushed+fsynced as rows complete, so
         # whatever finished before ^C is already safe on disk

@@ -7,9 +7,13 @@ Every error the library raises deliberately derives from
     ├── CircuitError        parse / construction / validation
     │   └── BenchParseError   (repro.circuit.bench)
     ├── ClassifyError       classification aborted (budget exhausted)
-    └── HarnessError        supervised experiment execution
-        ├── TaskTimeout       a pool task exceeded its wall-clock budget
-        └── TaskCrashed       a pool worker died (crash / kill / OOM)
+    ├── HarnessError        supervised experiment execution
+    │   ├── TaskTimeout       a pool task exceeded its wall-clock budget
+    │   └── TaskCrashed       a pool worker died (crash / kill / OOM)
+    ├── StoreError          persistent result store (repro.store)
+    └── ServiceError        analysis service (repro.service)
+        ├── ProtocolError     malformed wire message
+        └── RemoteError       the server answered with a structured error
 
 Callers that want "anything this library can throw" catch
 :class:`ReproError`; subsystem code catches the narrow type.  For
@@ -67,3 +71,35 @@ class TaskCrashed(HarnessError):
         super().__init__(f"worker running task {label!r} crashed: {cause}")
         self.label = label
         self.cause = cause
+
+
+class StoreError(ReproError):
+    """The persistent result store is unusable (database corrupt beyond
+    SQLite's own recovery, still locked after bounded retries, ...).
+
+    Note the store never raises for a *content* problem — a corrupted or
+    version-mismatched entry is simply treated as a miss and recomputed.
+    """
+
+
+class ServiceError(ReproError):
+    """Analysis-service failure (connection, protocol, remote error)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message could not be parsed (not JSON, oversized line,
+    wrong framing)."""
+
+
+class RemoteError(ServiceError):
+    """The analysis server answered a request with a structured error.
+
+    ``error_type`` carries the server-side exception class name (e.g.
+    ``"TaskTimeout"``, ``"CircuitError"``) so clients can dispatch
+    without string-matching messages.
+    """
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message

@@ -31,11 +31,19 @@ Completed rows can be streamed to a JSONL checkpoint (``checkpoint=``)
 and skipped on a rerun (``resume=True``) — the final tables are
 byte-identical whether a run went straight through, was resumed after a
 kill, or degraded around faults.
+
+Passing ``store=`` (a path or :class:`~repro.store.db.ResultStore`)
+warm-starts every row from the persistent content-addressed cache: each
+worker opens its own connection to the shared SQLite file (WAL mode
+makes concurrent pool access safe), completed passes are written back,
+and a repeated or resumed table run serves its classification passes and
+path counts in O(1).  Rows record their session's cache counters in
+``session_stats`` so callers can verify warm runs did no recounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable
 
 from repro.baseline.exact_assignment import BaselineResult, baseline_rd
@@ -53,9 +61,20 @@ from repro.experiments.supervisor import (
     default_task_budget,
 )
 from repro.paths.count import count_paths
-from repro.sorting.heuristics import heuristic1_sort, heuristic2_analysis
+from repro.sorting.heuristics import heuristic2_analysis
 from repro.sorting.input_sort import InputSort
+from repro.store.db import ResultStore
 from repro.util.timer import Stopwatch
+
+
+def _store_spec(store: "ResultStore | str | None") -> "str | None":
+    """Normalize a ``store=`` argument to a picklable path (pool tasks
+    carry the path; every worker opens its own connection)."""
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store.path
+    return str(store)
 
 
 def _make_runner(
@@ -93,6 +112,10 @@ class Table1Row:
     heu2_inverse_percent: float
     time_heu1: float
     time_heu2: float
+    #: cache counters of the session that produced this row (see
+    #: :meth:`~repro.classify.session.SessionStats.to_dict`); rendered
+    #: by ``--verbose`` table runs, never part of the table itself
+    session_stats: "dict | None" = field(default=None, compare=False)
 
     def check_expected_shape(self) -> list[str]:
         """The paper's qualitative claims, as violated-claim strings
@@ -123,18 +146,22 @@ def run_table1_row(
     circuit: Circuit,
     max_accepted: int | None = None,
     session: CircuitSession | None = None,
+    store: "ResultStore | str | None" = None,
 ) -> Table1Row:
     """The full pipeline on one circuit (see module docstring).
 
     Exactly one ``count_paths`` runs per circuit: the session computes
     it lazily and every pass (including the Heuristic-1 sort) reuses it.
+    With ``store=`` (ignored when a ``session`` is supplied) the counts
+    and every completed pass are read through the persistent store — a
+    warm row runs no enumeration at all.
     """
     if session is None:
-        session = CircuitSession(circuit)
+        session = CircuitSession(circuit, store=store)
     counts = session.counts
     # --- Heuristic 1 -----------------------------------------------------
     with Stopwatch() as sw1:
-        sort1 = heuristic1_sort(circuit, counts=counts)
+        sort1 = session.heuristic1_sort()
         res1 = session.classify(
             Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
         )
@@ -163,13 +190,16 @@ def run_table1_row(
         heu2_inverse_percent=res2_inv.rd_percent,
         time_heu1=sw1.elapsed,
         time_heu2=sw2.elapsed,
+        session_stats=session.stats.to_dict(),
     )
 
 
-def _table1_task(payload: "tuple[Circuit, int | None]") -> Table1Row:
+def _table1_task(
+    payload: "tuple[Circuit, int | None, str | None]",
+) -> Table1Row:
     """Top-level worker (must be picklable for the process pool)."""
-    circuit, max_accepted = payload
-    return run_table1_row(circuit, max_accepted=max_accepted)
+    circuit, max_accepted, store = payload
+    return run_table1_row(circuit, max_accepted=max_accepted, store=store)
 
 
 def _run_checkpointed_rows(
@@ -232,6 +262,7 @@ def run_table1_rows(
     task_timeout: "float | None" = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     runner: "TaskRunner | None" = None,
+    store: "ResultStore | str | None" = None,
 ) -> "list[Table1Row | RowFailure]":
     """Table-I rows for several circuits, optionally in parallel.
 
@@ -245,12 +276,17 @@ def run_table1_rows(
     recorded there.  ``task_timeout`` is a flat per-task wall-clock
     budget overriding the path-count-derived default; ``runner`` lets a
     caller supply a preconfigured :class:`TaskRunner` (e.g. with a fault
-    hook — then ``jobs``/``max_retries`` here are ignored).
+    hook — then ``jobs``/``max_retries`` here are ignored).  ``store``
+    (a path or :class:`~repro.store.db.ResultStore`) warm-starts rows
+    from the persistent result cache; it composes with every other
+    option — checkpoints record finished *rows*, the store caches the
+    *passes* inside a row, so a resumed run recomputes nothing at all.
     """
+    spec = _store_spec(store)
     return _run_checkpointed_rows(
         list(circuits),
         _table1_task,
-        lambda circuit: (circuit, max_accepted),
+        lambda circuit: (circuit, max_accepted, spec),
         Table1Row,
         "table1",
         jobs,
@@ -272,6 +308,8 @@ class Table3Row:
     baseline_time: float
     heu2_percent: float
     heu2_time: float
+    #: cache counters of the session that produced this row
+    session_stats: "dict | None" = field(default=None, compare=False)
 
     @property
     def quality_gap(self) -> float:
@@ -298,9 +336,10 @@ def run_table3_row(
     circuit: Circuit,
     baseline_method: str = "greedy",
     session: CircuitSession | None = None,
+    store: "ResultStore | str | None" = None,
 ) -> Table3Row:
     if session is None:
-        session = CircuitSession(circuit)
+        session = CircuitSession(circuit, store=store)
     baseline: BaselineResult = baseline_rd(circuit, method=baseline_method)
     with Stopwatch() as sw:
         analysis = heuristic2_analysis(circuit, session=session)
@@ -312,12 +351,13 @@ def run_table3_row(
         baseline_time=baseline.elapsed,
         heu2_percent=res2.rd_percent,
         heu2_time=sw.elapsed,
+        session_stats=session.stats.to_dict(),
     )
 
 
-def _table3_task(payload: "tuple[Circuit, str]") -> Table3Row:
-    circuit, baseline_method = payload
-    return run_table3_row(circuit, baseline_method=baseline_method)
+def _table3_task(payload: "tuple[Circuit, str, str | None]") -> Table3Row:
+    circuit, baseline_method, store = payload
+    return run_table3_row(circuit, baseline_method=baseline_method, store=store)
 
 
 def run_table3_rows(
@@ -330,16 +370,19 @@ def run_table3_rows(
     task_timeout: "float | None" = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     runner: "TaskRunner | None" = None,
+    store: "ResultStore | str | None" = None,
 ) -> "list[Table3Row | RowFailure]":
     """Table-III rows for several circuits, optionally in parallel.
 
-    Supervision, checkpointing and resume work exactly as in
-    :func:`run_table1_rows` (checkpoint kind ``table3``).
+    Supervision, checkpointing, resume and the persistent ``store`` work
+    exactly as in :func:`run_table1_rows` (checkpoint kind ``table3``;
+    the store accelerates the Heu2 passes, never the exact baseline).
     """
+    spec = _store_spec(store)
     return _run_checkpointed_rows(
         list(circuits),
         _table3_task,
-        lambda circuit: (circuit, baseline_method),
+        lambda circuit: (circuit, baseline_method, spec),
         Table3Row,
         "table3",
         jobs,

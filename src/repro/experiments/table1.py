@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.circuit.netlist import Circuit
+from repro.classify.session import format_session_stats
 from repro.experiments.harness import Table1Row, run_table1_rows
 from repro.experiments.supervisor import RowFailure, TaskRunner
 from repro.gen.suite import table1_suite
@@ -30,6 +31,7 @@ def run(
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
     runner: "TaskRunner | None" = None,
+    store: "str | None" = None,
 ) -> "tuple[TextTable, list[Table1Row | RowFailure]]":
     extra = {} if max_retries is None else {"max_retries": max_retries}
     rows = run_table1_rows(
@@ -39,6 +41,7 @@ def run(
         resume=resume,
         task_timeout=task_timeout,
         runner=runner,
+        store=store,
         **extra,
     )
     table = TextTable(
@@ -68,6 +71,8 @@ def main(
     resume: bool = False,
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
+    store: "str | None" = None,
+    verbose: bool = False,
 ) -> None:
     table, rows = run(
         jobs=jobs,
@@ -75,8 +80,13 @@ def main(
         resume=resume,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        store=store,
     )
     print(table.render())
+    if verbose:
+        for row in rows:
+            if isinstance(row, Table1Row) and row.session_stats is not None:
+                print(f"   {row.name}: {format_session_stats(row.session_stats)}")
     for row in rows:
         if isinstance(row, RowFailure):
             print(f"!! {row}")

@@ -31,6 +31,7 @@ def run(
     resume: bool = False,
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
+    store: "str | None" = None,
 ) -> TextTable:
     """Render Table II; pass ``rows`` to reuse Table I measurements."""
     if rows is None:
@@ -41,6 +42,7 @@ def run(
             checkpoint=checkpoint,
             resume=resume,
             task_timeout=task_timeout,
+            store=store,
             **extra,
         )
     table = TextTable(
@@ -80,6 +82,7 @@ def main(
     resume: bool = False,
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
+    store: "str | None" = None,
 ) -> None:
     print(
         run(
@@ -88,6 +91,7 @@ def main(
             resume=resume,
             task_timeout=task_timeout,
             max_retries=max_retries,
+            store=store,
         ).render()
     )
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.circuit.netlist import Circuit
+from repro.classify.session import format_session_stats
 from repro.experiments.harness import Table3Row, run_table3_rows
 from repro.experiments.supervisor import RowFailure, TaskRunner
 from repro.gen.suite import table3_suite
@@ -33,6 +34,7 @@ def run(
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
     runner: "TaskRunner | None" = None,
+    store: "str | None" = None,
 ) -> "tuple[TextTable, list[Table3Row | RowFailure]]":
     extra = {} if max_retries is None else {"max_retries": max_retries}
     rows = run_table3_rows(
@@ -43,6 +45,7 @@ def run(
         resume=resume,
         task_timeout=task_timeout,
         runner=runner,
+        store=store,
         **extra,
     )
     table = TextTable(
@@ -84,6 +87,8 @@ def main(
     resume: bool = False,
     task_timeout: "float | None" = None,
     max_retries: "int | None" = None,
+    store: "str | None" = None,
+    verbose: bool = False,
 ) -> None:
     table, rows = run(
         jobs=jobs,
@@ -91,8 +96,13 @@ def main(
         resume=resume,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        store=store,
     )
     print(table.render())
+    if verbose:
+        for row in rows:
+            if isinstance(row, Table3Row) and row.session_stats is not None:
+                print(f"   {row.name}: {format_session_stats(row.session_stats)}")
     failures = [row for row in rows if isinstance(row, RowFailure)]
     for failure in failures:
         print(f"!! {failure}")

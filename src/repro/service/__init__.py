@@ -1,0 +1,16 @@
+"""Concurrent classification daemon + client (``repro-rd serve``).
+
+A stdlib-only asyncio JSON-over-TCP (or unix socket) service exposing
+the RD classifier: requests carry a ``.bench`` netlist or a suite
+generator name; responses stream back structured JSON.  The server
+classifies through a shared, store-backed session pool with bounded
+concurrency and per-request wall-clock deadlines, and drains gracefully
+on SIGTERM/SIGINT.  See :mod:`repro.service.protocol` for the wire
+format and :mod:`repro.service.client` for the blocking client used by
+``repro-rd classify --remote``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.server import AnalysisServer, serve
+
+__all__ = ["AnalysisServer", "ServiceClient", "serve"]

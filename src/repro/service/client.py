@@ -1,0 +1,155 @@
+"""Blocking client for the analysis service (``repro-rd classify --remote``).
+
+A thin synchronous wrapper over one socket speaking the JSON-lines
+protocol of :mod:`repro.service.protocol`.  Structured server errors
+rehydrate as :class:`~repro.errors.RemoteError` (carrying the server's
+exception class name in ``error_type``); transport and framing problems
+raise :class:`~repro.errors.ServiceError` / ``ProtocolError``.
+
+Usage::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect("127.0.0.1:7463") as client:
+        result = client.classify(circuit="c17")
+        print(result["rd_percent"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable
+
+from repro.circuit.netlist import Circuit
+from repro.errors import ProtocolError, RemoteError, ServiceError
+from repro.service import protocol
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One persistent connection to a running analysis server."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- connecting -----------------------------------------------------
+    @classmethod
+    def connect(
+        cls, spec: str, timeout: "float | None" = None
+    ) -> "ServiceClient":
+        """Connect to ``host:port`` or a unix socket path."""
+        try:
+            if ":" in spec:
+                host, _, port_text = spec.rpartition(":")
+                sock = socket.create_connection(
+                    (host or "127.0.0.1", int(port_text)), timeout=timeout
+                )
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(spec)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"cannot connect to analysis server at {spec!r}: {exc}"
+            ) from exc
+        return cls(sock)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass  # best effort: flushing a dead socket is not an error
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the protocol ---------------------------------------------------
+    def request(
+        self,
+        op: str,
+        on_event: "Callable[[dict], None] | None" = None,
+        **fields,
+    ) -> dict:
+        """One round trip: send a request, stream events to ``on_event``,
+        return the final ``result`` (or raise :class:`RemoteError`)."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"id": request_id, "op": op}
+        message.update(fields)
+        try:
+            self._file.write(protocol.encode_line(message))
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceError(f"send failed: {exc}") from exc
+        while True:
+            try:
+                line = self._file.readline(protocol.MAX_LINE + 2)
+            except OSError as exc:
+                raise ServiceError(f"receive failed: {exc}") from exc
+            if not line:
+                raise ServiceError(
+                    "server closed the connection before answering"
+                )
+            answer = protocol.decode_line(line)
+            if answer.get("id") != request_id:
+                continue  # a stale event from an abandoned request
+            if "event" in answer:
+                if on_event is not None:
+                    on_event(answer)
+                continue
+            if answer.get("ok"):
+                result = answer.get("result")
+                if not isinstance(result, dict):
+                    raise ProtocolError("ok response without a result object")
+                return result
+            error = answer.get("error")
+            if not isinstance(error, dict):
+                raise ProtocolError("error response without an error object")
+            raise RemoteError(
+                str(error.get("type", "ReproError")),
+                str(error.get("message", "")),
+            )
+
+    # -- convenience ops ------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def classify(
+        self,
+        circuit: "Circuit | str | None" = None,
+        bench: "str | None" = None,
+        criterion: str = "sigma",
+        sort: str = "heu2",
+        max_accepted: "int | None" = None,
+        deadline: "float | None" = None,
+        on_event: "Callable[[dict], None] | None" = None,
+    ) -> dict:
+        """Classify a suite circuit (by name), ``.bench`` text, or an
+        in-memory :class:`~repro.circuit.netlist.Circuit` (serialized to
+        ``.bench`` on the wire)."""
+        fields: dict = {"criterion": criterion, "sort": sort}
+        if isinstance(circuit, Circuit):
+            from repro.circuit.bench import write_bench
+
+            fields["bench"] = write_bench(circuit)
+            fields["name"] = circuit.name
+        elif circuit is not None:
+            fields["circuit"] = circuit
+        if bench is not None:
+            fields["bench"] = bench
+        if max_accepted is not None:
+            fields["max_accepted"] = max_accepted
+        if deadline is not None:
+            fields["deadline"] = deadline
+        return self.request("classify", on_event=on_event, **fields)

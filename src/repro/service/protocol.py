@@ -1,0 +1,113 @@
+"""The analysis service's wire protocol: JSON lines over a stream.
+
+Both directions carry one JSON object per ``\\n``-terminated line
+(UTF-8, no embedded newlines — ``json.dumps`` escapes them).  Requests
+carry an ``op`` plus op-specific fields and an optional ``id`` the
+server echoes into everything it sends back for that request::
+
+    -> {"id": 1, "op": "classify", "circuit": "c17", "criterion": "sigma"}
+    <- {"id": 1, "event": "start", "name": "c17", "fingerprint": "rdfp1:..."}
+    <- {"id": 1, "ok": true, "result": {"accepted": 10, ...}}
+
+A failed request answers with a *structured error* on the same open
+connection — the connection is only dropped for unrecoverable framing
+problems (an oversized line)::
+
+    <- {"id": 2, "ok": false,
+        "error": {"type": "TaskTimeout", "message": "..."}}
+
+``error.type`` is the server-side exception class name
+(``CircuitError``, ``ClassifyError``, ``TaskTimeout``, ...), which the
+client rehydrates as :class:`repro.errors.RemoteError`.
+
+Ops:
+
+``classify``
+    Fields: ``circuit`` (suite generator name) *or* ``bench`` (.bench
+    source text); optional ``criterion`` (``fs``/``nr``/``sigma``,
+    default ``sigma``), ``sort`` (``pin``/``heu1``/``heu2``/``heu2inv``,
+    default ``heu2``; ``sigma`` only), ``max_accepted`` (int),
+    ``deadline`` (seconds; default derived from the circuit's exact
+    path count via the supervisor budget rule).
+``ping``
+    Liveness + version handshake.
+``stats``
+    Server counters and, when the server has one, result-store stats.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_LINE",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "event",
+    "ok_response",
+]
+
+#: longest accepted wire line — generously above any realistic ``.bench``
+MAX_LINE = 8 * 1024 * 1024
+
+_VALID_OPS = ("classify", "ping", "stats")
+
+
+def encode_line(message: dict) -> bytes:
+    """One protocol message as a complete wire line (with newline)."""
+    return json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8") + b"\n"
+
+
+def decode_line(raw: bytes) -> dict:
+    """Parse one wire line into a message, or raise :class:`ProtocolError`."""
+    if len(raw) > MAX_LINE:
+        raise ProtocolError(f"line exceeds {MAX_LINE} bytes")
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: dict) -> str:
+    """Check a decoded request and return its ``op``."""
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request is missing a string 'op' field")
+    if op not in _VALID_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; valid: {', '.join(_VALID_OPS)}"
+        )
+    return op
+
+
+def ok_response(request_id, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def event(request_id, kind: str, **fields) -> dict:
+    """A streamed progress event (anything before the final response).
+
+    ``fields`` are the event's payload; they must not collide with the
+    reserved keys ``id`` / ``event``.
+    """
+    message = {"id": request_id, "event": kind}
+    message.update(fields)
+    return message

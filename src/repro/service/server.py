@@ -1,0 +1,471 @@
+"""The analysis daemon: ``repro-rd serve``.
+
+A stdlib-only asyncio server speaking the JSON-lines protocol of
+:mod:`repro.service.protocol` over TCP or a unix socket.  Requests are
+classified in a thread pool through a *session pool* shared across
+connections — sessions are keyed by circuit fingerprint, so repeated
+requests for the same (or an isomorphic) circuit reuse the in-memory
+implication engine and, when the server was started with a result
+store, every result read through and written back to disk.
+
+Execution discipline:
+
+* **Bounded concurrency** — at most ``concurrency`` classifications run
+  at once (an :class:`asyncio.Semaphore` gates admission; the thread
+  pool has exactly that many workers).  Further requests queue.
+* **Per-request deadlines** — each classify carries a wall-clock budget
+  (the request's ``deadline`` field, the server default, or the
+  supervisor rule :func:`~repro.experiments.supervisor.default_task_budget`
+  applied to the circuit's exact path count).  A blown deadline answers
+  with a structured :class:`~repro.errors.TaskTimeout` error *on the
+  still-open connection*; the abandoned thread finishes in the
+  background and its session returns to the pool only afterwards, so a
+  timed-out session is never handed to two requests at once.
+* **Graceful drain** — SIGTERM/SIGINT stop the listener, let every
+  in-flight request finish and answer, then close the remaining (idle)
+  connections and exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+
+from repro import __version__
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.classify.session import CircuitSession
+from repro.errors import CircuitError, ProtocolError, ReproError, TaskTimeout
+from repro.experiments.supervisor import default_task_budget
+from repro.gen.suite import get_circuit
+from repro.service import protocol
+from repro.sorting.heuristics import pin_order_sort
+from repro.store.db import ResultStore, as_store
+from repro.store.fingerprint import canonical_form
+
+__all__ = ["AnalysisServer", "serve"]
+
+_CRITERIA = {"fs": Criterion.FS, "nr": Criterion.NR, "sigma": Criterion.SIGMA_PI}
+
+
+class SessionPool:
+    """Idle :class:`CircuitSession` objects keyed by circuit fingerprint.
+
+    Sessions are not thread-safe (they share one implication engine), so
+    a checked-out session belongs to exactly one request until it is
+    checked back in.  The pool is bounded: beyond ``max_idle`` idle
+    sessions the oldest fingerprint's surplus is dropped (its state is
+    only a cache — with a store behind it nothing is lost).
+    """
+
+    def __init__(self, store: "ResultStore | None", max_idle: int = 16):
+        self._store = store
+        self._max_idle = max_idle
+        self._idle: "dict[str, list[CircuitSession]]" = {}
+        self._lock = Lock()
+
+    def checkout(self, circuit: Circuit) -> CircuitSession:
+        canon = canonical_form(circuit)
+        with self._lock:
+            idle = self._idle.get(canon.fingerprint)
+            if idle:
+                session = idle.pop()
+                if not idle:
+                    del self._idle[canon.fingerprint]
+                return session
+        return CircuitSession(circuit, store=self._store, _canon=canon)
+
+    def checkin(self, session: CircuitSession) -> None:
+        with self._lock:
+            if sum(len(v) for v in self._idle.values()) >= self._max_idle:
+                # drop the least-recently-stocked fingerprint's sessions
+                oldest = next(iter(self._idle), None)
+                if oldest is not None:
+                    del self._idle[oldest]
+            self._idle.setdefault(session.fingerprint, []).append(session)
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._idle.values())
+
+
+@dataclass
+class _Counters:
+    """Lifetime counters, reported by the ``stats`` op."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    started: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "uptime": round(time.time() - self.started, 3),
+        }
+
+
+class _Connection:
+    """Per-connection state the drain logic inspects."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+
+
+def _build_circuit(message: dict) -> Circuit:
+    bench = message.get("bench")
+    name = message.get("circuit")
+    if (bench is None) == (name is None):
+        raise ProtocolError(
+            "classify needs exactly one of 'bench' (netlist text) or "
+            "'circuit' (suite generator name)"
+        )
+    if bench is not None:
+        if not isinstance(bench, str):
+            raise ProtocolError("'bench' must be .bench source text")
+        return parse_bench(bench, name=str(message.get("name", "remote")))
+    if not isinstance(name, str):
+        raise ProtocolError("'circuit' must be a suite generator name")
+    try:
+        return get_circuit(name)
+    except KeyError as exc:
+        # suite lookup errors become CircuitError so remote callers can
+        # dispatch on the same type as for a malformed netlist
+        raise CircuitError(str(exc.args[0])) from exc
+
+
+def _resolve_sort(session: CircuitSession, kind: str):
+    if kind == "pin":
+        return pin_order_sort(session.circuit)
+    if kind == "heu1":
+        return session.heuristic1_sort()
+    if kind == "heu2":
+        return session.heuristic2_sort()
+    if kind == "heu2inv":
+        return session.heuristic2_sort().inverted()
+    raise ProtocolError(
+        f"unknown sort {kind!r}; valid: pin, heu1, heu2, heu2inv"
+    )
+
+
+class AnalysisServer:
+    """The daemon behind ``repro-rd serve`` (and the service tests).
+
+    Lifecycle: :meth:`start` binds the socket, :meth:`run` serves until
+    :meth:`request_shutdown` (wired to SIGTERM/SIGINT by :func:`serve`)
+    and then drains, :meth:`close` releases everything.
+    """
+
+    def __init__(
+        self,
+        store: "ResultStore | str | None" = None,
+        concurrency: int = 8,
+        default_deadline: "float | None" = None,
+        max_accepted: "int | None" = None,
+        drain_timeout: float = 30.0,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.store = as_store(store)
+        self.concurrency = concurrency
+        self.default_deadline = default_deadline
+        self.max_accepted = max_accepted
+        self.drain_timeout = drain_timeout
+        self.counters = _Counters()
+        self.sessions = SessionPool(self.store, max_idle=2 * concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=concurrency, thread_name_prefix="repro-classify"
+        )
+        self._admission = asyncio.Semaphore(concurrency)
+        self._server: "asyncio.base_events.Server | None" = None
+        self._connections: "set[_Connection]" = set()
+        self._tasks: "set[asyncio.Task]" = set()
+        self._shutdown = asyncio.Event()
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(
+        self,
+        host: "str | None" = None,
+        port: "int | None" = None,
+        socket_path: "str | None" = None,
+    ) -> str:
+        """Bind and listen; returns a printable address (the actual port
+        when ``port=0`` was requested)."""
+        if (socket_path is None) == (port is None):
+            raise ValueError("need exactly one of port= or socket_path=")
+        if socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=socket_path, limit=protocol.MAX_LINE
+            )
+            return socket_path
+        self._server = await asyncio.start_server(
+            self._on_connect, host or "127.0.0.1", port,
+            limit=protocol.MAX_LINE,
+        )
+        bound = self._server.sockets[0].getsockname()
+        return f"{bound[0]}:{bound[1]}"
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, signal-handler safe)."""
+        self._shutdown.set()
+
+    async def run(self) -> None:
+        """Serve until :meth:`request_shutdown`, then drain and return."""
+        assert self._server is not None, "call start() first"
+        await self._shutdown.wait()
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        # wake idle connections (blocked reading the next request); busy
+        # ones finish their in-flight request, answer, then exit
+        for conn in list(self._connections):
+            if not conn.busy:
+                conn.writer.close()
+        pending = list(self._tasks)
+        if pending:
+            await asyncio.wait(pending, timeout=self.drain_timeout)
+        for task in list(self._tasks):
+            task.cancel()
+        self.close()
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        self._executor.shutdown(wait=False)
+        if self.store is not None:
+            self.store.close()
+
+    # -- connection handling --------------------------------------------
+    def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        task = asyncio.ensure_future(self._client_loop(reader, conn))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _client_loop(
+        self, reader: asyncio.StreamReader, conn: _Connection
+    ) -> None:
+        writer = conn.writer
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # over-long line (framing is unrecoverable) or reset
+                    await self._send(
+                        writer,
+                        protocol.error_response(
+                            None, ProtocolError("line too long")
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                conn.busy = True
+                try:
+                    await self._serve_request(line, writer)
+                finally:
+                    conn.busy = False
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(protocol.encode_line(message))
+        await writer.drain()
+
+    async def _serve_request(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one request; every failure is a structured error
+        response on the same connection, never a disconnect."""
+        self.counters.requests += 1
+        request_id = None
+        try:
+            message = protocol.decode_line(line)
+            request_id = message.get("id")
+            op = protocol.validate_request(message)
+            if op == "ping":
+                result = {"server": "repro-rd", "version": __version__}
+            elif op == "stats":
+                result = await self._op_stats()
+            else:
+                result = await self._op_classify(message, writer)
+            await self._send(writer, protocol.ok_response(request_id, result))
+            self.counters.ok += 1
+        except TaskTimeout as exc:
+            self.counters.timeouts += 1
+            await self._send(writer, protocol.error_response(request_id, exc))
+        except ReproError as exc:
+            self.counters.errors += 1
+            await self._send(writer, protocol.error_response(request_id, exc))
+        except Exception as exc:  # defensive: never kill the connection
+            self.counters.errors += 1
+            await self._send(writer, protocol.error_response(request_id, exc))
+
+    # -- ops ------------------------------------------------------------
+    async def _op_stats(self) -> dict:
+        loop = asyncio.get_event_loop()
+        result = {
+            "counters": self.counters.to_dict(),
+            "concurrency": self.concurrency,
+            "idle_sessions": self.sessions.idle_count(),
+            "store": None,
+        }
+        if self.store is not None:
+            stats = await loop.run_in_executor(self._executor, self.store.stats)
+            result["store"] = {
+                "path": stats.path,
+                "entries": stats.entries,
+                "by_kind": stats.by_kind,
+                "total_hits": stats.total_hits,
+                "size_bytes": stats.size_bytes,
+            }
+        return result
+
+    async def _op_classify(
+        self, message: dict, writer: asyncio.StreamWriter
+    ) -> dict:
+        criterion_name = message.get("criterion", "sigma")
+        if criterion_name not in _CRITERIA:
+            raise ProtocolError(
+                f"unknown criterion {criterion_name!r}; valid: "
+                f"{', '.join(sorted(_CRITERIA))}"
+            )
+        criterion = _CRITERIA[criterion_name]
+        sort_kind = message.get("sort", "heu2")
+        max_accepted = message.get("max_accepted", self.max_accepted)
+        if max_accepted is not None and not isinstance(max_accepted, int):
+            raise ProtocolError("'max_accepted' must be an integer")
+        deadline = message.get("deadline", self.default_deadline)
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ProtocolError("'deadline' must be a number of seconds")
+
+        loop = asyncio.get_event_loop()
+        async with self._admission:
+            # cheap linear prep (parse + counts) sized the budget;
+            # the classification itself runs under wait_for below
+            circuit, session, total = await loop.run_in_executor(
+                self._executor, self._prepare, message
+            )
+            if deadline is None:
+                deadline = default_task_budget(total)
+            await self._send(
+                writer,
+                protocol.event(
+                    message.get("id"), "start",
+                    name=circuit.name,
+                    fingerprint=session.fingerprint,
+                    total_logical=total,
+                    deadline=round(float(deadline), 3),
+                ),
+            )
+            started = time.monotonic()
+            work = loop.run_in_executor(
+                self._executor,
+                self._classify, session, criterion, sort_kind, max_accepted,
+            )
+            try:
+                result = await asyncio.wait_for(work, timeout=float(deadline))
+            except asyncio.TimeoutError:
+                # the worker thread cannot be interrupted; it finishes in
+                # the background and only then returns its session to the
+                # pool (see _classify), so no session is ever shared
+                raise TaskTimeout(circuit.name, float(deadline)) from None
+            # the deadline is a hard contract: a worker that blows the
+            # budget but completes before the event loop fires the
+            # wait_for timer (the GIL can starve the loop for a whole
+            # switch interval on sub-ms circuits) still answers TaskTimeout
+            if time.monotonic() - started > float(deadline):
+                raise TaskTimeout(circuit.name, float(deadline))
+            return result
+
+    def _prepare(self, message: dict) -> "tuple[Circuit, CircuitSession, int]":
+        circuit = _build_circuit(message)
+        session = self.sessions.checkout(circuit)
+        try:
+            total = session.counts.total_logical
+        except BaseException:
+            self.sessions.checkin(session)
+            raise
+        return circuit, session, total
+
+    def _classify(
+        self,
+        session: CircuitSession,
+        criterion: Criterion,
+        sort_kind: str,
+        max_accepted: "int | None",
+    ) -> dict:
+        try:
+            sort = None
+            if criterion is Criterion.SIGMA_PI:
+                sort = _resolve_sort(session, sort_kind)
+            result = session.classify(
+                criterion, sort=sort, max_accepted=max_accepted
+            )
+            return {
+                "name": session.circuit.name,
+                "fingerprint": session.fingerprint,
+                "criterion": criterion.name,
+                "sort": sort_kind if sort is not None else None,
+                "total_logical": result.total_logical,
+                "accepted": result.accepted,
+                "rd_count": result.rd_count,
+                "rd_percent": round(result.rd_percent, 6),
+                "elapsed": round(result.elapsed, 6),
+                "edges_visited": result.edges_visited,
+                "session": session.stats.to_dict(),
+            }
+        finally:
+            self.sessions.checkin(session)
+
+
+async def serve(
+    host: "str | None" = None,
+    port: "int | None" = None,
+    socket_path: "str | None" = None,
+    store: "str | None" = None,
+    concurrency: int = 8,
+    default_deadline: "float | None" = None,
+    max_accepted: "int | None" = None,
+    ready: "Callable[[str], None] | None" = None,
+) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code."""
+    server = AnalysisServer(
+        store=store,
+        concurrency=concurrency,
+        default_deadline=default_deadline,
+        max_accepted=max_accepted,
+    )
+    address = await server.start(host=host, port=port, socket_path=socket_path)
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            signal.signal(signum, lambda *_: server.request_shutdown())
+    if ready is not None:
+        ready(address)
+    await server.run()
+    return 0

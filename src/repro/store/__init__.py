@@ -1,0 +1,37 @@
+"""Persistent, content-addressed result store (see :mod:`repro.store.db`).
+
+Within one process, :class:`~repro.classify.session.CircuitSession`
+caches make repeated passes over a circuit cheap; this package makes
+them cheap *across* processes and machines: classification results,
+exact path counts and heuristic sort analyses are keyed by a canonical
+circuit fingerprint (:mod:`repro.store.fingerprint`) in one SQLite file
+that the process-pool harness, the CLI and the analysis service all
+share.
+
+Usage::
+
+    from repro import CircuitSession, ResultStore
+
+    store = ResultStore("results.sqlite")
+    session = CircuitSession(circuit, store=store)
+    session.classify(Criterion.FS)      # cold: computed, written back
+    CircuitSession(circuit, store=store).classify(Criterion.FS)  # warm: O(1)
+"""
+
+from repro.store.db import ResultStore, StoreStats, as_store
+from repro.store.fingerprint import (
+    SCHEMA_VERSION,
+    CanonicalForm,
+    canonical_form,
+    fingerprint,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CanonicalForm",
+    "ResultStore",
+    "StoreStats",
+    "as_store",
+    "canonical_form",
+    "fingerprint",
+]

@@ -1,0 +1,276 @@
+"""The SQLite-backed, content-addressed result store.
+
+One :class:`ResultStore` is a single-file database mapping
+``(fingerprint, kind, variant)`` to a JSON payload:
+
+===========  =============================================  ============
+kind         variant                                        payload
+===========  =============================================  ============
+``counts``   ``""``                                         ``up``/``down`` DP arrays, canonical gate order
+``classify`` ``<CRITERION>|<sort key>``                     accepted/total/edges + optional per-lead counts
+``sort``     ``heu1`` / ``heu2``                            rank array, canonical lead order
+===========  =============================================  ============
+
+Every row is stamped with :data:`~repro.store.fingerprint.SCHEMA_VERSION`;
+reads only ever see rows of the *current* schema, so a payload-format or
+fingerprint-algorithm change can never serve stale data — old rows just
+stop being visible until ``gc`` reclaims them.
+
+Concurrency: the database runs in WAL mode with a busy timeout, so the
+``jobs=N`` process pool of the experiment harness and the threads of the
+analysis service can all read and write one store file concurrently.
+Connections are opened lazily *per process* (the store object pickles as
+its path, and a fork is detected by PID), every statement is retried on
+``database is locked``/``busy``, and a corrupted or undecodable payload
+is deleted and reported as a miss — a store can make a run faster, never
+wrong, and never dead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.fingerprint import SCHEMA_VERSION
+
+__all__ = ["ResultStore", "StoreStats"]
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS entries (
+    fingerprint TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    variant     TEXT NOT NULL,
+    schema      INTEGER NOT NULL,
+    payload     TEXT NOT NULL,
+    created     REAL NOT NULL,
+    last_used   REAL NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (fingerprint, kind, variant, schema)
+)
+"""
+
+#: bounded retry for statements that hit a held write lock even after
+#: SQLite's own busy timeout
+_LOCK_RETRIES = 8
+_LOCK_SLEEP = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A snapshot of one store file, for ``repro-rd cache stats``."""
+
+    path: str
+    entries: int
+    by_kind: "dict[str, int]"
+    stale_entries: int  #: rows of other schema versions (gc reclaims)
+    total_hits: int
+    size_bytes: int
+
+    def render(self) -> str:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
+        )
+        return "\n".join(
+            [
+                f"store:   {self.path}",
+                f"entries: {self.entries} ({kinds or 'empty'})",
+                f"stale:   {self.stale_entries} (other schema versions)",
+                f"hits:    {self.total_hits}",
+                f"size:    {self.size_bytes:,} bytes",
+                f"schema:  {SCHEMA_VERSION}",
+            ]
+        )
+
+
+class ResultStore:
+    """A content-addressed cache of analysis results in one SQLite file.
+
+    ``path`` may be ``":memory:"`` for tests — such a store is private
+    to the process that opened it (workers forked by the harness see an
+    empty database).
+    """
+
+    def __init__(self, path: "str | Path", busy_timeout: float = 10.0):
+        self.path = str(path)
+        self.busy_timeout = busy_timeout
+        self._local_conn: "sqlite3.Connection | None" = None
+        self._pid = -1
+        self._lock = threading.Lock()
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            conn = sqlite3.connect(
+                self.path,
+                timeout=self.busy_timeout,
+                check_same_thread=False,
+                isolation_level=None,  # autocommit: every statement durable
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SCHEMA_SQL)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open result store {self.path!r}: {exc}")
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        # reopen after fork: SQLite connections must not cross processes
+        if self._local_conn is None or self._pid != os.getpid():
+            self._local_conn = self._connect()
+            self._pid = os.getpid()
+        return self._local_conn
+
+    def close(self) -> None:
+        if self._local_conn is not None and self._pid == os.getpid():
+            self._local_conn.close()
+        self._local_conn = None
+        self._pid = -1
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __reduce__(self):
+        # pickles as its path: each pool worker opens its own connection
+        return (type(self), (self.path, self.busy_timeout))
+
+    def _execute(self, sql: str, params: tuple = ()):
+        """One statement with bounded retry on a held write lock."""
+        with self._lock:
+            for attempt in range(_LOCK_RETRIES):
+                try:
+                    return self._conn.execute(sql, params)
+                except sqlite3.OperationalError as exc:
+                    if not _is_locked(exc) or attempt == _LOCK_RETRIES - 1:
+                        raise StoreError(
+                            f"result store {self.path!r}: {exc}"
+                        ) from exc
+                    time.sleep(_LOCK_SLEEP * (attempt + 1))
+                except sqlite3.DatabaseError as exc:
+                    raise StoreError(
+                        f"result store {self.path!r}: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    # -- the content-addressed API -------------------------------------
+    def get(self, fingerprint: str, kind: str, variant: str = "") -> "dict | None":
+        """The payload stored under this key at the current schema
+        version, or ``None``.  An undecodable payload is deleted and
+        reported as a miss (never served, never fatal)."""
+        row = self._execute(
+            "SELECT payload FROM entries WHERE fingerprint=? AND kind=? "
+            "AND variant=? AND schema=?",
+            (fingerprint, kind, variant, SCHEMA_VERSION),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except (ValueError, TypeError):
+            self.delete(fingerprint, kind, variant)
+            return None
+        self._execute(
+            "UPDATE entries SET hits=hits+1, last_used=? WHERE fingerprint=? "
+            "AND kind=? AND variant=? AND schema=?",
+            (time.time(), fingerprint, kind, variant, SCHEMA_VERSION),
+        )
+        return payload
+
+    def put(self, fingerprint: str, kind: str, variant: str, payload: dict) -> None:
+        """Insert or replace one entry (stamped with the current schema)."""
+        now = time.time()
+        self._execute(
+            "INSERT OR REPLACE INTO entries "
+            "(fingerprint, kind, variant, schema, payload, created, "
+            "last_used, hits) VALUES (?, ?, ?, ?, ?, ?, ?, 0)",
+            (
+                fingerprint,
+                kind,
+                variant,
+                SCHEMA_VERSION,
+                json.dumps(payload, sort_keys=True, separators=(",", ":")),
+                now,
+                now,
+            ),
+        )
+
+    def delete(self, fingerprint: str, kind: str, variant: str = "") -> None:
+        self._execute(
+            "DELETE FROM entries WHERE fingerprint=? AND kind=? AND variant=?",
+            (fingerprint, kind, variant),
+        )
+
+    # -- maintenance (the ``repro-rd cache`` subcommand) ----------------
+    def stats(self) -> StoreStats:
+        by_kind: "dict[str, int]" = {}
+        for kind, count in self._execute(
+            "SELECT kind, COUNT(*) FROM entries WHERE schema=? GROUP BY kind",
+            (SCHEMA_VERSION,),
+        ).fetchall():
+            by_kind[kind] = count
+        stale = self._execute(
+            "SELECT COUNT(*) FROM entries WHERE schema != ?", (SCHEMA_VERSION,)
+        ).fetchone()[0]
+        hits = self._execute(
+            "SELECT COALESCE(SUM(hits), 0) FROM entries WHERE schema=?",
+            (SCHEMA_VERSION,),
+        ).fetchone()[0]
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return StoreStats(
+            path=self.path,
+            entries=sum(by_kind.values()),
+            by_kind=by_kind,
+            stale_entries=stale,
+            total_hits=hits,
+            size_bytes=size,
+        )
+
+    def gc(self, max_age_days: "float | None" = None) -> int:
+        """Reclaim stale rows: every other-schema entry, plus (when
+        ``max_age_days`` is given) entries not used for that long.
+        Returns the number of rows removed."""
+        removed = self._execute(
+            "DELETE FROM entries WHERE schema != ?", (SCHEMA_VERSION,)
+        ).rowcount
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            removed += self._execute(
+                "DELETE FROM entries WHERE last_used < ?", (cutoff,)
+            ).rowcount
+        self._execute("VACUUM")
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry (all schema versions).  Returns the count."""
+        removed = self._execute("DELETE FROM entries").rowcount
+        self._execute("VACUUM")
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r})"
+
+
+def as_store(store: "ResultStore | str | Path | None") -> "ResultStore | None":
+    """Normalize a ``store=`` argument (path or instance or None)."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

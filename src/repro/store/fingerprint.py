@@ -1,0 +1,196 @@
+"""Canonical content-addressed fingerprints for frozen circuits.
+
+The persistent result store (:mod:`repro.store.db`) keys every cached
+artifact by a *fingerprint* of the circuit it was computed on.  Two
+requirements shape the design:
+
+* **Declaration-order insensitivity.**  The same netlist read from a
+  permuted ``.bench`` file (gates listed in any topological order, any
+  gate names) must produce the same fingerprint, or re-runs would never
+  hit the cache.  Gate *names* carry no structure, so they are ignored.
+* **Pin-order sensitivity.**  The order of a gate's fanin pins is the
+  circuit's default input sort (it decides ``σ^π`` for ``sort=None``
+  classification and numbers the leads every per-lead artifact is
+  indexed by), so ``AND(a, b)`` and ``AND(b, a)`` fingerprint
+  differently.
+
+The construction is a canonical form, not just a hash:
+
+1. Two rounds of Weisfeiler-Leman-style refinement give every gate a
+   structural label combining its transitive-fanin shape (pin order
+   preserved) and its transitive-fanout shape (order-insensitive).
+2. A canonical topological numbering repeatedly emits the ready gate
+   with the smallest ``(label, canonical fanin numbers)`` key.  Ties
+   after that key are WL-equivalent gates in symmetric positions, where
+   either order encodes the same structure.
+3. The fingerprint hashes, in canonical order, each gate's type and its
+   fanin gates' canonical numbers in pin order — an encoding from which
+   the circuit could be rebuilt up to gate names, so two circuits
+   fingerprint equal only if they are structurally identical (modulo
+   SHA-256 collisions).
+
+The canonical numbering also yields a canonical *lead* order, used to
+re-index per-lead payloads (input-sort ranks, per-lead path counts) so
+they can be stored once and mapped onto any permutation of the netlist.
+
+``SCHEMA_VERSION`` tags both the fingerprint prefix and every store
+entry; bumping it after any change to this algorithm or to a payload
+format makes every stale entry invisible (never served, reclaimed by
+``gc``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CanonicalForm",
+    "canonical_form",
+    "fingerprint",
+]
+
+#: Version of the fingerprint algorithm *and* of every store payload
+#: format.  Bump on any incompatible change; old entries become
+#: invisible rather than wrong.
+SCHEMA_VERSION = 1
+
+_PREFIX = f"rdfp{SCHEMA_VERSION}"
+
+
+def _h(*parts: bytes) -> bytes:
+    """Collision-resistant combiner: length-prefixed SHA-256."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(len(part).to_bytes(4, "big"))
+        digest.update(part)
+    return digest.digest()
+
+
+def _refine(circuit: Circuit, label: "list[bytes]") -> "list[bytes]":
+    """One WL refinement round: combine each gate's label with its
+    transitive-fanin shape (pin order significant) and transitive-fanout
+    shape (order-insensitive)."""
+    n = circuit.num_gates
+    up = [b""] * n
+    for gid in circuit.topo_order:
+        up[gid] = _h(label[gid], *(up[src] for src in circuit.fanin(gid)))
+    down = [b""] * n
+    for gid in reversed(circuit.topo_order):
+        branches = sorted(
+            _h(pin.to_bytes(4, "big"), down[dst])
+            for dst, pin in circuit.fanout(gid)
+        )
+        down[gid] = _h(label[gid], *branches)
+    return [_h(u, d) for u, d in zip(up, down)]
+
+
+def _gate_labels(circuit: Circuit) -> "list[bytes]":
+    labels = [
+        circuit.gate_type(gid).name.encode()
+        for gid in range(circuit.num_gates)
+    ]
+    labels = _refine(circuit, labels)
+    # A second round separates DAG-sharing patterns the first cannot
+    # (e.g. one shared subtree vs two structurally equal copies).
+    return _refine(circuit, labels)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The declaration-order-independent view of one frozen circuit.
+
+    ``gate_order[i]`` / ``lead_order[i]`` are the *original* gate/lead
+    ids sitting at canonical position ``i``; per-gate and per-lead
+    arrays are stored in canonical order and mapped back through them.
+    """
+
+    fingerprint: str
+    gate_order: "tuple[int, ...]"
+    lead_order: "tuple[int, ...]"
+
+    def pack_leads(self, values: Sequence) -> list:
+        """Re-index a per-lead array (original order) canonically."""
+        return [values[lead] for lead in self.lead_order]
+
+    def unpack_leads(self, values: Sequence) -> list:
+        """Inverse of :meth:`pack_leads`."""
+        out = [None] * len(self.lead_order)
+        for position, lead in enumerate(self.lead_order):
+            out[lead] = values[position]
+        return out
+
+    def pack_gates(self, values: Sequence) -> list:
+        """Re-index a per-gate array (original order) canonically."""
+        return [values[gid] for gid in self.gate_order]
+
+    def unpack_gates(self, values: Sequence) -> list:
+        """Inverse of :meth:`pack_gates`."""
+        out = [None] * len(self.gate_order)
+        for position, gid in enumerate(self.gate_order):
+            out[gid] = values[position]
+        return out
+
+    def sort_key(self, ranks: Sequence[int]) -> str:
+        """Content hash of an input sort's rank array, canonical lead
+        order — equal for the "same" sort on any permutation of the
+        netlist."""
+        blob = b",".join(b"%d" % ranks[lead] for lead in self.lead_order)
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+
+def _canonical_gate_order(circuit: Circuit, labels: "list[bytes]") -> "list[int]":
+    """Canonical topological numbering (see module docstring)."""
+    n = circuit.num_gates
+    remaining = [len(circuit.fanin(gid)) for gid in range(n)]
+    number = [-1] * n
+    ready: list = []
+    for gid in range(n):
+        if remaining[gid] == 0:
+            heapq.heappush(ready, (labels[gid], (), gid))
+    order: "list[int]" = []
+    while ready:
+        _label, _fanin_key, gid = heapq.heappop(ready)
+        number[gid] = len(order)
+        order.append(gid)
+        for dst, _pin in circuit.fanout(gid):
+            remaining[dst] -= 1
+            if remaining[dst] == 0:
+                fanin_key = tuple(number[src] for src in circuit.fanin(dst))
+                heapq.heappush(ready, (labels[dst], fanin_key, dst))
+    return order
+
+
+def canonical_form(circuit: Circuit) -> CanonicalForm:
+    """Compute the full canonical form of a frozen circuit (O(E log V))."""
+    circuit._require_frozen()  # noqa: SLF001 - deliberate check
+    labels = _gate_labels(circuit)
+    gate_order = _canonical_gate_order(circuit, labels)
+    number = [0] * circuit.num_gates
+    for position, gid in enumerate(gate_order):
+        number[gid] = position
+    digest = hashlib.sha256()
+    digest.update(b"%d" % circuit.num_gates)
+    for gid in gate_order:
+        digest.update(b"|")
+        digest.update(circuit.gate_type(gid).name.encode())
+        for src in circuit.fanin(gid):
+            digest.update(b",%d" % number[src])
+    lead_order = [
+        lead for gid in gate_order for lead in circuit.input_leads(gid)
+    ]
+    return CanonicalForm(
+        fingerprint=f"{_PREFIX}:{digest.hexdigest()}",
+        gate_order=tuple(gate_order),
+        lead_order=tuple(lead_order),
+    )
+
+
+def fingerprint(circuit: Circuit) -> str:
+    """The content-addressed fingerprint of a frozen circuit."""
+    return canonical_form(circuit).fingerprint

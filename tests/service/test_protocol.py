@@ -1,0 +1,74 @@
+"""The JSON-lines wire protocol: framing, validation, message shapes."""
+
+import pytest
+
+from repro.errors import ProtocolError, TaskTimeout
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"id": 3, "op": "classify", "circuit": "c17"}
+        line = protocol.encode_line(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode_line(line) == message
+
+    def test_newlines_in_strings_stay_escaped(self):
+        bench = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+        line = protocol.encode_line({"op": "classify", "bench": bench})
+        assert line.count(b"\n") == 1
+        assert protocol.decode_line(line)["bench"] == bench
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"{nope\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_invalid_utf8_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"\xff\xfe\n")
+
+    def test_oversized_line_raises(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"x" * (protocol.MAX_LINE + 1))
+
+
+class TestValidation:
+    def test_valid_ops(self):
+        for op in ("classify", "ping", "stats"):
+            assert protocol.validate_request({"op": op}) == op
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.validate_request({"circuit": "c17"})
+
+    def test_non_string_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.validate_request({"op": 7})
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.validate_request({"op": "frobnicate"})
+
+
+class TestShapes:
+    def test_ok_response(self):
+        assert protocol.ok_response(4, {"x": 1}) == {
+            "id": 4,
+            "ok": True,
+            "result": {"x": 1},
+        }
+
+    def test_error_response_carries_type_name(self):
+        message = protocol.error_response(9, TaskTimeout("c17", 5.0))
+        assert message["ok"] is False
+        assert message["error"]["type"] == "TaskTimeout"
+        assert "5" in message["error"]["message"]
+
+    def test_event(self):
+        message = protocol.event(2, "start", name="c17")
+        assert message == {"id": 2, "event": "start", "name": "c17"}

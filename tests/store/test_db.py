@@ -1,0 +1,138 @@
+"""The SQLite result store: round trips, corruption handling, schema
+versioning, maintenance, pickling across process boundaries."""
+
+import json
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.store.db import ResultStore, as_store
+from repro.store.fingerprint import SCHEMA_VERSION
+
+FP = "rdfp1:" + "ab" * 32
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "s.sqlite") as s:
+        yield s
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        store.put(FP, "counts", "", {"up": [1, 2], "down": [2, 1]})
+        assert store.get(FP, "counts") == {"up": [1, 2], "down": [2, 1]}
+
+    def test_missing_is_none(self, store):
+        assert store.get(FP, "counts") is None
+        assert store.get(FP, "classify", "FS|none") is None
+
+    def test_variants_are_distinct(self, store):
+        store.put(FP, "classify", "FS|none", {"accepted": 1})
+        store.put(FP, "classify", "NR|none", {"accepted": 2})
+        assert store.get(FP, "classify", "FS|none") == {"accepted": 1}
+        assert store.get(FP, "classify", "NR|none") == {"accepted": 2}
+
+    def test_replace(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        store.put(FP, "counts", "", {"v": 2})
+        assert store.get(FP, "counts") == {"v": 2}
+
+    def test_hits_counted(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        store.get(FP, "counts")
+        store.get(FP, "counts")
+        assert store.stats().total_hits == 2
+
+
+class TestCorruptionAndSchema:
+    def _raw_insert(self, store, payload: str, schema: int = SCHEMA_VERSION):
+        conn = sqlite3.connect(store.path)
+        conn.execute(
+            "INSERT OR REPLACE INTO entries VALUES (?,?,?,?,?,0,0,0)",
+            (FP, "counts", "", schema, payload),
+        )
+        conn.commit()
+        conn.close()
+
+    def test_undecodable_payload_is_a_miss_and_deleted(self, store):
+        store.put(FP, "counts", "", {"v": 1})  # ensure table exists
+        self._raw_insert(store, "{not json")
+        assert store.get(FP, "counts") is None
+        assert store.stats().entries == 0  # deleted, not kept
+
+    def test_non_object_payload_is_a_miss(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        self._raw_insert(store, json.dumps([1, 2, 3]))
+        assert store.get(FP, "counts") is None
+
+    def test_other_schema_version_is_invisible(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        store.clear()
+        self._raw_insert(store, json.dumps({"v": 1}), schema=SCHEMA_VERSION + 1)
+        assert store.get(FP, "counts") is None
+        stats = store.stats()
+        assert stats.entries == 0
+        assert stats.stale_entries == 1
+
+    def test_gc_reclaims_stale_schema_rows(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        self._raw_insert(store, json.dumps({"v": 1}), schema=SCHEMA_VERSION + 1)
+        # schema is part of the primary key, so both rows coexist
+        assert store.gc() == 1
+        assert store.stats().stale_entries == 0
+        assert store.get(FP, "counts") == {"v": 1}
+
+    def test_gc_max_age(self, store):
+        store.stats()  # force schema creation before the raw insert
+        self._raw_insert(store, json.dumps({"v": 1}))  # last_used=0 (1970)
+        assert store.gc(max_age_days=1) == 1
+        assert store.get(FP, "counts") is None
+
+
+class TestMaintenance:
+    def test_stats_render(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        store.put(FP, "classify", "FS|none", {"accepted": 0})
+        text = store.stats().render()
+        assert "classify=1" in text and "counts=1" in text
+        assert f"schema:  {SCHEMA_VERSION}" in text
+
+    def test_clear(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        assert store.clear() == 1
+        assert store.stats().entries == 0
+
+    def test_delete(self, store):
+        store.put(FP, "counts", "", {"v": 1})
+        store.delete(FP, "counts")
+        assert store.get(FP, "counts") is None
+
+
+class TestProcessBoundaries:
+    def test_pickles_as_path(self, store):
+        store.put(FP, "counts", "", {"v": 7})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path == store.path
+        assert clone.get(FP, "counts") == {"v": 7}
+        clone.close()
+
+    def test_two_handles_share_one_file(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        with ResultStore(path) as a, ResultStore(path) as b:
+            a.put(FP, "counts", "", {"v": 1})
+            assert b.get(FP, "counts") == {"v": 1}
+
+
+class TestAsStore:
+    def test_none(self):
+        assert as_store(None) is None
+
+    def test_instance_passthrough(self, store):
+        assert as_store(store) is store
+
+    def test_path(self, tmp_path):
+        s = as_store(tmp_path / "x.sqlite")
+        assert isinstance(s, ResultStore)
+        s.close()

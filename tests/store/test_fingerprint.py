@@ -1,0 +1,109 @@
+"""Canonical circuit fingerprints: declaration-order insensitivity,
+pin-order sensitivity, schema versioning, canonical pack/unpack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.examples import mux_circuit, paper_example_circuit
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.gen.suite import get_circuit
+from repro.store.fingerprint import (
+    SCHEMA_VERSION,
+    canonical_form,
+    fingerprint,
+)
+
+from tests.strategies import small_circuits
+
+
+def _shuffled_netlist(circuit: Circuit, seed: int) -> Circuit:
+    """The same netlist with every declaration line in a random order
+    (the .bench grammar is declaration-order free)."""
+    lines = write_bench(circuit).splitlines()
+    random.Random(seed).shuffle(lines)
+    return parse_bench("\n".join(lines), name=circuit.name)
+
+
+class TestPermutationInsensitivity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shuffled_bench_same_fingerprint(self, seed):
+        circuit = get_circuit("c17")
+        assert fingerprint(_shuffled_netlist(circuit, seed)) == fingerprint(
+            circuit
+        )
+
+    def test_renamed_gates_same_fingerprint(self):
+        """Fingerprints address content, not names."""
+        a = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        b = parse_bench("INPUT(foo)\nOUTPUT(bar)\nbar = NOT(foo)\n")
+        assert fingerprint(a) == fingerprint(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits(max_gates=10))
+    def test_property_shuffle_invariance(self, circuit):
+        assert fingerprint(_shuffled_netlist(circuit, 1234)) == fingerprint(
+            circuit
+        )
+
+
+class TestSensitivity:
+    def test_pin_order_is_significant(self):
+        """``AND(a, n)`` vs ``AND(n, a)`` with distinguishable inputs
+        must differ — input sorts are defined per pin position."""
+        a = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn = NOT(b)\ny = AND(a, n)\n"
+        )
+        b = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn = NOT(b)\ny = AND(n, a)\n"
+        )
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_gate_type_is_significant(self):
+        a = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+        b = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_different_circuits_differ(self):
+        assert fingerprint(paper_example_circuit()) != fingerprint(
+            mux_circuit()
+        )
+
+    def test_schema_tag_prefix(self):
+        assert fingerprint(mux_circuit()).startswith(f"rdfp{SCHEMA_VERSION}:")
+
+
+class TestCanonicalForm:
+    def test_lead_pack_unpack_roundtrip(self):
+        circuit = paper_example_circuit()
+        canon = canonical_form(circuit)
+        values = list(range(100, 100 + circuit.num_leads))
+        assert list(canon.unpack_leads(canon.pack_leads(values))) == values
+
+    def test_gate_pack_unpack_roundtrip(self):
+        circuit = mux_circuit()
+        canon = canonical_form(circuit)
+        values = [7 * g for g in range(circuit.num_gates)]
+        assert list(canon.unpack_gates(canon.pack_gates(values))) == values
+
+    def test_packed_leads_shared_across_permutations(self):
+        """Per-lead data packed on one declaration order and unpacked on
+        another must land on structurally corresponding leads: packing
+        the unpacked values again reproduces the canonical blob."""
+        circuit = get_circuit("c17")
+        shuffled = _shuffled_netlist(circuit, 9)
+        canon_a = canonical_form(circuit)
+        canon_b = canonical_form(shuffled)
+        packed = canon_a.pack_leads(list(range(circuit.num_leads)))
+        assert canon_b.pack_leads(list(canon_b.unpack_leads(packed))) == packed
+
+    def test_pi_only_gate_order_is_canonical(self):
+        """Even a degenerate wire-only circuit canonicalizes."""
+        circuit = Circuit("wire")
+        a = circuit.add_gate(GateType.PI, "a")
+        circuit.add_gate(GateType.PO, "y", [a])
+        frozen = circuit.freeze()
+        assert fingerprint(frozen).startswith("rdfp")

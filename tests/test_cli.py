@@ -186,3 +186,70 @@ class TestSupervisionFlags:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert "--resume" in err
+
+
+class TestVersion:
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-rd ")
+        assert out.split()[1][0].isdigit()
+
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-rd " in capsys.readouterr().out
+
+    def test_flag_and_subcommand_agree(self, capsys):
+        main(["version"])
+        sub = capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out == sub
+
+
+class TestStoreFlags:
+    def test_classify_store_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "s.sqlite")
+        assert main(["classify", "c17", "--store", store, "-v"]) == 0
+        cold = capsys.readouterr().out
+        assert "store=0/" in cold  # all misses
+        assert main(["classify", "c17", "--store", store, "-v"]) == 0
+        warm = capsys.readouterr().out
+        assert "hit (100%)" in warm
+        assert cold.splitlines()[0] == warm.splitlines()[0]  # same result
+
+    def test_cache_stats_gc_clear(self, capsys, tmp_path):
+        store = str(tmp_path / "s.sqlite")
+        main(["classify", "c17", "--store", store])
+        capsys.readouterr()
+        assert main(["cache", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "schema:" in out
+        assert main(["cache", "gc", store]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", store]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", store]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_gc_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", str(tmp_path / "absent.sqlite")])
+
+    def test_table_store_flag_parses(self):
+        for table in ("table1", "table2", "table3"):
+            args = build_parser().parse_args([table, "--store", "f.sqlite"])
+            assert args.store == "f.sqlite"
+
+    def test_serve_needs_exactly_one_endpoint(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--socket", "a.sock", "--port", "1"])
+
+    def test_classify_remote_connection_refused(self, tmp_path, capsys):
+        missing = str(tmp_path / "nothing.sock")
+        assert main(["classify", "c17", "--remote", missing]) == 1
+        assert "remote classify failed" in capsys.readouterr().err
