@@ -8,6 +8,10 @@ the substrates they need (netlists, ternary logic/implications, path
 counting, SAT/ATPG, robust/non-robust test generation, event-driven
 timing simulation, benchmark circuit generators).
 
+The public surface is defined by :mod:`repro.api` and re-exported here;
+import from either — deep module paths keep working but carry no
+compatibility promise.
+
 Quickstart::
 
     from repro import paper_example_circuit, classify, Criterion, heuristic2_sort
@@ -22,129 +26,7 @@ Quickstart::
 # while this package is still initializing
 __version__ = "1.0.0"
 
-from repro.errors import (
-    CircuitError,
-    ClassifyError,
-    HarnessError,
-    ProtocolError,
-    RemoteError,
-    ReproError,
-    ServiceError,
-    StoreError,
-    TaskCrashed,
-    TaskTimeout,
-)
-from repro.circuit import (
-    Circuit,
-    CircuitBuilder,
-    GateType,
-    paper_example_circuit,
-    parse_bench,
-    parse_bench_file,
-    parse_pla,
-    parse_pla_file,
-    write_bench,
-)
-from repro.classify import (
-    CircuitSession,
-    ClassificationResult,
-    Criterion,
-    check_logical_path,
-    classify,
-)
-from repro.paths import (
-    LogicalPath,
-    PhysicalPath,
-    count_paths,
-    enumerate_logical_paths,
-    enumerate_physical_paths,
-)
-from repro.sorting import (
-    InputSort,
-    heuristic1_sort,
-    heuristic2_sort,
-    pin_order_sort,
-    random_sort,
-)
-from repro.stabilize import (
-    CompleteStabilizingAssignment,
-    StabilizingSystem,
-    all_stabilizing_systems,
-    assignment_from_sort,
-    compute_stabilizing_system,
-)
-from repro.baseline import baseline_rd, leafdag_rd_paths
-from repro.delaytest import (
-    is_nonrobustly_testable,
-    is_robustly_testable,
-    nonrobust_test,
-    robust_test,
-)
-from repro.timing import (
-    DelayAssignment,
-    logical_path_delay,
-    random_delays,
-    settle_time,
-    unit_delays,
-)
-from repro.store import ResultStore, canonical_form, fingerprint
-from repro.service import AnalysisServer, ServiceClient
+from repro.api import *  # noqa: F401,F403 - the facade IS this package's surface
+from repro import api as _api
 
-__all__ = [
-    "ReproError",
-    "CircuitError",
-    "ClassifyError",
-    "HarnessError",
-    "TaskTimeout",
-    "TaskCrashed",
-    "StoreError",
-    "ServiceError",
-    "ProtocolError",
-    "RemoteError",
-    "Circuit",
-    "CircuitBuilder",
-    "GateType",
-    "paper_example_circuit",
-    "parse_bench",
-    "parse_bench_file",
-    "parse_pla",
-    "parse_pla_file",
-    "write_bench",
-    "CircuitSession",
-    "ClassificationResult",
-    "Criterion",
-    "check_logical_path",
-    "classify",
-    "LogicalPath",
-    "PhysicalPath",
-    "count_paths",
-    "enumerate_logical_paths",
-    "enumerate_physical_paths",
-    "InputSort",
-    "heuristic1_sort",
-    "heuristic2_sort",
-    "pin_order_sort",
-    "random_sort",
-    "CompleteStabilizingAssignment",
-    "StabilizingSystem",
-    "all_stabilizing_systems",
-    "assignment_from_sort",
-    "compute_stabilizing_system",
-    "baseline_rd",
-    "leafdag_rd_paths",
-    "is_nonrobustly_testable",
-    "is_robustly_testable",
-    "nonrobust_test",
-    "robust_test",
-    "DelayAssignment",
-    "logical_path_delay",
-    "random_delays",
-    "settle_time",
-    "unit_delays",
-    "ResultStore",
-    "canonical_form",
-    "fingerprint",
-    "AnalysisServer",
-    "ServiceClient",
-    "__version__",
-]
+__all__ = ["__version__"] + list(_api.__all__)

@@ -1,0 +1,181 @@
+"""``repro.api`` — the stable public facade.
+
+Everything a downstream user should import lives here, re-exported
+under one explicit ``__all__``; ``import repro`` re-exports the same
+names.  Deep imports (``repro.classify.session`` etc.) keep working,
+but only the names below are covered by the compatibility promise —
+the API-surface snapshot test pins this list, so widening it is a
+reviewed decision and narrowing it is a breaking change.
+
+Quickstart::
+
+    from repro.api import Criterion, classify, heuristic2_sort, paper_example_circuit
+
+    circuit = paper_example_circuit()
+    result = classify(circuit, Criterion.SIGMA_PI, sort=heuristic2_sort(circuit))
+    print(f"{result.rd_percent:.1f}% of logical paths need no robust test")
+
+Observability entry points (:func:`get_registry`, :func:`span`,
+:func:`export_jsonl`, ...) are part of the facade: library users
+instrument and read the same telemetry spine the CLI and the daemon
+use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    CircuitError,
+    ClassifyError,
+    HarnessError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    ServiceError,
+    StoreError,
+    TaskCrashed,
+    TaskTimeout,
+)
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    paper_example_circuit,
+    parse_bench,
+    parse_bench_file,
+    parse_pla,
+    parse_pla_file,
+    write_bench,
+)
+from repro.classify import (
+    CircuitSession,
+    ClassificationResult,
+    Criterion,
+    check_logical_path,
+    classify,
+)
+from repro.obs import (
+    MetricsRegistry,
+    export_jsonl,
+    format_metrics,
+    get_registry,
+    reset_registry,
+    span,
+)
+from repro.paths import (
+    LogicalPath,
+    PhysicalPath,
+    count_paths,
+    enumerate_logical_paths,
+    enumerate_physical_paths,
+)
+from repro.sorting import (
+    InputSort,
+    heuristic1_sort,
+    heuristic2_sort,
+    pin_order_sort,
+    random_sort,
+)
+from repro.stabilize import (
+    CompleteStabilizingAssignment,
+    StabilizingSystem,
+    all_stabilizing_systems,
+    assignment_from_sort,
+    compute_stabilizing_system,
+)
+from repro.baseline import baseline_rd, leafdag_rd_paths
+from repro.delaytest import (
+    is_nonrobustly_testable,
+    is_robustly_testable,
+    nonrobust_test,
+    robust_test,
+)
+from repro.timing import (
+    DelayAssignment,
+    logical_path_delay,
+    random_delays,
+    settle_time,
+    unit_delays,
+)
+from repro.store import ResultStore, canonical_form, fingerprint
+from repro.service import AnalysisServer, ServiceClient
+from repro.util.serialize import classification_payload, info_payload, to_json
+
+__all__ = [
+    # errors
+    "ReproError",
+    "CircuitError",
+    "ClassifyError",
+    "HarnessError",
+    "TaskTimeout",
+    "TaskCrashed",
+    "StoreError",
+    "ServiceError",
+    "ProtocolError",
+    "RemoteError",
+    # circuits
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "paper_example_circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "parse_pla",
+    "parse_pla_file",
+    "write_bench",
+    # classification
+    "CircuitSession",
+    "ClassificationResult",
+    "Criterion",
+    "check_logical_path",
+    "classify",
+    # observability
+    "MetricsRegistry",
+    "export_jsonl",
+    "format_metrics",
+    "get_registry",
+    "reset_registry",
+    "span",
+    # paths
+    "LogicalPath",
+    "PhysicalPath",
+    "count_paths",
+    "enumerate_logical_paths",
+    "enumerate_physical_paths",
+    # input sorts
+    "InputSort",
+    "heuristic1_sort",
+    "heuristic2_sort",
+    "pin_order_sort",
+    "random_sort",
+    # stabilizing systems
+    "CompleteStabilizingAssignment",
+    "StabilizingSystem",
+    "all_stabilizing_systems",
+    "assignment_from_sort",
+    "compute_stabilizing_system",
+    # baseline
+    "baseline_rd",
+    "leafdag_rd_paths",
+    # delay-test generation
+    "is_nonrobustly_testable",
+    "is_robustly_testable",
+    "nonrobust_test",
+    "robust_test",
+    # timing
+    "DelayAssignment",
+    "logical_path_delay",
+    "random_delays",
+    "settle_time",
+    "unit_delays",
+    # result store
+    "ResultStore",
+    "canonical_form",
+    "fingerprint",
+    # analysis service
+    "AnalysisServer",
+    "ServiceClient",
+    # serialization
+    "classification_payload",
+    "info_payload",
+    "to_json",
+]

@@ -49,6 +49,7 @@ from repro.classify.engine import _run, _Tables
 from repro.classify.results import ClassificationResult
 from repro.errors import ClassifyError
 from repro.logic.implication import ImplicationEngine
+from repro.obs import get_registry, span
 from repro.paths.count import PathCounts, count_paths
 
 if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
@@ -61,7 +62,14 @@ if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
 
 @dataclass
 class SessionStats:
-    """Cache observability for one :class:`CircuitSession`."""
+    """Cache observability for one :class:`CircuitSession`.
+
+    Stats are a per-session *view* over the process-wide telemetry
+    spine: every increment goes through :meth:`bump`, which also feeds
+    the matching ``session.<field>`` counter of the
+    :mod:`repro.obs` registry — so harness runs, the daemon and the CLI
+    all aggregate session activity without a second accounting system.
+    """
 
     count_paths_calls: int = 0
     engines_built: int = 0
@@ -71,6 +79,12 @@ class SessionStats:
     budget_aborts: int = 0
     store_hits: int = 0
     store_misses: int = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment one counter field here *and* in the process
+        metrics registry (the single write path for session stats)."""
+        setattr(self, name, getattr(self, name) + amount)
+        get_registry().counter(f"session.{name}").inc(amount)
 
     @property
     def tables_hit_rate(self) -> float:
@@ -178,9 +192,9 @@ class CircuitSession:
             except Exception:  # noqa: BLE001 - corrupt entry == miss
                 value = None
         if value is None:
-            self.stats.store_misses += 1
+            self.stats.bump("store_misses")
         else:
-            self.stats.store_hits += 1
+            self.stats.bump("store_hits")
         return value
 
     def _store_put(self, kind: str, variant: str, payload: dict) -> None:
@@ -218,8 +232,9 @@ class CircuitSession:
             if loaded is not None:
                 self._counts = loaded
             else:
-                self.stats.count_paths_calls += 1
-                self._counts = count_paths(self.circuit)
+                self.stats.bump("count_paths_calls")
+                with span("paths.count", circuit=self.circuit.name):
+                    self._counts = count_paths(self.circuit)
                 self._store_put(
                     "counts",
                     "",
@@ -234,7 +249,8 @@ class CircuitSession:
     def engine(self) -> ImplicationEngine:
         """The shared implication engine (trail empty between passes)."""
         if self._engine is None:
-            self.stats.engines_built += 1
+            self.stats.bump("engines_built")
+            get_registry().counter("engine.builds").inc()
             self._engine = ImplicationEngine(self.circuit)
         return self._engine
 
@@ -245,10 +261,10 @@ class CircuitSession:
         key = (criterion, None if sort is None else sort.ranks)
         cached = self._tables.get(key)
         if cached is None:
-            self.stats.tables_built += 1
+            self.stats.bump("tables_built")
             cached = self._tables[key] = _Tables(self.circuit, criterion, sort)
         else:
-            self.stats.tables_reused += 1
+            self.stats.bump("tables_reused")
         return cached
 
     # -- classification ------------------------------------------------
@@ -316,7 +332,7 @@ class CircuitSession:
         (the paths themselves are not cached); an aborted pass is never
         written back.
         """
-        self.stats.classify_passes += 1
+        self.stats.bump("classify_passes")
         use_store = self.store is not None and on_path is None
         variant = ""
         if use_store:
@@ -334,19 +350,27 @@ class CircuitSession:
         engine = self.engine
         engine.reset()  # defensive: a prior pass may have been aborted
         try:
-            result = _run(
-                self.circuit,
-                criterion,
-                tables,
-                engine,
-                self.counts,
-                collect_lead_counts,
-                max_accepted,
-                on_path,
-            )
+            with span(
+                "classify.pass",
+                circuit=self.circuit.name,
+                criterion=criterion.name,
+            ):
+                result = _run(
+                    self.circuit,
+                    criterion,
+                    tables,
+                    engine,
+                    self.counts,
+                    collect_lead_counts,
+                    max_accepted,
+                    on_path,
+                )
         except ClassifyError:
-            self.stats.budget_aborts += 1
+            self.stats.bump("budget_aborts")
             raise
+        registry = get_registry()
+        registry.counter("engine.edges_visited").inc(result.edges_visited)
+        registry.counter("classify.accepted").inc(result.accepted)
         if use_store:
             payload = {
                 "total_logical": result.total_logical,

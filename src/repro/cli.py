@@ -3,15 +3,26 @@
 Subcommands::
 
     repro-rd list                         # suite circuits
-    repro-rd info s499-ecc                # stats + path counts
+    repro-rd info s499-ecc --json         # stats + path counts
     repro-rd classify s1355-par --criterion sigma --sort heu2
     repro-rd classify c17 --store results.sqlite   # persistent cache
     repro-rd classify c17 --remote 127.0.0.1:7463  # via the daemon
     repro-rd baseline apex-a --method exact
-    repro-rd table1 / table2 / table3 / figures   (tables take --jobs N)
+    repro-rd compare-sorts c17 --sorts pin,heu2    # coverage per sort
+    repro-rd sweep ripple_carry --params 2,4,8     # scaling study
+    repro-rd table1 / table2 / table3 / figures
     repro-rd serve --port 7463 --store results.sqlite
+    repro-rd metrics --remote 127.0.0.1:7463       # daemon telemetry
     repro-rd cache stats results.sqlite   # also: gc, clear
     repro-rd info my_circuit.bench        # file inputs work everywhere
+
+Run-style subcommands (classify, baseline, compare-sorts, sweep,
+table1/2/3) share one flag family — ``--jobs``, ``--store``,
+``--checkpoint``, ``--resume``, ``--trace-out``, ``-v`` plus the
+supervision budget/retry knobs — declared once in a parent parser, so
+every command spells every option the same way.  The old spellings
+``--task-timeout`` and ``--max-retries`` still parse as deprecated
+aliases of ``--task-budget`` / ``--retries`` (they warn once).
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import warnings
 from pathlib import Path
 
 from repro.baseline.exact_assignment import baseline_rd
@@ -29,12 +41,14 @@ from repro.circuit.stats import circuit_stats, internal_fanout_count
 from repro.classify.conditions import Criterion
 from repro.classify.session import CircuitSession
 from repro.gen.suite import SUITE, get_circuit
+from repro.obs import export_jsonl, format_metrics, get_registry
 from repro.sorting.heuristics import (
     heuristic1_sort,
     heuristic2_sort,
     pin_order_sort,
     random_sort,
 )
+from repro.util.serialize import classification_payload, info_payload, to_json
 
 _CRITERIA = {
     "fs": Criterion.FS,
@@ -86,6 +100,102 @@ def _make_sort(
     raise ValueError(f"unknown sort {kind!r}")
 
 
+# -- shared flag family -----------------------------------------------------
+
+_warned_aliases: set = set()
+
+
+class _DeprecatedAlias(argparse.Action):
+    """An old flag spelling that still parses but warns once per process."""
+
+    def __init__(self, option_strings, dest, preferred="", **kwargs):
+        self.preferred = preferred
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string not in _warned_aliases:
+            _warned_aliases.add(option_string)
+            message = (
+                f"{option_string} is deprecated; use {self.preferred}"
+            )
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            print(f"warning: {message}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _shared_run_parent() -> argparse.ArgumentParser:
+    """The flag family every run-style subcommand accepts (classify,
+    baseline, compare-sorts, sweep, table1/2/3)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("shared run options")
+    g.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes (work fans out; 1 = in-process)",
+    )
+    g.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="persistent result store shared by all workers "
+        "(SQLite; created if missing)",
+    )
+    g.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="stream completed rows to this JSONL file",
+    )
+    g.add_argument(
+        "--resume", action="store_true",
+        help="skip work already recorded in --checkpoint",
+    )
+    g.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write tracing spans plus a merged metrics snapshot as "
+        "JSON lines when the command finishes",
+    )
+    g.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print telemetry (session cache counters, metrics summary)",
+    )
+    g.add_argument(
+        "--task-budget", dest="task_timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="flat per-task wall-clock budget (default: derived from "
+        "each circuit's exact path count; jobs > 1 only)",
+    )
+    g.add_argument(
+        "--task-timeout", dest="task_timeout", type=float,
+        metavar="SECONDS", action=_DeprecatedAlias,
+        preferred="--task-budget", help=argparse.SUPPRESS,
+    )
+    g.add_argument(
+        "--retries", dest="max_retries", type=int, default=None,
+        metavar="N",
+        help="pool retries per task before the in-process rerun",
+    )
+    g.add_argument(
+        "--max-retries", dest="max_retries", type=int, metavar="N",
+        action=_DeprecatedAlias, preferred="--retries",
+        help=argparse.SUPPRESS,
+    )
+    return parent
+
+
+def _warn_ignored(args: argparse.Namespace, command: str, *flags: str) -> None:
+    """Tell the user a shared flag has no effect for this subcommand."""
+    for flag in flags:
+        dest = flag.lstrip("-").replace("-", "_")
+        if getattr(args, dest, None):
+            print(
+                f"warning: {flag} has no effect for '{command}'",
+                file=sys.stderr,
+            )
+
+
+def _print_metrics_summary() -> None:
+    print("-- metrics --")
+    print(format_metrics(get_registry().snapshot()))
+
+
+# -- subcommands ------------------------------------------------------------
+
 def cmd_list(_args: argparse.Namespace) -> int:
     for name in sorted(SUITE):
         print(name)
@@ -94,9 +204,13 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_info(args: argparse.Namespace) -> int:
     circuit = load_circuit(args.circuit)
-    stats = circuit_stats(circuit)
     counts = CircuitSession(circuit).counts
-    print(stats)
+    if args.json:
+        print(to_json(info_payload(
+            circuit, counts, internal_fanout_count(circuit)
+        )))
+        return 0
+    print(circuit_stats(circuit))
     print(f"internal fanout stems: {internal_fanout_count(circuit)}")
     print(f"physical paths: {counts.total_physical:,}")
     print(f"logical paths:  {counts.total_logical:,}")
@@ -106,20 +220,49 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_classify(args: argparse.Namespace) -> int:
     if args.remote is not None:
         return _classify_remote(args)
+    _warn_ignored(args, "classify", "--checkpoint", "--resume")
     circuit = load_circuit(args.circuit)
     criterion = _CRITERIA[args.criterion]
-    session = CircuitSession(circuit, store=args.store)
-    sort = None
-    if criterion is Criterion.SIGMA_PI:
-        sort = _make_sort(circuit, args.sort, args.seed, session=session)
-    result = session.classify(
-        criterion, sort=sort, max_accepted=args.max_accepted
-    )
+    session = None
+    sort_used = None
+    if args.jobs > 1 and criterion is not Criterion.SIGMA_PI:
+        # FS/NR decompose per PO cone (every path lies in exactly one
+        # cone), so --jobs fans the cones out across a supervised pool
+        from repro.experiments.harness import classify_cones
+
+        result = classify_cones(circuit, criterion, jobs=args.jobs)
+    else:
+        if args.jobs > 1:
+            print(
+                "warning: --jobs has no effect for --criterion sigma "
+                "(the input sort is global); running in-process",
+                file=sys.stderr,
+            )
+        session = CircuitSession(circuit, store=args.store)
+        sort = None
+        if criterion is Criterion.SIGMA_PI:
+            sort = _make_sort(circuit, args.sort, args.seed, session=session)
+            sort_used = args.sort
+        result = session.classify(
+            criterion, sort=sort, max_accepted=args.max_accepted
+        )
+    if args.json:
+        print(to_json(classification_payload(
+            result,
+            fingerprint=session.fingerprint if session is not None else None,
+            sort_kind=sort_used,
+            session_stats=(
+                session.stats.to_dict() if session is not None else None
+            ),
+        )))
+        return 0
     print(result)
     if args.verbose:
         from repro.classify.session import format_session_stats
 
-        print(format_session_stats(session.stats.to_dict()))
+        if session is not None:
+            print(format_session_stats(session.stats.to_dict()))
+        _print_metrics_summary()
     return 0
 
 
@@ -152,6 +295,9 @@ def _classify_remote(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"remote classify failed: {exc}", file=sys.stderr)
         return 1
+    if getattr(args, "json", False):
+        print(to_json(result))
+        return 0
     print(
         f"{result['name']} [{result['criterion']}]: "
         f"{result['accepted']}/{result['total_logical']} accepted, "
@@ -167,9 +313,126 @@ def _classify_remote(args: argparse.Namespace) -> int:
 
 
 def cmd_baseline(args: argparse.Namespace) -> int:
+    _warn_ignored(
+        args, "baseline", "--jobs", "--store", "--checkpoint", "--resume"
+    )
     circuit = load_circuit(args.circuit)
     result = baseline_rd(circuit, method=args.method)
     print(result)
+    if args.verbose:
+        _print_metrics_summary()
+    return 0
+
+
+def cmd_compare_sorts(args: argparse.Namespace) -> int:
+    """Sampled robust fault coverage per input sort (Section III)."""
+    from repro.experiments.coverage_study import compare_sorts
+    from repro.experiments.supervisor import RowFailure
+
+    _warn_ignored(args, "compare-sorts", "--checkpoint", "--resume", "--store")
+    circuit = load_circuit(args.circuit)
+    kinds = [kind.strip() for kind in args.sorts.split(",") if kind.strip()]
+    session = CircuitSession(circuit)
+    sorts = {
+        kind: _make_sort(circuit, kind, args.seed, session=session)
+        for kind in kinds
+    }
+    estimates = compare_sorts(
+        circuit,
+        sorts,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+    )
+    failed = 0
+    for label in kinds:
+        estimate = estimates[label]
+        if isinstance(estimate, RowFailure):
+            failed += 1
+            print(f"!! {estimate}")
+        else:
+            print(estimate)
+    if args.verbose:
+        _print_metrics_summary()
+    return 1 if failed else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Scaling sweep over one generator family (the Table-II narrative)."""
+    from repro.experiments.supervisor import RowFailure
+    from repro.experiments.sweep import FAMILIES, SweepPoint, sweep_family
+    from repro.util.tables import TextTable
+
+    _warn_ignored(args, "sweep", "--store")
+    try:
+        parameters = [int(p) for p in args.params.split(",") if p.strip()]
+    except ValueError:
+        raise SystemExit(f"--params must be comma-separated ints: {args.params!r}")
+    if not parameters:
+        raise SystemExit("--params needs at least one value")
+    extra = {} if args.max_retries is None else {"max_retries": args.max_retries}
+    points = sweep_family(
+        FAMILIES[args.family],
+        parameters,
+        classification_budget=args.budget,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+        **extra,
+    )
+    table = TextTable(
+        ["param", "gates", "logical paths", "accepted", "classify time"],
+        title=f"Sweep: {args.family}",
+    )
+    for parameter, point in zip(parameters, points):
+        if isinstance(point, RowFailure):
+            table.add_row([str(parameter)] + ["FAILED"] * 4)
+            continue
+        assert isinstance(point, SweepPoint)
+        table.add_row([
+            str(point.parameter),
+            f"{point.gates:,}",
+            f"{point.total_logical:,}",
+            "(skipped)" if point.accepted is None else f"{point.accepted:,}",
+            "-" if point.classify_seconds is None
+            else f"{point.classify_seconds:.3f}s",
+        ])
+    print(table.render())
+    if args.verbose:
+        _print_metrics_summary()
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a telemetry snapshot — the daemon's (``--remote``) or this
+    process's registry (mostly useful under ``--json`` for tooling)."""
+    if args.remote is not None:
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        try:
+            with ServiceClient.connect(args.remote) as client:
+                result = client.metrics()
+        except ServiceError as exc:
+            print(f"remote metrics failed: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(to_json(result))
+            return 0
+        print(
+            f"repro-rd {result.get('version', '?')} at {args.remote}, "
+            f"up {result.get('uptime', 0.0):.1f}s"
+        )
+        print(format_metrics(result.get("metrics") or {}))
+        return 0
+    snapshot = get_registry().snapshot()
+    if args.json:
+        print(to_json({"metrics": snapshot}))
+        return 0
+    print(format_metrics(snapshot))
     return 0
 
 
@@ -371,6 +634,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
         print(to_json(table1_to_dict(rows)))
         return 0
     table1.main(**kwargs, verbose=getattr(args, "verbose", False))
+    if getattr(args, "verbose", False):
+        _print_metrics_summary()
     return 0
 
 
@@ -378,6 +643,8 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments import table2
 
     table2.main(**_supervision_kwargs(args))
+    if getattr(args, "verbose", False):
+        _print_metrics_summary()
     return 0
 
 
@@ -392,6 +659,8 @@ def cmd_table3(args: argparse.Namespace) -> int:
         print(to_json(table3_to_dict(rows)))
         return 0
     table3.main(**kwargs, verbose=getattr(args, "verbose", False))
+    if getattr(args, "verbose", False):
+        _print_metrics_summary()
     return 0
 
 
@@ -411,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"repro-rd {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    shared = _shared_run_parent()
 
     sub.add_parser("list", help="list suite circuits").set_defaults(fn=cmd_list)
 
@@ -420,9 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="circuit statistics and path counts")
     p.add_argument("circuit", help="suite name or .bench/.pla file")
+    p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=cmd_info)
 
-    p = sub.add_parser("classify", help="run the RD classifier")
+    p = sub.add_parser(
+        "classify", parents=[shared], help="run the RD classifier"
+    )
     p.add_argument("circuit")
     p.add_argument(
         "--criterion", choices=sorted(_CRITERIA), default="sigma",
@@ -439,23 +712,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort after this many accepted paths",
     )
     p.add_argument(
-        "--store", metavar="FILE", default=None,
-        help="persistent result store (SQLite; created if missing)",
-    )
-    p.add_argument(
         "--remote", metavar="HOST:PORT|SOCKET", default=None,
         help="send the request to a running 'repro-rd serve' daemon",
     )
-    p.add_argument(
-        "-v", "--verbose", action="store_true",
-        help="print session cache counters (and remote events)",
-    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=cmd_classify)
 
-    p = sub.add_parser("baseline", help="run the exact baseline of [1]")
+    p = sub.add_parser(
+        "baseline", parents=[shared], help="run the exact baseline of [1]"
+    )
     p.add_argument("circuit")
     p.add_argument("--method", choices=["greedy", "exact"], default="greedy")
     p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser(
+        "compare-sorts", parents=[shared],
+        help="sampled robust fault coverage per input sort",
+    )
+    p.add_argument("circuit")
+    p.add_argument(
+        "--sorts", default="pin,heu1,heu2,heu2inv",
+        help="comma-separated sort names to compare",
+    )
+    p.add_argument(
+        "--sample-size", type=int, default=100,
+        help="paths SAT-sampled per sort",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.set_defaults(fn=cmd_compare_sorts)
+
+    from repro.experiments.sweep import FAMILIES
+
+    p = sub.add_parser(
+        "sweep", parents=[shared],
+        help="scaling sweep over one generator family",
+    )
+    p.add_argument("family", choices=sorted(FAMILIES))
+    p.add_argument(
+        "--params", required=True, metavar="N,N,...",
+        help="comma-separated family parameters (e.g. widths)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=500_000,
+        help="max accepted paths before a point degrades to count-only",
+    )
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "testgen", help="robust two-pattern tests for the non-RD paths"
@@ -507,51 +808,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--po", type=int, default=0, help="output index for --stabilize")
     p.set_defaults(fn=cmd_dot)
 
-    jobs_help = "worker processes (circuits fan out; 1 = in-process)"
-
-    def add_supervision_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", type=_positive_int, default=1, help=jobs_help)
-        p.add_argument(
-            "--checkpoint", metavar="FILE", default=None,
-            help="stream completed rows to this JSONL file",
-        )
-        p.add_argument(
-            "--resume", action="store_true",
-            help="skip circuits already recorded in --checkpoint",
-        )
-        p.add_argument(
-            "--task-timeout", type=float, default=None, metavar="SECONDS",
-            help="flat per-circuit wall-clock budget (default: derived "
-            "from each circuit's exact path count; jobs > 1 only)",
-        )
-        p.add_argument(
-            "--max-retries", type=int, default=None, metavar="N",
-            help="pool retries per circuit before the in-process rerun",
-        )
-        p.add_argument(
-            "--store", metavar="FILE", default=None,
-            help="persistent result store shared by all workers "
-            "(SQLite; created if missing)",
-        )
-
-    p = sub.add_parser("table1", help="regenerate Table I")
+    p = sub.add_parser("table1", parents=[shared], help="regenerate Table I")
     p.add_argument("--json", action="store_true", help="emit JSON")
-    p.add_argument(
-        "-v", "--verbose", action="store_true",
-        help="print per-circuit session cache counters",
-    )
-    add_supervision_flags(p)
     p.set_defaults(fn=cmd_table1)
-    p = sub.add_parser("table2", help="regenerate Table II")
-    add_supervision_flags(p)
+    p = sub.add_parser("table2", parents=[shared], help="regenerate Table II")
     p.set_defaults(fn=cmd_table2)
-    p = sub.add_parser("table3", help="regenerate Table III")
+    p = sub.add_parser("table3", parents=[shared], help="regenerate Table III")
     p.add_argument("--json", action="store_true", help="emit JSON")
-    p.add_argument(
-        "-v", "--verbose", action="store_true",
-        help="print per-circuit session cache counters",
-    )
-    add_supervision_flags(p)
     p.set_defaults(fn=cmd_table3)
     sub.add_parser("figures", help="regenerate Figures 1-5").set_defaults(
         fn=cmd_figures
@@ -581,6 +844,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="server-wide abort threshold on accepted paths",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "metrics", help="render a telemetry snapshot (daemon or local)"
+    )
+    p.add_argument(
+        "--remote", metavar="HOST:PORT|SOCKET", default=None,
+        help="fetch the snapshot from a running 'repro-rd serve' daemon",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("cache", help="inspect/maintain a result store")
     p.add_argument("action", choices=["stats", "gc", "clear"])
@@ -624,6 +897,20 @@ def main(argv: list | None = None) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        # one central exit point for --trace-out: whatever the command
+        # recorded (including metrics merged back from pool workers)
+        # lands in the file even on ^C
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            try:
+                spans = export_jsonl(trace_out)
+                print(
+                    f"trace: {spans} spans + metrics snapshot -> {trace_out}",
+                    file=sys.stderr,
+                )
+            except OSError as exc:
+                print(f"trace export failed: {exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":

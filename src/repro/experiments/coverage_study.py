@@ -10,13 +10,13 @@ and SAT-checking robust testability per sample, and compares sorts.
 from __future__ import annotations
 
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion
 from repro.classify.session import CircuitSession
 from repro.delaytest.testability import is_robustly_testable
+from repro.experiments.supervisor import TaskRunner
 from repro.sorting.input_sort import InputSort
 
 
@@ -96,24 +96,39 @@ def compare_sorts(
     sample_size: int = 100,
     seed: int = 0,
     jobs: int = 1,
+    *,
+    task_timeout: "float | None" = None,
+    max_retries: "int | None" = None,
+    runner: "TaskRunner | None" = None,
 ) -> "dict[str, CoverageEstimate]":
     """Coverage estimates for several sorts on one circuit.
 
     With ``jobs > 1`` the per-sort estimates (one classification pass +
-    SAT testability sampling each) fan out across a process pool; the
-    seeded sampling makes results identical across job counts.
+    SAT testability sampling each) fan out across the supervised
+    :class:`~repro.experiments.supervisor.TaskRunner` — crashed workers
+    are retried then degraded in-process, and each worker's telemetry
+    is merged back into this process's registry.  The seeded sampling
+    makes results identical across job counts.  A sort whose task fails
+    even after degradation maps to a
+    :class:`~repro.experiments.supervisor.RowFailure` instead of an
+    estimate.
     """
     labels = list(sorts)
     work = [
         (circuit, sorts[label], label, sample_size, seed) for label in labels
     ]
-    if jobs <= 1 or len(work) <= 1:
-        estimates = [_coverage_task(payload) for payload in work]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=max(1, min(jobs, len(work)))
-        ) as pool:
-            estimates = list(pool.map(_coverage_task, work))
+    if runner is None:
+        extra = {} if max_retries is None else {"max_retries": max_retries}
+        runner = TaskRunner(jobs=jobs, **extra)
+    budgets = None
+    if task_timeout is not None and runner.jobs > 1:
+        budgets = [task_timeout] * len(work)
     # One shared session would be wasted across processes; per-call
     # sessions still dedupe the counts/tables within each estimate.
+    estimates = runner.map(
+        _coverage_task,
+        work,
+        labels=[f"{circuit.name}/{label}" for label in labels],
+        budgets=budgets,
+    )
     return dict(zip(labels, estimates))

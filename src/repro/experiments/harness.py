@@ -52,6 +52,7 @@ from repro.classify.conditions import Criterion
 from repro.classify.results import ClassificationResult
 from repro.classify.session import CircuitSession
 from repro.errors import HarnessError
+from repro.obs import span
 from repro.experiments.supervisor import (
     DEFAULT_MAX_RETRIES,
     Checkpoint,
@@ -158,29 +159,30 @@ def run_table1_row(
     """
     if session is None:
         session = CircuitSession(circuit, store=store)
-    counts = session.counts
-    # --- Heuristic 1 -----------------------------------------------------
-    with Stopwatch() as sw1:
-        sort1 = session.heuristic1_sort()
-        res1 = session.classify(
-            Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
-        )
-    # --- Heuristic 2 (Algorithm 3: FS pass + NR pass + final pass) -------
-    with Stopwatch() as sw2:
-        analysis = heuristic2_analysis(
-            circuit, max_accepted=max_accepted, session=session
-        )
-        res2 = session.classify(
+    with span("table1.row", circuit=circuit.name):
+        counts = session.counts
+        # --- Heuristic 1 -------------------------------------------------
+        with Stopwatch() as sw1:
+            sort1 = session.heuristic1_sort()
+            res1 = session.classify(
+                Criterion.SIGMA_PI, sort=sort1, max_accepted=max_accepted
+            )
+        # --- Heuristic 2 (Algorithm 3: FS + NR + final pass) -------------
+        with Stopwatch() as sw2:
+            analysis = heuristic2_analysis(
+                circuit, max_accepted=max_accepted, session=session
+            )
+            res2 = session.classify(
+                Criterion.SIGMA_PI,
+                sort=analysis.sort,
+                max_accepted=max_accepted,
+            )
+        # --- inverse control ---------------------------------------------
+        res2_inv = session.classify(
             Criterion.SIGMA_PI,
-            sort=analysis.sort,
+            sort=analysis.sort.inverted(),
             max_accepted=max_accepted,
         )
-    # --- inverse control --------------------------------------------------
-    res2_inv = session.classify(
-        Criterion.SIGMA_PI,
-        sort=analysis.sort.inverted(),
-        max_accepted=max_accepted,
-    )
     return Table1Row(
         name=circuit.name,
         total_logical=counts.total_logical,
@@ -340,10 +342,11 @@ def run_table3_row(
 ) -> Table3Row:
     if session is None:
         session = CircuitSession(circuit, store=store)
-    baseline: BaselineResult = baseline_rd(circuit, method=baseline_method)
-    with Stopwatch() as sw:
-        analysis = heuristic2_analysis(circuit, session=session)
-        res2 = session.classify(Criterion.SIGMA_PI, sort=analysis.sort)
+    with span("table3.row", circuit=circuit.name):
+        baseline: BaselineResult = baseline_rd(circuit, method=baseline_method)
+        with Stopwatch() as sw:
+            analysis = heuristic2_analysis(circuit, session=session)
+            res2 = session.classify(Criterion.SIGMA_PI, sort=analysis.sort)
     return Table3Row(
         name=circuit.name,
         total_logical=baseline.total_logical,

@@ -51,6 +51,12 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import TaskCrashed, TaskTimeout
+from repro.obs import (
+    get_registry,
+    merge_observation,
+    task_observation_begin,
+    task_observation_collect,
+)
 
 #: default retry budget: a task may fail ``1 + DEFAULT_MAX_RETRIES``
 #: times in the pool before it degrades to the in-process rerun.
@@ -127,6 +133,20 @@ class SupervisorEvent:
     attempt: int
 
 
+@dataclass
+class _ObsResult:
+    """A pool task's result bundled with its telemetry delta.
+
+    Workers reset their process-local metrics/trace state per task, so
+    the observation is exactly this task's work; the parent unwraps the
+    result and folds the observation into its own registry and trace
+    buffer (:meth:`TaskRunner._unwrap`).
+    """
+
+    result: object
+    observation: dict
+
+
 def _supervised_call(fn, payload, label, attempt, fault_hook):
     """Top-level pool-worker entrypoint (must be picklable).
 
@@ -136,7 +156,9 @@ def _supervised_call(fn, payload, label, attempt, fault_hook):
     """
     if fault_hook is not None:
         fault_hook(label, attempt)
-    return fn(payload)
+    task_observation_begin()
+    result = fn(payload)
+    return _ObsResult(result, task_observation_collect())
 
 
 @dataclass
@@ -205,6 +227,16 @@ class TaskRunner:
     # -- internals ------------------------------------------------------
     def _note(self, kind: str, label: str, attempt: int) -> None:
         self.events.append(SupervisorEvent(kind, label, attempt))
+        get_registry().counter(f"supervisor.{kind}").inc()
+
+    @staticmethod
+    def _unwrap(value):
+        """Unpack a pool task's :class:`_ObsResult`: merge the worker's
+        telemetry into this (parent) process, return the bare result."""
+        if isinstance(value, _ObsResult):
+            merge_observation(value.observation)
+            return value.result
+        return value
 
     def _run_in_process(self, fn, payload, label, attempts: int):
         """The degradation path: one plain in-process call, exceptions
@@ -313,7 +345,7 @@ class TaskRunner:
                             next_pending.append(i)
                             continue
                         try:
-                            finish(i, fut.result())
+                            finish(i, self._unwrap(fut.result()))
                         except (BrokenProcessPool, CancelledError):
                             self._note("requeued", labels[i], attempts[i])
                             next_pending.append(i)
@@ -324,7 +356,7 @@ class TaskRunner:
                         continue
                     budget = budgets[i] if budgets is not None else None
                     try:
-                        finish(i, fut.result(timeout=budget))
+                        finish(i, self._unwrap(fut.result(timeout=budget)))
                     except _FutTimeout:
                         # presumed hung: the worker holds the task and
                         # will never return — kill the whole pool
@@ -411,6 +443,7 @@ class Checkpoint:
 
     def record(self, key: str, row: dict) -> None:
         """Append one completed row durably (flush + fsync)."""
+        get_registry().counter("checkpoint.records").inc()
         line = json.dumps(
             {"kind": self.kind, "key": str(key), "row": row}, sort_keys=True
         )

@@ -41,6 +41,32 @@ from repro.experiments.supervisor import (
 from repro.util.timer import Stopwatch
 
 
+def _families() -> "dict[str, Callable[[int], Circuit]]":
+    from repro.gen.adders import (
+        carry_lookahead_adder,
+        carry_select_adder,
+        ripple_carry_adder,
+    )
+    from repro.gen.multiplier import array_multiplier
+    from repro.gen.mux import decoder, mux_tree
+    from repro.gen.parity import parity_tree
+
+    return {
+        "ripple_carry": ripple_carry_adder,
+        "carry_lookahead": carry_lookahead_adder,
+        "carry_select": carry_select_adder,
+        "array_multiplier": array_multiplier,
+        "parity_tree": parity_tree,
+        "mux_tree": mux_tree,
+        "decoder": decoder,
+    }
+
+
+#: named generator families ``repro-rd sweep`` can iterate (each maps
+#: one integer parameter — width/levels — to a circuit)
+FAMILIES = _families()
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One (parameter, circuit) measurement."""

@@ -1,0 +1,91 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+One telemetry spine for the whole system:
+
+* :mod:`repro.obs.metrics` — a per-process :class:`MetricsRegistry` of
+  counters, gauges and histograms.  Lock-free writes, JSON-safe
+  snapshots, and an order-independent :meth:`~MetricsRegistry.merge` so
+  the process-pool harness folds worker metrics into the parent.
+* :mod:`repro.obs.trace` — nested :func:`span` context managers with
+  monotonic timings, buffered in a bounded ring and exportable as JSON
+  lines (the CLI's ``--trace-out``).
+
+The instrumented layers — classify sessions, ``count_paths``, the
+result store, the supervisor, the analysis service — all write into the
+process registry via these entry points; the daemon's ``metrics`` op
+and ``repro-rd metrics --remote`` read it back out.
+
+Worker processes use the task-scoped trio
+:func:`task_observation_begin` / :func:`task_observation_collect` /
+:func:`merge_observation`: the supervisor resets worker telemetry at
+task entry, ships the task's delta back with its result, and folds it
+into the parent — so a ``--jobs N`` run reports the same counter totals
+as the equivalent serial run, deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.trace import (
+    Span,
+    TraceBuffer,
+    export_jsonl,
+    get_buffer,
+    reset_buffer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceBuffer",
+    "export_jsonl",
+    "format_metrics",
+    "get_buffer",
+    "get_registry",
+    "merge_observation",
+    "reset_buffer",
+    "reset_registry",
+    "span",
+    "task_observation_begin",
+    "task_observation_collect",
+]
+
+
+def task_observation_begin() -> None:
+    """Reset this process's telemetry so the next collect is a clean
+    per-task delta (called by pool workers at task entry)."""
+    reset_registry()
+    reset_buffer()
+
+
+def task_observation_collect() -> dict:
+    """Drain this process's telemetry into one picklable payload."""
+    return {
+        "metrics": get_registry().snapshot(),
+        "trace": get_buffer().drain(),
+    }
+
+
+def merge_observation(observation: "dict | None") -> None:
+    """Fold a worker's :func:`task_observation_collect` payload into
+    this process's registry and trace buffer (no-op on ``None``)."""
+    if not observation:
+        return
+    metrics = observation.get("metrics")
+    if isinstance(metrics, dict):
+        get_registry().merge(metrics)
+    trace = observation.get("trace")
+    if isinstance(trace, list):
+        get_buffer().extend(trace)

@@ -1,0 +1,268 @@
+"""The metrics registry: counters, gauges and latency histograms.
+
+One :class:`MetricsRegistry` lives per process (:func:`get_registry`);
+instruments are created on first use and identified by dotted names
+(``classify.passes``, ``store.get_seconds``).  Writes are plain
+attribute arithmetic — no locks — so instrumenting a hot path costs a
+dict lookup plus an integer add.  Under free threading a racing pair of
+increments may lose one count; the registry trades that (bounded,
+monitoring-grade) imprecision for zero contention on the classifier's
+critical path.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-safe dicts,
+and :meth:`MetricsRegistry.merge` folds one snapshot into a registry by
+*addition* (counters, histogram buckets, sums) and min/max composition.
+Merging is commutative and associative, which is what lets the
+experiment harness aggregate per-worker snapshots into the parent
+process in any completion order and still produce deterministic totals.
+
+The registry is deliberately dependency-free: nothing in this module
+imports the rest of :mod:`repro`, so every layer (store, supervisor,
+service, sessions) can instrument itself without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_metrics",
+    "get_registry",
+    "reset_registry",
+]
+
+#: default histogram bucket upper bounds (seconds): exponential-ish
+#: coverage from sub-millisecond store reads to minute-long table rows.
+DEFAULT_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (in-flight requests, pool size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket distribution (latencies, sizes).
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.  Alongside the buckets the
+    histogram keeps ``count``/``total``/``vmin``/``vmax``, so mean and
+    tail estimates survive the merge across workers.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: "tuple[float, ...]" = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: "float | None" = None
+        self.vmax: "float | None" = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """All instruments of one process, by dotted name.
+
+    Instrument creation takes a lock (it is rare); the returned
+    instruments are then written without any synchronization.  Callers
+    usually hold on to the instrument::
+
+        _PASSES = get_registry().counter("classify.passes")
+        _PASSES.inc()
+    """
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+        self._create_lock = threading.Lock()
+
+    # -- instrument access ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: "tuple[float, ...]" = DEFAULT_BOUNDS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, bounds)
+                )
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-safe dict (stable key order)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.vmin,
+                    "max": h.vmax,
+                    "bounds": list(h.bounds),
+                    "buckets": list(h.buckets),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` payload into this registry.
+
+        Counters, gauges, histogram buckets and totals add; min/max
+        compose.  Malformed entries are skipped (a worker snapshot can
+        never corrupt the parent registry).  Addition makes the merge
+        order-independent, so parallel harness runs aggregate worker
+        metrics deterministically.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            if isinstance(value, int):
+                self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if isinstance(value, (int, float)):
+                self.gauge(name).inc(value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            if not isinstance(data, dict):
+                continue
+            bounds = data.get("bounds")
+            buckets = data.get("buckets")
+            if not isinstance(bounds, list) or not isinstance(buckets, list):
+                continue
+            hist = self.histogram(name, tuple(bounds))
+            if list(hist.bounds) != bounds or len(buckets) != len(hist.buckets):
+                continue  # incompatible layout: drop rather than corrupt
+            hist.count += int(data.get("count", 0))
+            hist.total += float(data.get("total", 0.0))
+            for i, extra in enumerate(buckets):
+                hist.buckets[i] += int(extra)
+            for edge, better in (("min", min), ("max", max)):
+                value = data.get(edge)
+                if value is not None:
+                    current = hist.vmin if edge == "min" else hist.vmax
+                    merged = value if current is None else better(current, value)
+                    if edge == "min":
+                        hist.vmin = merged
+                    else:
+                        hist.vmax = merged
+
+    def reset(self) -> None:
+        """Drop every instrument (worker processes call this per task so
+        each task's snapshot is a clean delta)."""
+        with self._create_lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a snapshot for humans (``repro-rd metrics``, ``-v`` runs)."""
+    lines = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<36} {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<36} {value:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name, data in sorted(histograms.items()):
+            count = data.get("count", 0)
+            total = data.get("total", 0.0)
+            mean = total / count if count else 0.0
+            vmax = data.get("max")
+            lines.append(
+                f"  {name:<36} n={count} mean={mean:.6f}s"
+                + (f" max={vmax:.6f}s" if vmax is not None else "")
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every layer instruments into."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Reset the default registry (tests; worker-task entry)."""
+    _REGISTRY.reset()

@@ -1,0 +1,194 @@
+"""Tracing spans: nested, monotonic-clock timings in a bounded buffer.
+
+A span measures one named region of work::
+
+    from repro.obs import span
+
+    with span("classify.pass", circuit="c432-ish", criterion="FS"):
+        ...
+
+Spans nest: a span opened while another is active records that span as
+its parent (per thread), so a trace of a Table-I row shows the
+``table1.row`` span containing its ``classify.pass`` children, each
+containing ``store.get`` spans.  Timings use ``time.perf_counter`` —
+wall-clock jumps cannot corrupt durations.
+
+Finished spans land in a process-wide bounded ring buffer
+(:func:`get_buffer`); once full, the oldest spans are dropped and
+counted, never blocking the instrumented code.  The buffer exports as
+JSON lines (:func:`export_jsonl` — the CLI's ``--trace-out``): one
+``{"type": "span", ...}`` object per line, closed by one
+``{"type": "metrics", ...}`` summary record carrying the registry
+snapshot.  Pool workers drain their buffer per task; the supervisor
+folds those events back into the parent buffer, so a ``--jobs 4`` trace
+still contains every worker's spans.
+
+Every span completion also feeds the duration histogram
+``span.<name>`` in the metrics registry, so snapshots aggregate span
+totals even when the ring buffer has rotated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "Span",
+    "TraceBuffer",
+    "export_jsonl",
+    "get_buffer",
+    "reset_buffer",
+    "span",
+]
+
+#: finished spans retained per process before the oldest are dropped
+DEFAULT_CAPACITY = 4096
+
+_state = threading.local()  # per-thread stack of open Span objects
+
+
+def _stack() -> list:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+class TraceBuffer:
+    """A bounded ring of finished-span records (JSON-safe dicts)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._events: "deque[dict]" = deque(maxlen=capacity)
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append(event)
+
+    def extend(self, events: "list[dict]") -> None:
+        """Fold drained worker events in (harness merge path)."""
+        for event in events:
+            if isinstance(event, dict):
+                self.append(event)
+
+    def drain(self) -> "list[dict]":
+        """Remove and return everything buffered (oldest first)."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            self.dropped = 0
+        return events
+
+    def snapshot(self) -> "list[dict]":
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class Span:
+    """One open region; use via the :func:`span` context manager."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_t0", "start")
+
+    def __init__(self, name: str, attrs: "dict[str, Any]"):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = ""
+        self.parent_id: "str | None" = None
+        self._t0 = 0.0
+        self.start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = _next_span_id()
+        stack.append(self)
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        duration = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "start": round(self.start, 6),
+            "duration": round(duration, 9),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        get_buffer().append(record)
+        get_registry().histogram("span." + self.name).observe(duration)
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a traced region; attributes must be JSON-safe scalars."""
+    return Span(name, attrs)
+
+
+_id_lock = threading.Lock()
+_id_counter = 0
+
+
+def _next_span_id() -> str:
+    global _id_counter
+    with _id_lock:
+        _id_counter += 1
+        return f"{os.getpid():x}-{_id_counter:x}"
+
+
+_BUFFER = TraceBuffer()
+
+
+def get_buffer() -> TraceBuffer:
+    """The process-wide ring buffer finished spans land in."""
+    return _BUFFER
+
+
+def reset_buffer() -> None:
+    """Drop all buffered spans (tests; worker-task entry)."""
+    _BUFFER.drain()
+
+
+def export_jsonl(path: "str | os.PathLike", events: "list[dict] | None" = None) -> int:
+    """Write spans (default: drain the process buffer) as JSON lines.
+
+    The file ends with one ``{"type": "metrics", ...}`` record holding
+    the registry snapshot at export time, so a single ``--trace-out``
+    file carries both the span timeline and the aggregated totals.
+    Returns the number of span records written.
+    """
+    if events is None:
+        events = get_buffer().drain()
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+        fh.write(
+            json.dumps(
+                {"type": "metrics", "metrics": get_registry().snapshot()},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    return len(events)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,7 @@ class PathCounts:
 
 def count_paths(circuit: Circuit) -> PathCounts:
     """Compute all DP path counts for ``circuit`` in one linear pass."""
+    get_registry().counter("paths.count_calls").inc()
     n = circuit.num_gates
     up = [0] * n
     for gid in circuit.topo_order:

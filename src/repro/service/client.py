@@ -58,6 +58,12 @@ class ServiceClient:
         return cls(sock)
 
     def close(self) -> None:
+        # shutdown first: it unblocks a reader thread parked in recv()
+        # (file.close() alone would deadlock on the buffer lock it holds)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
         try:
             self._file.close()
         except OSError:
@@ -124,6 +130,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def metrics(self) -> dict:
+        """The server's telemetry snapshot (``repro-rd metrics --remote``)."""
+        return self.request("metrics")
 
     def classify(
         self,

@@ -33,6 +33,16 @@ Ops:
     Liveness + version handshake.
 ``stats``
     Server counters and, when the server has one, result-store stats.
+``metrics``
+    Full telemetry snapshot from the server's :mod:`repro.obs`
+    registry: request counters, latency histograms, the in-flight
+    gauge, store hit/miss counters and deadline aborts (rendered by
+    ``repro-rd metrics --remote``).
+
+Every server message for a request additionally carries the
+server-assigned ``request_id`` (``"req-<n>"``) alongside the client's
+echoed ``id`` — the correlation key tying a ``start`` event, its final
+result (or error) and the server's logs/metrics together.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ __all__ = [
 #: longest accepted wire line — generously above any realistic ``.bench``
 MAX_LINE = 8 * 1024 * 1024
 
-_VALID_OPS = ("classify", "ping", "stats")
+_VALID_OPS = ("classify", "metrics", "ping", "stats")
 
 
 def encode_line(message: dict) -> bytes:
@@ -90,24 +100,37 @@ def validate_request(message: dict) -> str:
     return op
 
 
-def ok_response(request_id, result: dict) -> dict:
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(request_id, result: dict, server_request_id: "str | None" = None) -> dict:
+    message = {"id": request_id, "ok": True, "result": result}
+    if server_request_id is not None:
+        message["request_id"] = server_request_id
+    return message
 
 
-def error_response(request_id, exc: BaseException) -> dict:
-    return {
+def error_response(
+    request_id, exc: BaseException, server_request_id: "str | None" = None
+) -> dict:
+    message = {
         "id": request_id,
         "ok": False,
         "error": {"type": type(exc).__name__, "message": str(exc)},
     }
+    if server_request_id is not None:
+        message["request_id"] = server_request_id
+    return message
 
 
-def event(request_id, kind: str, **fields) -> dict:
+def event(
+    request_id, kind: str, server_request_id: "str | None" = None, **fields
+) -> dict:
     """A streamed progress event (anything before the final response).
 
     ``fields`` are the event's payload; they must not collide with the
-    reserved keys ``id`` / ``event``.
+    reserved keys ``id`` / ``event`` / ``request_id`` (the last carries
+    the server's correlation key when ``server_request_id`` is given).
     """
     message = {"id": request_id, "event": kind}
+    if server_request_id is not None:
+        message["request_id"] = server_request_id
     message.update(fields)
     return message

@@ -43,10 +43,12 @@ from repro.classify.session import CircuitSession
 from repro.errors import CircuitError, ProtocolError, ReproError, TaskTimeout
 from repro.experiments.supervisor import default_task_budget
 from repro.gen.suite import get_circuit
+from repro.obs import get_registry
 from repro.service import protocol
 from repro.sorting.heuristics import pin_order_sort
 from repro.store.db import ResultStore, as_store
 from repro.store.fingerprint import canonical_form
+from repro.util.serialize import classification_payload
 
 __all__ = ["AnalysisServer", "serve"]
 
@@ -192,6 +194,7 @@ class AnalysisServer:
         self._tasks: "set[asyncio.Task]" = set()
         self._shutdown = asyncio.Event()
         self._draining = False
+        self._request_seq = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(
@@ -235,8 +238,14 @@ class AnalysisServer:
         pending = list(self._tasks)
         if pending:
             await asyncio.wait(pending, timeout=self.drain_timeout)
-        for task in list(self._tasks):
+        leftover = list(self._tasks)
+        for task in leftover:
             task.cancel()
+        if leftover:
+            # let the cancelled connection handlers run their finallys so
+            # every peer sees FIN before the loop stops — otherwise a
+            # client blocked in recv() waits forever on a half-dead socket
+            await asyncio.wait(leftover, timeout=5.0)
         self.close()
 
     def close(self) -> None:
@@ -298,32 +307,73 @@ class AnalysisServer:
         self, line: bytes, writer: asyncio.StreamWriter
     ) -> None:
         """Answer one request; every failure is a structured error
-        response on the same connection, never a disconnect."""
+        response on the same connection, never a disconnect.
+
+        Every message the server sends for this request carries the
+        server-assigned ``request_id`` (``req-<n>``), so a ``start``
+        event, its result/error and the server's telemetry correlate.
+        """
         self.counters.requests += 1
+        self._request_seq += 1
+        req_id = f"req-{self._request_seq}"
+        registry = get_registry()
+        registry.counter("service.requests").inc()
+        in_flight = registry.gauge("service.in_flight")
+        in_flight.inc()
+        started = time.perf_counter()
         request_id = None
         try:
             message = protocol.decode_line(line)
             request_id = message.get("id")
             op = protocol.validate_request(message)
+            registry.counter(f"service.op.{op}").inc()
             if op == "ping":
                 result = {"server": "repro-rd", "version": __version__}
             elif op == "stats":
                 result = await self._op_stats()
+            elif op == "metrics":
+                result = self._op_metrics()
             else:
-                result = await self._op_classify(message, writer)
-            await self._send(writer, protocol.ok_response(request_id, result))
+                result = await self._op_classify(message, writer, req_id)
+            await self._send(
+                writer, protocol.ok_response(request_id, result, req_id)
+            )
             self.counters.ok += 1
+            registry.counter("service.ok").inc()
         except TaskTimeout as exc:
             self.counters.timeouts += 1
-            await self._send(writer, protocol.error_response(request_id, exc))
+            registry.counter("service.deadline_aborts").inc()
+            await self._send(
+                writer, protocol.error_response(request_id, exc, req_id)
+            )
         except ReproError as exc:
             self.counters.errors += 1
-            await self._send(writer, protocol.error_response(request_id, exc))
+            registry.counter("service.errors").inc()
+            await self._send(
+                writer, protocol.error_response(request_id, exc, req_id)
+            )
         except Exception as exc:  # defensive: never kill the connection
             self.counters.errors += 1
-            await self._send(writer, protocol.error_response(request_id, exc))
+            registry.counter("service.errors").inc()
+            await self._send(
+                writer, protocol.error_response(request_id, exc, req_id)
+            )
+        finally:
+            in_flight.dec()
+            registry.histogram("service.request_seconds").observe(
+                time.perf_counter() - started
+            )
 
     # -- ops ------------------------------------------------------------
+    def _op_metrics(self) -> dict:
+        """The server's full telemetry snapshot (``repro-rd metrics``)."""
+        return {
+            "server": "repro-rd",
+            "version": __version__,
+            "uptime": round(time.time() - self.counters.started, 3),
+            "metrics": get_registry().snapshot(),
+        }
+
     async def _op_stats(self) -> dict:
         loop = asyncio.get_event_loop()
         result = {
@@ -344,7 +394,7 @@ class AnalysisServer:
         return result
 
     async def _op_classify(
-        self, message: dict, writer: asyncio.StreamWriter
+        self, message: dict, writer: asyncio.StreamWriter, req_id: str
     ) -> dict:
         criterion_name = message.get("criterion", "sigma")
         if criterion_name not in _CRITERIA:
@@ -374,6 +424,7 @@ class AnalysisServer:
                 writer,
                 protocol.event(
                     message.get("id"), "start",
+                    server_request_id=req_id,
                     name=circuit.name,
                     fingerprint=session.fingerprint,
                     total_logical=total,
@@ -424,19 +475,12 @@ class AnalysisServer:
             result = session.classify(
                 criterion, sort=sort, max_accepted=max_accepted
             )
-            return {
-                "name": session.circuit.name,
-                "fingerprint": session.fingerprint,
-                "criterion": criterion.name,
-                "sort": sort_kind if sort is not None else None,
-                "total_logical": result.total_logical,
-                "accepted": result.accepted,
-                "rd_count": result.rd_count,
-                "rd_percent": round(result.rd_percent, 6),
-                "elapsed": round(result.elapsed, 6),
-                "edges_visited": result.edges_visited,
-                "session": session.stats.to_dict(),
-            }
+            return classification_payload(
+                result,
+                fingerprint=session.fingerprint,
+                sort_kind=sort_kind if sort is not None else None,
+                session_stats=session.stats.to_dict(),
+            )
         finally:
             self.sessions.checkin(session)
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StoreError
+from repro.obs import get_registry
 from repro.store.fingerprint import SCHEMA_VERSION
 
 __all__ = ["ResultStore", "StoreStats"]
@@ -171,18 +172,27 @@ class ResultStore:
         """The payload stored under this key at the current schema
         version, or ``None``.  An undecodable payload is deleted and
         reported as a miss (never served, never fatal)."""
+        registry = get_registry()
+        registry.counter("store.gets").inc()
+        started = time.perf_counter()
         row = self._execute(
             "SELECT payload FROM entries WHERE fingerprint=? AND kind=? "
             "AND variant=? AND schema=?",
             (fingerprint, kind, variant, SCHEMA_VERSION),
         ).fetchone()
         if row is None:
+            registry.counter("store.misses").inc()
+            registry.histogram("store.get_seconds").observe(
+                time.perf_counter() - started
+            )
             return None
         try:
             payload = json.loads(row[0])
             if not isinstance(payload, dict):
                 raise ValueError("payload is not an object")
         except (ValueError, TypeError):
+            registry.counter("store.corrupt_entries").inc()
+            registry.counter("store.misses").inc()
             self.delete(fingerprint, kind, variant)
             return None
         self._execute(
@@ -190,10 +200,17 @@ class ResultStore:
             "AND kind=? AND variant=? AND schema=?",
             (time.time(), fingerprint, kind, variant, SCHEMA_VERSION),
         )
+        registry.counter("store.hits").inc()
+        registry.histogram("store.get_seconds").observe(
+            time.perf_counter() - started
+        )
         return payload
 
     def put(self, fingerprint: str, kind: str, variant: str, payload: dict) -> None:
         """Insert or replace one entry (stamped with the current schema)."""
+        registry = get_registry()
+        registry.counter("store.puts").inc()
+        started = time.perf_counter()
         now = time.time()
         self._execute(
             "INSERT OR REPLACE INTO entries "
@@ -208,6 +225,9 @@ class ResultStore:
                 now,
                 now,
             ),
+        )
+        registry.histogram("store.put_seconds").observe(
+            time.perf_counter() - started
         )
 
     def delete(self, fingerprint: str, kind: str, variant: str = "") -> None:

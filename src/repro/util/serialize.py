@@ -1,0 +1,59 @@
+"""Shared machine-readable payload shapes (CLI ``--json``, the daemon).
+
+The analysis daemon, ``repro-rd classify --json`` and ``repro-rd info
+--json`` all serialize through these helpers, so there is exactly one
+key set per payload instead of per-caller ad-hoc dicts — a test that
+asserts on ``classification_payload`` keys covers every producer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.classify.results import ClassificationResult
+
+
+def classification_payload(
+    result: ClassificationResult,
+    *,
+    fingerprint: "str | None" = None,
+    sort_kind: "str | None" = None,
+    session_stats: "dict | None" = None,
+) -> dict:
+    """One classification pass as the stable wire/CLI shape.
+
+    This is the daemon's ``classify`` result object; the CLI's
+    ``classify --json`` emits the identical keys.
+    """
+    return {
+        "name": result.circuit_name,
+        "fingerprint": fingerprint,
+        "criterion": result.criterion.name,
+        "sort": sort_kind,
+        "total_logical": result.total_logical,
+        "accepted": result.accepted,
+        "rd_count": result.rd_count,
+        "rd_percent": round(result.rd_percent, 6),
+        "elapsed": round(result.elapsed, 6),
+        "edges_visited": result.edges_visited,
+        "session": session_stats,
+    }
+
+
+def info_payload(circuit, counts, internal_fanout_stems: int) -> dict:
+    """``repro-rd info --json``: circuit shape + exact path counts."""
+    return {
+        "name": circuit.name,
+        "gates": circuit.num_gates,
+        "inputs": len(circuit.inputs),
+        "outputs": len(circuit.outputs),
+        "leads": circuit.num_leads,
+        "internal_fanout_stems": internal_fanout_stems,
+        "physical_paths": counts.total_physical,
+        "logical_paths": counts.total_logical,
+    }
+
+
+def to_json(payload: dict, indent: "int | None" = 2) -> str:
+    """The one JSON rendering (sorted keys) every ``--json`` flag uses."""
+    return json.dumps(payload, indent=indent, sort_keys=True)

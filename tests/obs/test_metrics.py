@@ -1,0 +1,155 @@
+"""The metrics registry: instruments, snapshots, and the worker merge."""
+
+import json
+
+from repro.obs import MetricsRegistry, format_metrics, get_registry
+from repro.obs.metrics import DEFAULT_BOUNDS
+
+
+class TestInstruments:
+    def test_counter(self):
+        r = MetricsRegistry()
+        c = r.counter("a.b")
+        c.inc()
+        c.inc(4)
+        assert r.snapshot()["counters"]["a.b"] == 5
+
+    def test_counter_identity_is_stable(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+
+    def test_gauge(self):
+        r = MetricsRegistry()
+        g = r.gauge("level")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert r.snapshot()["gauges"]["level"] == 1.0
+        g.set(7.5)
+        assert r.snapshot()["gauges"]["level"] == 7.5
+
+    def test_histogram_buckets_and_stats(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            h.observe(value)
+        data = r.snapshot()["histograms"]["lat"]
+        assert data["count"] == 4
+        assert data["buckets"] == [1, 2, 1]  # <=0.1, <=1.0, overflow
+        assert data["min"] == 0.05
+        assert data["max"] == 5.0
+        assert data["total"] == 6.05
+
+    def test_default_bounds(self):
+        r = MetricsRegistry()
+        h = r.histogram("d")
+        assert h.bounds == DEFAULT_BOUNDS
+        assert len(h.buckets) == len(DEFAULT_BOUNDS) + 1
+
+
+class TestSnapshot:
+    def test_json_safe(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(2)
+        r.histogram("h").observe(0.3)
+        json.dumps(r.snapshot())  # must not raise
+
+    def test_empty_registry(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert r.snapshot()["counters"] == {}
+
+
+class TestMerge:
+    def _worker_snapshot(self, n):
+        w = MetricsRegistry()
+        w.counter("engine.edges").inc(n)
+        w.gauge("pool").inc(1)
+        h = w.histogram("lat", bounds=(0.125, 1.0))
+        h.observe(n / 16.0)  # exact binary fraction: addition is exact
+        return w.snapshot()
+
+    def test_addition(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_snapshot(3))
+        parent.merge(self._worker_snapshot(5))
+        snap = parent.snapshot()
+        assert snap["counters"]["engine.edges"] == 8
+        assert snap["gauges"]["pool"] == 2
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_order_independent(self):
+        snapshots = [self._worker_snapshot(n) for n in (1, 2, 7, 9)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for s in snapshots:
+            forward.merge(s)
+        for s in reversed(snapshots):
+            backward.merge(s)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_min_max_compose(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_snapshot(2))   # observes 0.125
+        parent.merge(self._worker_snapshot(9))   # observes 0.5625
+        data = parent.snapshot()["histograms"]["lat"]
+        assert data["min"] == 0.125
+        assert data["max"] == 0.5625
+
+    def test_malformed_entries_skipped(self):
+        parent = MetricsRegistry()
+        parent.counter("ok").inc()
+        parent.merge(
+            {
+                "counters": {"bad": "NaN", "ok": 2},
+                "gauges": {"g": None},
+                "histograms": {"h": "not-a-dict", "h2": {"bounds": 3}},
+            }
+        )
+        snap = parent.snapshot()
+        assert snap["counters"] == {"ok": 3}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_incompatible_histogram_layout_dropped(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat", bounds=(0.1, 1.0)).observe(0.5)
+        parent.merge(
+            {
+                "histograms": {
+                    "lat": {
+                        "count": 1,
+                        "total": 0.5,
+                        "bounds": [0.5],
+                        "buckets": [1, 0],
+                    }
+                }
+            }
+        )
+        assert parent.snapshot()["histograms"]["lat"]["count"] == 1
+
+
+class TestFormat:
+    def test_renders_all_kinds(self):
+        r = MetricsRegistry()
+        r.counter("a.count").inc(3)
+        r.gauge("b.level").set(2)
+        r.histogram("c.seconds").observe(0.25)
+        text = format_metrics(r.snapshot())
+        assert "a.count" in text and "3" in text
+        assert "b.level" in text
+        assert "c.seconds" in text and "n=1" in text
+
+    def test_empty(self):
+        assert "no metrics" in format_metrics({})
+
+
+class TestGlobalRegistry:
+    def test_get_registry_is_process_wide(self):
+        get_registry().counter("global.probe").inc()
+        assert get_registry().snapshot()["counters"]["global.probe"] == 1

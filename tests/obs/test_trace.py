@@ -1,0 +1,104 @@
+"""Tracing spans: nesting, the ring buffer, and JSONL export."""
+
+import json
+
+from repro.obs import TraceBuffer, export_jsonl, get_buffer, get_registry, span
+
+
+class TestSpan:
+    def test_records_name_and_duration(self):
+        with span("unit.work"):
+            pass
+        events = get_buffer().snapshot()
+        assert len(events) == 1
+        record = events[0]
+        assert record["type"] == "span"
+        assert record["name"] == "unit.work"
+        assert record["duration"] >= 0
+        assert record["parent_id"] is None
+
+    def test_attrs_recorded(self):
+        with span("unit.work", circuit="c17", criterion="FS"):
+            pass
+        record = get_buffer().snapshot()[0]
+        assert record["attrs"] == {"circuit": "c17", "criterion": "FS"}
+
+    def test_nesting_links_parent(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        by_name = {e["name"]: e for e in get_buffer().snapshot()}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+
+    def test_siblings_share_parent(self):
+        with span("outer") as outer:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        by_name = {e["name"]: e for e in get_buffer().snapshot()}
+        assert by_name["a"]["parent_id"] == outer.span_id
+        assert by_name["b"]["parent_id"] == outer.span_id
+
+    def test_error_annotated_and_stack_unwound(self):
+        try:
+            with span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        record = get_buffer().snapshot()[0]
+        assert record["error"] == "ValueError"
+        # the stack unwound: a new span is a root again
+        with span("after"):
+            pass
+        assert get_buffer().snapshot()[1]["parent_id"] is None
+
+    def test_feeds_span_histogram(self):
+        with span("timed.region"):
+            pass
+        hists = get_registry().snapshot()["histograms"]
+        assert hists["span.timed.region"]["count"] == 1
+
+
+class TestTraceBuffer:
+    def test_bounded_drops_oldest(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.append({"i": i})
+        assert buf.dropped == 2
+        assert [e["i"] for e in buf.snapshot()] == [2, 3, 4]
+
+    def test_drain_empties(self):
+        buf = TraceBuffer()
+        buf.append({"a": 1})
+        assert buf.drain() == [{"a": 1}]
+        assert len(buf) == 0
+        assert buf.dropped == 0
+
+    def test_extend_skips_non_dicts(self):
+        buf = TraceBuffer()
+        buf.extend([{"ok": 1}, "junk", None, {"ok": 2}])
+        assert len(buf) == 2
+
+
+class TestExport:
+    def test_jsonl_ends_with_metrics_record(self, tmp_path):
+        get_registry().counter("export.probe").inc(7)
+        with span("exported"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        written = export_jsonl(path)
+        assert written == 1
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "span"
+        assert lines[0]["name"] == "exported"
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["metrics"]["counters"]["export.probe"] == 7
+
+    def test_export_drains_buffer(self, tmp_path):
+        with span("once"):
+            pass
+        export_jsonl(tmp_path / "a.jsonl")
+        assert len(get_buffer()) == 0
+        assert export_jsonl(tmp_path / "b.jsonl") == 0

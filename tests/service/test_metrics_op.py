@@ -1,0 +1,84 @@
+"""The daemon's ``metrics`` op and per-request correlation ids."""
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.obs import reset_registry
+from repro.service.client import ServiceClient
+
+from tests.service.test_server import _unix_server, harness  # noqa: F401
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    # the server instruments the process-wide registry; start clean so
+    # request counts below are exact
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestMetricsOp:
+    def test_reflects_a_completed_remote_classify(self, harness):  # noqa: F811
+        h = _unix_server(harness, store=str(harness.tmp_path / "s.sqlite"))
+        with ServiceClient.connect(h.address) as client:
+            result = client.classify(circuit="c17", criterion="sigma")
+            assert result["name"] == "c17"
+            snapshot = client.metrics()
+        assert snapshot["server"] == "repro-rd"
+        assert snapshot["uptime"] >= 0
+        metrics = snapshot["metrics"]
+        counters = metrics["counters"]
+        # the classify itself plus lifecycle accounting
+        assert counters["service.requests"] >= 2  # classify + metrics
+        assert counters["service.op.classify"] == 1
+        assert counters["service.ok"] >= 1
+        assert counters["engine.builds"] >= 1
+        assert counters["store.gets"] >= 1
+        # the metrics request itself was still in flight at snapshot time
+        assert metrics["gauges"]["service.in_flight"] >= 1
+        latency = metrics["histograms"]["service.request_seconds"]
+        assert latency["count"] >= 1
+
+    def test_deadline_abort_counted(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.classify(circuit="s1355-par", deadline=1e-9)
+            assert excinfo.value.error_type == "TaskTimeout"
+            counters = client.metrics()["metrics"]["counters"]
+        assert counters["service.deadline_aborts"] == 1
+
+    def test_errors_counted(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            with pytest.raises(RemoteError):
+                client.classify(circuit="no-such-circuit")
+            counters = client.metrics()["metrics"]["counters"]
+        assert counters["service.errors"] == 1
+
+
+class TestRequestCorrelation:
+    def test_start_event_and_response_share_request_id(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        events = []
+        with ServiceClient.connect(h.address) as client:
+            client.request("classify", circuit="c17", on_event=events.append)
+            raw = client.request("ping")
+            assert "server" in raw
+        assert events, "expected a start event"
+        start = events[0]
+        assert start["event"] == "start"
+        assert start["request_id"].startswith("req-")
+
+    def test_request_ids_are_sequential_per_server(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        seen = []
+        with ServiceClient.connect(h.address) as client:
+            for _ in range(3):
+                events: list = []
+                client.request("classify", circuit="c17", on_event=events.append)
+                seen.append(events[0]["request_id"])
+        numbers = [int(rid.split("-")[1]) for rid in seen]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == 3

@@ -39,7 +39,7 @@ class TestFraming:
 
 class TestValidation:
     def test_valid_ops(self):
-        for op in ("classify", "ping", "stats"):
+        for op in ("classify", "metrics", "ping", "stats"):
             assert protocol.validate_request({"op": op}) == op
 
     def test_missing_op(self):
@@ -72,3 +72,16 @@ class TestShapes:
     def test_event(self):
         message = protocol.event(2, "start", name="c17")
         assert message == {"id": 2, "event": "start", "name": "c17"}
+
+    def test_server_request_id_on_every_shape(self):
+        ok = protocol.ok_response(4, {"x": 1}, "req-7")
+        assert ok["request_id"] == "req-7"
+        err = protocol.error_response(9, TaskTimeout("c17", 5.0), "req-8")
+        assert err["request_id"] == "req-8"
+        ev = protocol.event(2, "start", server_request_id="req-9", name="c17")
+        assert ev["request_id"] == "req-9"
+        assert ev["name"] == "c17"
+
+    def test_request_id_omitted_when_absent(self):
+        assert "request_id" not in protocol.ok_response(1, {})
+        assert "request_id" not in protocol.event(1, "start")

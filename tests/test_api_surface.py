@@ -1,0 +1,141 @@
+"""The stable public API: ``repro.api.__all__`` is a contract.
+
+The frozen list below is the reviewed surface.  A failure here means
+the public API changed: widening it is a deliberate decision (update
+the snapshot in the same change), narrowing it is a breaking change.
+"""
+
+import importlib
+
+import repro
+import repro.api
+
+# the reviewed surface — keep sorted within each block, mirror api.py
+API_SNAPSHOT = [
+    # errors
+    "ReproError",
+    "CircuitError",
+    "ClassifyError",
+    "HarnessError",
+    "TaskTimeout",
+    "TaskCrashed",
+    "StoreError",
+    "ServiceError",
+    "ProtocolError",
+    "RemoteError",
+    # circuits
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "paper_example_circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "parse_pla",
+    "parse_pla_file",
+    "write_bench",
+    # classification
+    "CircuitSession",
+    "ClassificationResult",
+    "Criterion",
+    "check_logical_path",
+    "classify",
+    # observability
+    "MetricsRegistry",
+    "export_jsonl",
+    "format_metrics",
+    "get_registry",
+    "reset_registry",
+    "span",
+    # paths
+    "LogicalPath",
+    "PhysicalPath",
+    "count_paths",
+    "enumerate_logical_paths",
+    "enumerate_physical_paths",
+    # input sorts
+    "InputSort",
+    "heuristic1_sort",
+    "heuristic2_sort",
+    "pin_order_sort",
+    "random_sort",
+    # stabilizing systems
+    "CompleteStabilizingAssignment",
+    "StabilizingSystem",
+    "all_stabilizing_systems",
+    "assignment_from_sort",
+    "compute_stabilizing_system",
+    # baseline
+    "baseline_rd",
+    "leafdag_rd_paths",
+    # delay-test generation
+    "is_nonrobustly_testable",
+    "is_robustly_testable",
+    "nonrobust_test",
+    "robust_test",
+    # timing
+    "DelayAssignment",
+    "logical_path_delay",
+    "random_delays",
+    "settle_time",
+    "unit_delays",
+    # result store
+    "ResultStore",
+    "canonical_form",
+    "fingerprint",
+    # analysis service
+    "AnalysisServer",
+    "ServiceClient",
+    # serialization
+    "classification_payload",
+    "info_payload",
+    "to_json",
+]
+
+
+class TestSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == sorted(API_SNAPSHOT)
+
+    def test_no_duplicates(self):
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    def test_every_name_resolves_on_facade(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name, None) is not None, name
+
+    def test_package_reexports_facade(self):
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name), name
+
+    def test_package_all_is_facade_plus_version(self):
+        assert set(repro.__all__) == set(repro.api.__all__) | {"__version__"}
+
+    def test_star_import_is_clean(self):
+        namespace: dict = {}
+        exec("from repro.api import *", namespace)
+        assert set(API_SNAPSHOT) <= set(namespace)
+
+
+class TestDeepImportsKeepWorking:
+    """The facade is additive: established deep paths stay importable."""
+
+    DEEP = [
+        ("repro.classify.session", "CircuitSession"),
+        ("repro.classify.conditions", "Criterion"),
+        ("repro.store.db", "ResultStore"),
+        ("repro.service.client", "ServiceClient"),
+        ("repro.obs.metrics", "MetricsRegistry"),
+        ("repro.obs.trace", "span"),
+        ("repro.paths.count", "count_paths"),
+        ("repro.sorting.heuristics", "heuristic2_sort"),
+    ]
+
+    def test_deep_paths(self):
+        for module_name, attr in self.DEEP:
+            module = importlib.import_module(module_name)
+            assert hasattr(module, attr), f"{module_name}.{attr}"
+
+    def test_deep_and_facade_agree(self):
+        from repro.classify.session import CircuitSession as deep
+
+        assert repro.api.CircuitSession is deep

@@ -1,7 +1,10 @@
 """End-to-end tests of the CLI."""
 
+import json
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, load_circuit, main
 
 
@@ -186,6 +189,150 @@ class TestSupervisionFlags:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert "--resume" in err
+
+
+class TestSharedFlagFamily:
+    """One parent parser: every run-style subcommand spells every
+    shared flag the same way."""
+
+    RUN_COMMANDS = [
+        ["classify", "c17"],
+        ["baseline", "c17"],
+        ["compare-sorts", "c17"],
+        ["sweep", "parity_tree", "--params", "2"],
+        ["table1"],
+        ["table2"],
+        ["table3"],
+    ]
+
+    @pytest.mark.parametrize(
+        "base", RUN_COMMANDS, ids=[c[0] for c in RUN_COMMANDS]
+    )
+    def test_family_parses_everywhere(self, base):
+        args = build_parser().parse_args(
+            base
+            + [
+                "--jobs", "2",
+                "--store", "s.sqlite",
+                "--checkpoint", "c.jsonl",
+                "--resume",
+                "--trace-out", "t.jsonl",
+                "-v",
+                "--task-budget", "9",
+                "--retries", "2",
+            ]
+        )
+        assert args.jobs == 2
+        assert args.store == "s.sqlite"
+        assert args.checkpoint == "c.jsonl"
+        assert args.resume
+        assert args.trace_out == "t.jsonl"
+        assert args.verbose
+        assert args.task_timeout == 9.0
+        assert args.max_retries == 2
+
+    def test_deprecated_aliases_still_parse(self, monkeypatch):
+        monkeypatch.setattr(cli, "_warned_aliases", set())
+        with pytest.warns(DeprecationWarning, match="--task-budget"):
+            args = build_parser().parse_args(
+                ["table1", "--task-timeout", "30"]
+            )
+        assert args.task_timeout == 30.0
+        with pytest.warns(DeprecationWarning, match="--retries"):
+            args = build_parser().parse_args(["table1", "--max-retries", "2"])
+        assert args.max_retries == 2
+
+    def test_deprecated_alias_warns_once_per_process(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "_warned_aliases", set())
+        parser = build_parser()
+        parser.parse_args(["table1", "--task-timeout", "1"])
+        parser.parse_args(["table1", "--task-timeout", "2"])
+        assert capsys.readouterr().err.count("deprecated") == 1
+
+
+class TestJsonOutputs:
+    def test_info_json(self, capsys):
+        assert main(["info", "c17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "c17"
+        assert payload["logical_paths"] == 22
+        assert payload["physical_paths"] == 11
+
+    def test_classify_json_stable_keys(self, capsys):
+        assert main(["classify", "c17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == [
+            "accepted", "criterion", "edges_visited", "elapsed",
+            "fingerprint", "name", "rd_count", "rd_percent", "session",
+            "sort", "total_logical",
+        ]
+        assert payload["criterion"] == "SIGMA_PI"
+        assert payload["session"]["classify_passes"] >= 1
+
+    def test_metrics_local_json(self, capsys):
+        assert main(["metrics", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["metrics"]) == {"counters", "gauges", "histograms"}
+
+    def test_metrics_local_human(self, capsys):
+        main(["classify", "c17"])
+        capsys.readouterr()
+        assert main(["metrics"]) == 0
+        assert "classify" in capsys.readouterr().out
+
+
+class TestNewSubcommands:
+    def test_trace_out_writes_spans_and_metrics(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["classify", "c17", "--trace-out", str(path)]) == 0
+        assert "trace:" in capsys.readouterr().err
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[-1]["type"] == "metrics"
+        assert any(l.get("name") == "classify.pass" for l in lines)
+
+    def test_classify_jobs_cone_fanout_fs(self, capsys):
+        assert main(["classify", "c17", "--criterion", "fs", "--jobs", "2"]) == 0
+        serial_like = capsys.readouterr().out
+        assert main(["classify", "c17", "--criterion", "fs"]) == 0
+        serial = capsys.readouterr().out
+        # cone decomposition preserves the counts
+        assert serial_like.split("accepted")[0] == serial.split("accepted")[0]
+
+    def test_classify_jobs_sigma_warns_and_runs(self, capsys):
+        assert main(["classify", "c17", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "SIGMA_PI" in captured.out
+        assert "no effect" in captured.err
+
+    def test_compare_sorts(self, capsys):
+        code = main(
+            ["compare-sorts", "c17", "--sorts", "pin,heu2", "--sample-size", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c17[pin]" in out and "c17[heu2]" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "parity_tree", "--params", "2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: parity_tree" in out
+        assert "logical paths" in out
+
+    def test_sweep_bad_params(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "parity_tree", "--params", "two"])
+
+    def test_sweep_checkpoint_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        assert main(
+            ["sweep", "parity_tree", "--params", "2,3", "--checkpoint", ckpt]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["sweep", "parity_tree", "--params", "2,3",
+             "--checkpoint", ckpt, "--resume"]
+        ) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestVersion:
