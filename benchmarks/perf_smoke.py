@@ -1,0 +1,62 @@
+"""Classifier-throughput smoke check with a hard floor (CI gate).
+
+Runs a small fixed workload — FS and SIGMA_PI (Heuristic-1 sort) passes
+over a three-circuit subset of the Table-I suite — and fails (exit 1) if
+aggregate throughput lands below ``FLOOR_EDGES_PER_SECOND``.
+
+The floor is deliberately far below the committed ``BENCH_classify.json``
+numbers: shared CI runners are slow and noisy, and this gate exists to
+catch order-of-magnitude engine regressions (an accidental return to
+object-graph traversal, a broken memo table), not percent-level drift.
+Use ``record_classify_bench.py`` on a quiet machine for real numbers.
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.classify.conditions import Criterion
+from repro.classify.session import CircuitSession
+from repro.gen.suite import get_circuit
+
+#: Hard throughput floor (path-edge extensions per second).  The flat-IR
+#: bitset engine clears ~700k e/s on a quiet dev machine; the pre-flat
+#: engine recorded 143k.  150k therefore passes only with the fast
+#: kernel, with ~4x headroom for slow CI hardware.
+FLOOR_EDGES_PER_SECOND = 150_000
+
+#: Enough edges to dominate interpreter warm-up, small enough for CI.
+SMOKE_CIRCUITS = ("s432-rand", "s1355-par", "s2670-rand")
+
+
+def run_smoke() -> "tuple[int, float]":
+    """Run the smoke workload; returns (total edges, total seconds)."""
+    edges = 0
+    elapsed = 0.0
+    for name in SMOKE_CIRCUITS:
+        session = CircuitSession(get_circuit(name))
+        for criterion, sort in (
+            (Criterion.FS, None),
+            (Criterion.SIGMA_PI, session.heuristic1_sort()),
+        ):
+            result = session.classify(criterion, sort=sort)
+            edges += result.edges_visited
+            elapsed += result.elapsed
+    return edges, elapsed
+
+
+def main() -> int:
+    edges, elapsed = run_smoke()
+    rate = edges / elapsed if elapsed else 0.0
+    status = "ok" if rate >= FLOOR_EDGES_PER_SECOND else "FAIL"
+    print(
+        f"perf-smoke: {edges} edges in {elapsed:.2f}s = {rate:,.0f} edges/s "
+        f"(floor {FLOOR_EDGES_PER_SECOND:,}) [{status}]"
+    )
+    return 0 if status == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@ OUT_STORE = Path(__file__).resolve().parent.parent / "BENCH_store.json"
 
 def bench_circuit(circuit) -> dict:
     session = CircuitSession(circuit)
+    flat = circuit.flat  # force the IR (and report its cost separately)
+    flat.closures
     passes = {}
     for label, criterion, sort in (
         ("fs", Criterion.FS, None),
@@ -53,6 +55,9 @@ def bench_circuit(circuit) -> dict:
         "circuit": circuit.name,
         "gates": circuit.num_gates,
         "total_logical_paths": session.counts.total_logical,
+        # one-time cost of the flat IR + literal closures, amortized over
+        # every pass of the session (not part of any pass's elapsed_s)
+        "ir_build_s": round(flat.build_s + flat.closures.build_s, 4),
         "passes": passes,
     }
 
@@ -83,6 +88,7 @@ def main() -> None:
             "edges_visited": edges,
             "elapsed_s": round(elapsed, 2),
             "edges_per_second": round(edges / elapsed) if elapsed else 0,
+            "ir_build_s": round(sum(r["ir_build_s"] for r in rows), 4),
         },
         "circuits": rows,
     }

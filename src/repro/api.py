@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.circuit import (
     Circuit,
     CircuitBuilder,
+    FlatCircuit,
     GateType,
     paper_example_circuit,
     parse_bench,
@@ -115,6 +116,7 @@ __all__ = [
     # circuits
     "Circuit",
     "CircuitBuilder",
+    "FlatCircuit",
     "GateType",
     "paper_example_circuit",
     "parse_bench",

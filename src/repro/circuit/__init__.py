@@ -13,6 +13,7 @@ from repro.circuit.gates import (
     is_inverting,
     evaluate_gate,
 )
+from repro.circuit.flat import FlatCircuit, LiteralClosures
 from repro.circuit.netlist import Circuit, Lead
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
@@ -33,6 +34,8 @@ __all__ = [
     "is_inverting",
     "evaluate_gate",
     "Circuit",
+    "FlatCircuit",
+    "LiteralClosures",
     "Lead",
     "CircuitBuilder",
     "parse_bench",

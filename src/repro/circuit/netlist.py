@@ -57,6 +57,7 @@ class Circuit:
         self._lead_src: list[int] = []
         self._lead_dst: list[int] = []
         self._lead_pin: list[int] = []
+        self._flat = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -161,6 +162,47 @@ class Circuit:
     @property
     def frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def flat(self):
+        """The flat struct-of-arrays IR of this circuit, built once and
+        cached (:class:`repro.circuit.flat.FlatCircuit`)."""
+        self._require_frozen()
+        flat = self._flat
+        if flat is None:
+            from repro.circuit.flat import FlatCircuit
+
+            flat = self._flat = FlatCircuit(self)
+        return flat
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as the flat construction arrays, not the object graph.
+
+        Process-pool payloads ship circuits to workers constantly; sending
+        only ``(types, names, fanin)`` and re-freezing on the receiving
+        side is both smaller and faster than serialising the derived
+        fanout/lead/flat structures, which each worker can rebuild in
+        microseconds.
+        """
+        return {
+            "name": self.name,
+            "types": bytes(self._types),
+            "names": tuple(self._names),
+            "fanin": tuple(self._fanin),
+            "frozen": self._frozen,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        Circuit.__init__(self, state["name"])
+        self._types = [GateType(b) for b in state["types"]]
+        self._names = list(state["names"])
+        self._fanin = [tuple(f) for f in state["fanin"]]
+        self._by_name = {nm: gid for gid, nm in enumerate(self._names)}
+        if state["frozen"]:
+            self.freeze()
 
     @property
     def num_gates(self) -> int:

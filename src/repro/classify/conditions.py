@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING
 
+from repro.circuit.gates import has_controlling_value
 from repro.circuit.netlist import Circuit
 
 if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
@@ -66,3 +67,44 @@ def required_side_pins(
             raise ValueError("SIGMA_PI criterion requires an input sort")
         return sort.low_order_side_pins(lead)
     raise ValueError(f"unknown criterion {criterion}")
+
+
+def packed_side_conditions(
+    circuit: Circuit,
+    criterion: Criterion,
+    sort: "InputSort | None" = None,
+) -> tuple[list[int], list[int]]:
+    """Word-packed side-input conditions for every lead of ``circuit``.
+
+    Returns ``(all_masks, ctrl_masks)``, two lists indexed by lead: gate
+    bitsets (bit ``s`` set iff source gate ``s`` must carry the
+    destination gate's non-controlling value) for the two on-path cases of
+    the criterion table above — non-controlling on-path value
+    (``all_masks``) and controlling on-path value (``ctrl_masks``).
+
+    This is the same information :func:`required_side_pins` yields pin by
+    pin, folded into one machine-word-parallel mask per lead (duplicate
+    source gates collapse — a gate feeding two side pins must be
+    non-controlling either way).  The bitset classification engine builds
+    its per-lead condition entries from these masks; the property tests
+    pin the two forms to each other.
+
+    Leads into PO/NOT/BUF gates impose no side conditions: both masks 0.
+    """
+    all_masks = [0] * circuit.num_leads
+    ctrl_masks = [0] * circuit.num_leads
+    for lead in range(circuit.num_leads):
+        dst = circuit.lead_dst(lead)
+        gt = circuit.gate_type(dst)
+        if not has_controlling_value(gt):
+            continue
+        fanin = circuit.fanin(dst)
+        m = 0
+        for p in required_side_pins(criterion, circuit, lead, False, sort):
+            m |= 1 << fanin[p]
+        all_masks[lead] = m
+        m = 0
+        for p in required_side_pins(criterion, circuit, lead, True, sort):
+            m |= 1 << fanin[p]
+        ctrl_masks[lead] = m
+    return all_masks, ctrl_masks

@@ -1,229 +1,605 @@
-"""Algorithm 2: implicit path enumeration with local implications.
+"""Algorithm 2: implicit path enumeration with word-parallel implications.
 
 All logical paths are enumerated implicitly by a DFS that extends path
 segments from each PI towards the POs.  At every extension the criterion's
-side-input conditions are injected into a trail-based implication engine;
-a contradiction prunes the segment *and all its extensions* (the prime
-segment concept, footnote 3 of the paper).  A path that reaches a PO
-without contradiction is counted into ``LP^sup``.
-
-The traversal keeps its own explicit frame stack, so arbitrarily deep
-circuits are handled without recursion (and without touching the
-interpreter's recursion limit) — one small list per pending gate instead
-of a Python frame per path edge.
+side-input conditions are injected; a contradiction prunes the segment
+*and all its extensions* (the prime segment concept, footnote 3 of the
+paper).  A path that reaches a PO without contradiction is counted into
+``LP^sup``.
 
 Because only local (direct) implications are performed, the check is
 one-sided: accepted paths may in truth be unsatisfiable (hence the
 superset), but every rejected path is certainly not in the criterion set
 — the reported RD-set is sound.
+
+The enumeration core runs over the flat IR (:mod:`repro.circuit.flat`)
+with set-of-gates state packed into word-wide bitmasks:
+
+* The DFS state is two integers ``ones`` / ``zeros`` — bit ``g`` set iff
+  gate ``g`` is assigned 1 / 0 — plus their maintained complements
+  ``no`` / ``nz``, so "which of these bits are new" and "does this
+  conflict" are single ``&`` expressions over ``ceil(n / 64)`` words.
+* The transitive closure of Algorithm 2's *unconditional* implication
+  rules is precomputed per literal (:class:`repro.circuit.flat.
+  LiteralClosures`), so injecting a side condition ORs one precomputed
+  mask pair instead of propagating gate by gate.  Only the two
+  *conditional* rules (last-free-input, all-inputs-non-controlling) need
+  a runtime worklist, seeded through value-filtered candidate masks.
+* Per-lead conditions are folded at table-build time
+  (:class:`_Tables`): one ``(ones, zeros)`` mask pair per (lead, on-path
+  value), derived from :func:`repro.classify.conditions.
+  packed_side_conditions` — the bitset twin of ``required_side_pins``.
+* Implication rules are monotone, so the settled state after an
+  extension is a pure function of (entry, state); a per-run memo table
+  short-circuits the worklist for states revisited across sibling
+  subtrees, which dominates on reconvergent circuits.
+
+The DFS itself keeps explicit iterator/state stacks, so arbitrarily deep
+circuits are handled without recursion.  Enumeration order, edge counts
+and accept/prune decisions are identical to the reference trail engine
+(:mod:`repro.classify.reference`), which the equivalence tests enforce.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.circuit.gates import GateType, controlling_value, has_controlling_value
+from repro.circuit.flat import K_NOT, K_PO, K_SIMPLE
 from repro.circuit.netlist import Circuit
-from repro.classify.conditions import Criterion, required_side_pins
+from repro.classify.conditions import Criterion, packed_side_conditions
 from repro.classify.results import ClassificationResult
 from repro.errors import ClassifyError
-from repro.logic.implication import ImplicationEngine
-from repro.logic.values import controlled_output, uncontrolled_output
 from repro.paths.count import PathCounts, count_paths
 from repro.paths.path import LogicalPath
 from repro.util.timer import Stopwatch
 
 if TYPE_CHECKING:  # annotation-only; avoids a classify <-> sorting cycle
+    from repro.circuit.flat import FlatCircuit, LiteralClosures
     from repro.classify.session import CircuitSession
     from repro.sorting.input_sort import InputSort
 
-_K_PO = 0
-_K_WIRE = 1  # BUF
-_K_NOT = 2
-_K_SIMPLE = 3
+#: Branch sentinel: this branch enters a PO — accept the path.
+_ACCEPT = object()
+#: Memo-table miss sentinel (``None`` is a meaningful cached value).
+_MISS = object()
 
 
 class _Tables:
-    """Static per-lead tables for one (circuit, criterion, sort) run."""
+    """Static per-(circuit, criterion, sort) tables for the bitset kernel.
+
+    ``branches[2 * g + v]`` is a tuple with one *entry* per fanout branch
+    of gate ``g`` when its output carries value ``v``:
+
+    ``None``
+        statically dead — the branch's condition closure is
+        self-contradictory, every visit prunes;
+    :data:`_ACCEPT`
+        the branch enters a PO — every visit accepts;
+    otherwise a 10-slot list ``e``:
+        ``e[0]``/``e[1]`` closure masks to force 1 / 0 (side-input
+        conditions plus the new on-path output value, all statically
+        closed), ``e[2]`` the next branch tuple
+        (``branches[2 * dst + newval]``), ``e[3]``/``e[4]`` the
+        precomputed complements ``~e[0]``/``~e[1]``, ``e[5]`` whether the
+        on-path value is ``dst``'s controlling value, ``e[6]`` the lead,
+        ``e[7]`` a dense entry id (memo key), ``e[8]`` the on-path value
+        at ``dst``'s output and ``e[9]`` ``dst`` itself.
+
+    ``roots[2 * pi + x]`` is the settled state after assuming PI ``pi``
+    carries ``x`` (``None`` if that assumption is already absurd) and
+    ``tab[2 * lead + v]`` indexes the same entries by (lead, incoming
+    value) for single-path walks.
+    """
 
     def __init__(
         self, circuit: Circuit, criterion: Criterion, sort: InputSort | None
     ) -> None:
         if criterion.needs_sort and sort is None:
             raise ValueError("SIGMA_PI classification requires an input sort")
-        n = circuit.num_gates
-        self.kind = [0] * n
-        self.ctrl = [-2] * n
-        self.out_ctrl = [0] * n
-        self.out_nc = [0] * n
-        self.nc = [0] * n
+        flat = circuit.flat
+        clo = flat.closures
+        self.flat = flat
+        self.closures = clo
+        n = flat.num_gates
+        kind = flat.kind
+        ctrl = flat.ctrl
+        nc = flat.nc
+        out_ctrl = flat.out_ctrl
+        out_nc = flat.out_nc
+        fanout_start = flat.fanout_start
+        fanout_dst = flat.fanout_dst
+        fanout_lead = flat.fanout_lead
+        lo_ = clo.lit_ones
+        lz_ = clo.lit_zeros
+        all_masks, ctrl_masks = packed_side_conditions(circuit, criterion, sort)
+        tab: list = [None] * (2 * flat.num_leads)
+        rows: list[list] = [[] for _ in range(2 * n)]
+        entries: list[list] = []
         for g in range(n):
-            t = circuit.gate_type(g)
-            if t is GateType.PO:
-                self.kind[g] = _K_PO
-            elif t is GateType.BUF:
-                self.kind[g] = _K_WIRE
-            elif t is GateType.NOT:
-                self.kind[g] = _K_NOT
-            elif has_controlling_value(t):
-                self.kind[g] = _K_SIMPLE
-                self.ctrl[g] = controlling_value(t)
-                self.nc[g] = 1 - self.ctrl[g]
-                self.out_ctrl[g] = controlled_output(t)
-                self.out_nc[g] = uncontrolled_output(t)
-            elif t is not GateType.PI:
-                raise ValueError(f"unsupported gate type {t.name}")
-        # For every lead into a simple gate: source nets that must be
-        # non-controlling when the on-path value is non-controlling
-        # (side_nc_all) vs controlling (side_nc_ctrl, criterion-specific).
-        m = circuit.num_leads
-        self.side_all: list[tuple[int, ...]] = [()] * m
-        self.side_ctrl: list[tuple[int, ...]] = [()] * m
-        for lead in range(m):
-            dst = circuit.lead_dst(lead)
-            if self.kind[dst] != _K_SIMPLE:
+            blo = fanout_start[g]
+            bhi = fanout_start[g + 1]
+            for v in (0, 1):
+                out = rows[2 * g + v]
+                for i in range(blo, bhi):
+                    dst = fanout_dst[i]
+                    lead = fanout_lead[i]
+                    k = kind[dst]
+                    if k == K_PO:
+                        out.append(_ACCEPT)
+                        tab[2 * lead + v] = _ACCEPT
+                        continue
+                    if k == K_SIMPLE:
+                        is_ctrl = v == ctrl[dst]
+                        mask = ctrl_masks[lead] if is_ctrl else all_masks[lead]
+                        newval = out_ctrl[dst] if is_ctrl else out_nc[dst]
+                        ncv = nc[dst]
+                        L = 2 * dst + newval
+                        o = lo_[L]
+                        z = lz_[L]
+                        while mask:
+                            b = mask & -mask
+                            mask ^= b
+                            L = 2 * (b.bit_length() - 1) + ncv
+                            o |= lo_[L]
+                            z |= lz_[L]
+                    elif k == K_NOT:
+                        is_ctrl = False
+                        newval = 1 - v
+                        L = 2 * dst + newval
+                        o = lo_[L]
+                        z = lz_[L]
+                    else:  # K_WIRE
+                        is_ctrl = False
+                        newval = v
+                        L = 2 * dst + v
+                        o = lo_[L]
+                        z = lz_[L]
+                    if o & z:
+                        out.append(None)
+                        continue
+                    e = [
+                        o,
+                        z,
+                        2 * dst + newval,
+                        ~o,
+                        ~z,
+                        is_ctrl,
+                        lead,
+                        len(entries),
+                        newval,
+                        dst,
+                    ]
+                    entries.append(e)
+                    out.append(e)
+                    tab[2 * lead + v] = e
+        branches = [tuple(row) for row in rows]
+        for e in entries:
+            e[2] = branches[e[2]]
+        self.branches = branches
+        self.tab = tab
+        self._full_branches: list | None = None
+        # Settled root state per (PI, assumed value); None = absurd.
+        roots: dict[int, tuple | None] = {}
+        lit_bad = clo.lit_bad
+        for pi in flat.inputs:
+            for v in (0, 1):
+                L = 2 * pi + v
+                if lit_bad[L]:
+                    roots[L] = None
+                    continue
+                lo = lo_[L]
+                lz = lz_[L]
+                roots[L] = _settle(
+                    flat, clo, lo, lz, clo.lit_no[L], clo.lit_nz[L], lo, lz
+                )
+        self.roots = roots
+
+    def full_branches(self) -> list:
+        """Branch rows for the bookkeeping kernel: identical to
+        :attr:`branches` except PO branches carry their lead as a 1-tuple
+        so accepted paths can be reconstructed."""
+        fb = self._full_branches
+        if fb is None:
+            flat = self.flat
+            kind = flat.kind
+            fs = flat.fanout_start
+            fd = flat.fanout_dst
+            fl = flat.fanout_lead
+            fb = list(self.branches)
+            for g in range(flat.num_gates):
+                blo = fs[g]
+                if not any(
+                    kind[fd[i]] == K_PO for i in range(blo, fs[g + 1])
+                ):
+                    continue
+                for v in (0, 1):
+                    fb[2 * g + v] = tuple(
+                        (fl[blo + i],) if e is _ACCEPT else e
+                        for i, e in enumerate(self.branches[2 * g + v])
+                    )
+            self._full_branches = fb
+        return fb
+
+
+def _settle(
+    flat: FlatCircuit,
+    clo: LiteralClosures,
+    ones: int,
+    zeros: int,
+    no: int,
+    nz: int,
+    n1: int,
+    n0: int,
+) -> tuple[int, int, int, int] | None:
+    """Drain the conditional-rule worklist after bits ``n1`` / ``n0``
+    were newly assigned 1 / 0.
+
+    Returns the settled ``(ones, zeros, no, nz)`` state, or ``None`` on a
+    contradiction.  The rule set is monotone, so the fixpoint is unique
+    regardless of worklist order.  This out-of-line version serves root
+    states, single-path walks and the bookkeeping kernel; the fast kernel
+    inlines the same loop.
+    """
+    ctrl = flat.ctrl
+    out_ctrl = flat.out_ctrl
+    out_nc = flat.out_nc
+    fanin_mask = flat.fanin_mask
+    c1 = clo.c1
+    c0 = clo.c0
+    lit_ones = clo.lit_ones
+    lit_zeros = clo.lit_zeros
+    lit_no = clo.lit_no
+    lit_nz = clo.lit_nz
+    lit_bad = clo.lit_bad
+    pending = 0
+    n1 &= clo.I1
+    while n1:
+        b = n1 & -n1
+        n1 ^= b
+        pending |= c1[b.bit_length() - 1]
+    n0 &= clo.I0
+    while n0:
+        b = n0 & -n0
+        n0 ^= b
+        pending |= c0[b.bit_length() - 1]
+    while pending:
+        b = pending & -pending
+        pending ^= b
+        h = b.bit_length() - 1
+        fm = fanin_mask[h]
+        u = fm & no & nz
+        if u:
+            # last-free-input rule: fires only when exactly one input is
+            # unassigned, the output is already controlled and no input
+            # is controlling yet
+            if u & (u - 1):
                 continue
-            fanin = circuit.fanin(dst)
-            all_pins = required_side_pins(criterion, circuit, lead, False, sort)
-            ctrl_pins = required_side_pins(criterion, circuit, lead, True, sort)
-            self.side_all[lead] = tuple(fanin[p] for p in all_pins)
-            self.side_ctrl[lead] = tuple(fanin[p] for p in ctrl_pins)
-        # Fanout adjacency: (lead, dst) pairs per gate.
-        self.fanout: list[tuple[tuple[int, int], ...]] = [
-            tuple(
-                (circuit.lead_index(dst, pin), dst)
-                for dst, pin in circuit.fanout(g)
-            )
-            for g in range(n)
-        ]
+            if fm & (ones if ctrl[h] else zeros):
+                continue
+            if not ((ones if out_ctrl[h] else zeros) >> h) & 1:
+                continue
+            L = 2 * (u.bit_length() - 1) + ctrl[h]
+        else:
+            # all inputs assigned non-controlling: output forced
+            if ((ones if out_nc[h] else zeros) >> h) & 1:
+                continue
+            if fm & (ones if ctrl[h] else zeros):
+                continue
+            L = 2 * h + out_nc[h]
+        if lit_bad[L]:
+            return None
+        lo = lit_ones[L]
+        lz = lit_zeros[L]
+        f1 = lo & no
+        f0 = lz & nz
+        if f1 or f0:
+            if lo & zeros or lz & ones:
+                return None
+            ones |= lo
+            zeros |= lz
+            no &= lit_no[L]
+            nz &= lit_nz[L]
+            f1 &= clo.I1
+            while f1:
+                b2 = f1 & -f1
+                f1 ^= b2
+                pending |= c1[b2.bit_length() - 1]
+            f0 &= clo.I0
+            while f0:
+                b2 = f0 & -f0
+                f0 ^= b2
+                pending |= c0[b2.bit_length() - 1]
+    return (ones, zeros, no, nz)
+
+
+def _run_fast(
+    tables: _Tables, max_accepted: int | None
+) -> tuple[int, int, list[int]]:
+    """The hot kernel: counts only (no per-path bookkeeping).
+
+    Everything is local variables and int ops; the conditional-rule
+    worklist of :func:`_settle` is inlined.  The conflict check MUST
+    precede the new-bits test when merging an entry — bits that are all
+    "already known" can still sit on the wrong side.
+    """
+    flat = tables.flat
+    clo = tables.closures
+    # array('b') indexing is measurably slower than list indexing in the
+    # candidate loop; snapshot the hot tables as plain lists
+    ctrl = list(flat.ctrl)
+    out_ctrl = list(flat.out_ctrl)
+    out_nc = list(flat.out_nc)
+    fanin_mask = flat.fanin_mask
+    lit_ones = clo.lit_ones
+    lit_zeros = clo.lit_zeros
+    lit_no = clo.lit_no
+    lit_nz = clo.lit_nz
+    lit_bad = clo.lit_bad
+    c1 = clo.c1
+    c0 = clo.c0
+    I1 = clo.I1
+    I0 = clo.I0
+    branches = tables.branches
+    roots = tables.roots
+    limit = float("inf") if max_accepted is None else max_accepted
+    memo: dict = {}
+    accepted = 0
+    edges = 0
+    maxd = flat.num_gates + 2
+    it_stk: list = [None] * maxd
+    st_stk: list = [None] * maxd
+    ones = zeros = 0
+    no = nz = -1
+    for pi in flat.inputs:
+        for x in (1, 0):
+            st = roots[2 * pi + x]
+            if st is None:
+                continue
+            ones, zeros, no, nz = st
+            d = 0
+            it_stk[0] = iter(branches[2 * pi + x])
+            st_stk[0] = None
+            while d >= 0:
+                e = next(it_stk[d], False)
+                if e is False:
+                    s = st_stk[d]
+                    if s is not None:
+                        ones, zeros, no, nz = s
+                    d -= 1
+                    continue
+                edges += 1
+                if e is None:
+                    continue
+                if e is _ACCEPT:
+                    accepted += 1
+                    if accepted > limit:
+                        raise ClassifyError(
+                            f"more than {max_accepted} paths accepted; "
+                            "raise max_accepted or use a smaller circuit"
+                        )
+                    continue
+                o = e[0]
+                z = e[1]
+                t1 = o & no
+                t0 = z & nz
+                if t1 or t0:
+                    kt = (e[7], ones, zeros)
+                    r = memo.get(kt, _MISS)
+                    if r is _MISS:
+                        if o & zeros or z & ones:
+                            memo[kt] = None
+                            continue
+                        snap = (ones, zeros, no, nz)
+                        ones |= o
+                        zeros |= z
+                        no &= e[3]
+                        nz &= e[4]
+                        pending = 0
+                        t1 &= I1
+                        while t1:
+                            b = t1 & -t1
+                            t1 ^= b
+                            pending |= c1[b.bit_length() - 1]
+                        t0 &= I0
+                        while t0:
+                            b = t0 & -t0
+                            t0 ^= b
+                            pending |= c0[b.bit_length() - 1]
+                        ok = True
+                        while pending:
+                            b = pending & -pending
+                            pending ^= b
+                            h = b.bit_length() - 1
+                            fm = fanin_mask[h]
+                            u = fm & no & nz
+                            if u:
+                                if u & (u - 1):
+                                    continue
+                                if fm & (ones if ctrl[h] else zeros):
+                                    continue
+                                if (
+                                    not ((ones if out_ctrl[h] else zeros) >> h)
+                                    & 1
+                                ):
+                                    continue
+                                L = 2 * (u.bit_length() - 1) + ctrl[h]
+                            else:
+                                if ((ones if out_nc[h] else zeros) >> h) & 1:
+                                    continue
+                                if fm & (ones if ctrl[h] else zeros):
+                                    continue
+                                L = 2 * h + out_nc[h]
+                            if lit_bad[L]:
+                                ok = False
+                                break
+                            lo = lit_ones[L]
+                            lz = lit_zeros[L]
+                            f1 = lo & no
+                            f0 = lz & nz
+                            if f1 or f0:
+                                if lo & zeros or lz & ones:
+                                    ok = False
+                                    break
+                                ones |= lo
+                                zeros |= lz
+                                no &= lit_no[L]
+                                nz &= lit_nz[L]
+                                f1 &= I1
+                                while f1:
+                                    b2 = f1 & -f1
+                                    f1 ^= b2
+                                    pending |= c1[b2.bit_length() - 1]
+                                f0 &= I0
+                                while f0:
+                                    b2 = f0 & -f0
+                                    f0 ^= b2
+                                    pending |= c0[b2.bit_length() - 1]
+                        if not ok:
+                            memo[kt] = None
+                            ones, zeros, no, nz = snap
+                            continue
+                        memo[kt] = (ones, zeros, no, nz)
+                        d += 1
+                        it_stk[d] = iter(e[2])
+                        st_stk[d] = snap
+                    elif r is None:
+                        continue
+                    else:
+                        st_stk[d + 1] = (ones, zeros, no, nz)
+                        d += 1
+                        ones, zeros, no, nz = r
+                        it_stk[d] = iter(e[2])
+                else:
+                    # nothing new to assign: extension trivially consistent
+                    d += 1
+                    it_stk[d] = iter(e[2])
+                    st_stk[d] = None
+    return accepted, edges, []
+
+
+def _run_full(
+    tables: _Tables,
+    collect_lead_counts: bool,
+    max_accepted: int | None,
+    on_path: Callable[[LogicalPath], None] | None,
+) -> tuple[int, int, list[int]]:
+    """The bookkeeping kernel: same traversal as :func:`_run_fast`, plus
+    the lead/controlling stacks needed for ``lead_ctrl_counts`` and
+    ``on_path`` reconstruction.  The memo only short-circuits state
+    computation, never the traversal, so per-path bookkeeping stays
+    exact."""
+    from repro.paths.path import PhysicalPath  # local: rarely used
+
+    flat = tables.flat
+    clo = tables.closures
+    branches = tables.full_branches()
+    roots = tables.roots
+    limit = float("inf") if max_accepted is None else max_accepted
+    memo: dict = {}
+    accepted = 0
+    edges = 0
+    lead_counts = [0] * flat.num_leads if collect_lead_counts else []
+    ctrl_stack: list[tuple[int, bool]] = []
+    path_stack: list[int] = []
+    maxd = flat.num_gates + 2
+    it_stk: list = [None] * maxd
+    st_stk: list = [None] * maxd
+    for pi in flat.inputs:
+        for x in (1, 0):
+            st = roots[2 * pi + x]
+            if st is None:
+                continue
+            ones, zeros, no, nz = st
+            d = 0
+            it_stk[0] = iter(branches[2 * pi + x])
+            st_stk[0] = None
+            while d >= 0:
+                e = next(it_stk[d], False)
+                if e is False:
+                    s = st_stk[d]
+                    if s is not None:
+                        ones, zeros, no, nz = s
+                    if d > 0:
+                        path_stack.pop()
+                        ctrl_stack.pop()
+                    d -= 1
+                    continue
+                edges += 1
+                if e is None:
+                    continue
+                if e.__class__ is tuple:  # (lead,) into a PO: accept
+                    accepted += 1
+                    if accepted > limit:
+                        raise ClassifyError(
+                            f"more than {max_accepted} paths accepted; "
+                            "raise max_accepted or use a smaller circuit"
+                        )
+                    if collect_lead_counts:
+                        for l2, is_c in ctrl_stack:
+                            if is_c:
+                                lead_counts[l2] += 1
+                    if on_path is not None:
+                        on_path(
+                            LogicalPath(
+                                PhysicalPath(tuple(path_stack) + (e[0],)), x
+                            )
+                        )
+                    continue
+                o = e[0]
+                z = e[1]
+                t1 = o & no
+                t0 = z & nz
+                if t1 or t0:
+                    kt = (e[7], ones, zeros)
+                    r = memo.get(kt, _MISS)
+                    if r is _MISS:
+                        if o & zeros or z & ones:
+                            memo[kt] = None
+                            continue
+                        snap = (ones, zeros, no, nz)
+                        r = _settle(
+                            flat, clo, ones | o, zeros | z, no & e[3],
+                            nz & e[4], t1, t0,
+                        )
+                        memo[kt] = r
+                        if r is None:
+                            continue
+                        st_stk[d + 1] = snap
+                    elif r is None:
+                        continue
+                    else:
+                        st_stk[d + 1] = (ones, zeros, no, nz)
+                    d += 1
+                    ones, zeros, no, nz = r
+                    it_stk[d] = iter(branches[2 * e[9] + e[8]])
+                else:
+                    d += 1
+                    it_stk[d] = iter(branches[2 * e[9] + e[8]])
+                    st_stk[d] = None
+                ctrl_stack.append((e[6], e[5]))
+                path_stack.append(e[6])
+    return accepted, edges, lead_counts
 
 
 def _run(
     circuit: Circuit,
     criterion: Criterion,
     tables: _Tables,
-    engine: ImplicationEngine,
     counts: PathCounts,
     collect_lead_counts: bool,
     max_accepted: int | None,
     on_path: Callable[[LogicalPath], None] | None,
 ) -> ClassificationResult:
     """The enumeration core shared by :func:`classify` and
-    :class:`~repro.classify.session.CircuitSession`.
-
-    Iterative DFS with an explicit frame stack; a frame is the mutable
-    list ``[branches, next_index, value, entry_mark, entered_via_lead]``
-    — the fanout branches still to try at the current gate, the on-path
-    value at its output, and the trail mark / path bookkeeping to unwind
-    when the frame is exhausted.  The engine's trail is restored to its
-    entry state even on exceptions, so engines may be reused across runs.
-    """
-    accepted = 0
-    edges = 0
-    lead_counts = [0] * circuit.num_leads if collect_lead_counts else []
-    # Stack of (lead, final value at lead equals dst's controlling value).
-    ctrl_stack: list[tuple[int, bool]] = []
-    path_stack: list[int] = []
-
-    kind = tables.kind
-    ctrl = tables.ctrl
-    out_ctrl = tables.out_ctrl
-    out_nc = tables.out_nc
-    nc = tables.nc
-    side_all = tables.side_all
-    side_ctrl = tables.side_ctrl
-    fanout = tables.fanout
-    assume = engine.assume
-    mark = engine.mark
-    undo = engine.undo_to
-    if on_path is not None:
-        from repro.paths.path import PhysicalPath  # local: rarely used
-
-    base = mark()
+    :class:`~repro.classify.session.CircuitSession`: dispatch to the
+    counting or bookkeeping kernel and wrap the result."""
     with Stopwatch() as sw:
-        try:
-            for pi in circuit.inputs:
-                for x in (1, 0):
-                    m0 = mark()
-                    if assume(pi, x):
-                        frames = [[fanout[pi], 0, x, m0, False]]
-                        while frames:
-                            frame = frames[-1]
-                            branches = frame[0]
-                            i = frame[1]
-                            if i == len(branches):
-                                frames.pop()
-                                if frame[4]:
-                                    path_stack.pop()
-                                    ctrl_stack.pop()
-                                    undo(frame[3])
-                                continue
-                            frame[1] = i + 1
-                            lead, dst = branches[i]
-                            edges += 1
-                            k = kind[dst]
-                            if k == _K_PO:
-                                accepted += 1
-                                if (
-                                    max_accepted is not None
-                                    and accepted > max_accepted
-                                ):
-                                    raise ClassifyError(
-                                        f"more than {max_accepted} paths "
-                                        "accepted; raise max_accepted or use "
-                                        "a smaller circuit"
-                                    )
-                                if collect_lead_counts:
-                                    for l2, is_c in ctrl_stack:
-                                        if is_c:
-                                            lead_counts[l2] += 1
-                                if on_path is not None:
-                                    on_path(
-                                        LogicalPath(
-                                            PhysicalPath(
-                                                tuple(path_stack) + (lead,)
-                                            ),
-                                            x,
-                                        )
-                                    )
-                                continue
-                            val = frame[2]
-                            m = mark()
-                            if k == _K_SIMPLE:
-                                is_ctrl = val == ctrl[dst]
-                                if is_ctrl:
-                                    sides = side_ctrl[lead]
-                                    newval = out_ctrl[dst]
-                                else:
-                                    sides = side_all[lead]
-                                    newval = out_nc[dst]
-                                ok = True
-                                ncv = nc[dst]
-                                for src in sides:
-                                    if not assume(src, ncv):
-                                        ok = False
-                                        break
-                                if ok:
-                                    ok = assume(dst, newval)
-                            elif k == _K_NOT:
-                                is_ctrl = False
-                                newval = 1 - val
-                                ok = assume(dst, newval)
-                            else:  # _K_WIRE
-                                is_ctrl = False
-                                newval = val
-                                ok = assume(dst, newval)
-                            if ok:
-                                ctrl_stack.append((lead, is_ctrl))
-                                path_stack.append(lead)
-                                frames.append(
-                                    [fanout[dst], 0, newval, m, True]
-                                )
-                            else:
-                                undo(m)
-                    undo(m0)
-        finally:
-            undo(base)
+        if collect_lead_counts or on_path is not None:
+            accepted, edges, lead_counts = _run_full(
+                tables, collect_lead_counts, max_accepted, on_path
+            )
+        else:
+            accepted, edges, lead_counts = _run_fast(tables, max_accepted)
     return ClassificationResult(
         circuit_name=circuit.name,
         criterion=criterion,
@@ -273,9 +649,8 @@ def classify(
         counts to avoid recomputing them.
     session:
         a :class:`~repro.classify.session.CircuitSession` for
-        ``circuit``; when given, the per-(criterion, sort) tables, the
-        implication engine and the path counts all come from (and warm)
-        the session's caches.
+        ``circuit``; when given, the per-(criterion, sort) tables and
+        the path counts all come from (and warm) the session's caches.
     """
     if session is not None:
         if session.circuit is not circuit:
@@ -288,14 +663,12 @@ def classify(
             on_path=on_path,
         )
     tables = _Tables(circuit, criterion, sort)
-    engine = ImplicationEngine(circuit)
     if counts is None:
         counts = count_paths(circuit)
     return _run(
         circuit,
         criterion,
         tables,
-        engine,
         counts,
         collect_lead_counts,
         max_accepted,
@@ -316,35 +689,38 @@ def check_logical_path(
     the path is provably outside the criterion set.
     """
     tables = _Tables(circuit, criterion, sort)
-    engine = ImplicationEngine(circuit)
+    flat = tables.flat
+    clo = tables.closures
     pi = logical_path.path.source(circuit)
     val = logical_path.final_value
-    if not engine.assume(pi, val):
+    L = 2 * pi + val
+    if clo.lit_bad[L]:
         return False
+    lo = clo.lit_ones[L]
+    lz = clo.lit_zeros[L]
+    st = _settle(flat, clo, lo, lz, clo.lit_no[L], clo.lit_nz[L], lo, lz)
+    if st is None:
+        return False
+    ones, zeros, no, nz = st
+    tab = tables.tab
     for lead in logical_path.path.leads:
-        dst = circuit.lead_dst(lead)
-        k = tables.kind[dst]
-        if k == _K_PO:
+        e = tab[2 * lead + val]
+        if e is _ACCEPT:
             return True
-        if k == _K_SIMPLE:
-            if val == tables.ctrl[dst]:
-                sides = tables.side_ctrl[lead]
-                newval = tables.out_ctrl[dst]
-            else:
-                sides = tables.side_all[lead]
-                newval = tables.out_nc[dst]
-            ncv = tables.nc[dst]
-            for src in sides:
-                if not engine.assume(src, ncv):
-                    return False
-            if not engine.assume(dst, newval):
+        if e is None:
+            return False
+        o = e[0]
+        z = e[1]
+        t1 = o & no
+        t0 = z & nz
+        if t1 or t0:
+            if o & zeros or z & ones:
                 return False
-            val = newval
-        elif k == _K_NOT:
-            val = 1 - val
-            if not engine.assume(dst, val):
+            st = _settle(
+                flat, clo, ones | o, zeros | z, no & e[3], nz & e[4], t1, t0
+            )
+            if st is None:
                 return False
-        else:
-            if not engine.assume(dst, val):
-                return False
+            ones, zeros, no, nz = st
+        val = e[8]
     raise ValueError("path does not terminate at a PO")

@@ -8,13 +8,18 @@ share a first-class, reusable artifact instead of per-call scratch:
 
 * the exact path counts (:func:`~repro.paths.count.count_paths`) are
   computed once per circuit;
-* one :class:`~repro.logic.implication.ImplicationEngine` is built per
-  circuit and reused across passes (its trail is provably empty between
-  runs — the enumeration core restores it even on exceptions);
-* the static per-lead condition tables are cached per
+* the flat IR and its literal implication closures are built once per
+  circuit (cached on the :class:`Circuit` itself via ``circuit.flat``)
+  and shared by every pass;
+* the static per-lead bitset condition tables are cached per
   ``(criterion, sort)`` — the inverted-Heu2 control pass, for example,
   shares nothing with the forward pass, but repeated passes with the
   same sort (re-runs, benches, coverage studies) hit the cache.
+
+(A trail-based :class:`~repro.logic.implication.ImplicationEngine` is
+still available lazily via :attr:`CircuitSession.engine` for callers
+that want interactive what-if implications; the classification passes
+themselves run entirely on the bitset kernel.)
 
 Sessions are deliberately cheap to create (all caches are lazy), purely
 per-process (they are *not* sent across the
@@ -347,8 +352,6 @@ class CircuitSession:
             if cached is not None:
                 return cached
         tables = self.tables(criterion, sort)
-        engine = self.engine
-        engine.reset()  # defensive: a prior pass may have been aborted
         try:
             with span(
                 "classify.pass",
@@ -359,7 +362,6 @@ class CircuitSession:
                     self.circuit,
                     criterion,
                     tables,
-                    engine,
                     self.counts,
                     collect_lead_counts,
                     max_accepted,

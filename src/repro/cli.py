@@ -214,6 +214,16 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"internal fanout stems: {internal_fanout_count(circuit)}")
     print(f"physical paths: {counts.total_physical:,}")
     print(f"logical paths:  {counts.total_logical:,}")
+    flat = circuit.flat
+    histogram = ", ".join(
+        f"{name}={count}" for name, count in flat.gate_type_histogram().items()
+    )
+    print(f"flat IR: {histogram}")
+    print(
+        f"flat IR: {flat.num_leads} leads, "
+        f"{flat.bitset_words} bitset word(s) per lead condition, "
+        f"built in {flat.build_s * 1000:.2f} ms"
+    )
     return 0
 
 

@@ -11,14 +11,19 @@ A Table-I/II row runs the full paper pipeline on one circuit:
 
 All passes of one row run through a single
 :class:`~repro.classify.session.CircuitSession`, so the exact path
-counts are computed once and the implication engine is reused.  Timings
+counts are computed once and condition tables are reused across passes.
+Timings
 follow the paper's accounting: Heu1 = sort + one classification pass;
 Heu2 = three classification passes + sort.
 
 Multi-circuit runs fan out through the supervised
 :class:`~repro.experiments.supervisor.TaskRunner` when ``jobs > 1`` (one
 session per worker process); ``jobs=1`` is the deterministic in-process
-fallback.  Results are identical either way — only wall-clock changes —
+fallback.  Task payloads stay tiny because circuits pickle as their bare
+netlist dict (name/types/names/fanin — a few KB): workers rebuild the
+flat IR, literal closures and session caches locally on first use, and
+lead numbering/fingerprints come out identical on both sides by
+construction, so store keys written by a worker hit from the parent.  Results are identical either way — only wall-clock changes —
 because every pass is deterministic and the runner preserves input
 order.  The supervisor adds per-task wall-clock budgets derived from
 each circuit's exact path count, bounded retry with pool respawn on

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit.gates import GateType
+from repro.circuit.flat import K_PI, K_PO
 from repro.circuit.netlist import Circuit
 from repro.obs import get_registry
 
@@ -58,24 +58,44 @@ class PathCounts:
 
 
 def count_paths(circuit: Circuit) -> PathCounts:
-    """Compute all DP path counts for ``circuit`` in one linear pass."""
+    """Compute all DP path counts for ``circuit`` in one linear pass.
+
+    Runs over the flat IR's CSR adjacency (``circuit.flat``): the two DP
+    sweeps are straight index arithmetic over the ``fanin_gates`` /
+    ``fanout_dst`` arrays, and the per-lead products fall out of the fanin
+    CSR doubling as the lead table.
+    """
     get_registry().counter("paths.count_calls").inc()
-    n = circuit.num_gates
+    flat = circuit.flat
+    n = flat.num_gates
+    kind = flat.kind
+    fanin_start = flat.fanin_start
+    fanin_gates = flat.fanin_gates
+    fanout_start = flat.fanout_start
+    fanout_dst = flat.fanout_dst
     up = [0] * n
-    for gid in circuit.topo_order:
-        if circuit.gate_type(gid) is GateType.PI:
+    for gid in flat.topo:
+        if kind[gid] == K_PI:
             up[gid] = 1
         else:
-            up[gid] = sum(up[src] for src in circuit.fanin(gid))
+            up[gid] = sum(
+                up[fanin_gates[i]]
+                for i in range(fanin_start[gid], fanin_start[gid + 1])
+            )
     down = [0] * n
-    for gid in reversed(circuit.topo_order):
-        if circuit.gate_type(gid) is GateType.PO:
+    for gid in reversed(flat.topo):
+        if kind[gid] == K_PO:
             down[gid] = 1
         else:
-            down[gid] = sum(down[dst] for dst, _pin in circuit.fanout(gid))
-    through = [0] * circuit.num_leads
-    for lead in range(circuit.num_leads):
-        through[lead] = up[circuit.lead_src(lead)] * down[circuit.lead_dst(lead)]
+            down[gid] = sum(
+                down[fanout_dst[i]]
+                for i in range(fanout_start[gid], fanout_start[gid + 1])
+            )
+    lead_dst = flat.lead_dst
+    through = [
+        up[fanin_gates[lead]] * down[lead_dst[lead]]
+        for lead in range(flat.num_leads)
+    ]
     return PathCounts(
         circuit=circuit,
         up=tuple(up),

@@ -46,7 +46,11 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
+
+#: Gate-type code -> label bytes, indexed by GateType value.
+_TYPE_NAME_BYTES = {t.value: t.name.encode() for t in GateType}
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -72,33 +76,49 @@ def _h(*parts: bytes) -> bytes:
     return digest.digest()
 
 
-def _refine(circuit: Circuit, label: "list[bytes]") -> "list[bytes]":
+def _refine(flat, label: "list[bytes]") -> "list[bytes]":
     """One WL refinement round: combine each gate's label with its
     transitive-fanin shape (pin order significant) and transitive-fanout
-    shape (order-insensitive)."""
-    n = circuit.num_gates
+    shape (order-insensitive).  Operates on the flat IR's CSR adjacency;
+    a branch's pin number is its lead offset within the destination's
+    fanin block."""
+    n = flat.num_gates
+    fanin_start = flat.fanin_start
+    fanin_gates = flat.fanin_gates
+    fanout_start = flat.fanout_start
+    fanout_dst = flat.fanout_dst
+    fanout_lead = flat.fanout_lead
     up = [b""] * n
-    for gid in circuit.topo_order:
-        up[gid] = _h(label[gid], *(up[src] for src in circuit.fanin(gid)))
+    for gid in flat.topo:
+        up[gid] = _h(
+            label[gid],
+            *(
+                up[fanin_gates[i]]
+                for i in range(fanin_start[gid], fanin_start[gid + 1])
+            ),
+        )
     down = [b""] * n
-    for gid in reversed(circuit.topo_order):
+    for gid in reversed(flat.topo):
         branches = sorted(
-            _h(pin.to_bytes(4, "big"), down[dst])
-            for dst, pin in circuit.fanout(gid)
+            _h(
+                (fanout_lead[i] - fanin_start[fanout_dst[i]]).to_bytes(
+                    4, "big"
+                ),
+                down[fanout_dst[i]],
+            )
+            for i in range(fanout_start[gid], fanout_start[gid + 1])
         )
         down[gid] = _h(label[gid], *branches)
     return [_h(u, d) for u, d in zip(up, down)]
 
 
-def _gate_labels(circuit: Circuit) -> "list[bytes]":
-    labels = [
-        circuit.gate_type(gid).name.encode()
-        for gid in range(circuit.num_gates)
-    ]
-    labels = _refine(circuit, labels)
+def _gate_labels(flat) -> "list[bytes]":
+    type_names = _TYPE_NAME_BYTES
+    labels = [type_names[code] for code in flat.type_code]
+    labels = _refine(flat, labels)
     # A second round separates DAG-sharing patterns the first cannot
     # (e.g. one shared subtree vs two structurally equal copies).
-    return _refine(circuit, labels)
+    return _refine(flat, labels)
 
 
 @dataclass(frozen=True)
@@ -144,10 +164,14 @@ class CanonicalForm:
         return hashlib.sha256(blob).hexdigest()[:32]
 
 
-def _canonical_gate_order(circuit: Circuit, labels: "list[bytes]") -> "list[int]":
+def _canonical_gate_order(flat, labels: "list[bytes]") -> "list[int]":
     """Canonical topological numbering (see module docstring)."""
-    n = circuit.num_gates
-    remaining = [len(circuit.fanin(gid)) for gid in range(n)]
+    n = flat.num_gates
+    fanin_start = flat.fanin_start
+    fanin_gates = flat.fanin_gates
+    fanout_start = flat.fanout_start
+    fanout_dst = flat.fanout_dst
+    remaining = [fanin_start[gid + 1] - fanin_start[gid] for gid in range(n)]
     number = [-1] * n
     ready: list = []
     for gid in range(n):
@@ -158,31 +182,47 @@ def _canonical_gate_order(circuit: Circuit, labels: "list[bytes]") -> "list[int]
         _label, _fanin_key, gid = heapq.heappop(ready)
         number[gid] = len(order)
         order.append(gid)
-        for dst, _pin in circuit.fanout(gid):
+        for i in range(fanout_start[gid], fanout_start[gid + 1]):
+            dst = fanout_dst[i]
             remaining[dst] -= 1
             if remaining[dst] == 0:
-                fanin_key = tuple(number[src] for src in circuit.fanin(dst))
+                fanin_key = tuple(
+                    number[fanin_gates[j]]
+                    for j in range(fanin_start[dst], fanin_start[dst + 1])
+                )
                 heapq.heappush(ready, (labels[dst], fanin_key, dst))
     return order
 
 
 def canonical_form(circuit: Circuit) -> CanonicalForm:
-    """Compute the full canonical form of a frozen circuit (O(E log V))."""
+    """Compute the full canonical form of a frozen circuit (O(E log V)).
+
+    Runs entirely over ``circuit.flat``; the digest and orders are
+    byte-identical to the original object-graph construction (the flat IR
+    carries true gate-type codes, not just the engine's coarser kinds).
+    """
     circuit._require_frozen()  # noqa: SLF001 - deliberate check
-    labels = _gate_labels(circuit)
-    gate_order = _canonical_gate_order(circuit, labels)
-    number = [0] * circuit.num_gates
+    flat = circuit.flat
+    labels = _gate_labels(flat)
+    gate_order = _canonical_gate_order(flat, labels)
+    n = flat.num_gates
+    number = [0] * n
     for position, gid in enumerate(gate_order):
         number[gid] = position
+    fanin_start = flat.fanin_start
+    fanin_gates = flat.fanin_gates
+    type_names = _TYPE_NAME_BYTES
     digest = hashlib.sha256()
-    digest.update(b"%d" % circuit.num_gates)
+    digest.update(b"%d" % n)
     for gid in gate_order:
         digest.update(b"|")
-        digest.update(circuit.gate_type(gid).name.encode())
-        for src in circuit.fanin(gid):
-            digest.update(b",%d" % number[src])
+        digest.update(type_names[flat.type_code[gid]])
+        for i in range(fanin_start[gid], fanin_start[gid + 1]):
+            digest.update(b",%d" % number[fanin_gates[i]])
     lead_order = [
-        lead for gid in gate_order for lead in circuit.input_leads(gid)
+        lead
+        for gid in gate_order
+        for lead in range(fanin_start[gid], fanin_start[gid + 1])
     ]
     return CanonicalForm(
         fingerprint=f"{_PREFIX}:{digest.hexdigest()}",

@@ -41,7 +41,9 @@ def classification_payload(
 
 
 def info_payload(circuit, counts, internal_fanout_stems: int) -> dict:
-    """``repro-rd info --json``: circuit shape + exact path counts."""
+    """``repro-rd info --json``: circuit shape, flat-IR stats and exact
+    path counts."""
+    flat = circuit.flat
     return {
         "name": circuit.name,
         "gates": circuit.num_gates,
@@ -51,6 +53,12 @@ def info_payload(circuit, counts, internal_fanout_stems: int) -> dict:
         "internal_fanout_stems": internal_fanout_stems,
         "physical_paths": counts.total_physical,
         "logical_paths": counts.total_logical,
+        "ir": {
+            "gate_types": flat.gate_type_histogram(),
+            "leads": flat.num_leads,
+            "bitset_words": flat.bitset_words,
+            "build_ms": round(flat.build_s * 1000, 3),
+        },
     }
 
 

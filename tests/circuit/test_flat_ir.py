@@ -1,0 +1,182 @@
+"""The flat struct-of-arrays IR mirrors the object-graph Circuit exactly."""
+
+import pickle
+
+from hypothesis import given, settings
+
+from repro.circuit.examples import paper_example_circuit
+from repro.circuit.flat import K_NOT, K_PI, K_PO, K_SIMPLE, K_WIRE, FlatCircuit
+from repro.circuit.gates import GateType, controlling_value, has_controlling_value
+from repro.gen.suite import get_circuit
+from repro.store.fingerprint import fingerprint
+
+from tests.strategies import small_circuits
+
+_KIND_NAMES = {
+    GateType.PI: K_PI,
+    GateType.PO: K_PO,
+    GateType.BUF: K_WIRE,
+    GateType.NOT: K_NOT,
+}
+
+
+def _check_mirrors(circuit):
+    flat = circuit.flat
+    n = circuit.num_gates
+    assert flat.num_gates == n
+    assert flat.num_leads == circuit.num_leads
+    assert tuple(flat.inputs) == circuit.inputs
+    assert tuple(flat.outputs) == circuit.outputs
+    assert tuple(flat.topo) == circuit.topo_order
+    for g in range(n):
+        t = circuit.gate_type(g)
+        assert flat.type_code[g] == t.value
+        if has_controlling_value(t):
+            assert flat.kind[g] == K_SIMPLE
+            assert flat.ctrl[g] == controlling_value(t)
+            assert flat.nc[g] == 1 - flat.ctrl[g]
+        else:
+            assert flat.kind[g] == _KIND_NAMES[t]
+        assert flat.fanin_of(g) == circuit.fanin(g)
+        assert flat.fanin_count(g) == len(circuit.fanin(g))
+        expected_mask = 0
+        for src in circuit.fanin(g):
+            expected_mask |= 1 << src
+        assert flat.fanin_mask[g] == expected_mask
+        assert flat.fanout_of(g) == tuple(
+            (circuit.lead_index(dst, pin), dst)
+            for dst, pin in circuit.fanout(g)
+        )
+        assert flat.fanout_gates[g] == tuple(
+            sorted({dst for dst, _pin in circuit.fanout(g)})
+        )
+    for lead in range(circuit.num_leads):
+        assert flat.lead_src(lead) == circuit.lead_src(lead)
+        assert flat.lead_dst[lead] == circuit.lead_dst(lead)
+        assert flat.lead_pin[lead] == circuit.lead_pin(lead)
+        # the fanin CSR doubles as the lead base table
+        dst = flat.lead_dst[lead]
+        assert flat.fanin_start[dst] <= lead < flat.fanin_start[dst + 1]
+        assert flat.lead_pin[lead] == lead - flat.fanin_start[dst]
+
+
+class TestFlatMirrorsCircuit:
+    def test_paper_example(self):
+        _check_mirrors(paper_example_circuit())
+
+    def test_suite_circuit(self):
+        _check_mirrors(get_circuit("c17"))
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_circuits(self, circuit):
+        _check_mirrors(circuit)
+
+
+class TestFlatCaching:
+    def test_flat_is_cached(self):
+        circuit = paper_example_circuit()
+        assert circuit.flat is circuit.flat
+
+    def test_closures_are_cached(self):
+        flat = paper_example_circuit().flat
+        assert flat.closures is flat.closures
+
+    def test_build_is_direct_construction(self):
+        circuit = paper_example_circuit()
+        rebuilt = FlatCircuit(circuit)
+        assert tuple(rebuilt.fanin_gates) == tuple(circuit.flat.fanin_gates)
+
+
+class TestStats:
+    def test_histogram_counts_every_gate(self):
+        circuit = get_circuit("c17")
+        hist = circuit.flat.gate_type_histogram()
+        assert sum(hist.values()) == circuit.num_gates
+        assert hist["PI"] == len(circuit.inputs)
+        assert hist["PO"] == len(circuit.outputs)
+        assert hist["NAND"] == 6
+
+    def test_bitset_words(self):
+        flat = get_circuit("c17").flat
+        assert flat.bitset_words == (flat.num_gates + 63) // 64 == 1
+
+    def test_ir_stats_payload(self):
+        flat = paper_example_circuit().flat
+        stats = flat.ir_stats()
+        assert stats["gates"] == flat.num_gates
+        assert stats["leads"] == flat.num_leads
+        assert stats["bitset_words"] == flat.bitset_words
+        assert stats["build_s"] >= 0
+
+
+class TestLiteralClosures:
+    def test_closure_contains_own_literal(self):
+        flat = paper_example_circuit().flat
+        clo = flat.closures
+        for g in range(flat.num_gates):
+            assert clo.lit_ones[2 * g + 1] >> g & 1
+            assert clo.lit_zeros[2 * g] >> g & 1
+
+    def test_complements_and_bad_flags(self):
+        clo = paper_example_circuit().flat.closures
+        for L in range(len(clo.lit_ones)):
+            assert clo.lit_no[L] == ~clo.lit_ones[L]
+            assert clo.lit_nz[L] == ~clo.lit_zeros[L]
+            assert clo.lit_bad[L] == bool(clo.lit_ones[L] & clo.lit_zeros[L])
+
+    def test_wire_forwarding_closed(self):
+        # In c17 every lead into a PO propagates the source value; closure
+        # of the source literal must include the PO gate on the same side.
+        circuit = get_circuit("c17")
+        flat = circuit.flat
+        clo = flat.closures
+        for po in circuit.outputs:
+            (src,) = circuit.fanin(po)
+            assert clo.lit_ones[2 * src + 1] >> po & 1
+            assert clo.lit_zeros[2 * src] >> po & 1
+
+
+class TestPickling:
+    def test_roundtrip_structure_and_fingerprint(self):
+        circuit = get_circuit("c17")
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.frozen
+        assert clone.name == circuit.name
+        assert clone.num_gates == circuit.num_gates
+        assert clone.num_leads == circuit.num_leads
+        for g in range(circuit.num_gates):
+            assert clone.gate_type(g) is circuit.gate_type(g)
+            assert clone.gate_name(g) == circuit.gate_name(g)
+            assert clone.fanin(g) == circuit.fanin(g)
+            assert clone.fanout(g) == circuit.fanout(g)
+        assert fingerprint(clone) == fingerprint(circuit)
+
+    def test_payload_excludes_derived_state(self):
+        circuit = get_circuit("c17")
+        circuit.flat.closures  # force the heavy derived state into being
+        state = circuit.__getstate__()
+        assert set(state) == {"name", "types", "names", "fanin", "frozen"}
+        # derived structures are rebuilt, not shipped
+        blob = pickle.dumps(circuit)
+        assert len(blob) < 4096
+
+    def test_unfrozen_roundtrip(self):
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("wip")
+        c.add_gate(GateType.PI, "a")
+        clone = pickle.loads(pickle.dumps(c))
+        assert not clone.frozen
+        assert clone.gate_name(0) == "a"
+
+    @settings(max_examples=20, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_roundtrip_classifies_identically(self, circuit):
+        from repro.classify.conditions import Criterion
+        from repro.classify.engine import classify
+
+        clone = pickle.loads(pickle.dumps(circuit))
+        a = classify(circuit, Criterion.FS)
+        b = classify(clone, Criterion.FS)
+        assert (a.accepted, a.edges_visited) == (b.accepted, b.edges_visited)

@@ -1,0 +1,159 @@
+"""Differential: bitset kernel vs the trail-based reference engine.
+
+:mod:`repro.classify.reference` preserves the pre-bitset engine verbatim
+as an oracle.  The contract is bit-for-bit: accepted counts, edge
+counts, per-lead controlling counts and the DFS acceptance *order* must
+all match, for every criterion, on random circuits and on a seeded
+suite circuit.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit.examples import paper_example_circuit
+from repro.classify.conditions import Criterion
+from repro.classify.engine import check_logical_path, classify
+from repro.classify.reference import (
+    check_logical_path_reference,
+    classify_reference,
+)
+from repro.errors import ClassifyError
+from repro.gen.suite import get_circuit
+from repro.sorting.heuristics import heuristic1_sort
+from repro.sorting.input_sort import InputSort
+
+from tests.strategies import small_circuits
+
+
+def _sort_for(circuit, criterion):
+    return InputSort.pin_order(circuit) if criterion.needs_sort else None
+
+
+def _assert_identical(circuit, criterion, sort):
+    new_paths = []
+    old_paths = []
+    new = classify(
+        circuit,
+        criterion,
+        sort,
+        collect_lead_counts=True,
+        on_path=new_paths.append,
+    )
+    old = classify_reference(
+        circuit,
+        criterion,
+        sort,
+        collect_lead_counts=True,
+        on_path=old_paths.append,
+    )
+    assert new.accepted == old.accepted
+    assert new.edges_visited == old.edges_visited
+    assert new.total_logical == old.total_logical
+    assert new.lead_ctrl_counts == old.lead_ctrl_counts
+    # same paths in the same DFS acceptance order, not just the same set
+    assert new_paths == old_paths
+    return new_paths
+
+
+class TestDifferentialClassify:
+    @pytest.mark.parametrize("criterion", list(Criterion))
+    def test_paper_example(self, criterion):
+        circuit = paper_example_circuit()
+        _assert_identical(circuit, criterion, _sort_for(circuit, criterion))
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_fs(self, circuit):
+        _assert_identical(circuit, Criterion.FS, None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_nr(self, circuit):
+        _assert_identical(circuit, Criterion.NR, None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_sigma_pi_pin_order(self, circuit):
+        _assert_identical(
+            circuit, Criterion.SIGMA_PI, InputSort.pin_order(circuit)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_sigma_pi_heuristic1(self, circuit):
+        _assert_identical(
+            circuit, Criterion.SIGMA_PI, heuristic1_sort(circuit)
+        )
+
+    @pytest.mark.parametrize("criterion", list(Criterion))
+    def test_seeded_suite_circuit(self, criterion):
+        circuit = get_circuit("s432-rand")
+        sort = _sort_for(circuit, criterion)
+        new = classify(circuit, criterion, sort, collect_lead_counts=True)
+        old = classify_reference(
+            circuit, criterion, sort, collect_lead_counts=True
+        )
+        assert new.accepted == old.accepted
+        assert new.edges_visited == old.edges_visited
+        assert new.lead_ctrl_counts == old.lead_ctrl_counts
+
+
+class TestDifferentialPathCheck:
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_accepted_paths_check_true_both_engines(self, circuit):
+        for criterion in Criterion:
+            sort = _sort_for(circuit, criterion)
+            paths = []
+            classify(circuit, criterion, sort, on_path=paths.append)
+            for lp in paths:
+                assert check_logical_path(circuit, criterion, lp, sort)
+                assert check_logical_path_reference(
+                    circuit, criterion, lp, sort
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_rejected_paths_agree(self, circuit):
+        # every logical path, accepted or not, gets the same verdict
+        from repro.paths.enumerate import enumerate_logical_paths
+
+        for criterion in Criterion:
+            sort = _sort_for(circuit, criterion)
+            for lp in enumerate_logical_paths(circuit):
+                assert check_logical_path(
+                    circuit, criterion, lp, sort
+                ) == check_logical_path_reference(circuit, criterion, lp, sort)
+
+
+class TestAbortParity:
+    def test_max_accepted_abort_matches(self):
+        circuit = get_circuit("c17")
+        total = classify(circuit, Criterion.FS).accepted
+        assert total > 1
+        with pytest.raises(ClassifyError):
+            classify(circuit, Criterion.FS, max_accepted=total - 1)
+        with pytest.raises(ClassifyError):
+            classify_reference(circuit, Criterion.FS, max_accepted=total - 1)
+
+    def test_max_accepted_exact_budget_passes(self):
+        circuit = get_circuit("c17")
+        total = classify(circuit, Criterion.FS).accepted
+        result = classify(circuit, Criterion.FS, max_accepted=total)
+        assert result.accepted == total
+
+    def test_abort_edge_counts_match(self):
+        circuit = get_circuit("c17")
+        total = classify(circuit, Criterion.FS).accepted
+        new_edges = old_edges = None
+        try:
+            classify(circuit, Criterion.FS, max_accepted=total // 2)
+        except ClassifyError as exc:
+            new_edges = str(exc)
+        try:
+            classify_reference(
+                circuit, Criterion.FS, max_accepted=total // 2
+            )
+        except ClassifyError as exc:
+            old_edges = str(exc)
+        assert new_edges is not None and old_edges is not None

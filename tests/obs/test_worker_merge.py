@@ -73,8 +73,8 @@ class TestHarnessMerge:
         assert list(map(_stable_fields, serial)) == list(
             map(_stable_fields, pooled)
         )
-        # worker-side telemetry (engine builds, store write-backs)
+        # worker-side telemetry (table builds, store write-backs)
         # arrived in the parent registry via the merge path
         counters = get_registry().snapshot()["counters"]
-        assert counters["engine.builds"] >= 2
+        assert counters["session.tables_built"] >= 2
         assert counters["store.puts"] >= 1

@@ -1,0 +1,121 @@
+"""Packed bitset side conditions ≡ ``required_side_pins``, pin by pin.
+
+The bitset engine never calls :func:`required_side_pins`; it builds its
+per-lead condition entries from :func:`packed_side_conditions` masks.
+These properties pin the two formulations to each other for every
+criterion, so a drift in either one fails loudly.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.circuit.examples import paper_example_circuit
+from repro.circuit.gates import has_controlling_value
+from repro.classify.conditions import (
+    Criterion,
+    packed_side_conditions,
+    required_side_pins,
+)
+from repro.sorting.input_sort import InputSort
+
+from tests.strategies import small_circuits
+
+
+def _expected_mask(circuit, criterion, lead, on_path_is_controlling, sort):
+    dst = circuit.lead_dst(lead)
+    if not has_controlling_value(circuit.gate_type(dst)):
+        return 0
+    fanin = circuit.fanin(dst)
+    mask = 0
+    for p in required_side_pins(
+        criterion, circuit, lead, on_path_is_controlling, sort
+    ):
+        mask |= 1 << fanin[p]
+    return mask
+
+
+def _check_circuit(circuit, criterion):
+    sort = InputSort.pin_order(circuit) if criterion.needs_sort else None
+    all_masks, ctrl_masks = packed_side_conditions(circuit, criterion, sort)
+    assert len(all_masks) == len(ctrl_masks) == circuit.num_leads
+    for lead in range(circuit.num_leads):
+        assert all_masks[lead] == _expected_mask(
+            circuit, criterion, lead, False, sort
+        )
+        assert ctrl_masks[lead] == _expected_mask(
+            circuit, criterion, lead, True, sort
+        )
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("criterion", list(Criterion))
+    def test_paper_example(self, criterion):
+        _check_circuit(paper_example_circuit(), criterion)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_fs(self, circuit):
+        _check_circuit(circuit, Criterion.FS)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_nr(self, circuit):
+        _check_circuit(circuit, Criterion.NR)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_random_sigma_pi(self, circuit):
+        _check_circuit(circuit, Criterion.SIGMA_PI)
+
+    @settings(max_examples=15, deadline=None)
+    @given(circuit=small_circuits())
+    def test_sigma_pi_inverted_sort(self, circuit):
+        sort = InputSort.pin_order(circuit).inverted()
+        all_masks, ctrl_masks = packed_side_conditions(
+            circuit, Criterion.SIGMA_PI, sort
+        )
+        for lead in range(circuit.num_leads):
+            assert all_masks[lead] == _expected_mask(
+                circuit, Criterion.SIGMA_PI, lead, False, sort
+            )
+            assert ctrl_masks[lead] == _expected_mask(
+                circuit, Criterion.SIGMA_PI, lead, True, sort
+            )
+
+
+class TestCriterionStructure:
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_fs_ctrl_masks_empty(self, circuit):
+        # FS imposes nothing when the on-path value is controlling.
+        _all, ctrl_masks = packed_side_conditions(circuit, Criterion.FS)
+        assert all(m == 0 for m in ctrl_masks)
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_nr_both_cases_equal(self, circuit):
+        # NR demands all side inputs non-controlling in both cases.
+        all_masks, ctrl_masks = packed_side_conditions(circuit, Criterion.NR)
+        assert all_masks == ctrl_masks
+
+    @settings(max_examples=25, deadline=None)
+    @given(circuit=small_circuits())
+    def test_hierarchy_fs_sigma_nr(self, circuit):
+        # Lemma 1 hierarchy at the mask level: FS ⊆ σ^π ⊆ NR requirements
+        # (a superset of required side inputs = a more restrictive
+        # criterion), and the non-controlling case is criterion-blind.
+        sort = InputSort.pin_order(circuit)
+        fs_all, fs_ctrl = packed_side_conditions(circuit, Criterion.FS)
+        sp_all, sp_ctrl = packed_side_conditions(
+            circuit, Criterion.SIGMA_PI, sort
+        )
+        nr_all, nr_ctrl = packed_side_conditions(circuit, Criterion.NR)
+        assert fs_all == sp_all == nr_all
+        for lead in range(circuit.num_leads):
+            assert fs_ctrl[lead] & sp_ctrl[lead] == fs_ctrl[lead]
+            assert sp_ctrl[lead] & nr_ctrl[lead] == sp_ctrl[lead]
+
+    def test_sigma_pi_requires_sort(self):
+        circuit = paper_example_circuit()
+        with pytest.raises(ValueError):
+            packed_side_conditions(circuit, Criterion.SIGMA_PI, None)

@@ -33,7 +33,7 @@ class TestMetricsOp:
         assert counters["service.requests"] >= 2  # classify + metrics
         assert counters["service.op.classify"] == 1
         assert counters["service.ok"] >= 1
-        assert counters["engine.builds"] >= 1
+        assert counters["session.tables_built"] >= 1
         assert counters["store.gets"] >= 1
         # the metrics request itself was still in flight at snapshot time
         assert metrics["gauges"]["service.in_flight"] >= 1

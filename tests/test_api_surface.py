@@ -26,6 +26,7 @@ API_SNAPSHOT = [
     # circuits
     "Circuit",
     "CircuitBuilder",
+    "FlatCircuit",
     "GateType",
     "paper_example_circuit",
     "parse_bench",
