@@ -1,0 +1,345 @@
+"""Record service-fleet throughput and latency under load and chaos.
+
+Runs the full scenario matrix — 1-worker vs. 2-worker fleet, clean vs.
+chaos (one worker SIGKILLed mid-run) — against real ``repro-rd serve``
+subprocesses, plus a single-flight coalescing demonstration, and writes
+``BENCH_service.json`` at the repo root:
+
+* per-scenario requests/second, exact client-side p50/p99 latencies,
+  and the server-side p50/p99 estimated from the fleet's
+  ``fleet.request_seconds`` histogram (:func:`repro.obs.histogram_quantile`);
+* the chaos scenarios additionally record worker respawns and assert
+  **zero dropped requests** — every request gets an answer or a
+  structured error, never a raw disconnect;
+* the coalescing demo fires K identical concurrent classifies at a
+  fleet with a fresh result store and asserts exactly one computation
+  happened (one store write, K-1 responses flagged ``coalesced``).
+
+The committed file is the reference point for spotting service-layer
+regressions; rerun after any fleet/server/client change:
+
+    PYTHONPATH=src python benchmarks/record_service_bench.py
+
+``--against ADDR --duration S [--kill-one]`` instead load-tests an
+already-running fleet (the CI smoke step) and prints the scenario JSON
+to stdout, exiting non-zero on any dropped request:
+
+    PYTHONPATH=src python benchmarks/record_service_bench.py \\
+        --against /tmp/fleet.sock --duration 5 --kill-one
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import RemoteError, ReproError  # noqa: E402
+from repro.obs import histogram_quantile  # noqa: E402
+from repro.service.client import RetryPolicy, ServiceClient  # noqa: E402
+from repro.store.db import ResultStore  # noqa: E402
+
+OUT = REPO / "BENCH_service.json"
+
+#: (circuit, criterion) pairs cycled by the load threads — small/medium
+#: circuits so a run measures service overhead, not one giant classify;
+#: distinct pairs so steady-state load is not flattered by coalescing
+WORKLOAD = (
+    ("c17", "fs"),
+    ("c17", "sigma"),
+    ("misex-f", "fs"),
+    ("z5xp-b", "fs"),
+    ("bw-d", "sigma"),
+    ("xcmp16", "fs"),
+)
+
+#: the coalescing demo's circuit: slow enough (~seconds) that K clients
+#: reliably overlap in flight
+COALESCE_CIRCUIT = "s499-ecc"
+
+
+def percentile(samples: "list[float]", q: float) -> "float | None":
+    """Exact client-side percentile (nearest-rank) of sorted samples."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class Fleet:
+    """One ``repro-rd serve`` subprocess fleet on a unix socket."""
+
+    def __init__(self, workers: int, store: "str | None" = None):
+        self.workers = workers
+        self._dir = tempfile.mkdtemp(prefix="repro-svc-bench-")
+        self.address = os.path.join(self._dir, "fleet.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", self.address,
+            "--workers", str(workers),
+            "--concurrency", "4",
+        ]
+        if store is not None:
+            cmd += ["--store", store]
+        self.proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # the fleet binds its listener only after every worker answers
+        # pings, so one successful connect means fully ready
+        with ServiceClient.connect(
+            self.address,
+            retry=RetryPolicy(attempts=120, base_delay=0.25, max_delay=0.5),
+        ) as client:
+            client.ping()
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(60)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def worker_pids(address: str) -> "list[int]":
+    with ServiceClient.connect(address, retry=RetryPolicy()) as client:
+        stats = client.stats()
+    return [w["pid"] for w in stats["workers"] if w.get("pid")]
+
+
+def run_load(
+    address: str,
+    duration: float,
+    threads: int = 4,
+    kill_one: bool = False,
+) -> dict:
+    """Drive classify load for ``duration`` seconds; with ``kill_one``,
+    SIGKILL one worker a third of the way in (the fleet must answer
+    every request regardless — retried, or failed *structurally*)."""
+    stop_at = time.monotonic() + duration
+    latencies: "list[float]" = []
+    counts = {"ok": 0, "structured_errors": 0, "dropped": 0}
+    lock = threading.Lock()
+
+    def drive(index: int) -> None:
+        with ServiceClient.connect(
+            address, retry=RetryPolicy(base_delay=0.05)
+        ) as client:
+            step = index  # stagger so threads cycle different pairs
+            while time.monotonic() < stop_at:
+                circuit, criterion = WORKLOAD[step % len(WORKLOAD)]
+                step += threads
+                t0 = time.monotonic()
+                try:
+                    client.classify(circuit=circuit, criterion=criterion)
+                    outcome = "ok"
+                except RemoteError:
+                    outcome = "structured_errors"
+                except ReproError:
+                    # transport-level failure that survived the retry
+                    # policy: the one thing the fleet must never emit
+                    outcome = "dropped"
+                elapsed = time.monotonic() - t0
+                with lock:
+                    counts[outcome] += 1
+                    if outcome == "ok":
+                        latencies.append(elapsed)
+
+    pool = [
+        threading.Thread(target=drive, args=(i,)) for i in range(threads)
+    ]
+    started = time.monotonic()
+    for t in pool:
+        t.start()
+    if kill_one:
+        time.sleep(duration / 3)
+        os.kill(worker_pids(address)[0], signal.SIGKILL)
+    for t in pool:
+        t.join(duration + 120)
+    wall = time.monotonic() - started
+
+    with ServiceClient.connect(address, retry=RetryPolicy()) as client:
+        snapshot = client.metrics()
+        stats = client.stats()
+    server_hist = (
+        snapshot["metrics"]["histograms"].get("fleet.request_seconds") or {}
+    )
+    return {
+        "duration_s": round(wall, 2),
+        "threads": threads,
+        "requests": sum(counts.values()),
+        "ok": counts["ok"],
+        "structured_errors": counts["structured_errors"],
+        "dropped": counts["dropped"],
+        "rps": round(counts["ok"] / wall, 1),
+        "client_p50_s": round(percentile(latencies, 0.50) or 0.0, 4),
+        "client_p99_s": round(percentile(latencies, 0.99) or 0.0, 4),
+        "server_p50_s": round(histogram_quantile(server_hist, 0.50) or 0.0, 4),
+        "server_p99_s": round(histogram_quantile(server_hist, 0.99) or 0.0, 4),
+        "respawns": stats["respawns"],
+    }
+
+
+def run_coalesce_demo(clients: int = 6) -> dict:
+    """K identical concurrent classifies against a fresh store leave
+    exactly the store footprint of ONE classify (single-flight
+    coalescing collapsed them into one computation), and K-1 responses
+    come back flagged ``coalesced``."""
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        # baseline: one request, one fresh store — the write count a
+        # single computation produces (one classify persists several
+        # entry kinds: classification passes, path counts, sort order)
+        single_path = os.path.join(tmp, "single.sqlite")
+        with Fleet(workers=1, store=single_path) as fleet:
+            with ServiceClient.connect(
+                fleet.address, retry=RetryPolicy()
+            ) as client:
+                client.classify(circuit=COALESCE_CIRCUIT)
+        with ResultStore(single_path) as store:
+            single_writes = store.stats().entries
+
+        store_path = os.path.join(tmp, "coalesced.sqlite")
+        with Fleet(workers=2, store=store_path) as fleet:
+            barrier = threading.Barrier(clients)
+            results: "list[dict | None]" = [None] * clients
+
+            def fire(i: int) -> None:
+                with ServiceClient.connect(
+                    fleet.address, retry=RetryPolicy()
+                ) as client:
+                    barrier.wait()
+                    results[i] = client.classify(circuit=COALESCE_CIRCUIT)
+
+            pool = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(clients)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join(300)
+            assert all(r is not None for r in results), "a client hung"
+            coalesced = sum(1 for r in results if r["coalesced"])
+            accepted = {r["accepted"] for r in results}
+        with ResultStore(store_path) as store:
+            writes = store.stats().entries
+    assert coalesced == clients - 1, f"{coalesced}/{clients - 1} coalesced"
+    assert writes == single_writes, (
+        f"{clients} coalesced requests wrote {writes} store entries; "
+        f"a single request writes {single_writes}"
+    )
+    assert len(accepted) == 1, "coalesced answers diverged"
+    return {
+        "circuit": COALESCE_CIRCUIT,
+        "concurrent_clients": clients,
+        "coalesced_responses": coalesced,
+        "computations": 1,
+        "store_writes": writes,
+        "single_request_writes": single_writes,
+    }
+
+
+def run_matrix(duration: float) -> dict:
+    scenarios = {}
+    for workers in (1, 2):
+        for chaos in (False, True):
+            label = f"{workers}w-{'chaos' if chaos else 'clean'}"
+            print(f"  scenario {label} ({duration:.0f}s)...", flush=True)
+            with Fleet(workers=workers) as fleet:
+                scenario = run_load(
+                    fleet.address, duration, kill_one=chaos
+                )
+            scenario["workers"] = workers
+            scenario["chaos"] = chaos
+            if scenario["dropped"]:
+                raise SystemExit(
+                    f"{label}: {scenario['dropped']} dropped request(s) — "
+                    "the fleet broke its no-raw-disconnect contract"
+                )
+            if chaos and scenario["respawns"] < 1:
+                raise SystemExit(f"{label}: the killed worker never respawned")
+            scenarios[label] = scenario
+    print("  coalescing demo...", flush=True)
+    coalesce = run_coalesce_demo()
+    return {
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "workload": [list(pair) for pair in WORKLOAD],
+        "scenarios": scenarios,
+        "coalescing": coalesce,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="service fleet load generator / benchmark recorder"
+    )
+    parser.add_argument(
+        "--against", metavar="ADDR", default=None,
+        help="load-test a running fleet at this address instead of "
+        "recording the full matrix (CI smoke mode; JSON to stdout)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=6.0, metavar="S",
+        help="seconds of load per scenario (default: 6)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="concurrent client threads (default: 4)",
+    )
+    parser.add_argument(
+        "--kill-one", action="store_true",
+        help="with --against: SIGKILL one worker a third of the way in",
+    )
+    args = parser.parse_args()
+
+    if args.against:
+        scenario = run_load(
+            args.against, args.duration,
+            threads=args.threads, kill_one=args.kill_one,
+        )
+        print(json.dumps(scenario, indent=2))
+        if scenario["dropped"]:
+            print(
+                f"FAIL: {scenario['dropped']} dropped request(s)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    payload = run_matrix(args.duration)
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    for label, s in payload["scenarios"].items():
+        print(
+            f"  {label:<9} rps={s['rps']:<7} p50={s['client_p50_s']}s "
+            f"p99={s['client_p99_s']}s respawns={s['respawns']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

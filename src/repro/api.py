@@ -27,6 +27,7 @@ from repro.errors import (
     CircuitError,
     ClassifyError,
     HarnessError,
+    Overloaded,
     ProtocolError,
     RemoteError,
     ReproError,
@@ -59,6 +60,7 @@ from repro.obs import (
     export_jsonl,
     format_metrics,
     get_registry,
+    histogram_quantile,
     reset_registry,
     span,
 )
@@ -98,7 +100,16 @@ from repro.timing import (
     unit_delays,
 )
 from repro.store import ResultStore, canonical_form, fingerprint
-from repro.service import AnalysisServer, ServiceClient
+from repro.service import (
+    AnalysisServer,
+    FleetServer,
+    HashRing,
+    RetryPolicy,
+    ServiceClient,
+    WorkerSupervisor,
+    serve,
+    serve_fleet,
+)
 from repro.util.serialize import classification_payload, info_payload, to_json
 
 __all__ = [
@@ -113,6 +124,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "RemoteError",
+    "Overloaded",
     # circuits
     "Circuit",
     "CircuitBuilder",
@@ -135,6 +147,7 @@ __all__ = [
     "export_jsonl",
     "format_metrics",
     "get_registry",
+    "histogram_quantile",
     "reset_registry",
     "span",
     # paths
@@ -173,9 +186,15 @@ __all__ = [
     "ResultStore",
     "canonical_form",
     "fingerprint",
-    # analysis service
+    # analysis service + fleet
     "AnalysisServer",
+    "FleetServer",
+    "HashRing",
+    "RetryPolicy",
     "ServiceClient",
+    "WorkerSupervisor",
+    "serve",
+    "serve_fleet",
     # serialization
     "classification_payload",
     "info_payload",

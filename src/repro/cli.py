@@ -283,8 +283,8 @@ def _classify_remote(args: argparse.Namespace) -> int:
     circuit); file inputs are serialized to ``.bench`` text.
     """
     from repro.classify.session import format_session_stats
-    from repro.errors import ServiceError
-    from repro.service.client import ServiceClient
+    from repro.errors import ReproError
+    from repro.service.client import RetryPolicy, ServiceClient
 
     path = Path(args.circuit)
     spec: "Circuit | str"
@@ -294,7 +294,9 @@ def _classify_remote(args: argparse.Namespace) -> int:
         spec = args.circuit
     events = []
     try:
-        with ServiceClient.connect(args.remote) as client:
+        # bounded retry with jittered backoff: a fleet worker respawning
+        # (or a daemon restart) is invisible to the CLI user
+        with ServiceClient.connect(args.remote, retry=RetryPolicy()) as client:
             result = client.classify(
                 circuit=spec,
                 criterion=args.criterion,
@@ -302,7 +304,7 @@ def _classify_remote(args: argparse.Namespace) -> int:
                 max_accepted=args.max_accepted,
                 on_event=events.append if args.verbose else None,
             )
-    except ServiceError as exc:
+    except ReproError as exc:
         print(f"remote classify failed: {exc}", file=sys.stderr)
         return 1
     if getattr(args, "json", False):
@@ -575,17 +577,40 @@ def cmd_version(_args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the analysis daemon until SIGTERM/SIGINT."""
+    """Run the analysis daemon (or, with --workers, the sharded fleet)
+    until SIGTERM/SIGINT."""
     import asyncio
-
-    from repro.service.server import serve
 
     if (args.socket is None) == (args.port is None):
         raise SystemExit("serve needs exactly one of --socket PATH or --port N")
 
     def announce(address: str) -> None:
         where = address if args.socket else f"tcp://{address}"
-        print(f"repro-rd {package_version()} serving on {where}", flush=True)
+        what = (
+            f"fleet ({args.workers} workers)" if args.workers else "serving"
+        )
+        print(
+            f"repro-rd {package_version()} {what} on {where}", flush=True
+        )
+
+    if args.workers is not None:
+        from repro.service.fleet import serve_fleet
+
+        return asyncio.run(
+            serve_fleet(
+                host=args.host,
+                port=args.port,
+                socket_path=args.socket,
+                store=args.store,
+                workers=args.workers,
+                concurrency=args.concurrency,
+                default_deadline=args.deadline,
+                max_accepted=args.max_accepted,
+                max_pending=args.max_pending,
+                ready=announce,
+            )
+        )
+    from repro.service.server import serve
 
     return asyncio.run(
         serve(
@@ -830,7 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_figures
     )
 
-    p = sub.add_parser("serve", help="run the analysis daemon")
+    p = sub.add_parser(
+        "serve", help="run the analysis daemon (or a sharded fleet)",
+        epilog="exit status: 0 after a drained SIGTERM; 130 after "
+        "SIGINT (Ctrl-C) — both drain in-flight requests first",
+    )
     p.add_argument("--socket", metavar="PATH", default=None,
                    help="listen on a unix socket")
     p.add_argument("--port", type=int, default=None,
@@ -842,7 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--concurrency", type=_positive_int, default=8,
-        help="max classifications in flight (default 8)",
+        help="max classifications in flight per process (default 8)",
     )
     p.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
@@ -852,6 +881,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-accepted", type=int, default=None,
         help="server-wide abort threshold on accepted paths",
+    )
+    p.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="run a supervised fleet of N worker processes sharded by "
+        "circuit fingerprint, with single-flight request coalescing "
+        "(default: one in-process server, no fleet)",
+    )
+    p.add_argument(
+        "--max-pending", type=_positive_int, default=64, metavar="N",
+        help="fleet only: bounded pending queue per worker; beyond it "
+        "requests are shed with a structured 'Overloaded' error "
+        "(default 64)",
     )
     p.set_defaults(fn=cmd_serve)
 

@@ -13,7 +13,8 @@ Every error the library raises deliberately derives from
     ├── StoreError          persistent result store (repro.store)
     └── ServiceError        analysis service (repro.service)
         ├── ProtocolError     malformed wire message
-        └── RemoteError       the server answered with a structured error
+        ├── RemoteError       the server answered with a structured error
+        └── Overloaded        admission control shed the request
 
 Callers that want "anything this library can throw" catch
 :class:`ReproError`; subsystem code catches the narrow type.  For
@@ -103,3 +104,19 @@ class RemoteError(ServiceError):
         super().__init__(f"{error_type}: {message}")
         self.error_type = error_type
         self.message = message
+        #: optional server backoff hint (seconds) — set when the remote
+        #: error was an :class:`Overloaded` shed, ``None`` otherwise
+        self.retry_after: "float | None" = None
+
+
+class Overloaded(ServiceError):
+    """The service shed this request: every eligible worker's pending
+    queue is full.  ``retry_after`` is the server's backoff hint in
+    seconds (serialized on the wire, surfaced on the client's
+    :class:`RemoteError` as ``retry_after``); retrying after roughly
+    that long is expected to succeed under a draining queue.
+    """
+
+    def __init__(self, message: str, retry_after: "float | None" = None):
+        super().__init__(message)
+        self.retry_after = retry_after

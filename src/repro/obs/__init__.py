@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_metrics,
     get_registry,
+    histogram_quantile,
     reset_registry,
 )
 from repro.obs.trace import (
@@ -54,6 +55,7 @@ __all__ = [
     "format_metrics",
     "get_buffer",
     "get_registry",
+    "histogram_quantile",
     "merge_observation",
     "reset_buffer",
     "reset_registry",

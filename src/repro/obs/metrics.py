@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "format_metrics",
     "get_registry",
+    "histogram_quantile",
     "reset_registry",
 ]
 
@@ -225,6 +226,48 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def histogram_quantile(data: dict, q: float) -> "float | None":
+    """Estimate quantile ``q`` (0..1) from a snapshot histogram entry.
+
+    Standard bucket-interpolation estimate (the Prometheus
+    ``histogram_quantile`` shape): find the bucket holding the q-th
+    observation and interpolate linearly inside it, clamped to the
+    recorded ``min``/``max`` so tiny samples do not report an upper
+    bound nobody observed.  Returns ``None`` for an empty histogram.
+    Works on the JSON-safe dict form (``count``/``bounds``/``buckets``),
+    so it applies equally to a local snapshot or one that crossed the
+    wire from ``repro-rd metrics --json``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    count = int(data.get("count") or 0)
+    bounds = data.get("bounds") or []
+    buckets = data.get("buckets") or []
+    if count <= 0 or len(buckets) != len(bounds) + 1:
+        return None
+    vmin = data.get("min")
+    vmax = data.get("max")
+    rank = q * count
+    seen = 0
+    for i, in_bucket in enumerate(buckets):
+        seen += in_bucket
+        if seen < rank or not in_bucket:
+            continue
+        if i >= len(bounds):
+            # overflow bucket: no upper edge to interpolate against
+            return float(vmax) if vmax is not None else float(bounds[-1])
+        lo = float(bounds[i - 1]) if i else 0.0
+        hi = float(bounds[i])
+        fraction = (rank - (seen - in_bucket)) / in_bucket
+        estimate = lo + (hi - lo) * fraction
+        if vmin is not None:
+            estimate = max(estimate, float(vmin))
+        if vmax is not None:
+            estimate = min(estimate, float(vmax))
+        return estimate
+    return float(vmax) if vmax is not None else None
 
 
 def format_metrics(snapshot: dict) -> str:

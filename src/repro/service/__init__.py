@@ -1,16 +1,41 @@
-"""Concurrent classification daemon + client (``repro-rd serve``).
+"""Concurrent classification daemon, sharded fleet + client.
 
 A stdlib-only asyncio JSON-over-TCP (or unix socket) service exposing
 the RD classifier: requests carry a ``.bench`` netlist or a suite
-generator name; responses stream back structured JSON.  The server
-classifies through a shared, store-backed session pool with bounded
-concurrency and per-request wall-clock deadlines, and drains gracefully
-on SIGTERM/SIGINT.  See :mod:`repro.service.protocol` for the wire
-format and :mod:`repro.service.client` for the blocking client used by
-``repro-rd classify --remote``.
+generator name; responses stream back structured JSON.
+
+Two server shapes behind one wire protocol:
+
+* :class:`AnalysisServer` (``repro-rd serve``) — a single process
+  classifying through a shared, store-backed session pool with bounded
+  concurrency and per-request wall-clock deadlines.
+* :class:`FleetServer` (``repro-rd serve --workers N``) — a front-end
+  that consistent-hashes requests by circuit fingerprint onto N
+  supervised :class:`AnalysisServer` worker processes
+  (:class:`WorkerSupervisor` health-checks and respawns them), with
+  single-flight coalescing of identical concurrent requests and
+  bounded per-worker admission control.
+
+Both drain gracefully on SIGTERM/SIGINT.  See
+:mod:`repro.service.protocol` for the wire format and
+:class:`ServiceClient` (+ :class:`RetryPolicy`) for the fault-tolerant
+blocking client used by ``repro-rd classify --remote``.
 """
 
-from repro.service.client import ServiceClient
-from repro.service.server import AnalysisServer, serve
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.fleet import FleetServer, serve_fleet
+from repro.service.hashring import HashRing
+from repro.service.server import AnalysisServer, JsonLineServer, serve
+from repro.service.supervisor import WorkerSupervisor
 
-__all__ = ["AnalysisServer", "ServiceClient", "serve"]
+__all__ = [
+    "AnalysisServer",
+    "FleetServer",
+    "HashRing",
+    "JsonLineServer",
+    "RetryPolicy",
+    "ServiceClient",
+    "WorkerSupervisor",
+    "serve",
+    "serve_fleet",
+]

@@ -1,0 +1,109 @@
+"""Consistent hashing over the ``rdfp1:`` fingerprint key space.
+
+The fleet front-end (:mod:`repro.service.fleet`) routes every classify
+request to one of N worker processes by its circuit fingerprint, so a
+given circuit always lands on the same worker — that worker's session
+pool keeps the circuit's implication engine hot and its store handle
+keeps the circuit's result rows in page cache.  A plain ``hash(key) %
+N`` would remap almost every key when a worker dies; a consistent hash
+ring remaps only the dead worker's share.
+
+Implementation: each node owns ``replicas`` points on a 64-bit ring,
+placed by SHA-256 of ``"<node>#<replica>"`` — fully deterministic
+across processes and Python versions (no ``PYTHONHASHSEED``
+sensitivity), so a restarted front-end routes identically.  Lookup is
+a binary search for the first point clockwise of SHA-256(key).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServiceError
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    """A deterministic 64-bit ring position for an arbitrary string."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent hash ring of hashable node ids.
+
+    ``replicas`` virtual points per node trade memory for balance: with
+    the default 64, routing 10k random keys across 4 nodes lands within
+    a few percent of even.  All mutation and lookup is O(log points);
+    the ring is not thread-safe (the fleet mutates it only from its
+    event loop).
+    """
+
+    def __init__(self, nodes=(), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: "list[int]" = []
+        self._owners: "list" = []  # parallel to _points
+        self._nodes: "set" = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------
+    @property
+    def nodes(self) -> "frozenset":
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self._nodes
+
+    def add(self, node) -> None:
+        """Insert ``node``'s points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node) -> None:
+        """Drop ``node``'s points (idempotent) — its keys redistribute
+        to the clockwise survivors; every other key keeps its owner."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (p, o) for p, o in zip(self._points, self._owners) if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # -- routing --------------------------------------------------------
+    def route(self, key: str):
+        """The node owning ``key`` (e.g. an ``rdfp1:...`` fingerprint).
+
+        Raises :class:`ServiceError` when the ring is empty — the
+        caller decides whether to wait for a respawn or fail the
+        request as a structured error.
+        """
+        if not self._points:
+            raise ServiceError("hash ring is empty: no workers available")
+        index = bisect.bisect(self._points, _point(key))
+        if index == len(self._points):
+            index = 0  # wrap past the highest point
+        return self._owners[index]
+
+    def spread(self, keys) -> dict:
+        """Diagnostic: how many of ``keys`` each node would receive."""
+        counts: dict = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -43,6 +43,21 @@ Every server message for a request additionally carries the
 server-assigned ``request_id`` (``"req-<n>"``) alongside the client's
 echoed ``id`` — the correlation key tying a ``start`` event, its final
 result (or error) and the server's logs/metrics together.
+
+Fleet additions (:mod:`repro.service.fleet`) — same ops, three extra
+fields when the daemon runs with ``--workers N``:
+
+* classify results carry ``"worker"`` (the shard index that computed
+  the answer) and ``"coalesced"`` (``true`` when this response was
+  satisfied by another in-flight identical request through the
+  front-end's single-flight cache, ``false`` for the request that did
+  the computation).  Coalesced followers receive the final response
+  only — the ``start`` event streams to the computing request alone.
+* a shed request answers ``error.type == "Overloaded"`` with an extra
+  ``error.retry_after`` field — the front-end's backoff hint in
+  seconds.  Any exception carrying a numeric ``retry_after`` attribute
+  serializes the same way; the client surfaces it on
+  :class:`~repro.errors.RemoteError` as ``retry_after``.
 """
 
 from __future__ import annotations
@@ -115,6 +130,9 @@ def error_response(
         "ok": False,
         "error": {"type": type(exc).__name__, "message": str(exc)},
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        message["error"]["retry_after"] = round(float(retry_after), 3)
     if server_request_id is not None:
         message["request_id"] = server_request_id
     return message

@@ -50,7 +50,7 @@ from repro.store.db import ResultStore, as_store
 from repro.store.fingerprint import canonical_form
 from repro.util.serialize import classification_payload
 
-__all__ = ["AnalysisServer", "serve"]
+__all__ = ["AnalysisServer", "JsonLineServer", "run_until_signalled", "serve"]
 
 _CRITERIA = {"fs": Criterion.FS, "nr": Criterion.NR, "sigma": Criterion.SIGMA_PI}
 
@@ -160,41 +160,26 @@ def _resolve_sort(session: CircuitSession, kind: str):
     )
 
 
-class AnalysisServer:
-    """The daemon behind ``repro-rd serve`` (and the service tests).
+class JsonLineServer:
+    """Shared lifecycle of every JSON-lines daemon in this package.
 
-    Lifecycle: :meth:`start` binds the socket, :meth:`run` serves until
-    :meth:`request_shutdown` (wired to SIGTERM/SIGINT by :func:`serve`)
-    and then drains, :meth:`close` releases everything.
+    Owns the listener, the connection set and the graceful-drain state
+    machine; subclasses implement :meth:`_serve_request` (answer one
+    decoded wire line on the still-open connection) and may hook
+    :meth:`_on_close` for resource teardown.  :class:`AnalysisServer`
+    is the single-process classifier daemon;
+    :class:`~repro.service.fleet.FleetServer` is the sharding
+    front-end — both speak the identical protocol through this base,
+    so a client cannot tell which one it connected to.
     """
 
-    def __init__(
-        self,
-        store: "ResultStore | str | None" = None,
-        concurrency: int = 8,
-        default_deadline: "float | None" = None,
-        max_accepted: "int | None" = None,
-        drain_timeout: float = 30.0,
-    ):
-        if concurrency < 1:
-            raise ValueError("concurrency must be >= 1")
-        self.store = as_store(store)
-        self.concurrency = concurrency
-        self.default_deadline = default_deadline
-        self.max_accepted = max_accepted
+    def __init__(self, drain_timeout: float = 30.0):
         self.drain_timeout = drain_timeout
-        self.counters = _Counters()
-        self.sessions = SessionPool(self.store, max_idle=2 * concurrency)
-        self._executor = ThreadPoolExecutor(
-            max_workers=concurrency, thread_name_prefix="repro-classify"
-        )
-        self._admission = asyncio.Semaphore(concurrency)
         self._server: "asyncio.base_events.Server | None" = None
         self._connections: "set[_Connection]" = set()
         self._tasks: "set[asyncio.Task]" = set()
         self._shutdown = asyncio.Event()
         self._draining = False
-        self._request_seq = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(
@@ -246,14 +231,20 @@ class AnalysisServer:
             # every peer sees FIN before the loop stops — otherwise a
             # client blocked in recv() waits forever on a half-dead socket
             await asyncio.wait(leftover, timeout=5.0)
+        await self._drained()
         self.close()
+
+    async def _drained(self) -> None:
+        """Hook: runs after in-flight requests finished, before close()
+        (the fleet tears its worker processes down here)."""
 
     def close(self) -> None:
         if self._server is not None:
             self._server.close()
-        self._executor.shutdown(wait=False)
-        if self.store is not None:
-            self.store.close()
+        self._on_close()
+
+    def _on_close(self) -> None:
+        """Hook: release subclass resources (executors, stores, ...)."""
 
     # -- connection handling --------------------------------------------
     def _on_connect(
@@ -302,6 +293,48 @@ class AnalysisServer:
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
         writer.write(protocol.encode_line(message))
         await writer.drain()
+
+    async def _serve_request(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        raise NotImplementedError
+
+
+class AnalysisServer(JsonLineServer):
+    """The daemon behind ``repro-rd serve`` (and the service tests).
+
+    Lifecycle: :meth:`start` binds the socket, :meth:`run` serves until
+    :meth:`request_shutdown` (wired to SIGTERM/SIGINT by :func:`serve`)
+    and then drains, :meth:`close` releases everything.
+    """
+
+    def __init__(
+        self,
+        store: "ResultStore | str | None" = None,
+        concurrency: int = 8,
+        default_deadline: "float | None" = None,
+        max_accepted: "int | None" = None,
+        drain_timeout: float = 30.0,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        super().__init__(drain_timeout=drain_timeout)
+        self.store = as_store(store)
+        self.concurrency = concurrency
+        self.default_deadline = default_deadline
+        self.max_accepted = max_accepted
+        self.counters = _Counters()
+        self.sessions = SessionPool(self.store, max_idle=2 * concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=concurrency, thread_name_prefix="repro-classify"
+        )
+        self._admission = asyncio.Semaphore(concurrency)
+        self._request_seq = 0
+
+    def _on_close(self) -> None:
+        self._executor.shutdown(wait=False)
+        if self.store is not None:
+            self.store.close()
 
     async def _serve_request(
         self, line: bytes, writer: asyncio.StreamWriter
@@ -495,7 +528,9 @@ async def serve(
     max_accepted: "int | None" = None,
     ready: "Callable[[str], None] | None" = None,
 ) -> int:
-    """Run the daemon until SIGTERM/SIGINT; returns the exit code."""
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code
+    (0 after a drained SIGTERM, 130 when SIGINT triggered the drain —
+    the CLI-wide Ctrl-C convention)."""
     server = AnalysisServer(
         store=store,
         concurrency=concurrency,
@@ -503,13 +538,30 @@ async def serve(
         max_accepted=max_accepted,
     )
     address = await server.start(host=host, port=port, socket_path=socket_path)
-    loop = asyncio.get_event_loop()
-    for signum in (signal.SIGTERM, signal.SIGINT):
-        try:
-            loop.add_signal_handler(signum, server.request_shutdown)
-        except (NotImplementedError, RuntimeError):
-            signal.signal(signum, lambda *_: server.request_shutdown())
     if ready is not None:
         ready(address)
+    return await run_until_signalled(server)
+
+
+async def run_until_signalled(server: JsonLineServer) -> int:
+    """Wire SIGTERM/SIGINT to a graceful drain and serve until one
+    fires; the exit code encodes which (0 for SIGTERM or a programmatic
+    :meth:`~JsonLineServer.request_shutdown`, 130 for SIGINT)."""
+    loop = asyncio.get_event_loop()
+    fired: "dict[str, int]" = {}
+
+    def on_signal(signum: int) -> None:
+        fired.setdefault("signum", signum)
+        server.request_shutdown()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, on_signal, signum)
+        except (NotImplementedError, RuntimeError):
+            signal.signal(
+                signum, lambda num, _frame: loop.call_soon_threadsafe(
+                    on_signal, num
+                )
+            )
     await server.run()
-    return 0
+    return 130 if fired.get("signum") == signal.SIGINT else 0

@@ -2,7 +2,14 @@
 
 import json
 
-from repro.obs import MetricsRegistry, format_metrics, get_registry
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    format_metrics,
+    get_registry,
+    histogram_quantile,
+)
 from repro.obs.metrics import DEFAULT_BOUNDS
 
 
@@ -147,6 +154,45 @@ class TestFormat:
 
     def test_empty(self):
         assert "no metrics" in format_metrics({})
+
+
+class TestHistogramQuantile:
+    def _snapshot(self, values, bounds=DEFAULT_BOUNDS):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=bounds)
+        for v in values:
+            h.observe(v)
+        return r.snapshot()["histograms"]["lat"]
+
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile(self._snapshot([]), 0.5) is None
+        assert histogram_quantile({}, 0.99) is None
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self._snapshot([0.1]), 1.5)
+
+    def test_single_observation_clamps_to_it(self):
+        data = self._snapshot([0.3])
+        assert histogram_quantile(data, 0.5) == pytest.approx(0.3)
+        assert histogram_quantile(data, 0.99) == pytest.approx(0.3)
+
+    def test_median_lands_in_the_right_bucket(self):
+        # 100 values spread 0..1s: the p50 estimate must fall inside
+        # the bucket that actually holds the 50th observation
+        values = [i / 100 for i in range(1, 101)]
+        p50 = histogram_quantile(self._snapshot(values), 0.5)
+        assert 0.25 < p50 <= 1.0
+        p99 = histogram_quantile(self._snapshot(values), 0.99)
+        assert p99 >= p50
+
+    def test_overflow_bucket_reports_observed_max(self):
+        data = self._snapshot([0.01, 120.0], bounds=(0.1, 1.0))
+        assert histogram_quantile(data, 0.99) == pytest.approx(120.0)
+
+    def test_survives_json_round_trip(self):
+        data = json.loads(json.dumps(self._snapshot([0.05, 0.2, 0.7])))
+        assert histogram_quantile(data, 0.5) is not None
 
 
 class TestGlobalRegistry:

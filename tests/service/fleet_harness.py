@@ -1,0 +1,78 @@
+"""Shared test harness: one FleetServer on a private event loop in a
+daemon thread, with real supervised worker subprocesses behind it.
+Used by the service fleet tests and the chaos fleet suite."""
+
+import asyncio
+import threading
+
+from repro.service.fleet import FleetServer
+
+#: payload keys that legitimately differ between two runs of the same
+#: classification (wall time, cache telemetry, shard placement); what
+#: remains must be byte-identical run to run
+VOLATILE_RESULT_KEYS = frozenset({"coalesced", "elapsed", "session", "worker"})
+
+
+def stable_result(result: dict) -> dict:
+    """A classify result stripped to its run-independent keys."""
+    return {
+        k: v for k, v in result.items() if k not in VOLATILE_RESULT_KEYS
+    }
+
+
+class FleetHarness:
+    """Start/stop one fleet (front-end + worker processes) for a test."""
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.server: "FleetServer | None" = None
+        self.address: "str | None" = None
+        self.loop: "asyncio.AbstractEventLoop | None" = None
+        self.failure: "BaseException | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self, socket_path: str) -> str:
+        ready = threading.Event()
+
+        def run():
+            self.loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self.loop)
+
+            async def go():
+                try:
+                    self.server = FleetServer(**self.kwargs)
+                    self.address = await self.server.start(
+                        socket_path=socket_path
+                    )
+                finally:
+                    ready.set()
+                await self.server.run()
+
+            try:
+                self.loop.run_until_complete(go())
+            except BaseException as exc:  # surfaced via self.failure
+                self.failure = exc
+                ready.set()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert ready.wait(120), "fleet start timed out"
+        assert self.address, f"fleet failed to start: {self.failure!r}"
+        return self.address
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if (
+            self.loop is not None
+            and self.server is not None
+            and self._thread is not None
+            and self._thread.is_alive()
+        ):
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            assert not self._thread.is_alive(), "fleet failed to drain"
+
+    def worker_pid(self, index: int) -> int:
+        pid = self.server.supervisor.workers[index].pid
+        assert pid is not None
+        return pid

@@ -1,0 +1,295 @@
+"""The fault-tolerant client against scripted fake servers: bounded
+retry with backoff, idempotent-only resend, deadline budgets, and the
+close()-during-request race."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import RemoteError, ServiceError, TaskTimeout
+from repro.service.client import IDEMPOTENT_OPS, RetryPolicy, ServiceClient
+
+
+class ScriptedServer:
+    """A unix-socket server whose per-connection behavior is a script:
+    ``script(server, conn_index, file)`` drives one connection."""
+
+    def __init__(self, tmp_path, script):
+        self.path = str(tmp_path / "scripted.sock")
+        self.script = script
+        self.connections = 0
+        self.received = []  # every request message any connection read
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.path)
+        self._sock.listen(8)
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            index = self.connections
+            self.connections += 1
+            threading.Thread(
+                target=self._serve, args=(conn, index), daemon=True
+            ).start()
+
+    def _serve(self, conn, index):
+        try:
+            with conn, conn.makefile("rwb") as file:
+                self.script(self, index, file)
+        except (OSError, ValueError):
+            pass
+
+    def read(self, file) -> dict:
+        message = json.loads(file.readline())
+        self.received.append(message)
+        return message
+
+    def send(self, file, payload: dict) -> None:
+        file.write(json.dumps(payload).encode() + b"\n")
+        file.flush()
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def scripted(tmp_path):
+    servers = []
+
+    def factory(script):
+        server = ScriptedServer(tmp_path, script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+def _ok(request, **result):
+    result.setdefault("name", "fake")
+    return {"id": request["id"], "ok": True, "result": result}
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.delay(k) for k in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        lo = policy.delay(0, rng=lambda: 0.0)
+        hi = policy.delay(0, rng=lambda: 1.0)
+        assert lo == pytest.approx(0.5)
+        assert hi == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_all_current_ops_are_idempotent(self):
+        assert IDEMPOTENT_OPS == {"classify", "metrics", "ping", "stats"}
+
+
+class TestConnectRetry:
+    def test_connect_retries_until_server_appears(self, tmp_path):
+        path = str(tmp_path / "late.sock")
+        server_box = {}
+
+        def bind_late():
+            time.sleep(0.3)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(path)
+            sock.listen(1)
+            server_box["sock"] = sock
+
+        threading.Thread(target=bind_late, daemon=True).start()
+        policy = RetryPolicy(attempts=20, base_delay=0.05, max_delay=0.1)
+        client = ServiceClient.connect(path, retry=policy)
+        client.close()
+        server_box["sock"].close()
+
+    def test_connect_without_policy_fails_fast(self, tmp_path):
+        with pytest.raises(ServiceError) as exc_info:
+            ServiceClient.connect(str(tmp_path / "absent.sock"))
+        assert "after 1 attempt" in str(exc_info.value)
+
+    def test_malformed_port_never_retries(self):
+        started = time.monotonic()
+        with pytest.raises(ServiceError):
+            ServiceClient.connect(
+                "127.0.0.1:notaport",
+                retry=RetryPolicy(attempts=5, base_delay=1.0),
+            )
+        assert time.monotonic() - started < 0.5
+
+
+class TestRequestRetry:
+    def test_reset_mid_request_resends_transparently(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            if index == 0:
+                return  # close before answering: a dying worker
+            server.send(file, _ok(request, answer=42))
+
+        server = scripted(script)
+        with ServiceClient.connect(
+            server.path, retry=RetryPolicy(base_delay=0.01)
+        ) as client:
+            result = client.request("classify", circuit="c17")
+        assert result["answer"] == 42
+        assert server.connections == 2  # reconnected exactly once
+
+    def test_no_policy_means_no_retry(self, scripted):
+        def script(server, index, file):
+            server.read(file)
+
+        server = scripted(script)
+        with ServiceClient.connect(server.path) as client:
+            with pytest.raises(ServiceError):
+                client.request("classify", circuit="c17")
+        assert server.connections == 1
+
+    def test_non_idempotent_op_is_never_resent(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            if index == 0:
+                return
+            server.send(file, _ok(request))
+
+        server = scripted(script)
+        with ServiceClient.connect(
+            server.path, retry=RetryPolicy(base_delay=0.01)
+        ) as client:
+            with pytest.raises(ServiceError):
+                client.request("mutate", target="x")
+        # the scripted server would have answered a resend; the client
+        # must not have reconnected for an op outside IDEMPOTENT_OPS
+        assert server.connections == 1
+
+    def test_structured_error_is_an_answer_not_a_retry(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            server.send(file, {
+                "id": request["id"], "ok": False,
+                "error": {"type": "CircuitError", "message": "bad"},
+            })
+
+        server = scripted(script)
+        with ServiceClient.connect(
+            server.path, retry=RetryPolicy(base_delay=0.01)
+        ) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.request("classify", circuit="nope")
+        assert exc_info.value.error_type == "CircuitError"
+        assert server.connections == 1
+
+    def test_retry_after_hint_is_surfaced(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            server.send(file, {
+                "id": request["id"], "ok": False,
+                "error": {
+                    "type": "Overloaded", "message": "queue full",
+                    "retry_after": 1.5,
+                },
+            })
+
+        server = scripted(script)
+        with ServiceClient.connect(server.path) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.request("classify", circuit="c17")
+        assert exc_info.value.error_type == "Overloaded"
+        assert exc_info.value.retry_after == 1.5
+
+
+class TestDeadlineBudget:
+    def test_budget_exhausted_locally_raises_task_timeout(self, scripted):
+        def script(server, index, file):
+            server.read(file)  # never answer: every attempt resets
+
+        server = scripted(script)
+        policy = RetryPolicy(attempts=50, base_delay=0.05, jitter=0.0)
+        with ServiceClient.connect(server.path, retry=policy) as client:
+            started = time.monotonic()
+            with pytest.raises(TaskTimeout):
+                client.request("classify", circuit="c17", deadline=0.4)
+            elapsed = time.monotonic() - started
+        # the budget, not the 50-attempt policy, bounded the wait
+        assert elapsed < 5.0
+
+    def test_deadline_shrinks_across_attempts(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            if index == 0:
+                return  # force a retry
+            server.send(file, _ok(request))
+
+        server = scripted(script)
+        policy = RetryPolicy(base_delay=0.05, jitter=0.0)
+        with ServiceClient.connect(server.path, retry=policy) as client:
+            client.request("classify", circuit="c17", deadline=30.0)
+        first, second = server.received
+        assert first["deadline"] == 30.0  # first hop: untouched budget
+        assert second["deadline"] < 30.0  # retry: what remains
+
+
+class TestCloseRace:
+    def test_close_during_streaming_request_raises_clean_remote_error(
+        self, scripted
+    ):
+        request_seen = threading.Event()
+
+        def script(server, index, file):
+            request = server.read(file)
+            server.send(file, {
+                "id": request["id"], "event": "start", "name": "slow",
+            })
+            request_seen.set()
+            time.sleep(30)  # never answer; the client will close first
+
+        server = scripted(script)
+        client = ServiceClient.connect(server.path)
+        outcome = {}
+
+        def run_request():
+            try:
+                client.request("classify", circuit="slow-circuit")
+            except BaseException as exc:  # noqa: BLE001 - assert on type
+                outcome["exc"] = exc
+
+        thread = threading.Thread(target=run_request)
+        thread.start()
+        assert request_seen.wait(10), "request never reached the server"
+        client.close()
+        thread.join(10)
+        assert not thread.is_alive(), "reader hung after close()"
+        exc = outcome.get("exc")
+        assert isinstance(exc, RemoteError), f"got {type(exc).__name__}: {exc}"
+        assert exc.error_type == "ClientClosed"
+
+    def test_close_then_request_is_clean(self, scripted):
+        def script(server, index, file):
+            request = server.read(file)
+            server.send(file, _ok(request))
+
+        server = scripted(script)
+        client = ServiceClient.connect(server.path)
+        client.ping()
+        client.close()
+        with pytest.raises(RemoteError) as exc_info:
+            client.ping()
+        assert exc_info.value.error_type == "ClientClosed"

@@ -1,0 +1,222 @@
+"""The service fleet end to end: fingerprint routing, single-flight
+coalescing, admission control, deadline propagation, merged telemetry.
+(Worker-crash and wedge scenarios live in tests/chaos/test_fleet.py.)"""
+
+import threading
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.gen.suite import get_circuit
+from repro.obs import get_registry
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.store.fingerprint import canonical_form
+
+from tests.service.fleet_harness import FleetHarness, stable_result
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    harness = FleetHarness(
+        workers=2, health_interval=0.2, backoff_base=0.05
+    )
+    harness.start(
+        str(tmp_path_factory.mktemp("fleet") / "fleet.sock")
+    )
+    yield harness
+    harness.stop()
+
+
+def connect(harness):
+    return ServiceClient.connect(harness.address, retry=RetryPolicy())
+
+
+class TestBasics:
+    def test_ping_identifies_fleet(self, fleet):
+        with connect(fleet) as client:
+            result = client.ping()
+        assert result["server"] == "repro-rd-fleet"
+        assert result["workers"] == 2
+
+    def test_classify_answers_like_the_plain_daemon(self, fleet):
+        with connect(fleet) as client:
+            result = client.classify(circuit="c17")
+        assert result["name"] == "c17"
+        assert result["total_logical"] == 22
+        assert result["coalesced"] is False
+        assert result["worker"] in (0, 1)
+
+    def test_routing_matches_the_hash_ring(self, fleet):
+        """Every circuit lands on the shard its fingerprint hashes to —
+        and therefore always on the *same* shard."""
+        with connect(fleet) as client:
+            for name in ("c17", "s499-ecc", "xcmp16", "xprienc16"):
+                fingerprint = canonical_form(get_circuit(name)).fingerprint
+                expected = fleet.server.ring.route(fingerprint)
+                result = client.classify(circuit=name, criterion="fs")
+                assert result["worker"] == expected
+                assert result["fingerprint"] == fingerprint
+
+    def test_bad_input_fails_fast_at_the_frontend(self, fleet):
+        with connect(fleet) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.classify(circuit="no-such-circuit")
+            assert exc_info.value.error_type == "CircuitError"
+            with pytest.raises(RemoteError) as exc_info:
+                client.classify(bench="y = AND(a b\n")
+            assert exc_info.value.error_type == "BenchParseError"
+            # the connection survives both
+            assert client.ping()["server"] == "repro-rd-fleet"
+
+    def test_start_event_carries_worker_and_shrunk_deadline(self, fleet):
+        events = []
+        with connect(fleet) as client:
+            result = client.classify(
+                circuit="c17", deadline=30.0, on_event=events.append
+            )
+        assert result["total_logical"] == 22
+        assert [e["event"] for e in events] == ["start"]
+        assert events[0]["worker"] == result["worker"]
+        # the front-end forwarded the *remaining* budget
+        assert 0 < events[0]["deadline"] <= 30.0
+
+    def test_exhausted_deadline_is_a_structured_timeout(self, fleet):
+        with connect(fleet) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.classify(circuit="c17", deadline=1e-9)
+        assert exc_info.value.error_type == "TaskTimeout"
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_computation(
+        self, fleet
+    ):
+        registry = get_registry()
+        hits_before = registry.counter("fleet.coalesce_hits").value
+        leaders_before = registry.counter("fleet.coalesce_leaders").value
+        count = 4
+        barrier = threading.Barrier(count)
+        results: list = [None] * count
+
+        def worker(i):
+            with connect(fleet) as client:
+                barrier.wait()
+                results[i] = client.classify(circuit="s499-ecc")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(count)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert all(r is not None for r in results)
+        coalesced = [r for r in results if r["coalesced"]]
+        assert len(coalesced) == count - 1
+        # byte-identical answers once run-varying keys are stripped
+        stable = {str(sorted(stable_result(r).items())) for r in results}
+        assert len(stable) == 1
+        assert (
+            registry.counter("fleet.coalesce_hits").value - hits_before
+            == count - 1
+        )
+        assert (
+            registry.counter("fleet.coalesce_leaders").value - leaders_before
+            == 1
+        )
+
+    def test_different_params_do_not_coalesce(self, fleet):
+        registry = get_registry()
+        hits_before = registry.counter("fleet.coalesce_hits").value
+        barrier = threading.Barrier(2)
+        results: list = [None] * 2
+
+        def worker(i):
+            with connect(fleet) as client:
+                barrier.wait()
+                results[i] = client.classify(
+                    circuit="c17", criterion=["fs", "nr"][i]
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert {r["criterion"] for r in results} == {"FS", "NR"}
+        assert all(r["coalesced"] is False for r in results)
+        assert registry.counter("fleet.coalesce_hits").value == hits_before
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_retry_after_hint(self, tmp_path):
+        harness = FleetHarness(
+            workers=1, max_pending=1, health_interval=0.3
+        )
+        harness.start(str(tmp_path / "small.sock"))
+        try:
+            count = 5
+            barrier = threading.Barrier(count)
+            outcomes: list = [None] * count
+
+            def worker(i):
+                # distinct max_accepted defeats coalescing on purpose:
+                # every request must hit the worker's pending queue
+                with ServiceClient.connect(harness.address) as client:
+                    barrier.wait()
+                    try:
+                        outcomes[i] = client.classify(
+                            circuit="s499-ecc", max_accepted=500_000 + i
+                        )
+                    except RemoteError as exc:
+                        outcomes[i] = exc
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(count)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            ok = [o for o in outcomes if isinstance(o, dict)]
+            shed = [
+                o for o in outcomes
+                if isinstance(o, RemoteError)
+                and o.error_type == "Overloaded"
+            ]
+            assert len(ok) >= 1, outcomes
+            assert len(shed) >= 1, outcomes
+            assert len(ok) + len(shed) == count
+            for error in shed:
+                assert error.retry_after is not None
+                assert error.retry_after > 0
+        finally:
+            harness.stop()
+
+
+class TestIntrospection:
+    def test_stats_describes_the_topology(self, fleet):
+        with connect(fleet) as client:
+            stats = client.stats()
+        assert stats["server"] == "repro-rd-fleet"
+        assert len(stats["workers"]) == 2
+        for worker in stats["workers"]:
+            assert worker["state"] == "up"
+            assert worker["alive"] is True
+            assert worker["pid"]
+            assert worker["routed"] is True
+        assert stats["max_pending"] == 64
+
+    def test_metrics_merges_frontend_and_workers(self, fleet):
+        with connect(fleet) as client:
+            client.classify(circuit="c17")
+            snapshot = client.metrics()
+        counters = snapshot["metrics"]["counters"]
+        # front-end telemetry and worker telemetry in one view
+        assert counters["fleet.requests"] >= 1
+        assert counters["service.requests"] >= 1
+        assert snapshot["server"] == "repro-rd-fleet"
+        assert snapshot["workers"] == 2

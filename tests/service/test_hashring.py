@@ -1,0 +1,91 @@
+"""The consistent hash ring: determinism, balance, minimal remapping."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.hashring import HashRing
+
+
+def _keys(n):
+    return [f"rdfp1:{i:064x}" for i in range(n)]
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])  # insertion order must not matter
+        for key in _keys(500):
+            assert a.route(key) == b.route(key)
+
+    def test_route_is_stable(self):
+        ring = HashRing([0, 1, 2])
+        key = "rdfp1:" + "ab" * 32
+        assert all(ring.route(key) == ring.route(key) for _ in range(10))
+
+    def test_empty_ring_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            HashRing().route("rdfp1:00")
+        ring = HashRing([0])
+        ring.remove(0)
+        with pytest.raises(ServiceError):
+            ring.route("rdfp1:00")
+
+    def test_single_node_gets_everything(self):
+        ring = HashRing([7])
+        assert all(ring.route(k) == 7 for k in _keys(100))
+
+
+class TestBalance:
+    def test_spread_is_roughly_even(self):
+        ring = HashRing(range(4), replicas=64)
+        counts = ring.spread(_keys(8000))
+        assert set(counts) == {0, 1, 2, 3}
+        for share in counts.values():
+            # 8000/4 = 2000 expected; consistent hashing with 64
+            # replicas stays well within 2x of fair share
+            assert 1000 <= share <= 4000
+
+    def test_more_replicas_balance_better(self):
+        keys = _keys(8000)
+
+        def imbalance(replicas):
+            counts = HashRing(range(4), replicas=replicas).spread(keys)
+            return max(counts.values()) - min(counts.values())
+
+        assert imbalance(128) < imbalance(4)
+
+
+class TestMembership:
+    def test_removal_only_remaps_the_dead_nodes_keys(self):
+        ring = HashRing(range(4))
+        keys = _keys(2000)
+        before = {k: ring.route(k) for k in keys}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner == 2:
+                assert ring.route(key) != 2
+            else:
+                # the consistent-hashing contract: survivors keep keys
+                assert ring.route(key) == owner
+
+    def test_re_adding_restores_exact_ownership(self):
+        ring = HashRing(range(4))
+        keys = _keys(1000)
+        before = {k: ring.route(k) for k in keys}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.route(k) for k in keys} == before
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing([0, 1])
+        ring.add(1)
+        ring.add(1)
+        assert len(ring) == 2
+        ring.remove(1)
+        ring.remove(1)
+        assert len(ring) == 1
+        assert 0 in ring and 1 not in ring
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)

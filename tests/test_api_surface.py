@@ -23,6 +23,7 @@ API_SNAPSHOT = [
     "ServiceError",
     "ProtocolError",
     "RemoteError",
+    "Overloaded",
     # circuits
     "Circuit",
     "CircuitBuilder",
@@ -45,6 +46,7 @@ API_SNAPSHOT = [
     "export_jsonl",
     "format_metrics",
     "get_registry",
+    "histogram_quantile",
     "reset_registry",
     "span",
     # paths
@@ -83,9 +85,15 @@ API_SNAPSHOT = [
     "ResultStore",
     "canonical_form",
     "fingerprint",
-    # analysis service
+    # analysis service + fleet
     "AnalysisServer",
+    "FleetServer",
+    "HashRing",
+    "RetryPolicy",
     "ServiceClient",
+    "WorkerSupervisor",
+    "serve",
+    "serve_fleet",
     # serialization
     "classification_payload",
     "info_payload",
@@ -125,6 +133,9 @@ class TestDeepImportsKeepWorking:
         ("repro.classify.conditions", "Criterion"),
         ("repro.store.db", "ResultStore"),
         ("repro.service.client", "ServiceClient"),
+        ("repro.service.fleet", "FleetServer"),
+        ("repro.service.hashring", "HashRing"),
+        ("repro.service.supervisor", "WorkerSupervisor"),
         ("repro.obs.metrics", "MetricsRegistry"),
         ("repro.obs.trace", "span"),
         ("repro.paths.count", "count_paths"),

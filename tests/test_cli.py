@@ -396,6 +396,26 @@ class TestStoreFlags:
         with pytest.raises(SystemExit):
             main(["serve", "--socket", "a.sock", "--port", "1"])
 
+    def test_serve_rejects_nonpositive_workers(self):
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit) as exc_info:
+                main(["serve", "--socket", "a.sock", "--workers", bad])
+            assert exc_info.value.code == 2  # argparse usage error
+
+    def test_serve_rejects_nonpositive_max_pending(self):
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit) as exc_info:
+                main(["serve", "--socket", "a.sock", "--max-pending", bad])
+            assert exc_info.value.code == 2
+
+    def test_serve_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--help"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit status" in out
+        assert "130" in out and "SIGINT" in out
+
     def test_classify_remote_connection_refused(self, tmp_path, capsys):
         missing = str(tmp_path / "nothing.sock")
         assert main(["classify", "c17", "--remote", missing]) == 1
