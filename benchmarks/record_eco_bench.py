@@ -1,0 +1,213 @@
+"""Record the ECO re-analysis speedup on the frozen Table-I suite.
+
+For every suite circuit: apply K scripted *local* one-gate edits — the
+shape a production ECO takes, a gate swap near a failing endpoint,
+chosen deterministically as the flippable gates with the smallest dirty
+footprint (fewest reachable POs, then fewest dirty-cone gates) — then
+run the edited design once from scratch (storeless cone classify) and
+once through :func:`repro.incremental.reanalyze` against a store warmed
+with the base design's cone rows.  Asserts the two answers are
+byte-identical and writes ``BENCH_eco.json`` at the repo root with
+per-edit cold/warm wall times, per-edit reuse ratios (so the dirty
+fraction is visible), and the suite-wide median speedup — the committed
+number the incremental subsystem's "near-warm on changed circuits"
+claim rests on.  Note the honest outliers: an edit that reaches every
+cone (s1355-par has a single output cone) reuses nothing and lands
+near 1x; the median is taken over the whole matrix regardless:
+
+    PYTHONPATH=src python benchmarks/record_eco_bench.py
+
+``--smoke`` is the CI guard: one circuit, one edit, driven through the
+``repro-rd diff``/``reanalyze`` command line with ``--json``, asserting
+the diff is mostly clean and the reuse ratio is positive.  It writes no
+file and finishes in seconds:
+
+    PYTHONPATH=src python benchmarks/record_eco_bench.py --smoke
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import platform
+import statistics
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.circuit.bench import write_bench
+from repro.circuit.gates import GateType
+from repro.classify.conditions import Criterion
+from repro.gen.suite import get_circuit, table1_suite
+from repro.incremental import cone_classify, cone_index, reanalyze
+from repro.store.db import ResultStore
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_eco.json"
+
+EDITS_PER_CIRCUIT = 3
+
+_FLIPS = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+}
+
+
+def local_edit_sites(circuit, k: int) -> list:
+    """The ``k`` most local flippable gates, deterministically: fewest
+    reachable POs, then smallest total dirty-cone gate count, then the
+    latest logic level (an endpoint-adjacent fix), then name."""
+    index = cone_index(circuit)
+    scored = []
+    for gid in range(circuit.num_gates):
+        if circuit.gate_type(gid) not in _FLIPS:
+            continue
+        reached = [c for c in index.cones if (c.mask >> gid) & 1]
+        scored.append(
+            (
+                len(reached),
+                sum(c.num_gates for c in reached),
+                -circuit.level(gid),
+                circuit.gate_name(gid),
+            )
+        )
+    scored.sort()
+    return [name for _pos, _gates, _level, name in scored[:k]]
+
+
+def one_gate_edit(circuit, gate: str, tag: str):
+    """A copy of ``circuit`` with the named gate's type flipped."""
+    edited = circuit.copy(f"{circuit.name}-{tag}")
+    gid = edited.gate_by_name(gate)
+    edited.replace_gate(gate, _FLIPS[edited.gate_type(gid)], list(edited.fanin(gid)))
+    return edited
+
+
+def bench_circuit(circuit) -> list:
+    rows = []
+    for k, gate in enumerate(local_edit_sites(circuit, EDITS_PER_CIRCUIT)):
+        edited = one_gate_edit(circuit, gate, f"eco{k}")
+        cold = cone_classify(edited, Criterion.FS)
+        with tempfile.TemporaryDirectory() as tmp:
+            with ResultStore(Path(tmp) / "eco.sqlite") as store:
+                report = reanalyze(
+                    circuit, edited, store=store, criterion=Criterion.FS
+                )
+        if report.edited.table_bytes() != cold.table_bytes():
+            raise AssertionError(
+                f"{edited.name}: reanalyze diverged from from-scratch"
+            )
+        warm_s = report.edited.wall_seconds
+        speedup = cold.wall_seconds / warm_s if warm_s > 0 else float("inf")
+        rows.append(
+            {
+                "circuit": circuit.name,
+                "edit": f"flip {gate}",
+                "cones": report.edited.cones_total,
+                "cones_reused": report.edited.cones_reused,
+                "reuse_ratio": round(report.edited.reuse_ratio, 4),
+                "cold_s": round(cold.wall_seconds, 4),
+                "warm_s": round(warm_s, 4),
+                "speedup": round(speedup, 1),
+            }
+        )
+        print(
+            f"{circuit.name:<16} flip {gate:<12} "
+            f"reuse {report.edited.cones_reused}/{report.edited.cones_total}  "
+            f"cold {cold.wall_seconds:>8.3f}s  warm {warm_s:>8.4f}s  "
+            f"{speedup:>7.1f}x"
+        )
+    return rows
+
+
+def main() -> int:
+    rows = []
+    for circuit in table1_suite():
+        rows.extend(bench_circuit(circuit))
+    speedups = sorted(r["speedup"] for r in rows)
+    median = statistics.median(speedups)
+    doc = {
+        "benchmark": "eco-reanalyze",
+        "unit": "wall seconds per FS cone-classify of a 1-gate edit",
+        "suite": sorted({r["circuit"] for r in rows}),
+        "python": platform.python_version(),
+        "edits_per_circuit": EDITS_PER_CIRCUIT,
+        "edit_selection": "local: fewest reachable POs, smallest dirty footprint",
+        "totals": {
+            "edits": len(rows),
+            "cold_s": round(sum(r["cold_s"] for r in rows), 2),
+            "warm_s": round(sum(r["warm_s"] for r in rows), 2),
+            "median_speedup": round(median, 1),
+            "min_speedup": speedups[0],
+            "max_speedup": speedups[-1],
+            "mean_reuse_ratio": round(
+                statistics.mean(r["reuse_ratio"] for r in rows), 4
+            ),
+        },
+        "edits": rows,
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"\nmedian speedup {median:.1f}x over {len(rows)} edits -> {OUT}")
+    if median < 10.0:
+        print("FAIL: median ECO speedup below the 10x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cli_json(argv: list) -> dict:
+    """Run the repro-rd CLI in-process and parse its --json output."""
+    from repro.cli import main as cli_main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    if code not in (0, None):
+        raise AssertionError(f"repro-rd {argv[0]} exited {code}")
+    return json.loads(buffer.getvalue())
+
+
+def smoke() -> int:
+    """CI guard: the diff/reanalyze command line works end to end."""
+    circuit = get_circuit("s499-ecc")
+    (gate,) = local_edit_sites(circuit, 1)
+    edited = one_gate_edit(circuit, gate, "smoke")
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = Path(tmp) / "base.bench"
+        edited_path = Path(tmp) / "edited.bench"
+        base_path.write_text(write_bench(circuit), encoding="utf-8")
+        edited_path.write_text(write_bench(edited), encoding="utf-8")
+        store_path = str(Path(tmp) / "eco.sqlite")
+
+        diff = _cli_json(["diff", str(base_path), str(edited_path), "--json"])
+        assert diff["counts"]["DIRTY"] >= 1, diff["counts"]
+        assert diff["counts"]["CLEAN"] >= 1, diff["counts"]
+        assert 0.0 < diff["reuse_possible"] < 1.0, diff
+
+        report = _cli_json(
+            [
+                "reanalyze", str(base_path), str(edited_path),
+                "--store", store_path, "--criterion", "fs", "--json",
+            ]
+        )
+        assert report["reuse_ratio"] > 0.0, report["reuse_ratio"]
+        assert report["edited"]["cones_reused"] >= 1, report["edited"]
+        # an identical netlist pair is diff-clean and fully reused
+        clean = _cli_json(
+            [
+                "reanalyze", str(base_path), str(base_path),
+                "--store", store_path, "--criterion", "fs", "--json",
+            ]
+        )
+        assert clean["diff"]["counts"]["DIRTY"] == 0, clean["diff"]
+        assert clean["reuse_ratio"] == 1.0, clean["reuse_ratio"]
+    print(
+        f"eco smoke ok: flip {gate} on s499-ecc, "
+        f"reuse_ratio={report['reuse_ratio']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(smoke() if "--smoke" in sys.argv[1:] else main())

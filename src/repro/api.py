@@ -100,6 +100,17 @@ from repro.timing import (
     unit_delays,
 )
 from repro.store import ResultStore, canonical_form, fingerprint
+from repro.incremental import (
+    CircuitDiff,
+    ConeClassifyReport,
+    ConeIndex,
+    ReanalyzeReport,
+    cone_classify,
+    cone_fingerprints,
+    cone_index,
+    diff_circuits,
+    reanalyze,
+)
 from repro.service import (
     AnalysisServer,
     FleetServer,
@@ -186,6 +197,16 @@ __all__ = [
     "ResultStore",
     "canonical_form",
     "fingerprint",
+    # incremental re-analysis (ECO)
+    "CircuitDiff",
+    "ConeClassifyReport",
+    "ConeIndex",
+    "ReanalyzeReport",
+    "cone_classify",
+    "cone_fingerprints",
+    "cone_index",
+    "diff_circuits",
+    "reanalyze",
     # analysis service + fleet
     "AnalysisServer",
     "FleetServer",

@@ -58,6 +58,7 @@ class Circuit:
         self._lead_dst: list[int] = []
         self._lead_pin: list[int] = []
         self._flat = None
+        self._cone_index = None  # repro.incremental.conefp cache slot
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,6 +100,69 @@ class Circuit:
         self._names.append(name)
         self._fanin.append(tuple(fanin))
         self._by_name[name] = gid
+        return gid
+
+    def replace_gate(
+        self,
+        name: str,
+        gate_type: GateType,
+        fanin: Sequence[int | str] = (),
+    ) -> int:
+        """Rewire one existing gate in place (an ECO edit) and return its id.
+
+        ``fanin`` entries may be gate ids or gate names; the gate keeps
+        its name and id.  The same structural rules as :meth:`add_gate`
+        apply — in particular every fanin id must be smaller than the
+        gate's own id, because insertion order is the circuit's
+        topological order.  A gate cannot change to or from ``PI``/``PO``
+        status (that would change the circuit's interface, not edit it).
+
+        On a frozen circuit the derived structure (fanout, leads, levels,
+        the cached flat IR and cone index) is rebuilt; the edit is
+        transactional — an invalid replacement raises
+        :class:`CircuitError` and leaves the circuit unchanged.
+        """
+        if name not in self._by_name:
+            raise CircuitError(f"no gate named {name!r}")
+        gid = self._by_name[name]
+        old_type, old_fanin = self._types[gid], self._fanin[gid]
+        resolved = tuple(
+            self._by_name[src] if isinstance(src, str) else src for src in fanin
+        )
+        for src in resolved:
+            if not 0 <= src < gid:
+                raise CircuitError(
+                    f"gate {name!r}: fanin id {src} must refer to an earlier "
+                    "gate (circuits are kept in topological order)"
+                )
+        if (gate_type is GateType.PI) != (old_type is GateType.PI) or (
+            gate_type is GateType.PO
+        ) != (old_type is GateType.PO):
+            raise CircuitError(
+                f"gate {name!r}: replace_gate cannot change PI/PO status"
+            )
+        if gate_type is GateType.PI:
+            if resolved:
+                raise CircuitError("a PI cannot have fanin")
+        elif gate_type in (GateType.PO, GateType.NOT, GateType.BUF):
+            if len(resolved) != 1:
+                raise CircuitError(f"{gate_type.name} requires exactly one fanin")
+        elif len(resolved) < 1:
+            raise CircuitError(f"{gate_type.name} requires at least one fanin")
+        was_frozen = self._frozen
+        self._types[gid] = gate_type
+        self._fanin[gid] = resolved
+        if was_frozen:
+            self._frozen = False
+            self._flat = None
+            self._cone_index = None
+            try:
+                self.freeze()
+            except CircuitError:
+                self._types[gid], self._fanin[gid] = old_type, old_fanin
+                self._frozen = False
+                self.freeze()
+                raise
         return gid
 
     def freeze(self) -> "Circuit":

@@ -84,6 +84,8 @@ class SessionStats:
     budget_aborts: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    cone_hits: int = 0  #: cone-granularity store hits (ECO reuse)
+    cone_misses: int = 0
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment one counter field here *and* in the process
@@ -122,6 +124,9 @@ class SessionStats:
             )
         else:
             parts.append("store=off")
+        if self.cone_hits or self.cone_misses:
+            total = self.cone_hits + self.cone_misses
+            parts.append(f"cones={self.cone_hits}/{total} hit")
         if self.budget_aborts:
             parts.append(f"aborts={self.budget_aborts}")
         return " ".join(parts)
@@ -321,6 +326,7 @@ class CircuitSession:
         collect_lead_counts: bool = False,
         max_accepted: int | None = None,
         on_path: "Callable[[LogicalPath], None] | None" = None,
+        cones: bool = False,
     ) -> ClassificationResult:
         """One classification pass through the session caches.
 
@@ -336,7 +342,38 @@ class CircuitSession:
         the enumeration at all.  ``on_path`` passes bypass the store
         (the paths themselves are not cached); an aborted pass is never
         written back.
+
+        ``cones=True`` switches to cone granularity
+        (:func:`repro.incremental.reanalyze.cone_classify`): each output
+        cone is classified independently and read through from / written
+        back to the store's schema-v2 cone table, so an edited netlist
+        reuses every untouched cone's rows.  The aggregate
+        accepted/total counts decompose exactly; ``max_accepted``
+        becomes a per-cone budget, ``elapsed`` sums per-cone CPU time,
+        and ``edges_visited`` counts the per-cone DFS work (cone runs
+        share no cross-cone memo, so the figure is comparable only to
+        other cone-granularity runs).  Streaming and per-lead collection
+        stay whole-circuit concerns: ``on_path`` or
+        ``collect_lead_counts`` with ``cones=True`` raise
+        :class:`ValueError`.
         """
+        if cones:
+            if on_path is not None or collect_lead_counts:
+                raise ValueError(
+                    "cones=True classifies per extracted cone; per-lead "
+                    "counts and on_path streaming are whole-circuit only"
+                )
+            from repro.incremental.reanalyze import cone_classify
+
+            self.stats.bump("classify_passes")
+            return cone_classify(
+                self.circuit,
+                criterion=criterion,
+                sort=sort,
+                max_accepted=max_accepted,
+                store=self.store,
+                session_stats=self.stats,
+            ).result
         self.stats.bump("classify_passes")
         use_store = self.store is not None and on_path is None
         variant = ""

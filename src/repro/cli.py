@@ -644,6 +644,48 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Cone-level structural diff of two netlists (the ECO preview)."""
+    from repro.incremental import diff_circuits
+
+    diff = diff_circuits(load_circuit(args.base), load_circuit(args.edited))
+    if args.json:
+        print(to_json(diff.to_dict()))
+    else:
+        print(diff.render())
+    return 0
+
+
+def cmd_reanalyze(args: argparse.Namespace) -> int:
+    """The ECO flow: reuse every CLEAN cone's stored results, recompute
+    only DIRTY cones, report the reuse ratio."""
+    from repro.incremental import reanalyze
+
+    if args.store is None:
+        raise SystemExit("reanalyze requires --store FILE")
+    _warn_ignored(args, "reanalyze", "--checkpoint", "--resume")
+    base = load_circuit(args.base)
+    edited = load_circuit(args.edited)
+    criterion = _CRITERIA[args.criterion]
+    sort = args.sort if criterion is Criterion.SIGMA_PI else None
+    report = reanalyze(
+        base,
+        edited,
+        args.store,
+        criterion=criterion,
+        sort=sort,
+        max_accepted=args.max_accepted,
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(to_json(report.to_dict()))
+        return 0
+    print(report.render())
+    if args.verbose:
+        _print_metrics_summary()
+    return 0
+
+
 def _supervision_kwargs(args: argparse.Namespace) -> dict:
     """The shared table1/2/3 supervision options, as keyword arguments."""
     if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
@@ -905,6 +947,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "diff", help="cone-level structural diff of two netlists"
+    )
+    p.add_argument("base", help="suite name or .bench/.pla file")
+    p.add_argument("edited", help="suite name or .bench/.pla file")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "reanalyze", parents=[shared],
+        help="incremental (ECO) re-classification via the cone store",
+    )
+    p.add_argument("base", help="suite name or .bench/.pla file")
+    p.add_argument("edited", help="suite name or .bench/.pla file")
+    p.add_argument(
+        "--criterion", choices=sorted(_CRITERIA), default="sigma",
+        help="classification criterion (default sigma)",
+    )
+    p.add_argument(
+        "--sort", choices=["pin", "heu1", "heu2"], default="heu2",
+        help="per-cone input sort for --criterion sigma",
+    )
+    p.add_argument(
+        "--max-accepted", type=int, default=None,
+        help="per-cone acceptance budget (part of the cone store key)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_reanalyze)
 
     p = sub.add_parser("cache", help="inspect/maintain a result store")
     p.add_argument("action", choices=["stats", "gc", "clear"])

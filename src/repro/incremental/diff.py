@@ -1,0 +1,229 @@
+"""Structural cone diff between a base circuit and an edited circuit.
+
+Classifies every output cone as CLEAN (identical ``rdcfp1:`` cone
+fingerprint — cached cone-level results are reusable verbatim) or DIRTY
+(must be re-analyzed), plus ADDED/REMOVED for outputs present on only
+one side.  Cones are matched primarily by PO name (the stable handle
+across an ECO edit); outputs unmatched by name are then matched by
+fingerprint, so a pure rename never dirties anything.
+
+For DIRTY cones the report carries a per-cone *gate delta*: the gates
+whose fold hashes (see :mod:`repro.incremental.conefp`) appear in one
+cone's hash multiset but not the other's — i.e. the gates whose
+transitive fanin actually changed, which pinpoints the edit site.
+
+Exposed on the command line as ``repro-rd diff BASE EDITED [--json]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.netlist import Circuit
+from repro.incremental.conefp import Cone, ConeIndex, cone_index
+
+__all__ = ["CLEAN", "DIRTY", "ADDED", "REMOVED", "ConeDelta", "CircuitDiff", "diff_circuits"]
+
+CLEAN = "CLEAN"
+DIRTY = "DIRTY"
+ADDED = "ADDED"
+REMOVED = "REMOVED"
+
+
+@dataclass(frozen=True)
+class ConeDelta:
+    """One output cone's fate across the edit."""
+
+    output: str  #: PO name (the edited side's name for matched cones)
+    status: str  #: CLEAN | DIRTY | ADDED | REMOVED
+    base_fingerprint: "Optional[str]"
+    edited_fingerprint: "Optional[str]"
+    matched_by: str  #: "name" | "fingerprint" | "" (unmatched)
+    base_gates: int = 0
+    edited_gates: int = 0
+    #: gate names (edited side) whose fold hash is new in this cone
+    gates_added: "tuple[str, ...]" = ()
+    #: gate names (base side) whose fold hash vanished from this cone
+    gates_removed: "tuple[str, ...]" = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "output": self.output,
+            "status": self.status,
+            "base_fingerprint": self.base_fingerprint,
+            "edited_fingerprint": self.edited_fingerprint,
+            "matched_by": self.matched_by,
+            "base_gates": self.base_gates,
+            "edited_gates": self.edited_gates,
+            "gates_added": list(self.gates_added),
+            "gates_removed": list(self.gates_removed),
+        }
+
+
+@dataclass(frozen=True)
+class CircuitDiff:
+    """The full cone-level diff of one edit."""
+
+    base_name: str
+    edited_name: str
+    deltas: "tuple[ConeDelta, ...]"
+
+    @property
+    def clean(self) -> "tuple[ConeDelta, ...]":
+        return tuple(d for d in self.deltas if d.status == CLEAN)
+
+    @property
+    def dirty(self) -> "tuple[ConeDelta, ...]":
+        return tuple(d for d in self.deltas if d.status == DIRTY)
+
+    @property
+    def dirty_outputs(self) -> "tuple[str, ...]":
+        return tuple(d.output for d in self.deltas if d.status in (DIRTY, ADDED))
+
+    @property
+    def reuse_possible(self) -> float:
+        """Fraction of *edited* cones whose stored results are reusable."""
+        edited = [d for d in self.deltas if d.status != REMOVED]
+        if not edited:
+            return 0.0
+        return len([d for d in edited if d.status == CLEAN]) / len(edited)
+
+    def to_dict(self) -> dict:
+        counts = {status: 0 for status in (CLEAN, DIRTY, ADDED, REMOVED)}
+        for delta in self.deltas:
+            counts[delta.status] += 1
+        return {
+            "base": self.base_name,
+            "edited": self.edited_name,
+            "counts": counts,
+            "reuse_possible": self.reuse_possible,
+            "cones": [delta.to_dict() for delta in self.deltas],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"diff {self.base_name} -> {self.edited_name}: "
+            f"{len(self.clean)} clean, {len(self.dirty)} dirty, "
+            f"{sum(1 for d in self.deltas if d.status == ADDED)} added, "
+            f"{sum(1 for d in self.deltas if d.status == REMOVED)} removed "
+            f"({100.0 * self.reuse_possible:.0f}% reusable)"
+        ]
+        for delta in self.deltas:
+            if delta.status == CLEAN:
+                continue
+            line = f"  {delta.status:<7} {delta.output}"
+            if delta.status == DIRTY:
+                line += f" ({delta.base_gates} -> {delta.edited_gates} gates"
+                if delta.gates_added:
+                    line += f"; +{','.join(delta.gates_added)}"
+                if delta.gates_removed:
+                    line += f"; -{','.join(delta.gates_removed)}"
+                line += ")"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _gate_delta(
+    base_index: ConeIndex, base_cone: Cone, edited_index: ConeIndex, edited_cone: Cone
+) -> "tuple[tuple[str, ...], tuple[str, ...]]":
+    """Multiset difference of the two cones' per-gate fold hashes."""
+    base_names = base_index.gate_hash_names(base_cone)
+    edited_names = edited_index.gate_hash_names(edited_cone)
+    added: "list[str]" = []
+    removed: "list[str]" = []
+    for digest, names in sorted(edited_names.items()):
+        surplus = len(names) - len(base_names.get(digest, ()))
+        if surplus > 0:
+            added.extend(sorted(names)[:surplus])
+    for digest, names in sorted(base_names.items()):
+        surplus = len(names) - len(edited_names.get(digest, ()))
+        if surplus > 0:
+            removed.extend(sorted(names)[:surplus])
+    return tuple(sorted(added)), tuple(sorted(removed))
+
+
+def _matched_delta(
+    base_index: ConeIndex,
+    base_cone: Cone,
+    edited_index: ConeIndex,
+    edited_cone: Cone,
+    matched_by: str,
+) -> ConeDelta:
+    if base_cone.fingerprint == edited_cone.fingerprint:
+        status, added, removed = CLEAN, (), ()
+    else:
+        status = DIRTY
+        added, removed = _gate_delta(base_index, base_cone, edited_index, edited_cone)
+    return ConeDelta(
+        output=edited_cone.output,
+        status=status,
+        base_fingerprint=base_cone.fingerprint,
+        edited_fingerprint=edited_cone.fingerprint,
+        matched_by=matched_by,
+        base_gates=base_cone.num_gates,
+        edited_gates=edited_cone.num_gates,
+        gates_added=added,
+        gates_removed=removed,
+    )
+
+
+def diff_circuits(base: Circuit, edited: Circuit) -> CircuitDiff:
+    """Cone-level structural diff (both circuits must be frozen)."""
+    base_index = cone_index(base)
+    edited_index = cone_index(edited)
+    base_by_name = {cone.output: cone for cone in base_index.cones}
+    matched_base: "set[str]" = set()
+    deltas: "list[ConeDelta]" = []
+    unmatched_edited: "list[Cone]" = []
+    for cone in edited_index.cones:
+        peer = base_by_name.get(cone.output)
+        if peer is not None:
+            matched_base.add(peer.output)
+            deltas.append(
+                _matched_delta(base_index, peer, edited_index, cone, "name")
+            )
+        else:
+            unmatched_edited.append(cone)
+    # second pass: renamed outputs pair up by fingerprint (first come,
+    # first served among structurally identical leftovers)
+    leftover_base = [
+        cone for cone in base_index.cones if cone.output not in matched_base
+    ]
+    by_fp: "dict[str, list[Cone]]" = {}
+    for cone in leftover_base:
+        by_fp.setdefault(cone.fingerprint, []).append(cone)
+    for cone in unmatched_edited:
+        pool = by_fp.get(cone.fingerprint)
+        if pool:
+            peer = pool.pop(0)
+            matched_base.add(peer.output)
+            deltas.append(
+                _matched_delta(base_index, peer, edited_index, cone, "fingerprint")
+            )
+        else:
+            deltas.append(
+                ConeDelta(
+                    output=cone.output,
+                    status=ADDED,
+                    base_fingerprint=None,
+                    edited_fingerprint=cone.fingerprint,
+                    matched_by="",
+                    edited_gates=cone.num_gates,
+                )
+            )
+    for cone in base_index.cones:
+        if cone.output not in matched_base:
+            deltas.append(
+                ConeDelta(
+                    output=cone.output,
+                    status=REMOVED,
+                    base_fingerprint=cone.fingerprint,
+                    edited_fingerprint=None,
+                    matched_by="",
+                    base_gates=cone.num_gates,
+                )
+            )
+    return CircuitDiff(
+        base_name=base.name, edited_name=edited.name, deltas=tuple(deltas)
+    )

@@ -345,12 +345,18 @@ class ServiceClient:
         max_accepted: "int | None" = None,
         deadline: "float | None" = None,
         on_event: "Callable[[dict], None] | None" = None,
+        cones: bool = False,
     ) -> dict:
         """Classify a suite circuit (by name), ``.bench`` text, or an
         in-memory :class:`~repro.circuit.netlist.Circuit` (serialized to
         ``.bench`` on the wire).  ``deadline`` is a total budget across
-        retries, honored server-side from whatever remains per hop."""
+        retries, honored server-side from whatever remains per hop.
+        ``cones=True`` requests cone granularity (the ECO path): the
+        server reuses stored cone rows where it can and the result
+        carries a ``"cone_stats"`` reuse summary."""
         fields: dict = {"criterion": criterion, "sort": sort}
+        if cones:
+            fields["cones"] = True
         if isinstance(circuit, Circuit):
             from repro.circuit.bench import write_bench
 

@@ -259,6 +259,7 @@ class FleetServer(JsonLineServer):
             "workers": workers,
             "respawns": self.supervisor.respawn_total,
             "coalesce_hits": registry.counter("fleet.coalesce_hits").value,
+            "cone_hits": registry.counter("fleet.cone_hits").value,
             "shed": registry.counter("fleet.shed").value,
             "max_pending": self.max_pending,
         }
@@ -303,6 +304,7 @@ class FleetServer(JsonLineServer):
             message.get("sort", "heu2"),
             message.get("max_accepted"),
             deadline,
+            bool(message.get("cones", False)),
         )
         registry = get_registry()
         inflight = self._inflight.get(key)
@@ -319,6 +321,12 @@ class FleetServer(JsonLineServer):
                 message, fingerprint, writer, t0, deadline
             )
             result["coalesced"] = False
+            cone_stats = result.get("cone_stats")
+            if isinstance(cone_stats, dict):
+                # cone-level reuse reported by the worker (ECO requests)
+                registry.counter("fleet.cone_hits").inc(
+                    int(cone_stats.get("reused", 0))
+                )
             future.set_result(result)
             return result
         except BaseException as exc:

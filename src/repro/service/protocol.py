@@ -28,7 +28,14 @@ Ops:
     default ``sigma``), ``sort`` (``pin``/``heu1``/``heu2``/``heu2inv``,
     default ``heu2``; ``sigma`` only), ``max_accepted`` (int),
     ``deadline`` (seconds; default derived from the circuit's exact
-    path count via the supervisor budget rule).
+    path count via the supervisor budget rule), ``cones`` (bool,
+    default ``false``).  With ``"cones": true`` the pass runs at cone
+    granularity against the store's schema-v2 cone table (the ECO
+    path): ``sort`` must be ``pin``/``heu1``/``heu2`` (derived per
+    cone), ``max_accepted`` becomes a per-cone budget, and the result
+    carries an extra ``"cone_stats"`` object —
+    ``{"cones": N, "reused": n, "computed": m, "reuse_ratio": r}`` —
+    describing how much of the answer came from stored cone rows.
 ``ping``
     Liveness + version handshake.
 ``stats``

@@ -440,6 +440,14 @@ class AnalysisServer(JsonLineServer):
         max_accepted = message.get("max_accepted", self.max_accepted)
         if max_accepted is not None and not isinstance(max_accepted, int):
             raise ProtocolError("'max_accepted' must be an integer")
+        cones = message.get("cones", False)
+        if not isinstance(cones, bool):
+            raise ProtocolError("'cones' must be a boolean")
+        if cones and sort_kind not in ("pin", "heu1", "heu2"):
+            raise ProtocolError(
+                f"sort {sort_kind!r} is not available at cone granularity; "
+                "valid: pin, heu1, heu2"
+            )
         deadline = message.get("deadline", self.default_deadline)
         if deadline is not None and not isinstance(deadline, (int, float)):
             raise ProtocolError("'deadline' must be a number of seconds")
@@ -468,6 +476,7 @@ class AnalysisServer(JsonLineServer):
             work = loop.run_in_executor(
                 self._executor,
                 self._classify, session, criterion, sort_kind, max_accepted,
+                cones,
             )
             try:
                 result = await asyncio.wait_for(work, timeout=float(deadline))
@@ -500,8 +509,32 @@ class AnalysisServer(JsonLineServer):
         criterion: Criterion,
         sort_kind: str,
         max_accepted: "int | None",
+        cones: bool = False,
     ) -> dict:
         try:
+            if cones:
+                # cone granularity: reuse stored cone rows (ECO flow);
+                # the sort stays symbolic and is derived per cone
+                from repro.incremental import cone_classify
+
+                report = cone_classify(
+                    session.circuit,
+                    criterion=criterion,
+                    sort=sort_kind if criterion is Criterion.SIGMA_PI else None,
+                    max_accepted=max_accepted,
+                    store=session.store,
+                    session_stats=session.stats,
+                )
+                payload = classification_payload(
+                    report.result,
+                    fingerprint=session.fingerprint,
+                    sort_kind=(
+                        sort_kind if criterion is Criterion.SIGMA_PI else None
+                    ),
+                    session_stats=session.stats.to_dict(),
+                )
+                payload["cone_stats"] = report.reuse_stats()
+                return payload
             sort = None
             if criterion is Criterion.SIGMA_PI:
                 sort = _resolve_sort(session, sort_kind)

@@ -38,9 +38,17 @@ from pathlib import Path
 
 from repro.errors import StoreError
 from repro.obs import get_registry
-from repro.store.fingerprint import SCHEMA_VERSION
+from repro.store.fingerprint import CONE_SCHEMA_VERSION, SCHEMA_VERSION
 
-__all__ = ["ResultStore", "StoreStats"]
+__all__ = ["STORE_FORMAT_VERSION", "ResultStore", "StoreStats"]
+
+#: On-disk layout version, stamped into ``PRAGMA user_version``.  v2
+#: adds the cone-level ``cone_entries`` table.  A v1 file (created
+#: before cone support) still opens cleanly — whole-circuit entries work
+#: exactly as before and the cone API degrades to always-miss/no-op
+#: (:attr:`ResultStore.supports_cones` is ``False``) until the file is
+#: ``clear``-ed, which upgrades it.
+STORE_FORMAT_VERSION = 2
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS entries (
@@ -53,6 +61,23 @@ CREATE TABLE IF NOT EXISTS entries (
     last_used   REAL NOT NULL,
     hits        INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (fingerprint, kind, variant, schema)
+)
+"""
+
+#: Cone-granularity results (schema v2): keyed by the *cone* fingerprint
+#: (``rdcfp1:``) plus the classification variant — criterion, sort and
+#: acceptance budget — so an edited netlist reuses every untouched
+#: cone's rows.
+_CONE_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS cone_entries (
+    cone_fp     TEXT NOT NULL,
+    variant     TEXT NOT NULL,
+    schema      INTEGER NOT NULL,
+    payload     TEXT NOT NULL,
+    created     REAL NOT NULL,
+    last_used   REAL NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (cone_fp, variant, schema)
 )
 """
 
@@ -69,7 +94,12 @@ def _is_locked(exc: sqlite3.OperationalError) -> bool:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """A snapshot of one store file, for ``repro-rd cache stats``."""
+    """A snapshot of one store file, for ``repro-rd cache stats``.
+
+    ``entries``/``by_kind`` count the whole-circuit table; the cone-level
+    table (schema v2) is broken out separately so cache pressure from
+    fine-grained ECO rows is visible at a glance.
+    """
 
     path: str
     entries: int
@@ -77,19 +107,38 @@ class StoreStats:
     stale_entries: int  #: rows of other schema versions (gc reclaims)
     total_hits: int
     size_bytes: int
+    whole_payload_bytes: int = 0
+    cone_entries: int = 0
+    cone_stale: int = 0
+    cone_hits: int = 0
+    cone_payload_bytes: int = 0
+    supports_cones: bool = True
 
     def render(self) -> str:
         kinds = ", ".join(
             f"{kind}={count}" for kind, count in sorted(self.by_kind.items())
         )
+        if self.supports_cones:
+            cone_line = (
+                f"cone:    {self.cone_entries} entries, "
+                f"{self.cone_payload_bytes:,} payload bytes, "
+                f"{self.cone_hits} hits"
+            )
+        else:
+            cone_line = "cone:    disabled (schema v1 store; `cache clear` upgrades)"
         return "\n".join(
             [
                 f"store:   {self.path}",
                 f"entries: {self.entries} ({kinds or 'empty'})",
-                f"stale:   {self.stale_entries} (other schema versions)",
-                f"hits:    {self.total_hits}",
+                f"whole:   {self.entries} entries, "
+                f"{self.whole_payload_bytes:,} payload bytes, "
+                f"{self.total_hits} hits",
+                cone_line,
+                f"stale:   {self.stale_entries + self.cone_stale} "
+                "(other schema versions)",
+                f"hits:    {self.total_hits + self.cone_hits}",
                 f"size:    {self.size_bytes:,} bytes",
-                f"schema:  {SCHEMA_VERSION}",
+                f"schema:  {SCHEMA_VERSION} (cone {CONE_SCHEMA_VERSION})",
             ]
         )
 
@@ -108,6 +157,7 @@ class ResultStore:
         self._local_conn: "sqlite3.Connection | None" = None
         self._pid = -1
         self._lock = threading.Lock()
+        self._cone_ok = False  # set by _connect
 
     # -- connection management -----------------------------------------
     def _connect(self) -> sqlite3.Connection:
@@ -120,10 +170,37 @@ class ResultStore:
             )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            # a pre-cone (v1) file keeps working with cone features off;
+            # anything newer (or fresh) gets the cone table and the v2 stamp
+            tables = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            legacy_v1 = (
+                "entries" in tables
+                and "cone_entries" not in tables
+                and version < STORE_FORMAT_VERSION
+            )
             conn.execute(_SCHEMA_SQL)
+            if not legacy_v1:
+                conn.execute(_CONE_SCHEMA_SQL)
+                if version < STORE_FORMAT_VERSION:
+                    conn.execute(f"PRAGMA user_version={STORE_FORMAT_VERSION:d}")
+            self._cone_ok = not legacy_v1
         except sqlite3.Error as exc:
             raise StoreError(f"cannot open result store {self.path!r}: {exc}")
         return conn
+
+    @property
+    def supports_cones(self) -> bool:
+        """Whether this file has the cone-level table (schema v2).  A v1
+        store answers ``False`` and the cone API degrades gracefully:
+        every ``cone_get`` misses, every ``cone_put`` is a no-op."""
+        self._conn  # noqa: B018 - connect (and detect the layout) lazily
+        return self._cone_ok
 
     @property
     def _conn(self) -> sqlite3.Connection:
@@ -236,6 +313,69 @@ class ResultStore:
             (fingerprint, kind, variant),
         )
 
+    # -- the cone-granularity API (schema v2) --------------------------
+    def cone_get(self, cone_fp: str, variant: str) -> "dict | None":
+        """The cone-level payload under ``(cone_fp, variant)`` at the
+        current cone schema version, or ``None``.  Same never-wrong
+        contract as :meth:`get`; on a v1 store this is always a miss."""
+        registry = get_registry()
+        registry.counter("store.cone_gets").inc()
+        if not self.supports_cones:
+            registry.counter("store.cone_misses").inc()
+            return None
+        row = self._execute(
+            "SELECT payload FROM cone_entries WHERE cone_fp=? AND variant=? "
+            "AND schema=?",
+            (cone_fp, variant, CONE_SCHEMA_VERSION),
+        ).fetchone()
+        if row is None:
+            registry.counter("store.cone_misses").inc()
+            return None
+        try:
+            payload = json.loads(row[0])
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except (ValueError, TypeError):
+            registry.counter("store.corrupt_entries").inc()
+            registry.counter("store.cone_misses").inc()
+            self.cone_delete(cone_fp, variant)
+            return None
+        self._execute(
+            "UPDATE cone_entries SET hits=hits+1, last_used=? WHERE cone_fp=? "
+            "AND variant=? AND schema=?",
+            (time.time(), cone_fp, variant, CONE_SCHEMA_VERSION),
+        )
+        registry.counter("store.cone_hits").inc()
+        return payload
+
+    def cone_put(self, cone_fp: str, variant: str, payload: dict) -> None:
+        """Insert or replace one cone-level entry (no-op on a v1 store)."""
+        if not self.supports_cones:
+            return
+        get_registry().counter("store.cone_puts").inc()
+        now = time.time()
+        self._execute(
+            "INSERT OR REPLACE INTO cone_entries "
+            "(cone_fp, variant, schema, payload, created, last_used, hits) "
+            "VALUES (?, ?, ?, ?, ?, ?, 0)",
+            (
+                cone_fp,
+                variant,
+                CONE_SCHEMA_VERSION,
+                json.dumps(payload, sort_keys=True, separators=(",", ":")),
+                now,
+                now,
+            ),
+        )
+
+    def cone_delete(self, cone_fp: str, variant: str) -> None:
+        if not self.supports_cones:
+            return
+        self._execute(
+            "DELETE FROM cone_entries WHERE cone_fp=? AND variant=?",
+            (cone_fp, variant),
+        )
+
     # -- maintenance (the ``repro-rd cache`` subcommand) ----------------
     def stats(self) -> StoreStats:
         by_kind: "dict[str, int]" = {}
@@ -251,6 +391,29 @@ class ResultStore:
             "SELECT COALESCE(SUM(hits), 0) FROM entries WHERE schema=?",
             (SCHEMA_VERSION,),
         ).fetchone()[0]
+        whole_bytes = self._execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM entries WHERE schema=?",
+            (SCHEMA_VERSION,),
+        ).fetchone()[0]
+        cone_entries = cone_stale = cone_hits = cone_bytes = 0
+        if self.supports_cones:
+            cone_entries = self._execute(
+                "SELECT COUNT(*) FROM cone_entries WHERE schema=?",
+                (CONE_SCHEMA_VERSION,),
+            ).fetchone()[0]
+            cone_stale = self._execute(
+                "SELECT COUNT(*) FROM cone_entries WHERE schema != ?",
+                (CONE_SCHEMA_VERSION,),
+            ).fetchone()[0]
+            cone_hits = self._execute(
+                "SELECT COALESCE(SUM(hits), 0) FROM cone_entries WHERE schema=?",
+                (CONE_SCHEMA_VERSION,),
+            ).fetchone()[0]
+            cone_bytes = self._execute(
+                "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM cone_entries "
+                "WHERE schema=?",
+                (CONE_SCHEMA_VERSION,),
+            ).fetchone()[0]
         try:
             size = os.path.getsize(self.path)
         except OSError:
@@ -262,26 +425,49 @@ class ResultStore:
             stale_entries=stale,
             total_hits=hits,
             size_bytes=size,
+            whole_payload_bytes=whole_bytes,
+            cone_entries=cone_entries,
+            cone_stale=cone_stale,
+            cone_hits=cone_hits,
+            cone_payload_bytes=cone_bytes,
+            supports_cones=self.supports_cones,
         )
 
     def gc(self, max_age_days: "float | None" = None) -> int:
-        """Reclaim stale rows: every other-schema entry, plus (when
-        ``max_age_days`` is given) entries not used for that long.
-        Returns the number of rows removed."""
+        """Reclaim stale rows: every other-schema entry (in both tables),
+        plus (when ``max_age_days`` is given) entries not used for that
+        long.  Returns the number of rows removed."""
         removed = self._execute(
             "DELETE FROM entries WHERE schema != ?", (SCHEMA_VERSION,)
         ).rowcount
+        if self.supports_cones:
+            removed += self._execute(
+                "DELETE FROM cone_entries WHERE schema != ?",
+                (CONE_SCHEMA_VERSION,),
+            ).rowcount
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0
             removed += self._execute(
                 "DELETE FROM entries WHERE last_used < ?", (cutoff,)
             ).rowcount
+            if self.supports_cones:
+                removed += self._execute(
+                    "DELETE FROM cone_entries WHERE last_used < ?", (cutoff,)
+                ).rowcount
         self._execute("VACUUM")
         return removed
 
     def clear(self) -> int:
-        """Drop every entry (all schema versions).  Returns the count."""
+        """Drop every entry (all schema versions, both tables).  Returns
+        the count.  Clearing a v1 store also upgrades it to the current
+        layout (the cone table is created and the file stamped v2)."""
         removed = self._execute("DELETE FROM entries").rowcount
+        if self.supports_cones:
+            removed += self._execute("DELETE FROM cone_entries").rowcount
+        else:
+            self._execute(_CONE_SCHEMA_SQL)
+            self._execute(f"PRAGMA user_version={STORE_FORMAT_VERSION:d}")
+            self._cone_ok = True
         self._execute("VACUUM")
         return removed
 

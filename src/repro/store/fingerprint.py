@@ -53,6 +53,7 @@ from repro.circuit.netlist import Circuit
 _TYPE_NAME_BYTES = {t.value: t.name.encode() for t in GateType}
 
 __all__ = [
+    "CONE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "CanonicalForm",
     "canonical_form",
@@ -63,6 +64,13 @@ __all__ = [
 #: format.  Bump on any incompatible change; old entries become
 #: invisible rather than wrong.
 SCHEMA_VERSION = 1
+
+#: Version of the *cone* fingerprint algorithm
+#: (:mod:`repro.incremental.conefp`) and of every cone-level store
+#: payload.  Versioned independently of :data:`SCHEMA_VERSION`: the two
+#: encodings can evolve separately without invalidating each other's
+#: rows.
+CONE_SCHEMA_VERSION = 1
 
 _PREFIX = f"rdfp{SCHEMA_VERSION}"
 

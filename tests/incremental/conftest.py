@@ -1,0 +1,14 @@
+"""Incremental tests read the global registry — start each clean."""
+
+import pytest
+
+from repro.obs import reset_buffer, reset_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    reset_registry()
+    reset_buffer()
+    yield
+    reset_registry()
+    reset_buffer()

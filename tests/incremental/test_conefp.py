@@ -1,0 +1,196 @@
+"""Cone fingerprints: stability, sensitivity, and the cone index."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, circuit_from_spec
+from repro.gen.suite import get_circuit
+from repro.incremental import cone_fingerprints, cone_index
+from repro.obs import get_registry, reset_registry
+
+
+def _two_cone_circuit() -> Circuit:
+    """Two independent cones plus one shared input stem."""
+    c = Circuit("twocone")
+    a = c.add_gate(GateType.PI, "a")
+    b = c.add_gate(GateType.PI, "b")
+    d = c.add_gate(GateType.PI, "d")
+    g1 = c.add_gate(GateType.AND, "g1", [a, b])
+    g2 = c.add_gate(GateType.OR, "g2", [b, d])
+    c.add_gate(GateType.PO, "o1", [g1])
+    c.add_gate(GateType.PO, "o2", [g2])
+    return c.freeze()
+
+
+class TestFingerprintContract:
+    def test_prefix_and_determinism(self):
+        c = _two_cone_circuit()
+        fps = cone_fingerprints(c)
+        assert set(fps) == {"o1", "o2"}
+        assert all(fp.startswith("rdcfp1:") for fp in fps.values())
+        assert cone_fingerprints(_two_cone_circuit()) == fps
+
+    def test_name_insensitive(self):
+        base = circuit_from_spec(
+            "x",
+            [
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+                ("g", GateType.AND, ["a", "b"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        renamed = circuit_from_spec(
+            "y",
+            [
+                ("p", GateType.PI, []),
+                ("q", GateType.PI, []),
+                ("core", GateType.AND, ["p", "q"]),
+                ("o", GateType.PO, ["core"]),
+            ],
+        )
+        assert (
+            cone_fingerprints(base)["o"] == cone_fingerprints(renamed)["o"]
+        )
+
+    def test_declaration_order_insensitive(self):
+        spec = [
+            ("a", GateType.PI, []),
+            ("b", GateType.PI, []),
+            ("g1", GateType.AND, ["a", "b"]),
+            ("g2", GateType.OR, ["b", "a"]),
+            ("o1", GateType.PO, ["g1"]),
+            ("o2", GateType.PO, ["g2"]),
+        ]
+        fps = cone_fingerprints(circuit_from_spec("fwd", spec))
+        fps_rev = cone_fingerprints(circuit_from_spec("rev", list(reversed(spec))))
+        assert fps == fps_rev
+
+    def test_pin_order_sensitive(self):
+        ab = circuit_from_spec(
+            "ab",
+            [
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+                ("g", GateType.AND, ["a", "b"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        ba = circuit_from_spec(
+            "ba",
+            [
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+                ("g", GateType.AND, ["b", "a"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        # both cones are AND(PI, PI) up to names, so they are isomorphic
+        # as *labelled* DAGs and must agree (pin order carries no
+        # distinguishable content when both pins see fresh PIs)
+        assert cone_fingerprints(ab)["o"] == cone_fingerprints(ba)["o"]
+        # but swapping pins of distinguishable fanins must not agree
+        deep_ab = circuit_from_spec(
+            "dab",
+            [
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+                ("n", GateType.NOT, ["a"]),
+                ("g", GateType.AND, ["n", "b"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        deep_ba = circuit_from_spec(
+            "dba",
+            [
+                ("a", GateType.PI, []),
+                ("b", GateType.PI, []),
+                ("n", GateType.NOT, ["a"]),
+                ("g", GateType.AND, ["b", "n"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        assert cone_fingerprints(deep_ab)["o"] != cone_fingerprints(deep_ba)["o"]
+
+    def test_sharing_distinguished_from_copies(self):
+        """AND over one shared stem vs two structurally equal branches:
+        a naive fold hash aliases these; the canonical encoding must not
+        (they classify differently, so aliasing would poison the store)."""
+        shared = circuit_from_spec(
+            "shared",
+            [
+                ("a", GateType.PI, []),
+                ("n", GateType.NOT, ["a"]),
+                ("g", GateType.AND, ["n", "n"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        copies = circuit_from_spec(
+            "copies",
+            [
+                ("a1", GateType.PI, []),
+                ("a2", GateType.PI, []),
+                ("n1", GateType.NOT, ["a1"]),
+                ("n2", GateType.NOT, ["a2"]),
+                ("g", GateType.AND, ["n1", "n2"]),
+                ("o", GateType.PO, ["g"]),
+            ],
+        )
+        assert (
+            cone_fingerprints(shared)["o"] != cone_fingerprints(copies)["o"]
+        )
+
+    def test_matches_extracted_cone(self):
+        """A cone fingerprints the same in the host circuit and as a
+        stand-alone extraction — the property cone store rows rely on."""
+        c = get_circuit("s1908-csel")
+        index = cone_index(c)
+        for cone in index.cones[:5]:
+            extracted, _ = c.extract_cone(cone.po)
+            assert cone_fingerprints(extracted).popitem()[1] == cone.fingerprint
+
+
+class TestConeIndex:
+    def test_masks_match_cone_of(self):
+        c = get_circuit("s880-alu")
+        index = cone_index(c)
+        for cone in index.cones:
+            assert set(cone.gates()) == c.cone_of(cone.po)
+            assert cone.num_gates == len(c.cone_of(cone.po))
+
+    def test_cached_on_circuit_and_invalidated_by_replace(self):
+        c = _two_cone_circuit()
+        index = cone_index(c)
+        assert cone_index(c) is index
+        c.replace_gate("g1", GateType.NAND, ["a", "b"])
+        fresh = cone_index(c)
+        assert fresh is not index
+        assert fresh.cones[0].fingerprint != index.cones[0].fingerprint
+
+    def test_untouched_cone_stable_under_edit(self):
+        c = _two_cone_circuit()
+        before = cone_fingerprints(c)
+        c.replace_gate("g1", GateType.NOR, ["a", "b"])
+        after = cone_fingerprints(c)
+        assert after["o1"] != before["o1"]  # edited cone moved
+        assert after["o2"] == before["o2"]  # untouched cone stable
+
+    def test_span_histogram_populated(self):
+        reset_registry()
+        try:
+            cone_index(_two_cone_circuit())
+            snapshot = get_registry().snapshot()
+            assert snapshot["histograms"]["span.conefp"]["count"] >= 1
+        finally:
+            reset_registry()
+
+    def test_gate_hash_names(self):
+        c = _two_cone_circuit()
+        index = cone_index(c)
+        names = index.gate_hash_names(index.cone("o1"))
+        assert sorted(n for group in names.values() for n in group) == [
+            "a",
+            "b",
+            "g1",
+            "o1",
+        ]

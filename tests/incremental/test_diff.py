@@ -1,0 +1,114 @@
+"""Cone-level structural diff: dirty-set minimality and matching."""
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import circuit_from_spec
+from repro.gen.suite import get_circuit
+from repro.incremental import diff_circuits
+from repro.incremental.diff import ADDED, CLEAN, DIRTY, REMOVED
+
+
+def _spec():
+    return [
+        ("a", GateType.PI, []),
+        ("b", GateType.PI, []),
+        ("c", GateType.PI, []),
+        ("g1", GateType.AND, ["a", "b"]),
+        ("g2", GateType.OR, ["b", "c"]),
+        ("g3", GateType.NAND, ["g1", "c"]),
+        ("o1", GateType.PO, ["g3"]),
+        ("o2", GateType.PO, ["g2"]),
+    ]
+
+
+def test_identical_circuits_all_clean():
+    diff = diff_circuits(
+        circuit_from_spec("base", _spec()), circuit_from_spec("edit", _spec())
+    )
+    assert len(diff.clean) == 2
+    assert not diff.dirty
+    assert diff.reuse_possible == 1.0
+    assert all(d.matched_by == "name" for d in diff.deltas)
+
+
+def test_single_edit_dirties_exactly_affected_cones():
+    base = circuit_from_spec("base", _spec())
+    spec = _spec()
+    spec[3] = ("g1", GateType.NOR, ["a", "b"])  # only feeds o1 via g3
+    edited = circuit_from_spec("edit", spec)
+    diff = diff_circuits(base, edited)
+    assert diff.dirty_outputs == ("o1",)
+    assert [d.output for d in diff.clean] == ["o2"]
+    (dirty,) = diff.dirty
+    # gate delta pinpoints the edit site: g1 changed, so g1 and its
+    # downstream hashes differ on both sides
+    assert "g1" in dirty.gates_added and "g1" in dirty.gates_removed
+    assert "b" not in dirty.gates_added  # untouched fanin not blamed
+
+
+def test_rename_matches_by_fingerprint():
+    base = circuit_from_spec("base", _spec())
+    spec = [
+        (nm.replace("o2", "o2_new"), t, fi) for nm, t, fi in _spec()
+    ]
+    edited = circuit_from_spec("edit", spec)
+    diff = diff_circuits(base, edited)
+    assert not diff.dirty
+    renamed = next(d for d in diff.deltas if d.output == "o2_new")
+    assert renamed.status == CLEAN and renamed.matched_by == "fingerprint"
+
+
+def test_added_and_removed_outputs():
+    base = circuit_from_spec("base", _spec())
+    spec = [item for item in _spec() if item[0] != "o2"]
+    spec.append(("o3", GateType.PO, ["g1"]))
+    edited = circuit_from_spec("edit", spec)
+    diff = diff_circuits(base, edited)
+    statuses = {d.output: d.status for d in diff.deltas}
+    assert statuses["o3"] == ADDED
+    assert statuses["o2"] == REMOVED
+    assert statuses["o1"] == CLEAN
+    assert "o3" in diff.dirty_outputs  # added cones must be computed
+
+
+def test_json_shape():
+    base = circuit_from_spec("base", _spec())
+    spec = _spec()
+    spec[4] = ("g2", GateType.AND, ["b", "c"])
+    payload = diff_circuits(base, circuit_from_spec("edit", spec)).to_dict()
+    assert payload["base"] == "base" and payload["edited"] == "edit"
+    assert payload["counts"] == {CLEAN: 1, DIRTY: 1, ADDED: 0, REMOVED: 0}
+    assert 0.0 < payload["reuse_possible"] < 1.0
+    assert {c["output"] for c in payload["cones"]} == {"o1", "o2"}
+    for cone in payload["cones"]:
+        assert set(cone) == {
+            "output", "status", "base_fingerprint", "edited_fingerprint",
+            "matched_by", "base_gates", "edited_gates",
+            "gates_added", "gates_removed",
+        }
+
+
+def test_suite_circuit_one_gate_edit_is_mostly_clean():
+    base = get_circuit("s1908-csel")
+    edited = base.copy("s1908-edit")
+    gid = next(
+        g for g in range(edited.num_gates)
+        if edited.gate_type(g) is GateType.AND
+    )
+    edited.replace_gate(
+        edited.gate_name(gid), GateType.OR, list(edited.fanin(gid))
+    )
+    diff = diff_circuits(base, edited)
+    assert diff.dirty  # the edit reaches at least one PO
+    assert diff.reuse_possible > 0.5
+    # DIRTY is exactly the set of POs the edited gate reaches
+    reached = {base.gate_name(po) for po in base.reachable_pos(gid)}
+    assert set(diff.dirty_outputs) == reached
+
+
+def test_render_mentions_counts():
+    base = circuit_from_spec("base", _spec())
+    spec = _spec()
+    spec[3] = ("g1", GateType.OR, ["a", "b"])
+    text = diff_circuits(base, circuit_from_spec("edit", spec)).render()
+    assert "1 clean, 1 dirty" in text
+    assert "DIRTY" in text and "o1" in text

@@ -1,0 +1,94 @@
+"""``Circuit.replace_gate``: ECO edits with transactional semantics."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def _circuit() -> Circuit:
+    c = Circuit("rg")
+    a = c.add_gate(GateType.PI, "a")
+    b = c.add_gate(GateType.PI, "b")
+    g1 = c.add_gate(GateType.AND, "g1", [a, b])
+    g2 = c.add_gate(GateType.NOT, "g2", [g1])
+    c.add_gate(GateType.PO, "o", [g2])
+    return c.freeze()
+
+
+def test_type_change_keeps_name_and_id():
+    c = _circuit()
+    gid = c.replace_gate("g1", GateType.NOR, ["a", "b"])
+    assert c.gate_name(gid) == "g1"
+    assert c.gate_type(gid) is GateType.NOR
+    assert c.fanin(gid) == (0, 1)
+
+
+def test_rewire_by_name_and_id():
+    c = _circuit()
+    c.replace_gate("g2", GateType.BUF, ["a"])
+    gid = c.replace_gate("g2", GateType.NOT, [0])
+    assert c.fanin(gid) == (0,)
+    assert c.gate_type(gid) is GateType.NOT
+
+
+def test_derived_structure_rebuilt():
+    c = _circuit()
+    flat_before = c.flat
+    levels_before = c.level(c.gate_by_name("g2"))
+    c.replace_gate("g2", GateType.NOT, ["a"])  # g2 now one level up
+    assert c.flat is not flat_before
+    assert c.level(c.gate_by_name("g2")) != levels_before
+    assert c.fanout(c.gate_by_name("g1")) == ()  # g1 no longer drives g2
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(CircuitError, match="no gate named"):
+        _circuit().replace_gate("nope", GateType.AND, ["a", "b"])
+
+
+def test_pi_po_status_frozen():
+    c = _circuit()
+    with pytest.raises(CircuitError, match="PI/PO status"):
+        c.replace_gate("a", GateType.AND, [])
+    with pytest.raises(CircuitError, match="PI/PO status"):
+        c.replace_gate("g1", GateType.PO, ["a"])
+
+
+def test_arity_validated():
+    c = _circuit()
+    with pytest.raises(CircuitError, match="exactly one fanin"):
+        c.replace_gate("g2", GateType.NOT, ["a", "b"])
+    with pytest.raises(CircuitError, match="at least one fanin"):
+        c.replace_gate("g1", GateType.AND, [])
+
+
+def test_forward_reference_rejected():
+    c = _circuit()
+    with pytest.raises(CircuitError, match="earlier"):
+        c.replace_gate("g1", GateType.AND, ["a", "g2"])
+
+
+def test_invalid_edit_rolls_back():
+    """A rewire that only freeze() can reject restores the old gate.
+
+    Rewiring a later gate to read from an earlier PO passes every
+    per-gate check in replace_gate but violates the freeze invariant
+    that a PO drives nothing — the transactional path must restore the
+    old wiring and leave the circuit frozen and analyzable.
+    """
+    c = Circuit("rb")
+    a = c.add_gate(GateType.PI, "a")
+    b = c.add_gate(GateType.PI, "b")
+    g1 = c.add_gate(GateType.AND, "g1", [a, b])
+    c.add_gate(GateType.PO, "o1", [g1])  # gid 3, earlier than g2
+    g2 = c.add_gate(GateType.NOT, "g2", [g1])
+    c.add_gate(GateType.PO, "o2", [g2])
+    c.freeze()
+    with pytest.raises(CircuitError, match="must not drive"):
+        c.replace_gate("g2", GateType.NOT, ["o1"])
+    assert c.gate_type(g2) is GateType.NOT
+    assert c.fanin(g2) == (g1,)
+    assert c.frozen
+    assert c.flat is not None

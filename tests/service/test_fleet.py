@@ -197,6 +197,39 @@ class TestAdmissionControl:
             harness.stop()
 
 
+class TestConeRequests:
+    def test_cone_reuse_counted_fleet_wide(self, tmp_path):
+        """A store-backed fleet serves warm cone requests from the cone
+        table and rolls the reuse into ``fleet.cone_hits``."""
+        harness = FleetHarness(
+            workers=1, store=str(tmp_path / "fleet-store.sqlite")
+        )
+        harness.start(str(tmp_path / "cones.sock"))
+        try:
+            with ServiceClient.connect(harness.address) as client:
+                cold = client.classify(circuit="c17", cones=True)
+                warm = client.classify(circuit="c17", cones=True)
+                stats = client.stats()
+            assert cold["cone_stats"]["reused"] == 0
+            assert warm["cone_stats"]["reused"] == warm["cone_stats"]["cones"]
+            assert warm["accepted"] == cold["accepted"]
+            assert stats["cone_hits"] == warm["cone_stats"]["reused"]
+        finally:
+            harness.stop()
+
+    def test_cones_flag_keys_the_coalescer(self, fleet):
+        """cones=True and whole-circuit answers must never coalesce —
+        their payloads differ even for identical circuit/criterion."""
+        with connect(fleet) as client:
+            whole = client.classify(circuit="s499-ecc", criterion="fs")
+            cones = client.classify(
+                circuit="s499-ecc", criterion="fs", cones=True
+            )
+        assert "cone_stats" not in whole
+        assert cones["cone_stats"]["cones"] >= 1
+        assert cones["accepted"] == whole["accepted"]
+
+
 class TestIntrospection:
     def test_stats_describes_the_topology(self, fleet):
         with connect(fleet) as client:

@@ -138,6 +138,31 @@ class TestRequests:
         assert warm["session"]["store_hits"] > 0
         assert stats["store"]["entries"] > 0
 
+    def test_cone_granularity_requests(self, harness, tmp_path):
+        """``cones=true`` reuses stored cone rows on the second request."""
+        h = _unix_server(
+            harness, store=str(tmp_path / "store.sqlite")
+        )
+        with ServiceClient.connect(h.address) as client:
+            whole = client.classify(circuit="c17")
+            cold = client.classify(circuit="c17", cones=True)
+            warm = client.classify(circuit="c17", cones=True)
+        assert cold["accepted"] == whole["accepted"]  # exact decomposition
+        assert cold["total_logical"] == whole["total_logical"]
+        assert cold["cone_stats"]["reused"] == 0
+        assert warm["cone_stats"]["reused"] == warm["cone_stats"]["cones"]
+        assert warm["cone_stats"]["reuse_ratio"] == 1.0
+        assert warm["accepted"] == whole["accepted"]
+        assert "cone_stats" not in whole  # whole-circuit answers unchanged
+
+    def test_cones_rejects_bad_fields(self, harness):
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            with pytest.raises(RemoteError) as exc_info:
+                client.request("classify", circuit="c17", cones="yes")
+            assert exc_info.value.error_type == "ProtocolError"
+            assert client.ping()["server"] == "repro-rd"
+
 
 class TestStructuredErrors:
     def test_unknown_circuit_keeps_connection_open(self, harness):

@@ -85,6 +85,16 @@ API_SNAPSHOT = [
     "ResultStore",
     "canonical_form",
     "fingerprint",
+    # incremental re-analysis (ECO)
+    "CircuitDiff",
+    "ConeClassifyReport",
+    "ConeIndex",
+    "ReanalyzeReport",
+    "cone_classify",
+    "cone_fingerprints",
+    "cone_index",
+    "diff_circuits",
+    "reanalyze",
     # analysis service + fleet
     "AnalysisServer",
     "FleetServer",
