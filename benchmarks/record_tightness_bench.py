@@ -1,0 +1,144 @@
+"""Record the SAT-exact tightness sweep on the brute-force-checkable suite.
+
+For every suite circuit with at most 20 primary inputs: stream the
+word-parallel classifier's accept set, decide true ``LP(sigma^pi)``
+membership per accepted path with the incremental CDCL oracle
+(:mod:`repro.verdict`), and write ``BENCH_exact.json`` at the repo root
+with per-circuit wall times, verdict counts, solver work (conflicts,
+decisions, learned-clause reuse) and the Lemma-2 gap — the committed
+ground truth every approximation claim is scored against.  The 20-PI
+ceiling keeps each circuit independently cross-checkable against
+``repro.classify.exact.exists_vector``:
+
+    PYTHONPATH=src python benchmarks/record_tightness_bench.py
+
+``--smoke`` is the CI guard: two small circuits driven through the
+``repro-rd tightness`` command line with ``--json``, asserting the
+soundness chain (exact RD% >= approximate RD%), at least one replayed
+certificate, and a warm-store second pass.  It writes no file and
+finishes in seconds:
+
+    PYTHONPATH=src python benchmarks/record_tightness_bench.py --smoke
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.classify.conditions import Criterion
+from repro.gen.suite import get_circuit
+from repro.verdict import default_suite_circuits, run_tightness
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_exact.json"
+
+MAX_INPUTS = 20
+MAX_ACCEPTED = 50_000
+
+
+def main() -> int:
+    report = run_tightness(
+        criterion=Criterion.SIGMA_PI,
+        sort="heu2",
+        max_inputs=MAX_INPUTS,
+        max_accepted=MAX_ACCEPTED,
+    )
+    print(report.render())
+    rows = []
+    for row in report.rows:
+        entry = row.to_dict()
+        entry["elapsed"] = round(entry["elapsed"], 4)
+        for key in ("approx_rd_percent", "exact_rd_percent", "gap_percent"):
+            entry[key] = round(entry[key], 4)
+        rows.append(entry)
+    decided = [r for r in report.rows if not r.skipped]
+    for row in decided:
+        if not row.exact_accepted <= row.approx_accepted:
+            raise AssertionError(f"{row.circuit}: soundness chain violated")
+        if row.witness_replays != row.exact_accepted:
+            raise AssertionError(f"{row.circuit}: unreplayed certificates")
+    doc = {
+        "benchmark": "sat-exact-tightness",
+        "unit": "wall seconds per circuit (classify + SAT verdicts)",
+        "criterion": "SIGMA_PI",
+        "sort": "heu2",
+        "max_inputs": MAX_INPUTS,
+        "max_accepted": MAX_ACCEPTED,
+        "python": platform.python_version(),
+        "totals": {
+            "circuits": len(report.rows),
+            "decided": len(decided),
+            "skipped": len(report.rows) - len(decided),
+            "sat_queries": sum(r.approx_accepted for r in decided),
+            "sat_confirmed": sum(r.exact_accepted for r in decided),
+            "refuted": sum(r.refuted for r in decided),
+            "witness_replays": sum(r.witness_replays for r in decided),
+            "conflicts": sum(r.conflicts for r in decided),
+            "decisions": sum(r.decisions for r in decided),
+            "learned_reuse": sum(r.learned_reuse for r in decided),
+            "circuits_with_gap": sum(
+                1 for r in decided if r.refuted > 0
+            ),
+            "wall_s": round(report.wall_seconds, 2),
+        },
+        "rows": rows,
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    gaps = [r.circuit for r in decided if r.refuted > 0]
+    print(
+        f"\n{len(decided)} circuits decided in {report.wall_seconds:.1f}s, "
+        f"{doc['totals']['refuted']} refuted paths "
+        f"(gap on: {', '.join(gaps) or 'none'}) -> {OUT}"
+    )
+    return 0
+
+
+def _cli_json(argv: list) -> dict:
+    """Run the repro-rd CLI in-process and parse its --json output."""
+    from repro.cli import main as cli_main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    if code not in (0, None):
+        raise AssertionError(f"repro-rd {argv[0]} exited {code}")
+    return json.loads(buffer.getvalue())
+
+
+def smoke() -> int:
+    """CI guard: the tightness command line works end to end."""
+    # keep the ScanCircuit substrate honest too: the suite's seq-g core
+    # goes through the same verdict path as the combinational circuits
+    get_circuit("seq-g")
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = str(Path(tmp) / "verdicts.sqlite")
+        cold = _cli_json(
+            ["tightness", "c17", "apex-a", "--store", store_path, "--json"]
+        )
+        assert cold["criterion"] == "SIGMA_PI", cold
+        assert len(cold["rows"]) == 2, cold
+        for row in cold["rows"]:
+            assert not row["skipped"], row
+            assert row["source"] == "computed", row
+            assert row["exact_rd_percent"] >= row["approx_rd_percent"], row
+            assert row["witness_replays"] == row["exact_accepted"], row
+            assert row["witness_replays"] >= 1, row
+        warm = _cli_json(
+            ["tightness", "c17", "apex-a", "--store", store_path, "--json"]
+        )
+        for cold_row, warm_row in zip(cold["rows"], warm["rows"]):
+            assert warm_row["source"] == "store", warm_row
+            for key in ("total_logical", "approx_accepted", "exact_accepted"):
+                assert warm_row[key] == cold_row[key], key
+    replays = sum(r["witness_replays"] for r in cold["rows"])
+    print(f"tightness smoke ok: c17+apex-a, {replays} certificates replayed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(smoke() if "--smoke" in sys.argv[1:] else main())

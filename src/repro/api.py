@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.errors import (
     CircuitError,
     ClassifyError,
+    ExactLimitError,
     HarnessError,
     Overloaded,
     ProtocolError,
@@ -35,6 +36,7 @@ from repro.errors import (
     StoreError,
     TaskCrashed,
     TaskTimeout,
+    VerdictError,
 )
 from repro.circuit import (
     Circuit,
@@ -121,6 +123,15 @@ from repro.service import (
     serve,
     serve_fleet,
 )
+from repro.verdict import (
+    PathVerdict,
+    SensitizationEncoder,
+    TightnessReport,
+    TightnessRow,
+    VerdictOracle,
+    run_tightness,
+    tightness_row,
+)
 from repro.util.serialize import classification_payload, info_payload, to_json
 
 __all__ = [
@@ -128,6 +139,7 @@ __all__ = [
     "ReproError",
     "CircuitError",
     "ClassifyError",
+    "ExactLimitError",
     "HarnessError",
     "TaskTimeout",
     "TaskCrashed",
@@ -136,6 +148,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "Overloaded",
+    "VerdictError",
     # circuits
     "Circuit",
     "CircuitBuilder",
@@ -216,6 +229,14 @@ __all__ = [
     "WorkerSupervisor",
     "serve",
     "serve_fleet",
+    # SAT-exact verdicts + tightness
+    "PathVerdict",
+    "SensitizationEncoder",
+    "TightnessReport",
+    "TightnessRow",
+    "VerdictOracle",
+    "run_tightness",
+    "tightness_row",
     # serialization
     "classification_payload",
     "info_payload",

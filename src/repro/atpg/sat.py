@@ -1,16 +1,30 @@
-"""A compact CDCL SAT solver (two-watched literals, 1UIP learning,
-activity-based branching, phase saving, geometric restarts).
+"""A compact incremental CDCL SAT solver (two-watched literals, 1UIP
+learning, activity-based branching, phase saving, geometric restarts,
+MiniSat-style assumption handling).
 
 Built from scratch because the environment is offline and the baseline
 RD-identification of [1] needs redundancy checks (UNSAT proofs) on
-good/faulty miters.  The solver is deliberately straightforward; circuit
-miters in this repository are small (thousands of variables).
+good/faulty miters, while the exact-verdict subsystem
+(:mod:`repro.verdict`) issues thousands of per-path queries against one
+circuit encoding.  The solver is therefore *incremental*: assumptions
+are planted as decisions at levels ``1..k`` (never as permanent level-0
+facts), the trail is fully unwound after every call, and learned
+clauses are retained across calls so later queries reuse earlier
+conflict analysis.  ``_ok`` goes false only when the *formula itself*
+is unsatisfiable; an UNSAT answer under assumptions leaves the instance
+ready for the next query.
 
 Usage::
 
-    result = Solver(cnf).solve(assumptions=[3, -7])
-    if result.sat:
-        print(result.model[3])
+    solver = Solver(cnf)
+    r1 = solver.solve(assumptions=[3, -7])
+    r2 = solver.solve(assumptions=[-3])   # independent of the first call
+    if r2.sat:
+        print(r2.model[3])
+
+``SolveResult`` carries per-call statistics (conflicts, decisions,
+learned-clause reuse hits); cumulative totals live on
+:attr:`Solver.stats`.
 """
 
 from __future__ import annotations
@@ -30,16 +44,51 @@ class SolveResult:
     model: list | None = None
     conflicts: int = 0
     decisions: int = 0
+    propagations: int = 0
+    learned_reuse: int = 0
+    restarts: int = 0
 
     def __bool__(self) -> bool:
         return self.sat
 
 
-class Solver:
-    """One-shot CDCL solver over a :class:`CNF`.
+@dataclass
+class SolverStats:
+    """Cumulative counters across every ``solve`` call on one instance."""
 
-    A fresh instance should be constructed per query: ``solve`` plants
-    its assumptions as level-0 facts, so they persist in the instance.
+    solves: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    learned: int = 0
+    learned_dropped: int = 0
+    learned_reuse: int = 0
+    restarts: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "solves": self.solves,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "learned": self.learned,
+            "learned_dropped": self.learned_dropped,
+            "learned_reuse": self.learned_reuse,
+            "restarts": self.restarts,
+        }
+
+
+class Solver:
+    """Incremental CDCL solver over a :class:`CNF`.
+
+    One instance serves many queries: each ``solve(assumptions=...)``
+    call decides its assumptions at levels ``1..k``, searches below
+    them, and unwinds the trail to level 0 before returning, so no
+    assumption ever leaks into a later call.  Learned clauses (which
+    are consequences of the formula alone, never of the assumptions)
+    are kept between calls; a clause learned in one call that
+    propagates or conflicts in a later call counts as a
+    ``learned_reuse`` hit.
     """
 
     def __init__(self, cnf: CNF) -> None:
@@ -54,12 +103,19 @@ class Solver:
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._clauses: list[list[int]] = []
+        #: epoch (solve ordinal) each clause was learned in; 0 = original
+        self._clause_epoch: list[int] = []
         self._watches: list[list[int]] = [[] for _ in range(2 * n + 2)]
         self._var_inc = 1.0
         self._ok = True
         self._units: list[int] = []
+        self._epoch = 0
+        self._reuse_hits = 0
+        self._propagation_count = 0
+        self.stats = SolverStats()
         for clause in cnf.clauses:
             self._add_clause([self._pack(lit) for lit in clause])
+        self._num_original = len(self._clauses)
 
     # -- literal packing: var v -> 2v (positive) / 2v+1 (negative) ------
     @staticmethod
@@ -82,6 +138,7 @@ class Solver:
             return
         idx = len(self._clauses)
         self._clauses.append(out)
+        self._clause_epoch.append(0)
         self._watches[out[0]].append(idx)
         self._watches[out[1]].append(idx)
 
@@ -105,9 +162,12 @@ class Solver:
 
     def _propagate(self) -> int:
         """BCP.  Returns a conflicting clause index, or -1."""
+        epochs = self._clause_epoch
+        current_epoch = self._epoch
         while self._qhead < len(self._trail):
             lit = self._trail[self._qhead]
             self._qhead += 1
+            self._propagation_count += 1
             false_lit = lit ^ 1
             watch_list = self._watches[false_lit]
             i = 0
@@ -133,6 +193,9 @@ class Solver:
                         break
                 if moved:
                     continue
+                ep = epochs[ci]
+                if ep and ep != current_epoch:
+                    self._reuse_hits += 1
                 # Clause is unit or conflicting.
                 if self._lit_value(first) == 0:
                     self._qhead = len(self._trail)
@@ -218,49 +281,145 @@ class Solver:
         return 2 * best + (1 - self._phase[best])
 
     # ------------------------------------------------------------------
+    def _reduce_learnts(self) -> None:
+        """Drop the oldest half of long learned clauses (level 0 only).
+
+        Keeps binary/ternary learnts (cheap, high-value) and any clause
+        that is currently the reason of a level-0 fact.
+        """
+        protected = {
+            self._reason[lit >> 1]
+            for lit in self._trail
+            if self._reason[lit >> 1] != -1
+        }
+        droppable = [
+            i
+            for i in range(len(self._clauses))
+            if self._clause_epoch[i]
+            and len(self._clauses[i]) > 3
+            and i not in protected
+        ]
+        if len(droppable) < 2:
+            return
+        drop = set(droppable[: len(droppable) // 2])
+        remap: dict[int, int] = {}
+        new_clauses: list[list[int]] = []
+        new_epochs: list[int] = []
+        for i, (cl, ep) in enumerate(zip(self._clauses, self._clause_epoch)):
+            if i in drop:
+                continue
+            remap[i] = len(new_clauses)
+            new_clauses.append(cl)
+            new_epochs.append(ep)
+        self._clauses = new_clauses
+        self._clause_epoch = new_epochs
+        for var in range(1, self._num_vars + 1):
+            r = self._reason[var]
+            if r != -1:
+                self._reason[var] = remap[r]
+        self._watches = [[] for _ in range(2 * (self._num_vars + 1) + 2)]
+        for idx, cl in enumerate(self._clauses):
+            self._watches[cl[0]].append(idx)
+            self._watches[cl[1]].append(idx)
+        self.stats.learned_dropped += len(drop)
+
+    def _result(
+        self,
+        sat: bool,
+        model: list | None,
+        conflicts: int,
+        decisions: int,
+        propagations: int,
+        reuse: int,
+        restarts: int,
+    ) -> SolveResult:
+        self.stats.conflicts += conflicts
+        self.stats.decisions += decisions
+        self.stats.propagations += propagations
+        self.stats.learned_reuse += reuse
+        self.stats.restarts += restarts
+        return SolveResult(
+            sat=sat,
+            model=model,
+            conflicts=conflicts,
+            decisions=decisions,
+            propagations=propagations,
+            learned_reuse=reuse,
+            restarts=restarts,
+        )
+
+    # ------------------------------------------------------------------
     def solve(self, assumptions: list | None = None, max_conflicts: int | None = None) -> SolveResult:
-        """Run CDCL search.  ``assumptions`` are DIMACS literals fixed as
-        level-0 facts.  ``max_conflicts`` bounds the search (raises
-        RuntimeError when exceeded — redundancy analysis treats that as
-        "unknown" and the caller decides)."""
+        """Run CDCL search under ``assumptions`` (DIMACS literals).
+
+        Assumptions are decided at levels ``1..k`` — they never outlive
+        this call, and an UNSAT answer under assumptions leaves the
+        instance usable.  ``max_conflicts`` bounds the search (raises
+        RuntimeError when exceeded with the trail cleanly unwound —
+        redundancy analysis treats that as "unknown" and the caller
+        decides)."""
+        if not self._ok:
+            return SolveResult(sat=False)
+        self._epoch += 1
+        self.stats.solves += 1
         conflicts = 0
         decisions = 0
-        if not self._ok:
-            return SolveResult(sat=False, conflicts=conflicts)
+        restarts = 0
+        reuse_start = self._reuse_hits
+        prop_start = self._propagation_count
+        self._backtrack(0)
         for lit in self._units:
             if not self._enqueue(lit, -1):
-                return SolveResult(sat=False)
-        self._units.clear()
-        for lit in assumptions or []:
-            if not self._enqueue(self._pack(lit), -1):
                 self._ok = False
-                return SolveResult(sat=False)
-        if self._propagate() != -1:
-            self._ok = False
-            return SolveResult(sat=False)
+                return self._result(False, None, 0, 0, 0, 0, 0)
+        self._units.clear()
+        if (
+            len(self._clauses) - self._num_original
+            > max(2000, 4 * self._num_original)
+        ):
+            self._reduce_learnts()
+        assumps = [self._pack(lit) for lit in assumptions or []]
         restart_limit = 100
         restart_conflicts = 0
+
+        def finish(sat: bool, model: list | None) -> SolveResult:
+            self._backtrack(0)
+            return self._result(
+                sat,
+                model,
+                conflicts,
+                decisions,
+                self._propagation_count - prop_start,
+                self._reuse_hits - reuse_start,
+                restarts,
+            )
+
         while True:
             conflict = self._propagate()
             if conflict != -1:
                 conflicts += 1
                 restart_conflicts += 1
                 if max_conflicts is not None and conflicts > max_conflicts:
+                    finish(False, None)
                     raise RuntimeError("conflict budget exhausted")
                 if not self._trail_lim:
+                    # Conflict at level 0: the formula itself is UNSAT.
                     self._ok = False
-                    return SolveResult(sat=False, conflicts=conflicts, decisions=decisions)
+                    return finish(False, None)
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 if len(learnt) == 1:
+                    # A learnt unit is a consequence of the formula alone
+                    # (assumptions appear in learnt clauses as literals,
+                    # never as resolved facts), so it is a permanent fact.
                     if not self._enqueue(learnt[0], -1):
                         self._ok = False
-                        return SolveResult(
-                            sat=False, conflicts=conflicts, decisions=decisions
-                        )
+                        return finish(False, None)
                 else:
                     idx = len(self._clauses)
                     self._clauses.append(learnt)
+                    self._clause_epoch.append(self._epoch)
+                    self.stats.learned += 1
                     self._watches[learnt[0]].append(idx)
                     self._watches[learnt[1]].append(idx)
                     self._enqueue(learnt[0], idx)
@@ -269,17 +428,37 @@ class Solver:
             if restart_conflicts >= restart_limit and self._trail_lim:
                 restart_conflicts = 0
                 restart_limit = int(restart_limit * 1.5)
+                restarts += 1
                 self._backtrack(0)
                 continue
-            lit = self._decide()
+            # Re-establish pending assumptions as the next decisions.
+            lit = -1
+            failed = False
+            while len(self._trail_lim) < len(assumps):
+                p = assumps[len(self._trail_lim)]
+                v = self._lit_value(p)
+                if v == 1:
+                    # Already implied: push an empty decision level so
+                    # assumption i always sits at level <= i+1.
+                    self._trail_lim.append(len(self._trail))
+                elif v == 0:
+                    # Contradicts the formula or an earlier assumption:
+                    # UNSAT under these assumptions, solver stays usable.
+                    failed = True
+                    break
+                else:
+                    lit = p
+                    break
+            if failed:
+                return finish(False, None)
             if lit == -1:
-                model = [False] * (self._num_vars + 1)
-                for var in range(1, self._num_vars + 1):
-                    model[var] = self._assign[var] == 1
-                return SolveResult(
-                    sat=True, model=model, conflicts=conflicts, decisions=decisions
-                )
-            decisions += 1
+                lit = self._decide()
+                if lit == -1:
+                    model = [False] * (self._num_vars + 1)
+                    for var in range(1, self._num_vars + 1):
+                        model[var] = self._assign[var] == 1
+                    return finish(True, model)
+                decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, -1)
 

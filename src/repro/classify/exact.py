@@ -16,6 +16,7 @@ Used to validate the fast approximate classifier on small circuits:
 
 from __future__ import annotations
 
+from repro.errors import ExactLimitError
 from repro.circuit.gates import GateType, controlling_value, has_controlling_value
 from repro.circuit.netlist import Circuit
 from repro.classify.conditions import Criterion, required_side_pins
@@ -71,7 +72,12 @@ def exists_vector(
     conditions for this logical path?  Exponential in #PIs."""
     n = len(circuit.inputs)
     if n > _MAX_INPUTS:
-        raise ValueError(f"brute force over 2^{n} vectors refused")
+        raise ExactLimitError(
+            f"brute force over 2^{n} vectors refused "
+            f"({n} PIs > {_MAX_INPUTS}); use the SAT-exact mode instead: "
+            "repro.verdict.VerdictOracle decides the same membership "
+            "question without the input-count ceiling"
+        )
     return any(
         satisfies_criterion(circuit, criterion, logical_path, vector, sort)
         for vector in all_vectors(n)
@@ -132,7 +138,10 @@ def is_po_constant(circuit: Circuit, po: int) -> bool:
     testable paths at all; generators avoid them)."""
     n = len(circuit.inputs)
     if n > _MAX_INPUTS:
-        raise ValueError("constant check is exponential in #PIs")
+        raise ExactLimitError(
+            f"constant check is exponential in #PIs ({n} > {_MAX_INPUTS}); "
+            "the SAT-exact mode (repro.verdict) scales past this limit"
+        )
     seen = set()
     for vector in all_vectors(n):
         seen.add(simulate(circuit, vector)[po])

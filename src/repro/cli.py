@@ -686,6 +686,79 @@ def cmd_reanalyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tightness(args: argparse.Namespace) -> int:
+    """Exact vs. approximate RD% (the Lemma-2 gap) via repro.verdict."""
+    if args.remote is not None:
+        return _tightness_remote(args)
+    from repro.experiments.supervisor import TaskRunner
+    from repro.verdict import run_tightness
+
+    _warn_ignored(args, "tightness", "--checkpoint", "--resume")
+    criterion = _CRITERIA[args.criterion]
+    circuits = None
+    if args.circuits:
+        circuits = [load_circuit(spec) for spec in args.circuits]
+    runner_kwargs: dict = {"jobs": args.jobs}
+    if args.max_retries is not None:
+        runner_kwargs["max_retries"] = args.max_retries
+    report = run_tightness(
+        circuits,
+        criterion,
+        args.sort,
+        store=args.store,
+        runner=TaskRunner(**runner_kwargs),
+        max_inputs=args.max_inputs,
+        max_accepted=args.max_accepted,
+    )
+    if args.json:
+        print(to_json(report.to_dict()))
+        return 0
+    print(report.render())
+    if args.verbose:
+        _print_metrics_summary()
+    return 0
+
+
+def _tightness_remote(args: argparse.Namespace) -> int:
+    """``tightness --remote``: one daemon request per circuit."""
+    from repro.errors import ReproError
+    from repro.service.client import RetryPolicy, ServiceClient
+    from repro.verdict.tightness import default_suite_circuits
+
+    specs = list(args.circuits) or default_suite_circuits(args.max_inputs)
+    rows = []
+    try:
+        with ServiceClient.connect(args.remote, retry=RetryPolicy()) as client:
+            for name in specs:
+                path = Path(name)
+                spec: "Circuit | str"
+                if path.suffix in (".bench", ".pla") and path.exists():
+                    spec = load_circuit(name)
+                else:
+                    spec = name
+                rows.append(client.tightness(
+                    circuit=spec,
+                    criterion=args.criterion,
+                    sort=args.sort,
+                    max_accepted=args.max_accepted,
+                ))
+    except ReproError as exc:
+        print(f"remote tightness failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(to_json({"rows": rows}))
+        return 0
+    for row in rows:
+        print(
+            f"{row['circuit']} [{row['criterion']}]: "
+            f"approx {row['approx_rd_percent']:.2f}% vs exact "
+            f"{row['exact_rd_percent']:.2f}% RD "
+            f"({row['refuted']} refuted of {row['approx_accepted']} "
+            f"accepted; remote {args.remote})"
+        )
+    return 0
+
+
 def _supervision_kwargs(args: argparse.Namespace) -> dict:
     """The shared table1/2/3 supervision options, as keyword arguments."""
     if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
@@ -976,6 +1049,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=cmd_reanalyze)
+
+    p = sub.add_parser(
+        "tightness", parents=[shared],
+        help="exact vs. approximate RD%% per circuit (SAT-backed verdicts)",
+    )
+    p.add_argument(
+        "circuits", nargs="*", metavar="CIRCUIT",
+        help="suite names or .bench/.pla files (default: every suite "
+        "circuit within --max-inputs PIs)",
+    )
+    p.add_argument(
+        "--criterion", choices=sorted(_CRITERIA), default="sigma",
+        help="criterion to decide exactly (default sigma)",
+    )
+    p.add_argument(
+        "--sort", choices=["pin", "heu1", "heu2", "heu2inv"], default="heu2",
+        help="input sort for --criterion sigma (default heu2)",
+    )
+    p.add_argument(
+        "--max-inputs", type=_positive_int, default=20, metavar="N",
+        help="PI ceiling for the default sweep — keeps verdicts "
+        "cross-checkable against the brute-force oracle (default 20)",
+    )
+    p.add_argument(
+        "--max-accepted", type=int, default=50_000, metavar="N",
+        help="SKIP circuits whose classifier accepts more paths than "
+        "this (bounds SAT queries per circuit; default 50000)",
+    )
+    p.add_argument(
+        "--remote", metavar="HOST:PORT|SOCKET", default=None,
+        help="send tightness requests to a running 'repro-rd serve'",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_tightness)
 
     p = sub.add_parser("cache", help="inspect/maintain a result store")
     p.add_argument("action", choices=["stats", "gc", "clear"])

@@ -5,8 +5,10 @@ Every error the library raises deliberately derives from
 
     ReproError
     ├── CircuitError        parse / construction / validation
-    │   └── BenchParseError   (repro.circuit.bench)
+    │   ├── BenchParseError   (repro.circuit.bench)
+    │   └── ExactLimitError   brute-force oracle refused (too many PIs)
     ├── ClassifyError       classification aborted (budget exhausted)
+    ├── VerdictError        SAT-exact verdict failed (repro.verdict)
     ├── HarnessError        supervised experiment execution
     │   ├── TaskTimeout       a pool task exceeded its wall-clock budget
     │   └── TaskCrashed       a pool worker died (crash / kill / OOM)
@@ -42,6 +44,22 @@ class CircuitError(ReproError, ValueError):
 class ClassifyError(ReproError, RuntimeError):
     """A classification pass aborted — e.g. ``max_accepted`` exhausted.
     (Also a ``RuntimeError`` for backwards compatibility.)"""
+
+
+class ExactLimitError(CircuitError):
+    """A brute-force exact oracle (``repro.classify.exact``) refused a
+    circuit with too many primary inputs — the ``2^n`` vector sweep is
+    infeasible.  The SAT-exact verdict subsystem
+    (:class:`repro.verdict.VerdictOracle`) decides the same questions
+    without the input-count ceiling; the error message points there.
+    (A ``CircuitError``, hence also a ``ValueError``, for backwards
+    compatibility with pre-taxonomy ``except`` clauses.)"""
+
+
+class VerdictError(ReproError):
+    """The SAT-exact verdict subsystem failed internally: a SAT witness
+    did not replay through simulation (certificate check failed), or the
+    solver exhausted its conflict budget on one path query."""
 
 
 class HarnessError(ReproError):

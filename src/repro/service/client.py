@@ -62,7 +62,7 @@ __all__ = ["IDEMPOTENT_OPS", "RetryPolicy", "ServiceClient"]
 
 #: ops a broken transport may transparently resend — all pure reads or
 #: deterministic computations; never add a mutating op
-IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats"})
+IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats", "tightness"})
 
 
 @dataclass(frozen=True)
@@ -371,3 +371,35 @@ class ServiceClient:
         if deadline is not None:
             fields["deadline"] = deadline
         return self.request("classify", on_event=on_event, **fields)
+
+    def tightness(
+        self,
+        circuit: "Circuit | str | None" = None,
+        bench: "str | None" = None,
+        criterion: str = "sigma",
+        sort: str = "heu2",
+        max_accepted: "int | None" = None,
+        deadline: "float | None" = None,
+        on_event: "Callable[[dict], None] | None" = None,
+    ) -> dict:
+        """Decide exact vs. approximate membership for one circuit (the
+        Lemma-2 gap, via :mod:`repro.verdict`).  The result is a single
+        tightness row — verdict counts, both RD percentages, witness
+        replays and solver diagnostics — plus fingerprint and session
+        stats.  A circuit whose classifier accepts more than
+        ``max_accepted`` paths answers a structured ``ClassifyError``."""
+        fields: dict = {"criterion": criterion, "sort": sort}
+        if isinstance(circuit, Circuit):
+            from repro.circuit.bench import write_bench
+
+            fields["bench"] = write_bench(circuit)
+            fields["name"] = circuit.name
+        elif circuit is not None:
+            fields["circuit"] = circuit
+        if bench is not None:
+            fields["bench"] = bench
+        if max_accepted is not None:
+            fields["max_accepted"] = max_accepted
+        if deadline is not None:
+            fields["deadline"] = deadline
+        return self.request("tightness", on_event=on_event, **fields)

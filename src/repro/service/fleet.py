@@ -77,7 +77,7 @@ __all__ = ["FleetServer", "serve_fleet"]
 #: ops safe to retry on another worker after a mid-request crash — all
 #: current ops are pure/deterministic; a future mutating op must NOT be
 #: added here (the fleet would double-apply it)
-IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats"})
+IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats", "tightness"})
 
 
 class _WorkerConnError(ServiceError):
@@ -298,7 +298,10 @@ class FleetServer(JsonLineServer):
         if deadline is not None and not isinstance(deadline, (int, float)):
             raise ProtocolError("'deadline' must be a number of seconds")
         fingerprint = await self._fingerprint_for(message)
+        # the op is part of the key: a classify and a tightness request
+        # on the same circuit compute different answers
         key = (
+            message.get("op", "classify"),
             fingerprint,
             message.get("criterion", "sigma"),
             message.get("sort", "heu2"),

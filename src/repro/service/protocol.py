@@ -36,6 +36,16 @@ Ops:
     carries an extra ``"cone_stats"`` object —
     ``{"cones": N, "reused": n, "computed": m, "reuse_ratio": r}`` —
     describing how much of the answer came from stored cone rows.
+``tightness``
+    Exact-vs-approximate verdict counts for one circuit (the Lemma-2
+    gap, via :mod:`repro.verdict`).  Fields: ``circuit`` *or* ``bench``
+    as for ``classify``; optional ``criterion`` / ``sort`` (same
+    domains and defaults), ``max_accepted`` (int — a circuit whose
+    classifier accepts more paths answers a structured
+    ``ClassifyError``) and ``deadline``.  The result is one tightness
+    row: ``total_logical``, ``approx_accepted``, ``exact_accepted``,
+    ``refuted``, both RD percentages, ``witness_replays`` and solver
+    diagnostics, plus ``fingerprint`` and ``session`` stats.
 ``ping``
     Liveness + version handshake.
 ``stats``
@@ -85,7 +95,7 @@ __all__ = [
 #: longest accepted wire line — generously above any realistic ``.bench``
 MAX_LINE = 8 * 1024 * 1024
 
-_VALID_OPS = ("classify", "metrics", "ping", "stats")
+_VALID_OPS = ("classify", "metrics", "ping", "stats", "tightness")
 
 
 def encode_line(message: dict) -> bytes:

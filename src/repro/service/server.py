@@ -366,6 +366,8 @@ class AnalysisServer(JsonLineServer):
                 result = await self._op_stats()
             elif op == "metrics":
                 result = self._op_metrics()
+            elif op == "tightness":
+                result = await self._op_tightness(message, writer, req_id)
             else:
                 result = await self._op_classify(message, writer, req_id)
             await self._send(
@@ -492,6 +494,84 @@ class AnalysisServer(JsonLineServer):
             if time.monotonic() - started > float(deadline):
                 raise TaskTimeout(circuit.name, float(deadline))
             return result
+
+    async def _op_tightness(
+        self, message: dict, writer: asyncio.StreamWriter, req_id: str
+    ) -> dict:
+        """Exact-vs-approximate verdicts for one circuit (repro.verdict)."""
+        criterion_name = message.get("criterion", "sigma")
+        if criterion_name not in _CRITERIA:
+            raise ProtocolError(
+                f"unknown criterion {criterion_name!r}; valid: "
+                f"{', '.join(sorted(_CRITERIA))}"
+            )
+        criterion = _CRITERIA[criterion_name]
+        sort_kind = message.get("sort", "heu2")
+        if sort_kind not in ("pin", "heu1", "heu2", "heu2inv"):
+            raise ProtocolError(
+                f"unknown sort {sort_kind!r}; valid: pin, heu1, heu2, heu2inv"
+            )
+        max_accepted = message.get("max_accepted", self.max_accepted)
+        if max_accepted is not None and not isinstance(max_accepted, int):
+            raise ProtocolError("'max_accepted' must be an integer")
+        deadline = message.get("deadline", self.default_deadline)
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ProtocolError("'deadline' must be a number of seconds")
+
+        loop = asyncio.get_event_loop()
+        async with self._admission:
+            circuit, session, total = await loop.run_in_executor(
+                self._executor, self._prepare, message
+            )
+            if deadline is None:
+                deadline = default_task_budget(total)
+            await self._send(
+                writer,
+                protocol.event(
+                    message.get("id"), "start",
+                    server_request_id=req_id,
+                    name=circuit.name,
+                    fingerprint=session.fingerprint,
+                    total_logical=total,
+                    deadline=round(float(deadline), 3),
+                ),
+            )
+            started = time.monotonic()
+            work = loop.run_in_executor(
+                self._executor,
+                self._tightness, session, criterion, sort_kind, max_accepted,
+            )
+            try:
+                result = await asyncio.wait_for(work, timeout=float(deadline))
+            except asyncio.TimeoutError:
+                raise TaskTimeout(circuit.name, float(deadline)) from None
+            if time.monotonic() - started > float(deadline):
+                raise TaskTimeout(circuit.name, float(deadline))
+            return result
+
+    def _tightness(
+        self,
+        session: CircuitSession,
+        criterion: Criterion,
+        sort_kind: str,
+        max_accepted: "int | None",
+    ) -> dict:
+        from repro.verdict import tightness_row
+
+        try:
+            row = tightness_row(
+                session.circuit,
+                criterion,
+                sort_kind,
+                session=session,
+                max_accepted=max_accepted,
+            )
+            payload = row.to_dict()
+            payload["fingerprint"] = session.fingerprint
+            payload["session"] = session.stats.to_dict()
+            return payload
+        finally:
+            self.sessions.checkin(session)
 
     def _prepare(self, message: dict) -> "tuple[Circuit, CircuitSession, int]":
         circuit = _build_circuit(message)

@@ -1,0 +1,147 @@
+"""CNF encoding of per-path sensitization side-conditions.
+
+One Tseitin base encoding per circuit (:class:`SensitizationEncoder`),
+one *assumption set* per (logical path, criterion) query — never a new
+CNF.  This is what makes thousands of per-path SAT queries against one
+circuit cheap: the incremental solver keeps the base encoding, its
+watches and its learned clauses, and each path contributes only unit
+assumptions.
+
+Why unit assumptions suffice
+----------------------------
+
+The criterion conditions ((FU1)-(FU2), (NR1)-(NR2), (π1)-(π3)) branch
+on whether the *stable on-path value* entering each gate is the gate's
+controlling value.  Along the path, that value is fully determined by
+the transition's final value at the PI and the inverting gates crossed
+— it is :meth:`LogicalPath.value_at`, not a free variable:
+
+* if the on-path value is controlling, the gate output equals its
+  forced value regardless of side inputs (the CNF derives this by unit
+  propagation);
+* if it is non-controlling, the criterion requires every relevant side
+  input non-controlling, and then the output is again forced.
+
+Either way the branch taken by ``satisfies_criterion`` under *any*
+satisfying vector matches the statically-computed on-path value, so
+the whole query is: base CNF + unit assumptions
+``PI(P) = final value`` and ``side input = non-controlling value`` for
+each side pin the criterion table names.  SAT ⟺
+:func:`repro.classify.exact.exists_vector` (differential-tested).
+
+The walk runs over the flat CSR IR (:mod:`repro.circuit.flat`): lead
+``l`` feeds pin ``l - fanin_start[lead_dst[l]]`` of ``lead_dst[l]``
+from source ``fanin_gates[l]``, and the per-gate ``ctrl``/``out_ctrl``/
+``out_nc`` tables drive both the branch choice and the on-path value
+update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.atpg.tseitin import CircuitEncoding, tseitin_encode
+from repro.circuit.flat import K_NOT, K_SIMPLE
+from repro.circuit.netlist import Circuit
+from repro.classify.conditions import Criterion
+from repro.paths.path import LogicalPath
+
+if TYPE_CHECKING:  # annotation-only; avoids a verdict <-> sorting cycle
+    from repro.sorting.input_sort import InputSort
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """One path's sensitization question, ready for the solver.
+
+    ``assumptions`` are DIMACS literals over the circuit's base
+    encoding; ``trivially_unsat`` is set when two side-conditions
+    demand opposite values of the same gate (no solver call needed —
+    the query is unsatisfiable by construction).
+    """
+
+    assumptions: tuple[int, ...]
+    trivially_unsat: bool = False
+
+
+class SensitizationEncoder:
+    """Per-circuit Tseitin base CNF plus the per-path assumption builder."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.encoding: CircuitEncoding = tseitin_encode(circuit)
+        self._var = [
+            self.encoding.var_of_gate.get(g, 0)
+            for g in range(circuit.num_gates)
+        ]
+
+    def query(
+        self,
+        logical_path: LogicalPath,
+        criterion: Criterion,
+        sort: "InputSort | None" = None,
+    ) -> PathQuery:
+        """The criterion's conditions for ``logical_path`` as assumptions."""
+        flat = self.circuit.flat
+        kind = flat.kind
+        ctrl = flat.ctrl
+        out_ctrl = flat.out_ctrl
+        out_nc = flat.out_nc
+        fanin_start = flat.fanin_start
+        fanin_gates = flat.fanin_gates
+        lead_dst = flat.lead_dst
+        sigma = criterion is Criterion.SIGMA_PI
+        if sigma and sort is None:
+            raise ValueError("SIGMA_PI criterion requires an input sort")
+        fs = criterion is Criterion.FS
+
+        # gate -> required stable value; insertion order keeps the
+        # assumption tuple deterministic for a given path.
+        required: dict[int, int] = {}
+        contradiction = False
+
+        def require(gate: int, value: int) -> None:
+            nonlocal contradiction
+            prior = required.setdefault(gate, value)
+            if prior != value:
+                contradiction = True
+
+        leads = logical_path.path.leads
+        value = logical_path.final_value
+        require(fanin_gates[leads[0]], value)  # (FU1)/(NR1)/(π1)
+        for lead in leads:
+            dst = lead_dst[lead]
+            k = kind[dst]
+            if k == K_SIMPLE:
+                c = ctrl[dst]
+                start = fanin_start[dst]
+                end = fanin_start[dst + 1]
+                if value != c:
+                    # (FU2)/(NR2)/(π2): every side input non-controlling.
+                    side = range(start, end)
+                elif fs:
+                    side = ()
+                elif sigma:
+                    # (π3): only the low-order side inputs of the lead.
+                    side = (start + p for p in sort.low_order_side_pins(lead))
+                else:  # NR: all side inputs, controlling case included
+                    side = range(start, end)
+                nc = 1 - c
+                for side_lead in side:
+                    if side_lead != lead:
+                        require(fanin_gates[side_lead], nc)
+                value = out_ctrl[dst] if value == c else out_nc[dst]
+            elif k == K_NOT:
+                value = 1 - value
+            # K_WIRE / K_PO forward the value and impose no conditions.
+        assumptions = tuple(
+            var if val else -var
+            for gate, val in required.items()
+            for var in (self._var[gate],)
+        )
+        return PathQuery(assumptions=assumptions, trivially_unsat=contradiction)
+
+    def decode_witness(self, model: list) -> tuple[int, ...]:
+        """PI vector (in ``circuit.inputs`` order) from a SAT model."""
+        return self.encoding.decode_inputs(self.circuit, model)

@@ -108,3 +108,124 @@ def test_conflict_budget():
 def test_brute_force_refuses_wide():
     with pytest.raises(ValueError):
         brute_force_sat(CNF(30))
+
+
+class TestIncremental:
+    """The solver is reusable: assumptions are decisions, not facts."""
+
+    def test_assumptions_do_not_leak_between_solves(self):
+        # Regression: solve() used to plant assumptions as level-0 facts,
+        # so a second call silently inherited the first call's assumptions.
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        solver = Solver(cnf)
+        r1 = solver.solve(assumptions=[-1])
+        assert r1.sat and r1.model[2] is True
+        # Under the old behaviour -1 persisted, making this UNSAT.
+        r2 = solver.solve(assumptions=[-2])
+        assert r2.sat and r2.model[1] is True
+        r3 = solver.solve()
+        assert r3.sat
+
+    def test_unsat_under_assumptions_does_not_poison_solver(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[-1]).sat
+        # The formula is still satisfiable and the instance still usable.
+        assert solver.solve().sat
+        assert not solver.solve(assumptions=[-1]).sat
+
+    def test_contradictory_assumption_pair_recoverable(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2, 3])
+        solver = Solver(cnf)
+        assert not solver.solve(assumptions=[2, -2]).sat
+        assert solver.solve(assumptions=[2]).sat
+
+    def test_learned_clause_reuse_across_solves(self):
+        # (!a | x | y) & (!a | x | !y): assuming a & !x conflicts and
+        # learns (!a | x); a later solve under just [a] must propagate
+        # from that retained clause — counted as a reuse hit.
+        a, x, y = 1, 2, 3
+        cnf = CNF(3)
+        cnf.add_clause([-a, x, y])
+        cnf.add_clause([-a, x, -y])
+        solver = Solver(cnf)
+        r1 = solver.solve(assumptions=[a, -x])
+        assert not r1.sat and r1.conflicts >= 1
+        r2 = solver.solve(assumptions=[a])
+        assert r2.sat and r2.model[x] is True
+        assert r2.learned_reuse >= 1
+        assert solver.stats.learned >= 1
+        assert solver.stats.learned_reuse >= 1
+
+    def test_learned_units_make_repeat_queries_cheap(self):
+        # Pigeonhole PHP(3,2) gated behind activation literal a: the
+        # first solve under [a] learns its way down to the unit !a, so
+        # the second identical query answers without a single conflict.
+        cnf = CNF(7)
+        a = 7
+        v = lambda p, h: 2 * p + h + 1
+        for p in range(3):
+            cnf.add_clause([-a, v(p, 0), v(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-a, -v(p1, h), -v(p2, h)])
+        solver = Solver(cnf)
+        r1 = solver.solve(assumptions=[a])
+        assert not r1.sat and r1.conflicts >= 1
+        r2 = solver.solve(assumptions=[a])
+        assert not r2.sat and r2.conflicts == 0
+        assert solver.solve(assumptions=[-a]).sat
+
+    def test_budget_exhaustion_leaves_solver_usable(self):
+        cnf = CNF(12)
+        v = lambda p, h: 3 * p + h + 1
+        for p in range(4):
+            cnf.add_clause([v(p, 0), v(p, 1), v(p, 2)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    cnf.add_clause([-v(p1, h), -v(p2, h)])
+        solver = Solver(cnf)
+        with pytest.raises(RuntimeError):
+            solver.solve(max_conflicts=1)
+        # The trail was unwound: an unbudgeted call settles the formula.
+        assert not solver.solve().sat
+
+    def test_incremental_fuzz_against_fresh_instances(self):
+        for seed in range(6):
+            rng = random.Random(3000 + seed)
+            nv = rng.randint(4, 9)
+            cnf = CNF(nv)
+            for _ in range(rng.randint(6, 26)):
+                k = rng.randint(1, 3)
+                cnf.add_clause(
+                    [
+                        (v if rng.random() < 0.5 else -v)
+                        for v in (rng.randint(1, nv) for _ in range(k))
+                    ]
+                )
+            incremental = Solver(cnf)
+            for _ in range(12):
+                n_assume = rng.randint(0, min(3, nv))
+                lits = rng.sample(range(1, nv + 1), n_assume)
+                assumptions = [
+                    (v if rng.random() < 0.5 else -v) for v in lits
+                ]
+                # Ground truth: brute force with the assumptions as units.
+                ref = CNF(nv)
+                for clause in cnf.clauses:
+                    ref.add_clause(list(clause))
+                for lit in assumptions:
+                    ref.add_clause([lit])
+                expected = brute_force_sat(ref)
+                result = incremental.solve(assumptions=assumptions)
+                assert result.sat == expected, (seed, assumptions)
+                if result.sat:
+                    assert cnf.evaluate(result.model)
+                    for lit in assumptions:
+                        want = lit > 0
+                        assert result.model[abs(lit)] is want

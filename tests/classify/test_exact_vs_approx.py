@@ -122,11 +122,16 @@ class TestSatisfiesCriterion:
         )
 
     def test_exists_vector_refuses_wide(self):
+        from repro.errors import ExactLimitError
         from repro.gen.parity import parity_tree
 
         circuit = parity_tree(24)
         lp = next(iter(enumerate_logical_paths(circuit)))
+        # Still a ValueError (back-compat), but now a taxonomy type whose
+        # message points at the SAT-exact mode.
         with pytest.raises(ValueError):
+            exists_vector(circuit, Criterion.FS, lp)
+        with pytest.raises(ExactLimitError, match="repro.verdict"):
             exists_vector(circuit, Criterion.FS, lp)
 
 

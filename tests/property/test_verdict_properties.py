@@ -1,0 +1,119 @@
+"""Containment and differential properties of the SAT-exact oracle.
+
+Lemma 2 makes the word-parallel classifier a *superset* oracle: its
+accept set ``LP^sup`` contains the true criterion set, never the other
+way around.  Three properties pin that down on random circuits and on
+``ScanCircuit`` combinational cores:
+
+* **exact containment** — every path the SAT oracle confirms is also
+  accepted by the classifier (the classifier never wrongly rejects);
+  the reverse direction is exactly the Lemma-2 gap the tightness
+  tables measure, so it is *not* asserted.
+* **differential** — the SAT verdict equals ``exact.exists_vector``
+  on every path (both are exact; they must agree bit for bit).
+* **certificates** — every SAT verdict carries a witness that replays
+  through the concrete simulator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.sequential import S27_LIKE, parse_sequential_bench
+from repro.classify.conditions import Criterion
+from repro.classify.engine import check_logical_path
+from repro.classify.exact import exists_vector, satisfies_criterion
+from repro.paths.enumerate import enumerate_logical_paths
+from repro.sorting import heuristic2_sort, pin_order_sort
+from repro.verdict import VerdictOracle
+
+from tests.strategies import small_circuits
+
+_CRITERIA = [Criterion.FS, Criterion.NR, Criterion.SIGMA_PI]
+_GATES = ["AND", "OR", "NAND", "NOR"]
+
+
+@st.composite
+def sequential_benches(draw) -> str:
+    """Little scan designs: real feedback through 1-2 flip-flops."""
+    num_pi = draw(st.integers(2, 3))
+    num_ff = draw(st.integers(1, 2))
+    num_gates = draw(st.integers(2, 6))
+    signals = [f"x{i}" for i in range(num_pi)] + [
+        f"q{j}" for j in range(num_ff)
+    ]
+    lines = [f"INPUT(x{i})" for i in range(num_pi)]
+    gate_names = []
+    for g in range(num_gates):
+        gtype = draw(st.sampled_from(_GATES))
+        a, b = draw(
+            st.lists(
+                st.sampled_from(signals), min_size=2, max_size=2, unique=True
+            )
+        )
+        name = f"g{g}"
+        lines.append(f"{name} = {gtype}({a}, {b})")
+        signals.append(name)
+        gate_names.append(name)
+    for j in range(num_ff):
+        src = draw(st.sampled_from(gate_names))
+        lines.append(f"q{j} = DFF({src})")
+    lines.append(f"OUTPUT({gate_names[-1]})")
+    return "\n".join(lines)
+
+
+def _check_all_properties(circuit, criterion, sort):
+    oracle = VerdictOracle(circuit)
+    for lp in enumerate_logical_paths(circuit, limit=400):
+        verdict = oracle.decide(lp, criterion, sort)
+        # exact subset of approximate: SAT-confirmed => classifier-accepted
+        if verdict.in_set:
+            assert check_logical_path(circuit, criterion, lp, sort), lp
+            assert verdict.witness is not None
+            assert satisfies_criterion(
+                circuit, criterion, lp, verdict.witness, sort
+            ), lp
+        # and the SAT verdict is the brute-force truth
+        assert verdict.in_set == exists_vector(circuit, criterion, lp, sort)
+        # contrapositive of containment: classifier-rejected => refuted
+        if not check_logical_path(circuit, criterion, lp, sort):
+            assert not verdict.in_set, lp
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=small_circuits(max_gates=10), data=st.data())
+def test_random_circuits_containment_and_differential(circuit, data):
+    criterion = data.draw(st.sampled_from(_CRITERIA))
+    if criterion is Criterion.SIGMA_PI:
+        sort = data.draw(
+            st.sampled_from([pin_order_sort, heuristic2_sort])
+        )(circuit)
+    else:
+        sort = None
+    _check_all_properties(circuit, criterion, sort)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bench=sequential_benches(), data=st.data())
+def test_scan_cores_containment_and_differential(bench, data):
+    """The same properties on ScanCircuit cores: flip-flop outputs are
+    pseudo-PIs, so paths launch from state bits as the scan model
+    requires."""
+    core = parse_sequential_bench(bench).core
+    criterion = data.draw(st.sampled_from(_CRITERIA))
+    sort = (
+        heuristic2_sort(core) if criterion is Criterion.SIGMA_PI else None
+    )
+    _check_all_properties(core, criterion, sort)
+
+
+def test_s27_core_all_criteria_and_sorts():
+    """Deterministic anchor: the shipped s27-like scan design."""
+    core = parse_sequential_bench(S27_LIKE).core
+    for criterion in _CRITERIA:
+        sorts = (
+            [pin_order_sort(core), heuristic2_sort(core)]
+            if criterion is Criterion.SIGMA_PI
+            else [None]
+        )
+        for sort in sorts:
+            _check_all_properties(core, criterion, sort)

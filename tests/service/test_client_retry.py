@@ -101,7 +101,9 @@ class TestRetryPolicy:
             RetryPolicy(jitter=1.5)
 
     def test_all_current_ops_are_idempotent(self):
-        assert IDEMPOTENT_OPS == {"classify", "metrics", "ping", "stats"}
+        assert IDEMPOTENT_OPS == {
+            "classify", "metrics", "ping", "stats", "tightness",
+        }
 
 
 class TestConnectRetry:

@@ -230,6 +230,25 @@ class TestConeRequests:
         assert cones["accepted"] == whole["accepted"]
 
 
+class TestTightnessRequests:
+    def test_tightness_routes_through_a_worker(self, fleet):
+        with connect(fleet) as client:
+            row = client.tightness(circuit="c17")
+        assert row["worker"] in (0, 1)
+        assert row["total_logical"] == 22
+        assert row["exact_rd_percent"] >= row["approx_rd_percent"]
+        assert row["witness_replays"] == row["exact_accepted"]
+
+    def test_op_keys_the_coalescer(self, fleet):
+        """classify and tightness on the same circuit compute different
+        answers: the single-flight key must include the op."""
+        with connect(fleet) as client:
+            classified = client.classify(circuit="c17")
+            row = client.tightness(circuit="c17")
+        assert "exact_accepted" not in classified
+        assert row["exact_accepted"] == classified["accepted"] == 22
+
+
 class TestIntrospection:
     def test_stats_describes_the_topology(self, fleet):
         with connect(fleet) as client:

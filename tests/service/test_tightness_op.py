@@ -1,0 +1,80 @@
+"""The daemon's ``tightness`` op: exact verdicts over the wire."""
+
+import pytest
+
+from repro.circuit.examples import paper_example_circuit
+from repro.errors import RemoteError
+from repro.obs import reset_registry
+from repro.service.client import ServiceClient
+
+from tests.service.test_server import _unix_server, harness  # noqa: F401
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestTightnessOp:
+    def test_suite_circuit_round_trip(self, harness):  # noqa: F811
+        h = _unix_server(harness, store=str(harness.tmp_path / "s.sqlite"))
+        events = []
+        with ServiceClient.connect(h.address) as client:
+            row = client.tightness(
+                circuit="c17", on_event=lambda e: events.append(e)
+            )
+        assert row["circuit"] == "c17"
+        assert row["criterion"] == "SIGMA_PI"
+        assert row["total_logical"] == 22
+        assert row["exact_accepted"] <= row["approx_accepted"]
+        assert row["exact_rd_percent"] >= row["approx_rd_percent"]
+        assert row["witness_replays"] == row["exact_accepted"]
+        assert row["fingerprint"].startswith("rdfp1:")
+        starts = [e for e in events if e.get("event") == "start"]
+        assert len(starts) == 1
+        assert starts[0]["fingerprint"] == row["fingerprint"]
+
+    def test_in_memory_circuit_serialized_via_bench(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        circuit = paper_example_circuit()
+        with ServiceClient.connect(h.address) as client:
+            row = client.tightness(circuit=circuit, criterion="nr")
+        assert row["criterion"] == "NR"
+        assert row["total_logical"] == 8
+        # the paper's NR example: some paths refuted even exactly
+        assert row["exact_accepted"] < row["total_logical"]
+
+    def test_warm_store_serves_second_request(self, harness):  # noqa: F811
+        h = _unix_server(harness, store=str(harness.tmp_path / "s.sqlite"))
+        with ServiceClient.connect(h.address) as client:
+            cold = client.tightness(circuit="c17")
+            warm = client.tightness(circuit="c17")
+        assert cold["source"] == "computed"
+        assert warm["source"] == "store"
+        for key in ("total_logical", "approx_accepted", "exact_accepted"):
+            assert cold[key] == warm[key]
+
+    def test_max_accepted_overflow_is_structured_error(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.tightness(circuit="apex-a", max_accepted=10)
+        assert excinfo.value.error_type == "ClassifyError"
+
+    def test_invalid_sort_rejected(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.tightness(circuit="c17", sort="nope")
+        assert excinfo.value.error_type == "ProtocolError"
+
+    def test_op_counted_in_metrics(self, harness):  # noqa: F811
+        h = _unix_server(harness)
+        with ServiceClient.connect(h.address) as client:
+            client.tightness(circuit="c17")
+            counters = client.metrics()["metrics"]["counters"]
+        assert counters["service.op.tightness"] == 1
+        assert counters["verdict.queries"] >= 22
+        assert counters["verdict.witness_replays"] >= 1

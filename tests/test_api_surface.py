@@ -16,6 +16,7 @@ API_SNAPSHOT = [
     "ReproError",
     "CircuitError",
     "ClassifyError",
+    "ExactLimitError",
     "HarnessError",
     "TaskTimeout",
     "TaskCrashed",
@@ -24,6 +25,7 @@ API_SNAPSHOT = [
     "ProtocolError",
     "RemoteError",
     "Overloaded",
+    "VerdictError",
     # circuits
     "Circuit",
     "CircuitBuilder",
@@ -104,6 +106,14 @@ API_SNAPSHOT = [
     "WorkerSupervisor",
     "serve",
     "serve_fleet",
+    # SAT-exact verdicts + tightness
+    "PathVerdict",
+    "SensitizationEncoder",
+    "TightnessReport",
+    "TightnessRow",
+    "VerdictOracle",
+    "run_tightness",
+    "tightness_row",
     # serialization
     "classification_payload",
     "info_payload",
@@ -150,6 +160,8 @@ class TestDeepImportsKeepWorking:
         ("repro.obs.trace", "span"),
         ("repro.paths.count", "count_paths"),
         ("repro.sorting.heuristics", "heuristic2_sort"),
+        ("repro.verdict.oracle", "VerdictOracle"),
+        ("repro.verdict.tightness", "run_tightness"),
     ]
 
     def test_deep_paths(self):

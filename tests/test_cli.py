@@ -334,6 +334,55 @@ class TestNewSubcommands:
         ) == 0
         assert capsys.readouterr().out == first
 
+    def test_tightness_table(self, capsys):
+        assert main(["tightness", "c17", "apex-a"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "apex-a" in out
+        assert "exact" in out
+
+    def test_tightness_json_invariants(self, capsys):
+        assert main(["tightness", "c17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["criterion"] == "SIGMA_PI"
+        (row,) = payload["rows"]
+        assert row["exact_rd_percent"] >= row["approx_rd_percent"]
+        assert row["witness_replays"] == row["exact_accepted"]
+
+    def test_tightness_jobs_byte_identical(self, capsys):
+        assert main(["tightness", "c17", "apex-a", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(
+            ["tightness", "c17", "apex-a", "--json", "--jobs", "2"]
+        ) == 0
+        fanned = json.loads(capsys.readouterr().out)
+        # rows are deterministic modulo solver diagnostics and timing
+        volatile = ("conflicts", "decisions", "learned_reuse", "elapsed")
+        for got, want in zip(fanned["rows"], serial["rows"]):
+            for key in volatile:
+                got.pop(key), want.pop(key)
+            assert got == want
+
+    def test_tightness_store_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "verdicts.sqlite")
+        assert main(["tightness", "c17", "--store", store, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["tightness", "c17", "--store", store, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["rows"][0]["source"] == "computed"
+        assert warm["rows"][0]["source"] == "store"
+
+    def test_tightness_skip_row_for_wide_circuit(self, capsys):
+        assert main(
+            ["tightness", "s432-rand", "--max-inputs", "10"]
+        ) == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_tightness_criterion_nr(self, capsys):
+        assert main(["tightness", "c17", "--criterion", "nr", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["criterion"] == "NR"
+        assert payload["sort"] == "none"
+
 
 class TestVersion:
     def test_version_subcommand(self, capsys):
@@ -380,6 +429,13 @@ class TestStoreFlags:
         assert "removed" in capsys.readouterr().out
         assert main(["cache", "stats", store]) == 0
         assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_stats_breaks_out_tightness_entries(self, capsys, tmp_path):
+        store = str(tmp_path / "s.sqlite")
+        main(["tightness", "c17", "--store", store])
+        capsys.readouterr()
+        assert main(["cache", "stats", store]) == 0
+        assert "tightness=1" in capsys.readouterr().out
 
     def test_cache_gc_missing_store_errors(self, tmp_path):
         with pytest.raises(SystemExit):

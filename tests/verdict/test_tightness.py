@@ -1,0 +1,157 @@
+"""Tightness tables: invariants, determinism, store caching, SKIP rows.
+
+The table is a result artifact: it must be byte-identical at any
+``--jobs`` count and across cold/warm store runs, and every row must
+satisfy the soundness chain ``exact <= approx <= total`` with one
+replayed witness per SAT verdict.
+"""
+
+import pytest
+
+from repro.classify.conditions import Criterion
+from repro.errors import ClassifyError
+from repro.experiments.supervisor import TaskRunner
+from repro.gen.suite import get_circuit
+from repro.obs import get_registry
+from repro.verdict import (
+    TightnessReport,
+    TightnessRow,
+    default_suite_circuits,
+    run_tightness,
+    tightness_row,
+)
+
+CIRCUITS = ["c17", "apex-a"]
+
+
+def _report(**kwargs) -> TightnessReport:
+    circuits = [get_circuit(n) for n in kwargs.pop("names", CIRCUITS)]
+    return run_tightness(circuits, Criterion.SIGMA_PI, "heu2", **kwargs)
+
+
+class TestInvariants:
+    def test_soundness_chain_and_certificates(self):
+        report = _report()
+        for row in report.rows:
+            assert row.exact_accepted <= row.approx_accepted
+            assert row.approx_accepted <= row.total_logical
+            assert row.exact_rd_percent >= row.approx_rd_percent
+            assert row.gap_percent >= 0.0
+            assert row.witness_replays == row.exact_accepted
+            assert not row.skipped
+
+    def test_row_counts_match_classifier(self):
+        circuit = get_circuit("c17")
+        row = tightness_row(circuit, Criterion.SIGMA_PI, "heu2")
+        assert row.total_logical == 22
+        assert row.approx_accepted == 22
+        assert row.exact_accepted == 22  # c17 has no Lemma-2 gap
+
+    def test_default_suite_is_bounded_by_inputs(self):
+        names = default_suite_circuits(20)
+        assert "c17" in names
+        for name in names:
+            assert len(get_circuit(name).inputs) <= 20
+        assert default_suite_circuits(4) != names
+
+
+class TestDeterminism:
+    def test_byte_identical_across_jobs(self):
+        serial = _report(runner=TaskRunner(jobs=1))
+        fanned = _report(runner=TaskRunner(jobs=2))
+        assert serial.table_bytes() == fanned.table_bytes()
+
+    def test_solver_work_excluded_from_table(self):
+        """Conflict/decision counters depend on chunking, so they live
+        in to_dict() diagnostics but never in the deterministic table."""
+        circuit = get_circuit("apex-a")
+        row = tightness_row(circuit, Criterion.SIGMA_PI, "heu2")
+        table = row.table_row()
+        assert "conflicts" not in table
+        assert "decisions" not in table
+        assert "learned_reuse" not in table
+        assert "elapsed" not in table
+        diag = row.to_dict()
+        assert set(table) < set(diag)
+
+
+class TestStoreCaching:
+    def test_cold_then_warm_is_byte_identical(self, tmp_path):
+        store = str(tmp_path / "verdicts.sqlite")
+        cold = _report(store=store)
+        assert all(r.source == "computed" for r in cold.rows)
+        warm = _report(store=store)
+        assert all(r.source == "store" for r in warm.rows)
+        assert cold.table_bytes() == warm.table_bytes()
+
+    def test_store_hit_counter_increments(self, tmp_path):
+        store = str(tmp_path / "verdicts.sqlite")
+        circuit = get_circuit("c17")
+        tightness_row(circuit, Criterion.SIGMA_PI, "heu2", store=store)
+        counter = get_registry().counter("verdict.row_store_hits")
+        before = counter.value
+        row = tightness_row(circuit, Criterion.SIGMA_PI, "heu2", store=store)
+        assert row.source == "store"
+        assert counter.value == before + 1
+
+    def test_tighter_budget_recomputes(self, tmp_path):
+        """A cached row whose approx count exceeds the caller's budget
+        must not satisfy the read — budget semantics are never-wrong."""
+        store = str(tmp_path / "verdicts.sqlite")
+        circuit = get_circuit("c17")
+        tightness_row(circuit, Criterion.SIGMA_PI, "heu2", store=store)
+        with pytest.raises(ClassifyError):
+            tightness_row(
+                circuit, Criterion.SIGMA_PI, "heu2",
+                store=store, max_accepted=5,
+            )
+
+    def test_criteria_do_not_collide_in_store(self, tmp_path):
+        store = str(tmp_path / "verdicts.sqlite")
+        from repro.circuit.examples import paper_example_circuit
+
+        circuit = paper_example_circuit()
+        sigma = tightness_row(circuit, Criterion.SIGMA_PI, "heu2", store=store)
+        nr = tightness_row(circuit, Criterion.NR, None, store=store)
+        assert nr.source == "computed"  # distinct variant, no false hit
+        assert (sigma.criterion, nr.criterion) == ("SIGMA_PI", "NR")
+
+
+class TestSkipRows:
+    def test_too_many_inputs_becomes_skip_row(self):
+        report = _report(names=["c17", "s432-rand"], max_inputs=10)
+        by_name = {row.circuit: row for row in report.rows}
+        assert not by_name["c17"].skipped
+        skip = by_name["s432-rand"]
+        assert skip.source == "skipped"
+        assert "inputs" in skip.skipped
+        assert skip.exact_accepted == 0
+
+    def test_budget_overflow_becomes_skip_row(self):
+        report = _report(names=["c17", "apex-a"], max_accepted=30)
+        by_name = {row.circuit: row for row in report.rows}
+        assert not by_name["c17"].skipped  # 22 accepted <= 30
+        assert by_name["apex-a"].skipped  # 136 accepted > 30
+
+    def test_skip_rows_render_and_serialize(self):
+        report = _report(names=["s432-rand"], max_inputs=10)
+        assert "SKIP" in report.render()
+        payload = report.table_payload()
+        assert payload["decided"] == 0
+        assert payload["rows"][0]["skipped"]
+
+
+class TestReportShape:
+    def test_table_payload_schema(self):
+        report = _report(names=["c17"])
+        payload = report.table_payload()
+        assert payload["schema"] == 1
+        assert payload["criterion"] == "SIGMA_PI"
+        assert payload["sort"] == "heu2"
+        assert payload["circuits"] == 1
+        assert isinstance(report.rows[0], TightnessRow)
+
+    def test_render_mentions_gap_columns(self):
+        text = _report(names=["c17"]).render()
+        assert "exact" in text
+        assert "c17" in text
