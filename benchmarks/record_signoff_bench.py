@@ -1,0 +1,190 @@
+"""Record the timing-signoff query benchmark (K-longest robust paths).
+
+For a representative slice of the suite: run the layered signoff query
+(lazy slowest-first enumeration -> Lemma-2 prefilter -> robust-test
+verdict) under the deterministic seeded delay assignment and write
+``BENCH_timing.json`` at the repo root with per-circuit wall times,
+stage counters and the reported critical robust paths — the committed
+baseline for the query layer's cost:
+
+    PYTHONPATH=src python benchmarks/record_signoff_bench.py
+
+``--smoke`` is the CI guard: the annotated scan example is driven
+through the ``repro-rd signoff`` command line with ``--json``,
+asserting K results in non-increasing delay order, byte-identical
+tables at ``--jobs 1`` / ``--jobs 2``, a warm second pass served from
+the store, and ``--remote`` parity against a freshly spawned 2-worker
+fleet.  It writes no file and finishes in seconds:
+
+    PYTHONPATH=src python benchmarks/record_signoff_bench.py --smoke
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_timing.json"
+EXAMPLE = ROOT / "examples" / "s27_timing.bench"
+
+#: the recorded slice: small enough to brute-force-audit, large enough
+#: to exercise the prefilter
+CIRCUITS = ["c17", "apex-a", "misex-f", "bw-d", "xcmp16", "seq-g"]
+
+K = 10
+SEED = 0
+
+
+def main() -> int:
+    from repro.signoff import signoff
+
+    rows = []
+    for name in CIRCUITS:
+        report = signoff(name, k=K, seed=SEED)
+        rows.append(
+            {
+                "circuit": name,
+                "domains": len(report.domains),
+                "paths": len(report.rows),
+                "critical_delay": (
+                    round(report.rows[0].delay, 4) if report.rows else None
+                ),
+                "delays_digest": report.delays_digest,
+                "counters": dict(report.counters),
+                "wall_s": round(report.wall_seconds, 4),
+            }
+        )
+        print(
+            f"{name}: {len(report.rows)} robust paths across "
+            f"{len(report.domains)} domains in {report.wall_seconds:.2f}s "
+            f"({report.counters['candidates']} candidates, "
+            f"{report.counters['prefilter_rejects']} prefilter rejects)"
+        )
+    doc = {
+        "benchmark": "timing-signoff",
+        "unit": "wall seconds per circuit (enumerate + filter + verdict)",
+        "k": K,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "totals": {
+            "circuits": len(rows),
+            "candidates": sum(r["counters"]["candidates"] for r in rows),
+            "prefilter_rejects": sum(
+                r["counters"]["prefilter_rejects"] for r in rows
+            ),
+            "robust_confirmed": sum(
+                r["counters"]["robust_confirmed"] for r in rows
+            ),
+            "wall_s": round(sum(r["wall_s"] for r in rows), 2),
+        },
+        "rows": rows,
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"\n{len(rows)} circuits -> {OUT}")
+    return 0
+
+
+def _cli_json(argv: list) -> dict:
+    """Run the repro-rd CLI in-process and parse its --json output."""
+    from repro.cli import main as cli_main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    if code not in (0, None):
+        raise AssertionError(f"repro-rd {argv[0]} exited {code}")
+    return json.loads(buffer.getvalue())
+
+
+def _table(result: dict) -> dict:
+    """The deterministic slice of a signoff --json document."""
+    return {
+        k: v
+        for k, v in result.items()
+        if k not in ("exact", "counters", "sources", "wall_seconds")
+    }
+
+
+@contextlib.contextmanager
+def _fleet(socket_path: str, workers: int = 2):
+    """A 2-worker fleet subprocess, ready when the socket appears."""
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path, "--workers", str(workers),
+        ],
+        env=env,
+    )
+    try:
+        for _ in range(300):
+            if Path(socket_path).exists():
+                break
+            if proc.poll() is not None:
+                raise AssertionError("fleet exited before serving")
+            time.sleep(0.1)
+        else:
+            raise AssertionError("fleet socket never appeared")
+        yield socket_path
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def smoke() -> int:
+    """CI guard: the signoff command line works end to end."""
+    bench = str(EXAMPLE)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = str(Path(tmp) / "signoff.sqlite")
+        cold = _cli_json(
+            ["signoff", bench, "--k", "5", "--store", store_path, "--json"]
+        )
+        assert cold["mode"] == "k" and cold["k"] == 5, cold
+        assert cold["paths"] == len(cold["rows"]) <= 5, cold
+        assert cold["rows"], "annotated s27 must have robust paths"
+        delays = [row["delay"] for row in cold["rows"]]
+        assert delays == sorted(delays, reverse=True), delays
+        assert set(cold["sources"].values()) == {"computed"}, cold["sources"]
+
+        # warm pass: every domain served from the store, same table
+        warm = _cli_json(
+            ["signoff", bench, "--k", "5", "--store", store_path, "--json"]
+        )
+        assert set(warm["sources"].values()) == {"store"}, warm["sources"]
+        assert _table(warm) == _table(cold)
+
+        # job-count determinism
+        fanned = _cli_json(["signoff", bench, "--k", "5", "--jobs", "2", "--json"])
+        assert _table(fanned) == _table(cold)
+
+        # remote parity against a real 2-worker fleet
+        with _fleet(str(Path(tmp) / "fleet.sock")) as sock:
+            remote = _cli_json(
+                ["signoff", bench, "--k", "5", "--remote", sock, "--json"]
+            )
+        assert _table(remote) == _table(cold)
+    print(
+        f"signoff smoke ok: {len(cold['rows'])} robust paths across "
+        f"{len(cold['domains'])} scan domains; store warm hit and "
+        f"2-worker remote parity verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(ROOT / "src"))
+    sys.exit(smoke() if "--smoke" in sys.argv[1:] else main())

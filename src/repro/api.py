@@ -96,10 +96,25 @@ from repro.delaytest import (
 )
 from repro.timing import (
     DelayAssignment,
+    delays_digest,
     logical_path_delay,
+    materialize_delays,
+    parse_delay_annotations,
+    parse_delays_file,
     random_delays,
     settle_time,
     unit_delays,
+    write_delay_annotations,
+)
+from repro.circuit.sequential import ScanCircuit, parse_sequential_bench
+from repro.timing import iter_paths_by_delay, k_longest_paths
+from repro.loading import as_core, load
+from repro.signoff import (
+    SignoffReport,
+    SignoffRow,
+    signoff,
+    signoff_core,
+    signoff_remote,
 )
 from repro.store import ResultStore, canonical_form, fingerprint
 from repro.incremental import (
@@ -202,10 +217,28 @@ __all__ = [
     "robust_test",
     # timing
     "DelayAssignment",
+    "delays_digest",
+    "iter_paths_by_delay",
+    "k_longest_paths",
     "logical_path_delay",
+    "materialize_delays",
+    "parse_delay_annotations",
+    "parse_delays_file",
     "random_delays",
     "settle_time",
     "unit_delays",
+    "write_delay_annotations",
+    # unified loading
+    "ScanCircuit",
+    "as_core",
+    "load",
+    "parse_sequential_bench",
+    # timing signoff
+    "SignoffReport",
+    "SignoffRow",
+    "signoff",
+    "signoff_core",
+    "signoff_remote",
     # result store
     "ResultStore",
     "canonical_form",

@@ -402,6 +402,15 @@ class Circuit:
         if not self._frozen:
             raise CircuitError("circuit must be frozen before analysis")
 
+    def as_core(self) -> "Circuit":
+        """The combinational circuit the analyses run on — itself.
+
+        Part of the loading protocol (:mod:`repro.loading`): every
+        analysis surface calls ``as_core()`` on whatever it was handed,
+        so a :class:`Circuit` and a scan-expanded sequential design
+        (``ScanCircuit.as_core()`` → its core) are interchangeable."""
+        return self
+
     # ------------------------------------------------------------------
     # Copying / subcircuits
     # ------------------------------------------------------------------

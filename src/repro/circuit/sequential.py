@@ -35,6 +35,15 @@ class ScanCircuit:
     #: FF name -> (pseudo-PI gate id, pseudo-PO gate id)
     flipflops: dict
 
+    def as_core(self) -> Circuit:
+        """The combinational core — the :class:`Circuit` every analysis
+        surface (classify, tightness, signoff) actually runs on."""
+        return self.core
+
+    @property
+    def name(self) -> str:
+        return self.core.name
+
     @property
     def num_flipflops(self) -> int:
         return len(self.flipflops)
@@ -80,6 +89,7 @@ def parse_sequential_bench(text: str, name: str = "seq") -> ScanCircuit:
     ff_defs: dict = {}
     declared_outputs: list = []
     kept_lines: list = []
+    defined_signals: set = set()
     for raw in text.splitlines():
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -88,9 +98,13 @@ def parse_sequential_bench(text: str, name: str = "seq") -> ScanCircuit:
         if io_match:
             if io_match.group(1).upper() == "OUTPUT":
                 declared_outputs.append(io_match.group(2))
+            else:
+                defined_signals.add(io_match.group(2))
             kept_lines.append(line)
             continue
         gate_match = _GATE_RE.match(line)
+        if gate_match:
+            defined_signals.add(gate_match.group(1))
         if gate_match and gate_match.group(2).upper() in ("DFF", "DFFSR"):
             out_name = gate_match.group(1)
             args = [a.strip() for a in gate_match.group(3).split(",") if a.strip()]
@@ -114,6 +128,15 @@ def parse_sequential_bench(text: str, name: str = "seq") -> ScanCircuit:
     expanded.extend(kept_lines)
     for data in ff_defs.values():
         if data not in declared_outputs:
+            # The pseudo-PO will be a new gate named "<data>_po"; a
+            # netlist signal already claiming that name would silently
+            # alias the capture point, so reject it up front.
+            if f"{data}_po" in defined_signals:
+                raise BenchParseError(
+                    f"cannot create pseudo-PO {data}_po for flip-flop "
+                    f"data net {data!r}: the netlist already defines a "
+                    f"signal named {data}_po; rename it"
+                )
             declared_outputs.append(data)
             expanded.append(f"OUTPUT({data})")
     core = parse_bench("\n".join(expanded), name=name)
@@ -125,9 +148,28 @@ def parse_sequential_bench(text: str, name: str = "seq") -> ScanCircuit:
     return ScanCircuit(core=core, flipflops=flipflops)
 
 
+_warned_file_helper = False
+
+
 def parse_sequential_bench_file(path: "str | Path") -> ScanCircuit:
-    path = Path(path)
-    return parse_sequential_bench(path.read_text(), name=path.stem)
+    """Deprecated: use :func:`repro.loading.load` (``load(path,
+    scan=True)``), the one adapter every surface accepts."""
+    global _warned_file_helper
+    if not _warned_file_helper:
+        _warned_file_helper = True
+        import warnings
+
+        warnings.warn(
+            "parse_sequential_bench_file() is deprecated; use "
+            "repro.api.load(path, scan=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from repro.loading import load
+
+    scan = load(Path(path), scan=True)
+    assert isinstance(scan, ScanCircuit)
+    return scan
 
 
 #: A small ISCAS-89-style sequential benchmark (s27-like: 4 PIs, 3 FFs,

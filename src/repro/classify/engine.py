@@ -651,7 +651,14 @@ def classify(
         a :class:`~repro.classify.session.CircuitSession` for
         ``circuit``; when given, the per-(criterion, sort) tables and
         the path counts all come from (and warm) the session's caches.
+
+    ``circuit`` may be anything :func:`repro.loading.as_core` resolves —
+    a ``ScanCircuit`` or a ``.bench`` path work as well as a ``Circuit``.
     """
+    if not isinstance(circuit, Circuit):
+        from repro.loading import as_core
+
+        circuit = as_core(circuit)
     if session is not None:
         if session.circuit is not circuit:
             raise ValueError("session was created for a different circuit")
@@ -689,6 +696,21 @@ def check_logical_path(
     the path is provably outside the criterion set.
     """
     tables = _Tables(circuit, criterion, sort)
+    return check_logical_path_tables(circuit, tables, logical_path)
+
+
+def check_logical_path_tables(
+    circuit: Circuit,
+    tables: _Tables,
+    logical_path: LogicalPath,
+) -> bool:
+    """:func:`check_logical_path` against prebuilt ``_Tables``.
+
+    Building the condition tables dominates a single-path check; callers
+    that screen many paths of one circuit (signoff, selection) should
+    build the tables once — e.g. via ``session.tables(criterion, sort)``
+    — and call this per path.
+    """
     flat = tables.flat
     clo = tables.closures
     pi = logical_path.path.source(circuit)

@@ -166,6 +166,10 @@ class CircuitSession:
     _canon: "CanonicalForm | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.circuit, Circuit):
+            from repro.loading import as_core
+
+            self.circuit = as_core(self.circuit)
         self.circuit._require_frozen()  # noqa: SLF001 - deliberate check
         if isinstance(self.store, (str, Path)):
             from repro.store.db import ResultStore

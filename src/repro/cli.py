@@ -33,14 +33,13 @@ import sys
 import warnings
 from pathlib import Path
 
+from repro import loading
 from repro.baseline.exact_assignment import baseline_rd
-from repro.circuit.bench import parse_bench_file
 from repro.circuit.netlist import Circuit
-from repro.circuit.pla import parse_pla_file
 from repro.circuit.stats import circuit_stats, internal_fanout_count
 from repro.classify.conditions import Criterion
 from repro.classify.session import CircuitSession
-from repro.gen.suite import SUITE, get_circuit
+from repro.gen.suite import SUITE
 from repro.obs import export_jsonl, format_metrics, get_registry
 from repro.sorting.heuristics import (
     heuristic1_sort,
@@ -71,13 +70,10 @@ def package_version() -> str:
 
 
 def load_circuit(spec: str) -> Circuit:
-    """A suite name, a ``.bench`` file, or a ``.pla`` file."""
-    path = Path(spec)
-    if path.suffix == ".bench" and path.exists():
-        return parse_bench_file(path)
-    if path.suffix == ".pla" and path.exists():
-        return parse_pla_file(path).to_circuit()
-    return get_circuit(spec)
+    """A suite name, a ``.bench`` file, or a ``.pla`` file — resolved by
+    the unified adapter; sequential ``.bench`` netlists are auto
+    scan-expanded to their combinational core."""
+    return loading.as_core(spec)
 
 
 def _make_sort(
@@ -759,6 +755,80 @@ def _tightness_remote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _signoff_delays(args: argparse.Namespace) -> "tuple[str, dict | None]":
+    """Resolve ``--delays`` into ``(base, annotations)``.
+
+    ``unit`` / ``random`` pick the fallback family; a path reads a
+    sidecar-format annotation file that overlays (and, when complete,
+    fully replaces) the fallback.
+    """
+    spec = args.delays
+    if spec in ("random", "unit"):
+        return spec, None
+    from repro.timing.annotate import parse_delays_file
+
+    return "random", parse_delays_file(spec)
+
+
+def cmd_signoff(args: argparse.Namespace) -> int:
+    """K-longest / above-slack robustly-testable paths (repro.signoff)."""
+    if args.remote is not None:
+        return _signoff_remote(args)
+    from repro.signoff import signoff
+
+    _warn_ignored(args, "signoff", "--checkpoint", "--resume")
+    base, annotations = _signoff_delays(args)
+    report = signoff(
+        args.circuit,
+        k=args.k,
+        slack=args.slack,
+        exact=args.exact,
+        scan=True if args.scan else None,
+        annotations=annotations,
+        seed=args.seed,
+        base=base,
+        store=args.store,
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(to_json(report.to_dict()))
+        return 0
+    print(report.render())
+    if args.verbose:
+        _print_metrics_summary()
+    return 0
+
+
+def _signoff_remote(args: argparse.Namespace) -> int:
+    """``signoff --remote``: one daemon request per capture domain."""
+    from repro.errors import ReproError
+    from repro.service.client import RetryPolicy, ServiceClient
+    from repro.signoff import signoff_remote
+
+    base, annotations = _signoff_delays(args)
+    try:
+        with ServiceClient.connect(args.remote, retry=RetryPolicy()) as client:
+            report = signoff_remote(
+                args.circuit,
+                client,
+                k=args.k,
+                slack=args.slack,
+                exact=args.exact,
+                scan=True if args.scan else None,
+                annotations=annotations,
+                seed=args.seed,
+                base=base,
+            )
+    except ReproError as exc:
+        print(f"remote signoff failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(to_json(report.to_dict()))
+        return 0
+    print(report.render())
+    return 0
+
+
 def _supervision_kwargs(args: argparse.Namespace) -> dict:
     """The shared table1/2/3 supervision options, as keyword arguments."""
     if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
@@ -1083,6 +1153,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=cmd_tightness)
+
+    p = sub.add_parser(
+        "signoff", parents=[shared],
+        help="K-longest / above-slack robustly-testable paths under "
+        "annotated delays",
+    )
+    p.add_argument(
+        "circuit", metavar="CIRCUIT",
+        help="suite name or .bench/.pla file; a sequential .bench is "
+        "scan-expanded and fanned out per capture domain, and its "
+        "'# delay:' annotations plus any <stem>.delays sidecar apply",
+    )
+    query = p.add_mutually_exclusive_group()
+    query.add_argument(
+        "--k", type=_positive_int, default=None, metavar="N",
+        help="report the N longest robustly-testable paths (default 10)",
+    )
+    query.add_argument(
+        "--slack", type=float, default=None, metavar="T",
+        help="report every robustly-testable path with delay >= T",
+    )
+    p.add_argument(
+        "--scan", action="store_true",
+        help="require scan (sequential) interpretation of CIRCUIT",
+    )
+    p.add_argument(
+        "--exact", action="store_true",
+        help="escalate prefilter survivors through the SAT verdict "
+        "oracle (rows are identical either way; only stage counters "
+        "move)",
+    )
+    p.add_argument(
+        "--delays", default="random", metavar="FILE|unit|random",
+        help="delay assignment: 'random' (deterministic from --seed, "
+        "default), 'unit', or a sidecar-format annotation file",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic fallback delays (default 0)",
+    )
+    p.add_argument(
+        "--remote", metavar="HOST:PORT|SOCKET", default=None,
+        help="send one signoff request per capture domain to a "
+        "running 'repro-rd serve'",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=cmd_signoff)
 
     p = sub.add_parser("cache", help="inspect/maintain a result store")
     p.add_argument("action", choices=["stats", "gc", "clear"])

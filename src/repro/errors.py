@@ -8,6 +8,7 @@ Every error the library raises deliberately derives from
     │   ├── BenchParseError   (repro.circuit.bench)
     │   └── ExactLimitError   brute-force oracle refused (too many PIs)
     ├── ClassifyError       classification aborted (budget exhausted)
+    ├── SignoffError        timing-signoff query aborted (repro.signoff)
     ├── VerdictError        SAT-exact verdict failed (repro.verdict)
     ├── HarnessError        supervised experiment execution
     │   ├── TaskTimeout       a pool task exceeded its wall-clock budget
@@ -44,6 +45,12 @@ class CircuitError(ReproError, ValueError):
 class ClassifyError(ReproError, RuntimeError):
     """A classification pass aborted — e.g. ``max_accepted`` exhausted.
     (Also a ``RuntimeError`` for backwards compatibility.)"""
+
+
+class SignoffError(ReproError, RuntimeError):
+    """A timing-signoff query aborted — e.g. the candidate-path or
+    frontier-state budget was exhausted, or a domain job failed.  (Also
+    a ``RuntimeError``, matching :class:`ClassifyError`.)"""
 
 
 class ExactLimitError(CircuitError):

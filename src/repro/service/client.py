@@ -62,7 +62,9 @@ __all__ = ["IDEMPOTENT_OPS", "RetryPolicy", "ServiceClient"]
 
 #: ops a broken transport may transparently resend — all pure reads or
 #: deterministic computations; never add a mutating op
-IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats", "tightness"})
+IDEMPOTENT_OPS = frozenset(
+    {"classify", "metrics", "ping", "signoff", "stats", "tightness"}
+)
 
 
 @dataclass(frozen=True)
@@ -403,3 +405,47 @@ class ServiceClient:
         if deadline is not None:
             fields["deadline"] = deadline
         return self.request("tightness", on_event=on_event, **fields)
+
+    def signoff(
+        self,
+        circuit: "Circuit | str | None" = None,
+        bench: "str | None" = None,
+        k: "int | None" = None,
+        slack: "float | None" = None,
+        exact: bool = False,
+        delays: "str | None" = None,
+        seed: int = 0,
+        deadline: "float | None" = None,
+        on_event: "Callable[[dict], None] | None" = None,
+    ) -> dict:
+        """K-longest (or above-slack) robustly-testable paths of one
+        circuit under an annotated delay assignment
+        (:mod:`repro.signoff`).  ``delays`` is sidecar-format annotation
+        text covering every non-PI gate (the wire never falls back);
+        without it the server derives the deterministic seeded
+        assignment from ``seed``.  Scan designs fan out client-side —
+        one request per capture cone; see
+        :func:`repro.signoff.signoff_remote`."""
+        fields: dict = {}
+        if isinstance(circuit, Circuit):
+            from repro.circuit.bench import write_bench
+
+            fields["bench"] = write_bench(circuit)
+            fields["name"] = circuit.name
+        elif circuit is not None:
+            fields["circuit"] = circuit
+        if bench is not None:
+            fields["bench"] = bench
+        if k is not None:
+            fields["k"] = k
+        if slack is not None:
+            fields["slack"] = slack
+        if exact:
+            fields["exact"] = True
+        if delays is not None:
+            fields["delays"] = delays
+        if seed:
+            fields["seed"] = seed
+        if deadline is not None:
+            fields["deadline"] = deadline
+        return self.request("signoff", on_event=on_event, **fields)

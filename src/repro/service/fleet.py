@@ -77,7 +77,9 @@ __all__ = ["FleetServer", "serve_fleet"]
 #: ops safe to retry on another worker after a mid-request crash — all
 #: current ops are pure/deterministic; a future mutating op must NOT be
 #: added here (the fleet would double-apply it)
-IDEMPOTENT_OPS = frozenset({"classify", "metrics", "ping", "stats", "tightness"})
+IDEMPOTENT_OPS = frozenset(
+    {"classify", "metrics", "ping", "signoff", "stats", "tightness"}
+)
 
 
 class _WorkerConnError(ServiceError):
@@ -300,15 +302,33 @@ class FleetServer(JsonLineServer):
         fingerprint = await self._fingerprint_for(message)
         # the op is part of the key: a classify and a tightness request
         # on the same circuit compute different answers
-        key = (
-            message.get("op", "classify"),
-            fingerprint,
-            message.get("criterion", "sigma"),
-            message.get("sort", "heu2"),
-            message.get("max_accepted"),
-            deadline,
-            bool(message.get("cones", False)),
-        )
+        op = message.get("op", "classify")
+        if op == "signoff":
+            # an rdfp1: fingerprint is timing-blind, so the query AND the
+            # delay assignment must separate otherwise-identical requests
+            delays_text = message.get("delays")
+            key = (
+                op,
+                fingerprint,
+                message.get("k"),
+                message.get("slack"),
+                bool(message.get("exact", False)),
+                message.get("seed", 0),
+                None if delays_text is None else hashlib.sha256(
+                    delays_text.encode("utf-8")
+                ).hexdigest(),
+                deadline,
+            )
+        else:
+            key = (
+                op,
+                fingerprint,
+                message.get("criterion", "sigma"),
+                message.get("sort", "heu2"),
+                message.get("max_accepted"),
+                deadline,
+                bool(message.get("cones", False)),
+            )
         registry = get_registry()
         inflight = self._inflight.get(key)
         if inflight is not None:

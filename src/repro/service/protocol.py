@@ -46,6 +46,26 @@ Ops:
     row: ``total_logical``, ``approx_accepted``, ``exact_accepted``,
     ``refuted``, both RD percentages, ``witness_replays`` and solver
     diagnostics, plus ``fingerprint`` and ``session`` stats.
+``signoff``
+    K-longest (or above-slack) robustly-testable paths of one circuit
+    under an annotated delay assignment (:mod:`repro.signoff`).
+    Fields: ``circuit`` *or* ``bench`` as for ``classify``; exactly one
+    of ``k`` (int >= 1) / ``slack`` (number); optional ``delays``
+    (sidecar-format annotation text — ``<gate> <rise> <fall>`` lines —
+    which must cover every non-PI gate: the wire never falls back so
+    client and server cannot disagree), ``seed`` (int, used only when
+    ``delays`` is absent: the deterministic fallback assignment),
+    ``exact`` (bool — escalate survivors through the SAT oracle) and
+    ``deadline``.  The result carries the canonical row list
+    (``capture``/``source``/``transition``/``delay``/``path``), the
+    stage counters, ``delays_digest``, ``source``
+    (``"computed"``/``"store"`` — rows are cached under store kind
+    ``"signoff"``, keyed by the circuit fingerprint plus the canonical
+    delay digest and query), ``fingerprint`` and ``session`` stats.
+    Scan-domain fan-out is client-side: each cone of a
+    :class:`~repro.circuit.sequential.ScanCircuit` arrives as its own
+    independently-fingerprinted (hence independently hashed, coalesced
+    and cached) ``signoff`` request.
 ``ping``
     Liveness + version handshake.
 ``stats``
@@ -95,7 +115,7 @@ __all__ = [
 #: longest accepted wire line — generously above any realistic ``.bench``
 MAX_LINE = 8 * 1024 * 1024
 
-_VALID_OPS = ("classify", "metrics", "ping", "stats", "tightness")
+_VALID_OPS = ("classify", "metrics", "ping", "signoff", "stats", "tightness")
 
 
 def encode_line(message: dict) -> bytes:

@@ -368,6 +368,8 @@ class AnalysisServer(JsonLineServer):
                 result = self._op_metrics()
             elif op == "tightness":
                 result = await self._op_tightness(message, writer, req_id)
+            elif op == "signoff":
+                result = await self._op_signoff(message, writer, req_id)
             else:
                 result = await self._op_classify(message, writer, req_id)
             await self._send(
@@ -548,6 +550,118 @@ class AnalysisServer(JsonLineServer):
             if time.monotonic() - started > float(deadline):
                 raise TaskTimeout(circuit.name, float(deadline))
             return result
+
+    async def _op_signoff(
+        self, message: dict, writer: asyncio.StreamWriter, req_id: str
+    ) -> dict:
+        """K-longest / above-slack robustly-testable paths (repro.signoff)."""
+        k = message.get("k")
+        slack = message.get("slack")
+        if k is not None and slack is not None:
+            raise ProtocolError("pass either 'k' or 'slack', not both")
+        if k is not None and (not isinstance(k, int) or k < 1):
+            raise ProtocolError("'k' must be an integer >= 1")
+        if slack is not None and not isinstance(slack, (int, float)):
+            raise ProtocolError("'slack' must be a number")
+        exact = message.get("exact", False)
+        if not isinstance(exact, bool):
+            raise ProtocolError("'exact' must be a boolean")
+        delays_text = message.get("delays")
+        if delays_text is not None and not isinstance(delays_text, str):
+            raise ProtocolError("'delays' must be annotation text")
+        seed = message.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ProtocolError("'seed' must be an integer")
+        deadline = message.get("deadline", self.default_deadline)
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ProtocolError("'deadline' must be a number of seconds")
+
+        loop = asyncio.get_event_loop()
+        async with self._admission:
+            circuit, session, total = await loop.run_in_executor(
+                self._executor, self._prepare, message
+            )
+            if deadline is None:
+                deadline = default_task_budget(total)
+            await self._send(
+                writer,
+                protocol.event(
+                    message.get("id"), "start",
+                    server_request_id=req_id,
+                    name=circuit.name,
+                    fingerprint=session.fingerprint,
+                    total_logical=total,
+                    deadline=round(float(deadline), 3),
+                ),
+            )
+            started = time.monotonic()
+            work = loop.run_in_executor(
+                self._executor,
+                self._signoff, session, k, slack, exact, delays_text, seed,
+            )
+            try:
+                result = await asyncio.wait_for(work, timeout=float(deadline))
+            except asyncio.TimeoutError:
+                raise TaskTimeout(circuit.name, float(deadline)) from None
+            if time.monotonic() - started > float(deadline):
+                raise TaskTimeout(circuit.name, float(deadline))
+            return result
+
+    def _signoff(
+        self,
+        session: CircuitSession,
+        k: "int | None",
+        slack: "float | None",
+        exact: bool,
+        delays_text: "str | None",
+        seed: int,
+    ) -> dict:
+        from repro.signoff import DEFAULT_K, signoff_core
+        from repro.timing.annotate import (
+            delays_digest,
+            materialize_delays,
+            parse_delay_lines,
+        )
+
+        try:
+            if k is None and slack is None:
+                k = DEFAULT_K
+            circuit = session.circuit
+            if delays_text is None:
+                delays = materialize_delays(circuit, None, seed=seed)
+            else:
+                # the wire form must cover every non-PI gate: no silent
+                # fallback, so client and server can never disagree
+                delays = materialize_delays(
+                    circuit,
+                    parse_delay_lines(delays_text, source="request"),
+                    strict=True,
+                )
+            rows, counters, source = signoff_core(
+                circuit,
+                delays,
+                k=k,
+                slack=slack,
+                exact=exact,
+                session=session,
+            )
+            return {
+                "circuit": circuit.name,
+                "mode": "k" if k is not None else "slack",
+                "k": k,
+                "slack": slack,
+                "exact": exact,
+                "delays_digest": delays_digest(
+                    delays, canonical=session.canonical
+                ),
+                "rows": [row.table_row() for row in rows],
+                "counters": counters,
+                "source": source,
+                "fingerprint": session.fingerprint,
+                "session": session.stats.to_dict(),
+            }
+        finally:
+            self.sessions.checkin(session)
 
     def _tightness(
         self,

@@ -1,0 +1,122 @@
+"""Remote signoff: per-domain fan-out over the analysis service.
+
+The client-side half of the wire contract in
+:mod:`repro.service.protocol`: the *client* decomposes the design into
+capture domains (:func:`repro.signoff.query.domain_circuits`), ships
+each cone as its own ``signoff`` request — independently fingerprinted,
+hence independently hashed across fleet shards, coalesced with
+identical in-flight queries, and store-cached — and merges the answers
+with the same :func:`~repro.signoff.report.merge_rows` used by the
+local path.  Every request carries the cone's full delay assignment as
+sidecar-format annotation text, so client and server can never disagree
+about a fallback.
+
+Parity caveat: the wire ships cones as ``.bench`` text, and the
+``write_bench``/``parse_bench`` round trip renames PO sink gates to
+``<driver>_po``.  For bench-origin circuits (including every expanded
+:class:`~repro.circuit.sequential.ScanCircuit`) PO sinks already follow
+that convention, so remote rows are byte-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.timing.annotate import (
+    delays_digest,
+    materialize_delays,
+    parse_delay_annotations,
+    parse_delays_file,
+    sidecar_path,
+    write_delay_annotations,
+)
+
+from repro.signoff.query import _resolve_query, domain_circuits
+from repro.signoff.report import SignoffReport, SignoffRow, merge_rows
+
+__all__ = ["signoff_remote"]
+
+
+def signoff_remote(
+    source,
+    client,
+    *,
+    k: "int | None" = None,
+    slack: "float | None" = None,
+    exact: bool = False,
+    scan: "bool | None" = None,
+    delays=None,
+    annotations: "dict | None" = None,
+    seed: int = 0,
+    base: str = "random",
+    deadline: "float | None" = None,
+    on_event=None,
+) -> SignoffReport:
+    """Answer a signoff query through a connected
+    :class:`~repro.service.client.ServiceClient`.
+
+    Accepts the same ``source`` / query / delay arguments as
+    :func:`repro.signoff.signoff` and returns the same
+    :class:`SignoffReport` — the table is byte-identical to a local run
+    (see the module docstring for the ``.bench`` round-trip caveat).
+    ``deadline`` is a per-domain budget in seconds.
+    """
+    from pathlib import Path
+
+    from repro.loading import load
+
+    start = time.perf_counter()
+    k, slack = _resolve_query(k, slack)
+    file_annotations: dict = {}
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.suffix == ".bench" and path.exists():
+            file_annotations.update(
+                parse_delay_annotations(path.read_text(), source=str(path))
+            )
+            sidecar = sidecar_path(path)
+            if sidecar.exists():
+                file_annotations.update(parse_delays_file(sidecar))
+    loaded = load(source, scan=scan)
+    core = loaded.as_core()
+    if delays is None:
+        merged = dict(file_annotations)
+        merged.update(annotations or {})
+        delays = materialize_delays(core, merged, seed=seed, base=base)
+    elif delays.circuit is not core:
+        raise ValueError("delay assignment belongs to a different circuit")
+    digest = delays_digest(delays)
+
+    domains = domain_circuits(core)
+    counters: dict = {}
+    sources: dict = {}
+    row_lists = []
+    for capture, cone, map_delays in domains:
+        result = client.signoff(
+            circuit=cone,
+            k=k,
+            slack=slack,
+            exact=exact,
+            delays=write_delay_annotations(map_delays(delays)),
+            deadline=deadline,
+            on_event=on_event,
+        )
+        row_lists.append(
+            [SignoffRow.from_table_row(row) for row in result["rows"]]
+        )
+        sources[capture] = result["source"]
+        for name, value in result["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+    return SignoffReport(
+        circuit=core.name,
+        mode="k" if k is not None else "slack",
+        k=k,
+        slack=slack,
+        exact=exact,
+        delays_digest=digest,
+        domains=tuple(sorted(capture for capture, _c, _m in domains)),
+        rows=merge_rows(row_lists, k),
+        counters=counters,
+        sources=sources,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -3,13 +3,15 @@
 One :class:`ResultStore` is a single-file database mapping
 ``(fingerprint, kind, variant)`` to a JSON payload:
 
-===========  =============================================  ============
-kind         variant                                        payload
-===========  =============================================  ============
-``counts``   ``""``                                         ``up``/``down`` DP arrays, canonical gate order
-``classify`` ``<CRITERION>|<sort key>``                     accepted/total/edges + optional per-lead counts
-``sort``     ``heu1`` / ``heu2``                            rank array, canonical lead order
-===========  =============================================  ============
+=============  =============================================  ============
+kind           variant                                        payload
+=============  =============================================  ============
+``counts``     ``""``                                         ``up``/``down`` DP arrays, canonical gate order
+``classify``   ``<CRITERION>|<sort key>``                     accepted/total/edges + optional per-lead counts
+``sort``       ``heu1`` / ``heu2``                            rank array, canonical lead order
+``tightness``  ``<schema>|<CRITERION>|<sort>|<budget>``       exact-vs-approximate verdict counts per circuit
+``signoff``    ``<schema>|<delay digest>|k=N`` / ``slack=T``  accepted robust-path set as canonical lead positions
+=============  =============================================  ============
 
 Every row is stamped with :data:`~repro.store.fingerprint.SCHEMA_VERSION`;
 reads only ever see rows of the *current* schema, so a payload-format or

@@ -14,9 +14,25 @@ from repro.timing.kpaths import (
     k_longest_paths,
     paths_above_threshold,
 )
+from repro.timing.annotate import (
+    delays_digest,
+    materialize_delays,
+    parse_delay_annotations,
+    parse_delay_lines,
+    parse_delays_file,
+    sidecar_path,
+    write_delay_annotations,
+)
 
 __all__ = [
     "DelayAssignment",
+    "delays_digest",
+    "materialize_delays",
+    "parse_delay_annotations",
+    "parse_delay_lines",
+    "parse_delays_file",
+    "sidecar_path",
+    "write_delay_annotations",
     "random_delays",
     "unit_delays",
     "logical_path_delay",

@@ -1,0 +1,237 @@
+"""Per-gate delay annotations for the ``.bench`` family.
+
+Real timing signoff runs on annotated netlists, not unit delays.  Two
+equivalent textual forms feed :class:`~repro.timing.delays.DelayAssignment`:
+
+* **comment form** — ``# delay: <gate> <rise> <fall>`` lines inside the
+  ``.bench`` file itself (ordinary parsers skip them as comments);
+* **sidecar form** — a ``.delays`` file next to the netlist with plain
+  ``<gate> <rise> <fall>`` lines (``#`` comments allowed).
+
+Both parse to the same ``{gate_name: (rise, fall)}`` dict and are
+materialized by :func:`materialize_delays`, which overlays the
+annotations on a deterministic seeded base assignment so partially
+annotated (or completely unannotated) suites still get reproducible
+timing.  :func:`delays_digest` hashes an assignment in *canonical* gate
+order — stable across netlist renames and declaration-order shuffles —
+so it can safely extend an ``rdfp1:`` store key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.circuit.bench import BenchParseError
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.timing.delays import DelayAssignment, random_delays, unit_delays
+
+#: Marker introducing an annotation inside a ``.bench`` comment.
+DELAY_PREFIX = "delay:"
+
+
+def _parse_payload(payload: str, err) -> "tuple[str, float, float]":
+    parts = payload.split()
+    if len(parts) != 3:
+        raise err(f"expected '<gate> <rise> <fall>', got {payload!r}")
+    name, rise_text, fall_text = parts
+    try:
+        rise = float(rise_text)
+        fall = float(fall_text)
+    except ValueError:
+        raise err(f"non-numeric delay in {payload!r}") from None
+    if rise < 0 or fall < 0:
+        raise err(f"negative delay in {payload!r}")
+    return name, rise, fall
+
+
+def _err_factory(source: "str | None"):
+    def err(message: str, line_no: "int | None" = None):
+        prefix = f"{source}: " if source else ""
+        where = f"line {line_no}: " if line_no is not None else ""
+        return BenchParseError(f"{prefix}{where}{message}")
+
+    return err
+
+
+def parse_delay_annotations(
+    text: str, source: "str | None" = None
+) -> "dict[str, tuple[float, float]]":
+    """Extract ``# delay: <gate> <rise> <fall>`` comment lines.
+
+    Lenient towards everything that is not a delay comment (netlist
+    lines, ordinary comments); strict about the payload of lines that
+    are.  Duplicate annotations for one gate are an error.
+    """
+    err = _err_factory(source)
+    out: "dict[str, tuple[float, float]]" = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped.startswith("#"):
+            continue
+        body = stripped.lstrip("#").strip()
+        if not body.lower().startswith(DELAY_PREFIX):
+            continue
+        payload = body[len(DELAY_PREFIX):].strip()
+        name, rise, fall = _parse_payload(
+            payload, lambda m, n=line_no: err(m, n)
+        )
+        if name in out:
+            raise err(f"duplicate delay annotation for {name!r}", line_no)
+        out[name] = (rise, fall)
+    return out
+
+
+def parse_delay_lines(
+    text: str, source: "str | None" = None
+) -> "dict[str, tuple[float, float]]":
+    """Parse sidecar (``.delays``) text: one ``<gate> <rise> <fall>`` per
+    line, ``#`` comments and blank lines allowed.  The comment form is
+    accepted too, so a sidecar can be produced by grepping a ``.bench``.
+
+    Unlike :func:`parse_delay_annotations` every non-comment line must
+    be a valid annotation — a sidecar has no netlist lines to skip.
+    """
+    err = _err_factory(source)
+    out: "dict[str, tuple[float, float]]" = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            body = stripped.lstrip("#").strip()
+            if not body.lower().startswith(DELAY_PREFIX):
+                continue
+            payload = body[len(DELAY_PREFIX):].strip()
+        else:
+            payload = stripped.split("#", 1)[0].strip()
+            if not payload:
+                continue
+        name, rise, fall = _parse_payload(
+            payload, lambda m, n=line_no: err(m, n)
+        )
+        if name in out:
+            raise err(f"duplicate delay annotation for {name!r}", line_no)
+        out[name] = (rise, fall)
+    return out
+
+
+def parse_delays_file(path: "str | Path") -> "dict[str, tuple[float, float]]":
+    path = Path(path)
+    return parse_delay_lines(path.read_text(), source=str(path))
+
+
+def sidecar_path(bench_path: "str | Path") -> Path:
+    """The conventional sidecar location for a netlist file."""
+    return Path(bench_path).with_suffix(".delays")
+
+
+def materialize_delays(
+    circuit: Circuit,
+    annotations: "dict[str, tuple[float, float]] | None" = None,
+    *,
+    seed: int = 0,
+    base: str = "random",
+    strict: bool = False,
+) -> DelayAssignment:
+    """Turn name-keyed annotations into a :class:`DelayAssignment`.
+
+    Unannotated gates fall back to a deterministic base assignment:
+    ``base="random"`` (seeded, the default — reproducible timing for
+    unannotated suites) or ``base="unit"``.  With ``strict=True`` every
+    non-PI gate must be annotated instead (the wire-transfer contract:
+    no fallback ambiguity between client and server).
+
+    Annotating an unknown gate or a primary input (PIs switch at t=0 by
+    definition) raises :class:`BenchParseError`.
+    """
+    if base == "random":
+        assignment = random_delays(circuit, seed=seed)
+    elif base == "unit":
+        assignment = unit_delays(circuit)
+    else:
+        raise ValueError(f"unknown base {base!r}; use 'random' or 'unit'")
+    rise = list(assignment.rise)
+    fall = list(assignment.fall)
+    annotated = set()
+    for name, (r, f) in (annotations or {}).items():
+        try:
+            gid = circuit.gate_by_name(name)
+        except KeyError:
+            raise BenchParseError(
+                f"delay annotation for unknown gate {name!r}"
+            ) from None
+        if circuit.gate_type(gid) is GateType.PI:
+            raise BenchParseError(
+                f"cannot annotate primary input {name!r}: PIs switch at t=0"
+            )
+        rise[gid] = r
+        fall[gid] = f
+        annotated.add(gid)
+    if strict:
+        missing = [
+            circuit.gate_name(g)
+            for g in range(circuit.num_gates)
+            if circuit.gate_type(g) is not GateType.PI and g not in annotated
+        ]
+        if missing:
+            raise BenchParseError(
+                "strict materialization is missing annotations for: "
+                + ", ".join(sorted(missing)[:5])
+                + ("..." if len(missing) > 5 else "")
+            )
+    return DelayAssignment(circuit=circuit, rise=tuple(rise), fall=tuple(fall))
+
+
+def write_delay_annotations(
+    delays: DelayAssignment, *, comment: bool = False
+) -> str:
+    """Serialize an assignment as annotation text (round-trippable).
+
+    One line per non-PI gate in declaration order; ``repr`` floats, so
+    values survive the round trip bit-exactly.  ``comment=True`` emits
+    the ``# delay:`` comment form suitable for appending to a
+    ``.bench``; otherwise the plain sidecar form.
+    """
+    circuit = delays.circuit
+    prefix = "# delay: " if comment else ""
+    lines = []
+    for gid in range(circuit.num_gates):
+        if circuit.gate_type(gid) is GateType.PI:
+            continue
+        lines.append(
+            f"{prefix}{circuit.gate_name(gid)} "
+            f"{delays.rise[gid]!r} {delays.fall[gid]!r}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def delays_digest(delays: DelayAssignment, canonical=None) -> str:
+    """Content hash of an assignment in canonical gate order.
+
+    Equal for the same timing on any renaming/reordering of the netlist
+    — the safe companion to the isomorphism-insensitive ``rdfp1:``
+    circuit fingerprint in store keys.
+    """
+    if canonical is None:
+        from repro.store.fingerprint import canonical_form
+
+        canonical = canonical_form(delays.circuit)
+    blob = ";".join(
+        f"{r!r},{f!r}"
+        for r, f in zip(
+            canonical.pack_gates(delays.rise), canonical.pack_gates(delays.fall)
+        )
+    ).encode("ascii")
+    return "rdly1:" + hashlib.sha256(blob).hexdigest()[:32]
+
+
+__all__ = [
+    "DELAY_PREFIX",
+    "delays_digest",
+    "materialize_delays",
+    "parse_delay_annotations",
+    "parse_delay_lines",
+    "parse_delays_file",
+    "sidecar_path",
+    "write_delay_annotations",
+]

@@ -12,7 +12,6 @@ multiplier (≈10²³ paths) touches a few thousand frontier states.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Iterator
 
 from repro.circuit.gates import GateType, is_inverting
@@ -59,11 +58,15 @@ def iter_paths_by_delay(
     if delays.circuit is not circuit:
         raise ValueError("delay assignment belongs to a different circuit")
     best = _suffix_best(circuit, delays)
-    # LIFO tie-breaking (negated counter): among equal-delay partial
-    # paths, extend the most recent one first.  FIFO would breadth-first
-    # expand entire equal-delay path classes (millions of states in a
-    # unit-delay multiplier) before completing a single path.
-    counter = itertools.count()
+    # Lexicographic tie-breaking: among equal-delay partial paths, pop
+    # the one with the lexicographically smallest lead tuple (then the
+    # smaller start value / gate id).  A child's tuple extends its
+    # parent's, so this still drills depth-first down the smallest
+    # branch — FIFO would breadth-first expand entire equal-delay path
+    # classes (millions of states in a unit-delay multiplier) before
+    # completing a single path — while making the yield order of
+    # equal-delay paths a pure function of the circuit, independent of
+    # heap insertion history.  Signoff tables depend on this.
     heap: list = []
     for pi in circuit.inputs:
         for direction in (0, 1):
@@ -71,11 +74,11 @@ def iter_paths_by_delay(
             if bound == float("-inf"):
                 continue  # PI drives no PO
             heapq.heappush(
-                heap, (-bound, -next(counter), pi, direction, direction, 0.0, ())
+                heap, (-bound, (), direction, pi, direction, 0.0)
             )
     states = 0
     while heap:
-        neg_total, _tick, gate, direction, start, acc, leads = heapq.heappop(heap)
+        neg_total, leads, start, gate, direction, acc = heapq.heappop(heap)
         states += 1
         if states > max_states:
             raise RuntimeError(f"more than {max_states} frontier states")
@@ -97,12 +100,11 @@ def iter_paths_by_delay(
                 heap,
                 (
                     -(new_acc + tail),
-                    -next(counter),
+                    leads + (circuit.lead_index(dst, pin),),
+                    start,
                     dst,
                     downstream,
-                    start,
                     new_acc,
-                    leads + (circuit.lead_index(dst, pin),),
                 ),
             )
 

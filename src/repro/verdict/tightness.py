@@ -309,9 +309,15 @@ def tightness_row(
 
     Raises :class:`ClassifyError` when the classifier accepts more than
     ``max_accepted`` paths (the sweep turns that into a SKIP row) and
-    :class:`VerdictError` on any certificate failure.
+    :class:`VerdictError` on any certificate failure.  ``circuit`` may
+    be anything :func:`repro.loading.as_core` resolves (a
+    ``ScanCircuit`` or ``.bench`` path included).
     """
     start = time.perf_counter()
+    if not isinstance(circuit, Circuit):
+        from repro.loading import as_core
+
+        circuit = as_core(circuit)
     if session is None:
         session = CircuitSession(circuit, store=store)
     if runner is None:
@@ -431,6 +437,12 @@ def run_tightness(
     start = time.perf_counter()
     if circuits is None:
         circuits = [get_circuit(name) for name in default_suite_circuits(max_inputs)]
+    else:
+        from repro.loading import as_core
+
+        circuits = [
+            c if isinstance(c, Circuit) else as_core(c) for c in circuits
+        ]
     if criterion is not Criterion.SIGMA_PI:
         report_sort = "none"
     elif isinstance(sort, str):

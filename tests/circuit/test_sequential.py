@@ -105,3 +105,29 @@ class TestDelayAnalysisOnCore:
             kinds.add((src in pseudo_in, dst in pseudo_out))
         assert (True, True) in kinds  # state -> state
         assert (False, True) in kinds  # pi -> state
+
+
+class TestPseudoPoCollision:
+    def test_colliding_input_name_rejected(self):
+        text = """\
+INPUT(a)
+INPUT(d_po)
+OUTPUT(x)
+q = DFF(d)
+d = AND(a, q)
+x = OR(d_po, d)
+"""
+        with pytest.raises(BenchParseError, match="d_po"):
+            parse_sequential_bench(text, name="clash")
+
+    def test_message_names_the_flip_flop_data_net(self):
+        text = """\
+INPUT(a)
+OUTPUT(x)
+q = DFF(d)
+d_po = NOT(a)
+d = AND(a, q)
+x = OR(d_po, q)
+"""
+        with pytest.raises(BenchParseError, match="data net 'd'"):
+            parse_sequential_bench(text, name="clash2")

@@ -102,7 +102,7 @@ class TestRetryPolicy:
 
     def test_all_current_ops_are_idempotent(self):
         assert IDEMPOTENT_OPS == {
-            "classify", "metrics", "ping", "stats", "tightness",
+            "classify", "metrics", "ping", "signoff", "stats", "tightness",
         }
 
 

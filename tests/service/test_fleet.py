@@ -249,6 +249,37 @@ class TestTightnessRequests:
         assert row["exact_accepted"] == classified["accepted"] == 22
 
 
+class TestSignoffRequests:
+    def test_signoff_routes_through_a_worker(self, fleet):
+        with connect(fleet) as client:
+            result = client.signoff(circuit="c17", k=4)
+        assert result["worker"] in (0, 1)
+        assert result["mode"] == "k"
+        delays = [row["delay"] for row in result["rows"]]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_query_keys_the_coalescer(self, fleet):
+        """Same circuit, different k/seed: distinct single-flight keys,
+        distinct answers."""
+        with connect(fleet) as client:
+            top2 = client.signoff(circuit="c17", k=2)
+            top4 = client.signoff(circuit="c17", k=4)
+            reseeded = client.signoff(circuit="c17", k=4, seed=1)
+        assert len(top2["rows"]) == 2
+        assert top4["rows"][:2] == top2["rows"]
+        assert reseeded["delays_digest"] != top4["delays_digest"]
+
+    def test_remote_fanout_matches_local(self, fleet):
+        from repro.circuit.sequential import S27_LIKE, parse_sequential_bench
+        from repro.signoff import signoff, signoff_remote
+
+        scan = parse_sequential_bench(S27_LIKE, name="s27")
+        local = signoff(scan, k=6, seed=0)
+        with connect(fleet) as client:
+            remote = signoff_remote(scan, client, k=6, seed=0)
+        assert remote.table_bytes() == local.table_bytes()
+
+
 class TestIntrospection:
     def test_stats_describes_the_topology(self, fleet):
         with connect(fleet) as client:

@@ -79,10 +79,28 @@ API_SNAPSHOT = [
     "robust_test",
     # timing
     "DelayAssignment",
+    "delays_digest",
+    "iter_paths_by_delay",
+    "k_longest_paths",
     "logical_path_delay",
+    "materialize_delays",
+    "parse_delay_annotations",
+    "parse_delays_file",
     "random_delays",
     "settle_time",
     "unit_delays",
+    "write_delay_annotations",
+    # unified loading
+    "ScanCircuit",
+    "as_core",
+    "load",
+    "parse_sequential_bench",
+    # timing signoff
+    "SignoffReport",
+    "SignoffRow",
+    "signoff",
+    "signoff_core",
+    "signoff_remote",
     # result store
     "ResultStore",
     "canonical_form",
@@ -162,6 +180,13 @@ class TestDeepImportsKeepWorking:
         ("repro.sorting.heuristics", "heuristic2_sort"),
         ("repro.verdict.oracle", "VerdictOracle"),
         ("repro.verdict.tightness", "run_tightness"),
+        ("repro.loading", "load"),
+        ("repro.circuit.sequential", "ScanCircuit"),
+        ("repro.timing.annotate", "materialize_delays"),
+        ("repro.timing.kpaths", "iter_paths_by_delay"),
+        ("repro.signoff.query", "signoff_core"),
+        ("repro.signoff.remote", "signoff_remote"),
+        ("repro.signoff.report", "SignoffRow"),
     ]
 
     def test_deep_paths(self):

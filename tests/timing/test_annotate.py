@@ -1,0 +1,152 @@
+"""Delay annotations: comment form ≡ sidecar form ≡ in-memory dict."""
+
+import pytest
+
+from repro.circuit.bench import BenchParseError, parse_bench
+from repro.timing.annotate import (
+    delays_digest,
+    materialize_delays,
+    parse_delay_annotations,
+    parse_delay_lines,
+    parse_delays_file,
+    sidecar_path,
+    write_delay_annotations,
+)
+from repro.timing.delays import random_delays
+
+BENCH = """\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n = NOT(a)
+y = AND(n, b)
+"""
+
+ANNOTATED = BENCH + """\
+# delay: n 0.5 0.75
+# delay: y 1.25 1.0
+"""
+
+SIDECAR = """\
+# a sidecar comment
+n 0.5 0.75
+y 1.25 1.0   # trailing comment
+"""
+
+ANNOS = {"n": (0.5, 0.75), "y": (1.25, 1.0)}
+
+
+def _circuit():
+    return parse_bench(BENCH, name="tiny")
+
+
+class TestParsing:
+    def test_comment_form(self):
+        assert parse_delay_annotations(ANNOTATED) == ANNOS
+
+    def test_sidecar_form(self):
+        assert parse_delay_lines(SIDECAR) == ANNOS
+
+    def test_sidecar_accepts_comment_form_lines(self):
+        assert parse_delay_lines("# delay: n 0.5 0.75\n") == {"n": (0.5, 0.75)}
+
+    def test_plain_bench_has_no_annotations(self):
+        assert parse_delay_annotations(BENCH) == {}
+
+    def test_duplicate_is_error(self):
+        text = "# delay: n 1 1\n# delay: n 2 2\n"
+        with pytest.raises(BenchParseError, match="duplicate"):
+            parse_delay_annotations(text)
+
+    def test_malformed_payload_carries_source_and_line(self):
+        with pytest.raises(BenchParseError, match=r"x\.delays: line 1"):
+            parse_delay_lines("n 0.5\n", source="x.delays")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(BenchParseError, match="non-numeric"):
+            parse_delay_lines("n fast slow\n")
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchParseError, match="negative"):
+            parse_delay_lines("n -1 1\n")
+
+    def test_sidecar_is_strict_about_junk_lines(self):
+        with pytest.raises(BenchParseError):
+            parse_delay_lines("y = AND(n, b)\n")
+
+    def test_sidecar_path_convention(self):
+        assert sidecar_path("suite/c17.bench").name == "c17.delays"
+
+
+class TestMaterialize:
+    def test_three_forms_agree(self, tmp_path):
+        circuit = _circuit()
+        sidecar = tmp_path / "tiny.delays"
+        sidecar.write_text(SIDECAR)
+        from_comments = materialize_delays(
+            circuit, parse_delay_annotations(ANNOTATED)
+        )
+        from_sidecar = materialize_delays(circuit, parse_delays_file(sidecar))
+        from_memory = materialize_delays(circuit, ANNOS)
+        assert from_comments == from_sidecar == from_memory
+
+    def test_annotations_overlay_seeded_base(self):
+        circuit = _circuit()
+        delays = materialize_delays(circuit, {"n": (0.5, 0.75)}, seed=7)
+        base = random_delays(circuit, seed=7)
+        n = circuit.gate_by_name("n")
+        y = circuit.gate_by_name("y")
+        assert (delays.rise[n], delays.fall[n]) == (0.5, 0.75)
+        assert (delays.rise[y], delays.fall[y]) == (base.rise[y], base.fall[y])
+
+    def test_unit_base(self):
+        circuit = _circuit()
+        delays = materialize_delays(circuit, {}, base="unit")
+        y = circuit.gate_by_name("y")
+        assert delays.rise[y] == delays.fall[y] == 1.0
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown gate"):
+            materialize_delays(_circuit(), {"nope": (1.0, 1.0)})
+
+    def test_pi_annotation_rejected(self):
+        with pytest.raises(BenchParseError, match="primary input"):
+            materialize_delays(_circuit(), {"a": (1.0, 1.0)})
+
+    def test_strict_requires_full_coverage(self):
+        circuit = _circuit()
+        with pytest.raises(BenchParseError, match="missing annotations"):
+            materialize_delays(circuit, ANNOS, strict=True)
+        full = dict(ANNOS)
+        full["y_po"] = (0.0, 0.0)
+        materialize_delays(circuit, full, strict=True)  # no raise
+
+
+class TestRoundTripAndDigest:
+    def test_write_parse_round_trip_is_bit_exact(self):
+        circuit = _circuit()
+        delays = random_delays(circuit, seed=3)
+        for comment in (False, True):
+            text = write_delay_annotations(delays, comment=comment)
+            parse = parse_delay_lines if not comment else parse_delay_annotations
+            rebuilt = materialize_delays(circuit, parse(text), strict=True)
+            assert rebuilt == delays
+
+    def test_digest_stable_and_content_addressed(self):
+        circuit = _circuit()
+        a = materialize_delays(circuit, ANNOS)
+        b = materialize_delays(circuit, dict(reversed(list(ANNOS.items()))))
+        assert delays_digest(a).startswith("rdly1:")
+        assert delays_digest(a) == delays_digest(b)
+        assert delays_digest(a) != delays_digest(
+            materialize_delays(circuit, ANNOS, seed=1)
+        )
+
+    def test_digest_invariant_under_renaming(self):
+        circuit = _circuit()
+        renamed = parse_bench(
+            BENCH.replace("n", "inv").replace("y", "out"), name="tiny2"
+        )
+        d1 = materialize_delays(circuit, {"n": (0.5, 0.75)}, base="unit")
+        d2 = materialize_delays(renamed, {"inv": (0.5, 0.75)}, base="unit")
+        assert delays_digest(d1) == delays_digest(d2)

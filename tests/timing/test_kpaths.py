@@ -97,3 +97,37 @@ class TestThreshold:
         delays = unit_delays(example_circuit)
         with pytest.raises(RuntimeError):
             list(iter_paths_by_delay(example_circuit, delays, max_states=1))
+
+
+class TestDeterministicTieBreak:
+    """Equal-delay paths must come out in a stable lexicographic order —
+    signoff tables are byte-compared across job counts and reruns."""
+
+    def test_unit_delay_ties_sorted_by_lead_tuple(self, small_circuits):
+        for circuit in small_circuits:
+            delays = unit_delays(circuit)
+            produced = list(iter_paths_by_delay(circuit, delays))
+            by_delay: dict = {}
+            for delay, lp in produced:
+                by_delay.setdefault(delay, []).append(lp)
+            for group in by_delay.values():
+                keys = [
+                    tuple(
+                        circuit.lead_index(
+                            circuit.lead_dst(lead), circuit.lead_pin(lead)
+                        )
+                        for lead in lp.path.leads
+                    )
+                    for lp in group
+                ]
+                # Within one delay class the physical spelling is
+                # non-decreasing lexicographically by lead index (each
+                # path appears once per transition).
+                assert keys == sorted(keys)
+
+    def test_rerun_is_identical(self, small_circuits):
+        for circuit in small_circuits:
+            delays = unit_delays(circuit)
+            first = list(iter_paths_by_delay(circuit, delays))
+            second = list(iter_paths_by_delay(circuit, delays))
+            assert first == second
